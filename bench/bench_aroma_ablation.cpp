@@ -1,0 +1,169 @@
+// Ablation of the §VI-A design choices DESIGN.md calls out:
+//
+//  1. Laminar's simplified scoring (cosine over SPT features, no
+//     prune/rerank/cluster) vs the full Aroma pipeline — the paper argues
+//     the simplification trades little quality "for efficiency, simplicity,
+//     and scalability".
+//  2. Variable-name generalization (#VAR) on vs off — the property that
+//     makes structural search rename-robust.
+//
+// Quality metric: fraction of top-5 results in the query's semantic group,
+// for 50%-dropped queries; latency per query reported alongside.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/clock.hpp"
+#include "spt/recommend.hpp"
+
+using namespace laminar;
+
+namespace {
+
+struct Outcome {
+  double family_precision_at5 = 0.0;
+  double ms_per_query = 0.0;
+};
+
+Outcome Evaluate(const dataset::CodeSearchNetPeDataset& ds,
+                 const spt::AromaConfig& config, double drop) {
+  spt::AromaEngine engine(config);
+  for (const dataset::PeExample& ex : ds.examples()) {
+    (void)engine.AddSnippet(ex.id, ex.pe_code);
+  }
+  Stopwatch watch;
+  double precision_sum = 0.0;
+  size_t queries = 0;
+  for (const dataset::PeExample& ex : ds.examples()) {
+    std::string query = dataset::DropCode(ex.pe_code, drop);
+    // Use the raw ranked search for both modes so precision is comparable
+    // (the full pipeline's clustering intentionally dedups the family).
+    Result<std::vector<spt::SptIndex::Hit>> hits = engine.Search(
+        query, 5,
+        config.use_full_pipeline ? spt::Metric::kOverlap
+                                 : config.simplified_metric);
+    if (!hits.ok()) continue;
+    const std::vector<int64_t>& members = ds.GroupMembers(ex.group);
+    size_t in_family = 0;
+    for (const auto& hit : hits.value()) {
+      for (int64_t m : members) {
+        if (hit.doc_id == m) {
+          ++in_family;
+          break;
+        }
+      }
+    }
+    precision_sum +=
+        static_cast<double>(in_family) /
+        static_cast<double>(std::max<size_t>(hits->size(), 1));
+    ++queries;
+  }
+  Outcome out;
+  out.family_precision_at5 =
+      queries > 0 ? precision_sum / static_cast<double>(queries) : 0.0;
+  out.ms_per_query =
+      queries > 0 ? watch.ElapsedMillis() / static_cast<double>(queries) : 0.0;
+  return out;
+}
+
+Outcome EvaluateRecommend(const dataset::CodeSearchNetPeDataset& ds,
+                          const spt::AromaConfig& config, double drop) {
+  spt::AromaEngine engine(config);
+  for (const dataset::PeExample& ex : ds.examples()) {
+    (void)engine.AddSnippet(ex.id, ex.pe_code);
+  }
+  Stopwatch watch;
+  double top1_sum = 0.0;
+  size_t queries = 0;
+  for (const dataset::PeExample& ex : ds.examples()) {
+    std::string query = dataset::DropCode(ex.pe_code, drop);
+    Result<std::vector<spt::Recommendation>> recs = engine.Recommend(query);
+    if (!recs.ok() || recs->empty()) {
+      ++queries;
+      continue;
+    }
+    const std::vector<int64_t>& members = ds.GroupMembers(ex.group);
+    for (int64_t m : members) {
+      if (recs->front().snippet_id == m) {
+        top1_sum += 1.0;
+        break;
+      }
+    }
+    ++queries;
+  }
+  Outcome out;
+  out.family_precision_at5 =
+      queries > 0 ? top1_sum / static_cast<double>(queries) : 0.0;
+  out.ms_per_query =
+      queries > 0 ? watch.ElapsedMillis() / static_cast<double>(queries) : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Aroma ablations (§VI-A design choices) ==\n\n");
+  dataset::CodeSearchNetPeDataset ds =
+      dataset::CodeSearchNetPeDataset::Generate(bench::DefaultCorpusConfig());
+  std::printf("corpus: %zu PEs, queries with 50%% of code dropped\n\n",
+              ds.size());
+
+  // 1. Scoring path ablation.
+  std::printf("scoring path (raw ranked retrieval, family precision@5):\n");
+  std::printf("  %-40s %-14s %-12s\n", "configuration", "precision@5",
+              "ms/query");
+  {
+    spt::AromaConfig full;
+    full.use_full_pipeline = true;
+    Outcome o = Evaluate(ds, full, 0.5);
+    std::printf("  %-40s %-14.4f %-12.3f\n", "overlap scoring (Aroma stage 2)",
+                o.family_precision_at5, o.ms_per_query);
+  }
+  {
+    spt::AromaConfig simplified;
+    simplified.use_full_pipeline = false;
+    simplified.simplified_metric = spt::Metric::kCosine;
+    Outcome o = Evaluate(ds, simplified, 0.5);
+    std::printf("  %-40s %-14.4f %-12.3f\n",
+                "cosine scoring (Laminar 2.0 default)",
+                o.family_precision_at5, o.ms_per_query);
+  }
+
+  // 2. End-to-end recommendation: full pipeline vs simplified.
+  std::printf("\nend-to-end recommendation (top-1 in-family rate):\n");
+  std::printf("  %-40s %-14s %-12s\n", "configuration", "top-1 rate",
+              "ms/query");
+  {
+    spt::AromaConfig full;
+    full.use_full_pipeline = true;
+    Outcome o = EvaluateRecommend(ds, full, 0.5);
+    std::printf("  %-40s %-14.4f %-12.3f\n",
+                "full Aroma (prune+rerank+cluster)", o.family_precision_at5,
+                o.ms_per_query);
+  }
+  {
+    spt::AromaConfig simplified;
+    simplified.use_full_pipeline = false;
+    Outcome o = EvaluateRecommend(ds, simplified, 0.5);
+    std::printf("  %-40s %-14.4f %-12.3f\n", "simplified (cosine only)",
+                o.family_precision_at5, o.ms_per_query);
+  }
+
+  // 3. Variable generalization ablation.
+  std::printf("\nvariable-name generalization (#VAR):\n");
+  std::printf("  %-40s %-14s %-12s\n", "configuration", "precision@5",
+              "ms/query");
+  for (bool generalize : {true, false}) {
+    spt::AromaConfig config;
+    config.features.generalize_variables = generalize;
+    Outcome o = Evaluate(ds, config, 0.5);
+    std::printf("  %-40s %-14.4f %-12.3f\n",
+                generalize ? "generalized (#VAR, Aroma behaviour)"
+                           : "verbatim identifiers (ablated)",
+                o.family_precision_at5, o.ms_per_query);
+  }
+  std::printf(
+      "\nexpected shape: cosine tracks overlap closely at lower cost; the "
+      "full pipeline wins on top-1 via pruning; disabling #VAR collapses "
+      "precision on renamed variants.\n");
+  return 0;
+}

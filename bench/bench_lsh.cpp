@@ -1,0 +1,88 @@
+// The paper's future work ("LSH for structural code", citing Senatus):
+// MinHash-LSH retrieval over SPT features vs the exact featurization index,
+// at growing corpus sizes. Reported: query latency, candidate-set size, and
+// recall of the exact index's top-5 results.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/clock.hpp"
+#include "spt/lsh_index.hpp"
+
+using namespace laminar;
+
+int main() {
+  std::printf("== future work: MinHash-LSH structural index (Senatus-style) "
+              "==\n\n");
+  std::printf("%-10s %-16s %-16s %-14s %-12s\n", "corpus", "exact ms/query",
+              "lsh ms/query", "candidates", "recall@5");
+
+  for (size_t variants : {10u, 40u, 120u}) {
+    dataset::DatasetConfig config;
+    config.families = 0;
+    config.variants_per_family = variants;
+    config.seed = 0xabc123;
+    dataset::CodeSearchNetPeDataset ds =
+        dataset::CodeSearchNetPeDataset::Generate(config);
+
+    spt::SptIndex exact;
+    spt::LshIndex lsh;
+    std::vector<spt::FeatureBag> queries;
+    for (const dataset::PeExample& ex : ds.examples()) {
+      Result<spt::SptNodePtr> spt_tree = spt::SptFromSource(ex.pe_code);
+      if (!spt_tree.ok()) continue;
+      spt::FeatureBag bag = spt::ExtractFeatures(*spt_tree.value());
+      exact.Add(ex.id, bag);
+      lsh.Add(ex.id, std::move(bag));
+    }
+    // Query with a sample of 50%-dropped snippets.
+    size_t stride = std::max<size_t>(ds.size() / 100, 1);
+    for (size_t i = 0; i < ds.size(); i += stride) {
+      std::string partial = dataset::DropCode(ds.example(i).pe_code, 0.5);
+      Result<spt::SptNodePtr> spt_tree = spt::SptFromSource(partial);
+      if (!spt_tree.ok()) continue;
+      queries.push_back(spt::ExtractFeatures(*spt_tree.value()));
+    }
+
+    Stopwatch exact_watch;
+    std::vector<std::vector<int64_t>> exact_tops;
+    for (const spt::FeatureBag& q : queries) {
+      std::vector<int64_t> ids;
+      for (const auto& hit : exact.TopK(q, 5, spt::Metric::kOverlap)) {
+        ids.push_back(hit.doc_id);
+      }
+      exact_tops.push_back(std::move(ids));
+    }
+    double exact_ms =
+        exact_watch.ElapsedMillis() / static_cast<double>(queries.size());
+
+    Stopwatch lsh_watch;
+    size_t candidates_total = 0;
+    size_t recalled = 0, expected = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      candidates_total += lsh.Candidates(queries[qi]).size();
+      auto hits = lsh.TopK(queries[qi], 5, spt::Metric::kOverlap);
+      std::unordered_set<int64_t> got;
+      for (const auto& hit : hits) got.insert(hit.doc_id);
+      for (int64_t id : exact_tops[qi]) {
+        ++expected;
+        if (got.contains(id)) ++recalled;
+      }
+    }
+    double lsh_ms =
+        lsh_watch.ElapsedMillis() / static_cast<double>(queries.size());
+
+    std::printf("%-10zu %-16.3f %-16.3f %-14.1f %-12.3f\n", ds.size(),
+                exact_ms, lsh_ms,
+                static_cast<double>(candidates_total) /
+                    static_cast<double>(queries.size()),
+                expected > 0 ? static_cast<double>(recalled) /
+                                   static_cast<double>(expected)
+                             : 0.0);
+  }
+  std::printf(
+      "\nexpected shape: the exact index's cost grows with corpus size "
+      "(every shared-feature posting is scored); LSH scores only the "
+      "candidate set, trading a small recall loss for sub-linear growth — "
+      "the Senatus argument for scaling Aroma to large registries.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces the dispel4py parallel-execution behaviour the paper's §IV-A
+// showcases (run vs run_multiprocess vs run_dynamic): throughput scaling of
+// a CPU-bound pipeline under the three mappings, plus the dynamic mapping's
+// autoscaling response.
+#include <cstdio>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "dataflow/dynamic_mapping.hpp"
+#include "dataflow/multi_mapping.hpp"
+#include "dataflow/pe_library.hpp"
+#include "dataflow/sequential_mapping.hpp"
+
+using namespace laminar;
+using namespace laminar::dataflow;
+
+namespace {
+
+std::unique_ptr<WorkflowGraph> BurnGraph(uint64_t iters) {
+  auto g = std::make_unique<WorkflowGraph>("burn_wf");
+  auto& producer = g->AddPE<NumberProducer>(17);
+  auto& burn = g->AddPE<CpuBurn>(iters);
+  auto& sink = g->AddPE<NullSink>();
+  (void)g->Connect(producer, burn);
+  (void)g->Connect(burn, sink);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== dispel4py mappings: sequential vs multiprocessing vs "
+              "dynamic (Redis-style) ==\n\n");
+  constexpr int kTuples = 256;
+  constexpr uint64_t kIters = 400'000;
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("workload: %d tuples x %llu busy-iterations; host has %u "
+              "hardware threads\n\n",
+              kTuples, static_cast<unsigned long long>(kIters), hw);
+
+  RunOptions base;
+  base.input = Value(kTuples);
+
+  // Sequential baseline.
+  SequentialMapping seq;
+  Stopwatch seq_watch;
+  RunResult seq_result = seq.Execute(*BurnGraph(kIters), base);
+  double seq_ms = seq_watch.ElapsedMillis();
+  std::printf("%-24s %-10s %-12s %-10s\n", "mapping", "procs", "elapsed ms",
+              "speedup");
+  std::printf("%-24s %-10s %-12.1f %-10s\n", "simple (sequential)", "1",
+              seq_ms, "1.0x");
+
+  // Multi mapping: sweep process count.
+  for (int procs : {3, 4, 6, 8, 12, 16}) {
+    MultiMapping multi;
+    RunOptions options = base;
+    options.num_processes = procs;
+    Stopwatch watch;
+    RunResult result = multi.Execute(*BurnGraph(kIters), options);
+    double ms = watch.ElapsedMillis();
+    if (!result.status.ok()) {
+      std::printf("multi(%d) failed: %s\n", procs,
+                  result.status.ToString().c_str());
+      continue;
+    }
+    std::printf("%-24s %-10d %-12.1f %-9.1fx\n", "multi (static)", procs, ms,
+                seq_ms / ms);
+  }
+
+  // Dynamic mapping: fixed pools and autoscaling.
+  for (int workers : {2, 4, 8}) {
+    DynamicMapping dynamic;
+    RunOptions options = base;
+    options.initial_workers = workers;
+    options.max_workers = workers;
+    options.autoscale = false;
+    Stopwatch watch;
+    RunResult result = dynamic.Execute(*BurnGraph(kIters), options);
+    double ms = watch.ElapsedMillis();
+    std::printf("%-24s %-10d %-12.1f %-9.1fx\n", "dynamic (fixed pool)",
+                workers, ms, seq_ms / ms);
+    (void)result;
+  }
+  {
+    DynamicMapping dynamic;
+    RunOptions options = base;
+    options.initial_workers = 1;
+    options.max_workers = 12;
+    options.autoscale = true;
+    options.autoscale_queue_per_worker = 4;
+    Stopwatch watch;
+    RunResult result = dynamic.Execute(*BurnGraph(kIters), options);
+    double ms = watch.ElapsedMillis();
+    std::printf("%-24s %d->%-7d %-12.1f %-9.1fx\n", "dynamic (autoscale)", 1,
+                result.peak_workers, ms, seq_ms / ms);
+  }
+
+  if (hw <= 1) {
+    std::printf(
+        "\nNOTE: this host exposes a single hardware thread, so parallel "
+        "mappings cannot beat sequential wall-clock here; the meaningful "
+        "reading on this host is the *overhead* of each mapping (how close "
+        "its elapsed stays to 1.0x) and the autoscaler's pool growth. On a "
+        "multi-core host, multi and dynamic scale with the CpuBurn stage's "
+        "rank count until core saturation.\n");
+  } else {
+    std::printf(
+        "\nexpected shape: multi scales until the CpuBurn stage saturates "
+        "cores; dynamic matches multi at equal worker counts without a "
+        "static partition, and the autoscaler grows the pool from 1 toward "
+        "the saturation point on its own.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Reproduces the §IV-D registry evaluation (Table II / Fig. 6): the schema
+// migration from Laminar 1.0 (code in bounded String fields, no secondary
+// indexes, denormalized) to 2.0 (CLOBs, normalized link table, name/user
+// indexes).
+//
+// Measured: (a) how many real corpus PEs even FIT in the 1.0 schema,
+// (b) name-lookup latency with and without the index as the registry grows,
+// (c) link-table queries for workflow<->PE membership.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/clock.hpp"
+#include "registry/repository.hpp"
+
+using namespace laminar;
+using namespace laminar::registry;
+
+int main() {
+  std::printf("== §IV-D: registry schema — Laminar 1.0 vs 2.0 ==\n\n");
+  dataset::DatasetConfig corpus_config = bench::DefaultCorpusConfig();
+  corpus_config.variants_per_family = 40;  // ~1200 PEs
+  dataset::CodeSearchNetPeDataset ds =
+      dataset::CodeSearchNetPeDataset::Generate(corpus_config);
+  std::printf("corpus: %zu PEs\n\n", ds.size());
+
+  // (a) Capacity: how many PEs fit in each schema?
+  {
+    Database legacy;
+    (void)CreateLegacySchema(legacy);
+    Table* v1 = legacy.GetTable("v1_processing_element");
+    size_t fit = 0;
+    for (const dataset::PeExample& ex : ds.examples()) {
+      Row row = Value::MakeObject();
+      row["peName"] = ex.name;
+      row["peCode"] = ex.pe_code;
+      if (v1->Insert(std::move(row)).ok()) ++fit;
+    }
+    Database v2db;
+    (void)CreateLaminarSchema(v2db);
+    Repository repo(v2db);
+    size_t fit2 = 0;
+    for (const dataset::PeExample& ex : ds.examples()) {
+      PeRecord pe;
+      pe.name = ex.name;
+      pe.code = ex.pe_code;
+      pe.description = ex.description;
+      if (repo.CreatePe(pe).ok()) ++fit2;
+    }
+    std::printf("capacity (PE code storage):\n");
+    std::printf("  1.0 String field (VARCHAR 255): %zu/%zu PEs stored "
+                "(%.0f%% rejected as too large)\n",
+                fit, ds.size(),
+                100.0 * static_cast<double>(ds.size() - fit) /
+                    static_cast<double>(ds.size()));
+    std::printf("  2.0 CLOB column:                %zu/%zu PEs stored\n\n",
+                fit2, ds.size());
+  }
+
+  // (b) Lookup latency: indexed vs scan, growing registry.
+  std::printf("name lookup latency (1000 lookups, microseconds total):\n");
+  std::printf("  %-10s %-18s %-18s %-10s\n", "rows", "1.0 scan (us)",
+              "2.0 index (us)", "speedup");
+  for (size_t rows : {200u, 600u, 1200u}) {
+    // 1.0-style: no index on peName -> every lookup scans.
+    TableSchema unindexed;
+    unindexed.name = "scan_table";
+    unindexed.columns = {{"peName", ColumnType::kString, false},
+                         {"peCode", ColumnType::kClob, true}};
+    Table scan_table(unindexed);
+    TableSchema indexed = unindexed;
+    indexed.name = "indexed_table";
+    indexed.indexed_columns = {"peName"};
+    Table index_table(indexed);
+    for (size_t i = 0; i < rows && i < ds.size(); ++i) {
+      Row row = Value::MakeObject();
+      row["peName"] = ds.example(i).name;
+      row["peCode"] = ds.example(i).pe_code;
+      (void)scan_table.Insert(row);
+      (void)index_table.Insert(std::move(row));
+    }
+    constexpr int kLookups = 1000;
+    Stopwatch scan_watch;
+    for (int i = 0; i < kLookups; ++i) {
+      size_t pick = static_cast<size_t>(i) * 7 % std::min(rows, ds.size());
+      (void)scan_table.FindBy("peName", Value(ds.example(pick).name));
+    }
+    double scan_us = static_cast<double>(scan_watch.ElapsedMicros());
+    Stopwatch index_watch;
+    for (int i = 0; i < kLookups; ++i) {
+      size_t pick = static_cast<size_t>(i) * 7 % std::min(rows, ds.size());
+      (void)index_table.FindBy("peName", Value(ds.example(pick).name));
+    }
+    double index_us = static_cast<double>(index_watch.ElapsedMicros());
+    std::printf("  %-10zu %-18.0f %-18.0f %-9.1fx\n", rows, scan_us, index_us,
+                index_us > 0 ? scan_us / index_us : 0.0);
+  }
+
+  // (c) Normalized link table: PEs-of-workflow via indexed workflowId.
+  {
+    Database db;
+    (void)CreateLaminarSchema(db);
+    Repository repo(db);
+    int64_t uid = repo.CreateUser("bench", "pw").value();
+    std::vector<int64_t> pe_ids;
+    for (size_t i = 0; i < 600 && i < ds.size(); ++i) {
+      PeRecord pe;
+      pe.name = ds.example(i).name;
+      pe.code = ds.example(i).pe_code;
+      pe_ids.push_back(repo.CreatePe(pe).value());
+    }
+    std::vector<int64_t> wf_ids;
+    for (int w = 0; w < 100; ++w) {
+      WorkflowRecord wf;
+      wf.user_id = uid;
+      wf.name = "wf_" + std::to_string(w);
+      wf.code = "graph = WorkflowGraph()";
+      int64_t wid = repo.CreateWorkflow(wf).value();
+      wf_ids.push_back(wid);
+      for (int p = 0; p < 6; ++p) {
+        (void)repo.LinkPe(wid, pe_ids[static_cast<size_t>((w * 6 + p)) %
+                                      pe_ids.size()]);
+      }
+    }
+    Stopwatch watch;
+    size_t total = 0;
+    for (int round = 0; round < 100; ++round) {
+      for (int64_t wid : wf_ids) total += repo.PesOfWorkflow(wid).size();
+    }
+    std::printf("\nlink-table membership queries: 10k queries over 100 "
+                "workflows x 6 PEs in %.1f ms (%zu rows touched)\n",
+                watch.ElapsedMillis(), total);
+  }
+  std::printf("\nexpected shape: the 1.0 schema rejects most real PEs "
+              "outright and its lookups degrade linearly with registry "
+              "size; the 2.0 schema stores everything with ~constant-time "
+              "indexed lookups.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the figure-reproduction benches: corpus construction
+// over the synthetic CodeSearchNet-PE dataset and PR-table printing in the
+// layout of the paper's Figs. 11-13.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dataset/generator.hpp"
+#include "search/metrics.hpp"
+
+namespace laminar::bench {
+
+/// The corpus every search bench shares: the paper used ~450k CodeSearchNet
+/// functions; we use a few hundred synthetic PEs with the same structure
+/// (grouped, renamed variants), which is enough to trace the curves while
+/// keeping every bench binary under a few seconds.
+inline dataset::DatasetConfig DefaultCorpusConfig() {
+  dataset::DatasetConfig config;
+  config.families = 0;  // all 30 families
+  config.variants_per_family = 12;
+  config.seed = 0x5eed0001;
+  // CodeSearchNet's defining property is that every function is *paired
+  // with* its documentation (Husain et al. 2019), so the evaluation corpus
+  // carries a docstring on every PE.
+  config.docstring_probability = 1.0;
+  return config;
+}
+
+/// Relevance ground truth: every member of the query's semantic group
+/// (including the query itself, which stays in the index — the paper used
+/// each registered PE as a query against the full registry).
+inline std::vector<std::unordered_set<int64_t>> GroupRelevance(
+    const dataset::CodeSearchNetPeDataset& ds) {
+  std::vector<std::unordered_set<int64_t>> relevant;
+  relevant.reserve(ds.size());
+  for (const dataset::PeExample& ex : ds.examples()) {
+    const std::vector<int64_t>& members = ds.GroupMembers(ex.group);
+    relevant.emplace_back(members.begin(), members.end());
+  }
+  return relevant;
+}
+
+inline void PrintPrCurve(const char* title,
+                         const std::vector<search::PrPoint>& curve) {
+  std::printf("%s\n", title);
+  std::printf("  %-4s %-10s %-10s %-10s\n", "k", "precision", "recall", "f1");
+  for (const search::PrPoint& p : curve) {
+    std::printf("  %-4zu %-10.4f %-10.4f %-10.4f\n", p.k, p.precision,
+                p.recall, p.f1);
+  }
+  search::PrPoint best = search::BestF1(curve);
+  std::printf("  best F1 = %.4f at k = %zu\n\n", best.f1, best.k);
+}
+
+}  // namespace laminar::bench

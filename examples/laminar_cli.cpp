@@ -1,0 +1,29 @@
+// The interactive Laminar CLI (paper Fig. 5): spins up an in-process server
+// and drops into the command loop. Try:
+//
+//   (laminar) help
+//   (laminar) register_workflow isprime_wf.py
+//   (laminar) run isprime_wf -i 10 --multi 9
+//   (laminar) semantic_search pe "a pe that is able to detect anomalies"
+//   (laminar) code_recommendation pe "random.randint(1, 1000)"
+//   (laminar) quit
+//
+// Non-interactive use: pipe commands on stdin, e.g.
+//   printf 'register_workflow isprime_wf.py\nrun isprime_wf -i 10\nquit\n' \
+//     | ./laminar_cli
+#include <iostream>
+
+#include "client/cli.hpp"
+#include "client/connect.hpp"
+
+using namespace laminar;
+
+int main() {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  client::InProcessLaminar laminar = client::ConnectInProcess(config);
+  client::LaminarCli cli(*laminar.client);
+  cli.RunLoop(std::cin, std::cout);
+  std::cout << "bye\n";
+  return 0;
+}

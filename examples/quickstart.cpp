@@ -1,0 +1,79 @@
+// Quickstart: the paper's isprime_wf end to end.
+//
+// Spins up an in-process Laminar server, registers the isprime workflow
+// (NumberProducer -> IsPrime -> PrintPrime, Listing 1 / Fig. 5), runs it
+// sequentially, in parallel with the multiprocessing mapping, and with the
+// dynamic (Redis-style) mapping — Listings 2/3: `client.run_dynamic(graph,
+// input=5)` — then shows a semantic search over what was registered.
+#include <cstdio>
+
+#include "client/connect.hpp"
+#include "client/demo_workflows.hpp"
+
+using namespace laminar;
+
+int main() {
+  // Server with instant cold starts for a snappy demo.
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  client::InProcessLaminar laminar = client::ConnectInProcess(config);
+  client::LaminarClient& cli = *laminar.client;
+
+  std::printf("== register user & login ==\n");
+  if (Result<int64_t> uid = cli.Register("demo", "hunter2"); uid.ok()) {
+    std::printf("registered user id %lld\n", static_cast<long long>(*uid));
+  }
+  if (Status st = cli.Login("demo", "hunter2"); !st.ok()) {
+    std::printf("login failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n== register isprime_wf ==\n");
+  const client::DemoWorkflow* demo = client::FindDemoWorkflow("isprime_wf");
+  Result<client::WorkflowInfo> wf =
+      cli.RegisterWorkflow(demo->name, demo->spec, demo->pes, demo->code);
+  if (!wf.ok()) {
+    std::printf("register failed: %s\n", wf.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("workflow id %lld with %zu PEs\n",
+              static_cast<long long>(wf->id), wf->pe_ids.size());
+
+  std::printf("\n== run (sequential, input=10) ==\n");
+  client::RunOutcome seq = cli.Run(wf->id, Value(10));
+  for (const std::string& line : seq.lines) std::printf("%s\n", line.c_str());
+  std::printf("-> %lld tuples in %.2f ms\n",
+              static_cast<long long>(seq.stats.GetInt("tuples")),
+              seq.stats.GetDouble("runMs"));
+
+  std::printf("\n== run_multiprocess (9 processes) ==\n");
+  client::RunOutcome multi = cli.RunMultiprocess(wf->id, Value(10), 9);
+  for (const std::string& line : multi.lines) std::printf("%s\n", line.c_str());
+
+  std::printf("\n== run_dynamic (Listing 3: one call, no tuning) ==\n");
+  client::RunOutcome dyn = cli.RunDynamic(wf->id, Value(5));
+  for (const std::string& line : dyn.lines) std::printf("%s\n", line.c_str());
+  std::printf("-> peak workers: %lld\n",
+              static_cast<long long>(dyn.stats.GetInt("peakWorkers")));
+
+  std::printf("\n== semantic search: 'a pe that checks prime numbers' ==\n");
+  auto hits = cli.SearchRegistrySemantic("a pe that checks prime numbers");
+  if (hits.ok()) {
+    for (const client::SearchHit& hit : hits.value()) {
+      std::printf("  [%lld] %-16s %.4f  %s\n",
+                  static_cast<long long>(hit.id), hit.name.c_str(), hit.score,
+                  hit.description.substr(0, 60).c_str());
+    }
+  }
+
+  std::printf("\n== code recommendation for 'random.randint(1, 1000)' ==\n");
+  auto recs = cli.CodeRecommendation("random.randint(1, 1000)", "pe", "spt");
+  if (recs.ok()) {
+    for (const client::SearchHit& hit : recs.value()) {
+      std::printf("  [%lld] %-16s score %.1f\n",
+                  static_cast<long long>(hit.id), hit.name.c_str(), hit.score);
+    }
+  }
+  std::printf("\nquickstart done.\n");
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "broker/broker.hpp"
+
+#include <algorithm>
+
+namespace laminar::broker {
+
+void Broker::Set(const std::string& key, std::string value) {
+  std::scoped_lock lock(mu_);
+  strings_[key] = std::move(value);
+  ++stats_.sets;
+}
+
+std::optional<std::string> Broker::Get(const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  ++stats_.gets;
+  auto it = strings_.find(key);
+  if (it == strings_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Broker::Del(const std::string& key) {
+  std::scoped_lock lock(mu_);
+  return strings_.erase(key) + hashes_.erase(key) + lists_.erase(key) > 0;
+}
+
+bool Broker::Exists(const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  return strings_.contains(key) || hashes_.contains(key) ||
+         lists_.contains(key);
+}
+
+int64_t Broker::Incr(const std::string& key, int64_t delta) {
+  std::scoped_lock lock(mu_);
+  auto it = strings_.find(key);
+  int64_t value = 0;
+  if (it != strings_.end()) {
+    value = std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  value += delta;
+  strings_[key] = std::to_string(value);
+  ++stats_.sets;
+  return value;
+}
+
+void Broker::HSet(const std::string& key, const std::string& field,
+                  std::string value) {
+  std::scoped_lock lock(mu_);
+  hashes_[key][field] = std::move(value);
+  ++stats_.sets;
+}
+
+std::optional<std::string> Broker::HGet(const std::string& key,
+                                        const std::string& field) const {
+  std::scoped_lock lock(mu_);
+  ++stats_.gets;
+  auto it = hashes_.find(key);
+  if (it == hashes_.end()) return std::nullopt;
+  auto fit = it->second.find(field);
+  if (fit == it->second.end()) return std::nullopt;
+  return fit->second;
+}
+
+std::unordered_map<std::string, std::string> Broker::HGetAll(
+    const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  ++stats_.gets;
+  auto it = hashes_.find(key);
+  return it == hashes_.end()
+             ? std::unordered_map<std::string, std::string>{}
+             : it->second;
+}
+
+bool Broker::HDel(const std::string& key, const std::string& field) {
+  std::scoped_lock lock(mu_);
+  auto it = hashes_.find(key);
+  if (it == hashes_.end()) return false;
+  return it->second.erase(field) > 0;
+}
+
+size_t Broker::RPush(const std::string& key, std::string value) {
+  size_t len;
+  {
+    std::scoped_lock lock(mu_);
+    auto& list = lists_[key];
+    list.push_back(std::move(value));
+    len = list.size();
+    ++stats_.pushes;
+  }
+  list_cv_.notify_all();
+  return len;
+}
+
+std::optional<std::string> Broker::LPop(const std::string& key) {
+  std::scoped_lock lock(mu_);
+  auto it = lists_.find(key);
+  if (it == lists_.end() || it->second.empty()) return std::nullopt;
+  std::string value = std::move(it->second.front());
+  it->second.pop_front();
+  ++stats_.pops;
+  return value;
+}
+
+std::optional<std::pair<std::string, std::string>> Broker::BLPop(
+    const std::vector<std::string>& keys, std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  auto try_pop = [&]() -> std::optional<std::pair<std::string, std::string>> {
+    for (const std::string& key : keys) {
+      auto it = lists_.find(key);
+      if (it != lists_.end() && !it->second.empty()) {
+        std::string value = std::move(it->second.front());
+        it->second.pop_front();
+        ++stats_.pops;
+        return std::make_pair(key, std::move(value));
+      }
+    }
+    return std::nullopt;
+  };
+
+  if (auto hit = try_pop()) return hit;
+  ++stats_.blocked_pops;
+  auto ready = [&] {
+    if (shutdown_) return true;
+    for (const std::string& key : keys) {
+      auto it = lists_.find(key);
+      if (it != lists_.end() && !it->second.empty()) return true;
+    }
+    return false;
+  };
+  while (true) {
+    if (timeout.count() == 0) {
+      list_cv_.wait(lock, ready);
+    } else if (!list_cv_.wait_for(lock, timeout, ready)) {
+      return std::nullopt;  // timed out
+    }
+    if (auto hit = try_pop()) return hit;
+    if (shutdown_) return std::nullopt;
+    // Spurious wake or another consumer won the race; keep waiting.
+  }
+}
+
+size_t Broker::LLen(const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  auto it = lists_.find(key);
+  return it == lists_.end() ? 0 : it->second.size();
+}
+
+size_t Broker::TotalQueued(const std::string& prefix) const {
+  std::scoped_lock lock(mu_);
+  size_t total = 0;
+  for (const auto& [key, list] : lists_) {
+    if (key.starts_with(prefix)) total += list.size();
+  }
+  return total;
+}
+
+uint64_t Broker::Subscribe(const std::string& channel,
+                           std::function<void(const std::string&)> callback) {
+  std::scoped_lock lock(mu_);
+  uint64_t id = next_subscription_id_++;
+  subscribers_.push_back(Subscriber{id, channel, std::move(callback)});
+  return id;
+}
+
+void Broker::Unsubscribe(uint64_t subscription_id) {
+  std::scoped_lock lock(mu_);
+  std::erase_if(subscribers_,
+                [&](const Subscriber& s) { return s.id == subscription_id; });
+}
+
+size_t Broker::Publish(const std::string& channel, const std::string& message) {
+  // Copy callbacks out so user code runs without holding the broker lock
+  // (it may call back into the broker).
+  std::vector<std::function<void(const std::string&)>> targets;
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.publishes;
+    for (const Subscriber& s : subscribers_) {
+      if (s.channel == channel) targets.push_back(s.callback);
+    }
+  }
+  for (auto& cb : targets) cb(message);
+  return targets.size();
+}
+
+void Broker::Shutdown() {
+  {
+    std::scoped_lock lock(mu_);
+    shutdown_ = true;
+  }
+  list_cv_.notify_all();
+}
+
+bool Broker::shut_down() const {
+  std::scoped_lock lock(mu_);
+  return shutdown_;
+}
+
+void Broker::FlushAll() {
+  std::scoped_lock lock(mu_);
+  strings_.clear();
+  hashes_.clear();
+  lists_.clear();
+}
+
+BrokerStats Broker::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace laminar::broker

@@ -1,0 +1,111 @@
+// In-memory message broker modelling the subset of Redis that dispel4py's
+// dynamic mapping and Laminar's registry cache use: string keys, hashes,
+// lists with blocking pop (BLPOP semantics), counters, and pub/sub.
+//
+// Substitution rationale (DESIGN.md): the dynamic mapping needs atomic
+// shared queues with blocking consumers and a handful of shared counters;
+// nothing it measures depends on the TCP hop, so an in-process broker with
+// the same API preserves the scheduling behaviour while keeping benches
+// deterministic. All operations are linearizable under one internal mutex
+// (Redis itself is single-threaded, so this is also fidelity, not laziness).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace laminar::broker {
+
+/// Counters for the broker-ops micro bench and the autoscaler.
+struct BrokerStats {
+  uint64_t gets = 0;
+  uint64_t sets = 0;
+  uint64_t pushes = 0;
+  uint64_t pops = 0;
+  uint64_t blocked_pops = 0;  ///< pops that had to wait
+  uint64_t publishes = 0;
+};
+
+class Broker {
+ public:
+  Broker() = default;
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  // ---- strings ----
+  void Set(const std::string& key, std::string value);
+  std::optional<std::string> Get(const std::string& key) const;
+  bool Del(const std::string& key);
+  bool Exists(const std::string& key) const;
+  /// Atomic increment; missing keys start at 0.
+  int64_t Incr(const std::string& key, int64_t delta = 1);
+
+  // ---- hashes ----
+  void HSet(const std::string& key, const std::string& field,
+            std::string value);
+  std::optional<std::string> HGet(const std::string& key,
+                                  const std::string& field) const;
+  std::unordered_map<std::string, std::string> HGetAll(
+      const std::string& key) const;
+  bool HDel(const std::string& key, const std::string& field);
+
+  // ---- lists / queues ----
+  /// Appends to the tail; returns new length.
+  size_t RPush(const std::string& key, std::string value);
+  /// Pops the head without blocking.
+  std::optional<std::string> LPop(const std::string& key);
+  /// Blocking head pop across any of `keys` (first non-empty wins, in key
+  /// order — BLPOP semantics). Returns (key, value); nullopt on timeout or
+  /// shutdown. timeout of zero means wait forever (until Shutdown).
+  std::optional<std::pair<std::string, std::string>> BLPop(
+      const std::vector<std::string>& keys,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(0));
+  size_t LLen(const std::string& key) const;
+  /// Total queued items across keys with the given prefix (autoscaler probe).
+  size_t TotalQueued(const std::string& prefix) const;
+
+  // ---- pub/sub ----
+  /// Subscribes a callback to a channel; returns a subscription id.
+  /// Callbacks run synchronously on the publisher's thread (as with Redis
+  /// client libraries dispatching in their I/O loop).
+  uint64_t Subscribe(const std::string& channel,
+                     std::function<void(const std::string&)> callback);
+  void Unsubscribe(uint64_t subscription_id);
+  /// Returns the number of subscribers that received the message.
+  size_t Publish(const std::string& channel, const std::string& message);
+
+  // ---- lifecycle / introspection ----
+  /// Wakes every blocked consumer; subsequent BLPop calls return nullopt
+  /// once their queues drain.
+  void Shutdown();
+  bool shut_down() const;
+  void FlushAll();
+  BrokerStats stats() const;
+
+ private:
+  struct Subscriber {
+    uint64_t id;
+    std::string channel;
+    std::function<void(const std::string&)> callback;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable list_cv_;
+  std::unordered_map<std::string, std::string> strings_;
+  std::unordered_map<std::string, std::unordered_map<std::string, std::string>>
+      hashes_;
+  std::unordered_map<std::string, std::deque<std::string>> lists_;
+  std::vector<Subscriber> subscribers_;
+  uint64_t next_subscription_id_ = 1;
+  bool shutdown_ = false;
+  mutable BrokerStats stats_;
+};
+
+}  // namespace laminar::broker

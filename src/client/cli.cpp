@@ -1,0 +1,450 @@
+#include "client/cli.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "client/demo_workflows.hpp"
+#include "common/json.hpp"
+#include "common/strings.hpp"
+
+namespace laminar::client {
+namespace {
+
+/// Splits a command line into tokens, honouring double/single quotes so
+/// `code_recommendation pe "random.randint(1, 1000)"` works as in Fig. 9.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  char quote = '\0';
+  for (char c : line) {
+    if (quote != '\0') {
+      if (c == quote) {
+        quote = '\0';
+      } else {
+        current += c;
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+      continue;
+    }
+    current += c;
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::string JoinFrom(const std::vector<std::string>& tokens, size_t start) {
+  std::string out;
+  for (size_t i = start; i < tokens.size(); ++i) {
+    if (i > start) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+void LaminarCli::RunLoop(std::istream& in, std::ostream& out) {
+  out << "Welcome to the Laminar CLI\n";
+  std::string line;
+  while (true) {
+    out << "(laminar) ";
+    out.flush();
+    if (!std::getline(in, line)) break;
+    if (!ExecuteLine(line, out)) break;
+  }
+}
+
+bool LaminarCli::ExecuteLine(const std::string& line, std::ostream& out) {
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return true;
+  const std::string& cmd = tokens[0];
+  std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "help") {
+    CmdHelp(args, out);
+  } else if (cmd == "register_workflow") {
+    CmdRegisterWorkflow(args, out);
+  } else if (cmd == "register_pe") {
+    CmdRegisterPe(args, out);
+  } else if (cmd == "list") {
+    CmdList(out);
+  } else if (cmd == "describe") {
+    CmdDescribe(args, out);
+  } else if (cmd == "literal_search") {
+    CmdSearch(args, out, /*semantic=*/false);
+  } else if (cmd == "semantic_search") {
+    CmdSearch(args, out, /*semantic=*/true);
+  } else if (cmd == "code_recommendation") {
+    CmdRecommend(args, out);
+  } else if (cmd == "code_completion") {
+    if (args.empty()) {
+      out << "usage: code_completion <partial_snippet>\n";
+    } else {
+      auto completions = client_->CompleteCode(JoinFrom(args, 0));
+      if (!completions.ok()) {
+        out << completions.status().ToString() << "\n";
+      } else if (completions->empty()) {
+        out << "No completion found above the score threshold.\n";
+      } else {
+        for (const SearchHit& hit : completions.value()) {
+          out << "from [" << hit.id << "] " << hit.name << " (score "
+              << hit.score << "):\n" << hit.similar_code;
+        }
+      }
+    }
+  } else if (cmd == "history") {
+    if (args.empty()) {
+      out << "usage: history <workflow_id>\n";
+    } else {
+      auto hist = client_->GetExecutions(std::stoll(args[0]));
+      if (!hist.ok()) {
+        out << hist.status().ToString() << "\n";
+      } else {
+        out << "execId\tmapping\tstatus\tduration_ms\n";
+        for (const Value& e : hist->at("executions").as_array()) {
+          out << e.GetInt("executionId") << "\t" << e.GetString("mapping")
+              << "\t" << e.GetString("status") << "\t"
+              << (e.GetInt("finishedAtMs") - e.GetInt("startedAtMs")) << "\n";
+        }
+      }
+    }
+  } else if (cmd == "stats") {
+    auto stats = client_->GetStats();
+    if (!stats.ok()) {
+      out << stats.status().ToString() << "\n";
+    } else {
+      out << stats->ToJsonPretty() << "\n";
+    }
+  } else if (cmd == "save_registry") {
+    if (args.empty()) {
+      out << "usage: save_registry <file>\n";
+    } else {
+      Status st = client_->SaveRegistry(args[0]);
+      out << (st.ok() ? "Registry saved.\n" : st.ToString() + "\n");
+    }
+  } else if (cmd == "load_registry") {
+    if (args.empty()) {
+      out << "usage: load_registry <file>\n";
+    } else {
+      Status st = client_->LoadRegistry(args[0]);
+      out << (st.ok() ? "Registry loaded.\n" : st.ToString() + "\n");
+    }
+  } else if (cmd == "run") {
+    CmdRun(args, out);
+  } else if (cmd == "update_pe_description") {
+    if (args.size() < 2) {
+      out << "usage: update_pe_description <id> <text...>\n";
+    } else {
+      Status st = client_->UpdatePeDescription(std::stoll(args[0]),
+                                               JoinFrom(args, 1));
+      out << (st.ok() ? "Description updated.\n" : st.ToString() + "\n");
+    }
+  } else if (cmd == "remove_pe") {
+    if (args.empty()) {
+      out << "usage: remove_pe <id>\n";
+    } else {
+      Status st = client_->RemovePe(std::stoll(args[0]));
+      out << (st.ok() ? "Removed.\n" : st.ToString() + "\n");
+    }
+  } else if (cmd == "remove_workflow") {
+    if (args.empty()) {
+      out << "usage: remove_workflow <id>\n";
+    } else {
+      Status st = client_->RemoveWorkflow(std::stoll(args[0]));
+      out << (st.ok() ? "Removed.\n" : st.ToString() + "\n");
+    }
+  } else if (cmd == "remove_all") {
+    Status st = client_->RemoveAll();
+    out << (st.ok() ? "Registry cleared.\n" : st.ToString() + "\n");
+  } else {
+    out << "Unknown command '" << cmd << "'. Type help for commands.\n";
+  }
+  return true;
+}
+
+void LaminarCli::CmdHelp(const std::vector<std::string>& args,
+                         std::ostream& out) {
+  if (args.empty()) {
+    out << "Documented commands (type help <topic>):\n"
+        << "========================================\n"
+        << "code_recommendation  quit               semantic_search\n"
+        << "describe             register_pe        update_pe_description\n"
+        << "help                 register_workflow  remove_workflow\n"
+        << "list                 remove_all         run\n"
+        << "literal_search       remove_pe          stats\n"
+        << "code_completion      save_registry      load_registry\n";
+    return;
+  }
+  const std::string& topic = args[0];
+  if (topic == "run") {
+    out << "Runs a workflow in the registry based on the provided name or "
+           "ID.\n\nUsage:\n  run identifier [options]\n\nOptions:\n"
+        << "  identifier           Name or ID of the workflow to run\n"
+        << "  --rawinput           Treat input as raw string\n"
+        << "  -v, --verbose        Enable verbose output\n"
+        << "  -i, --input <data>   Input data for the workflow\n"
+        << "  --multi [P]          Run in parallel using multiprocessing\n"
+        << "  --dynamic            Run in parallel using Redis\n";
+  } else if (topic == "semantic_search") {
+    out << "Searches the registry for workflows and processing elements "
+           "matching semantically the search term.\n\nUsage:\n"
+        << "  semantic_search [workflow|pe] [search_term]\n";
+  } else if (topic == "code_recommendation") {
+    out << "Provides code recommendations from registered workflows and "
+           "processing elements matching the code snippet.\n\nUsage:\n"
+        << "  code_recommendation [workflow|pe] [code_snippet] "
+           "[--embedding_type spt|llm]\n"
+        << "Note: code recommendations for workflows only possible with "
+           "'spt' embedding_type\n";
+  } else {
+    out << "No extended help for '" << topic << "'.\n";
+  }
+}
+
+void LaminarCli::CmdRegisterWorkflow(const std::vector<std::string>& args,
+                                     std::ostream& out) {
+  if (args.empty()) {
+    out << "usage: register_workflow <workflow_file>\n";
+    return;
+  }
+  const DemoWorkflow* demo = FindDemoWorkflow(args[0]);
+  if (demo == nullptr) {
+    out << "Unknown workflow '" << args[0] << "'. Available:";
+    for (const DemoWorkflow& wf : DemoWorkflows()) out << ' ' << wf.file_name;
+    out << "\n";
+    return;
+  }
+  Result<WorkflowInfo> wf = client_->RegisterWorkflow(
+      demo->name, demo->spec, demo->pes, demo->code);
+  if (!wf.ok()) {
+    out << wf.status().ToString() << "\n";
+    return;
+  }
+  out << "Found PEs...\n";
+  for (int64_t pe_id : wf->pe_ids) {
+    Result<PeInfo> pe = client_->GetPe(pe_id);
+    if (pe.ok()) {
+      out << "* " << pe->name << " - type (ID " << pe->id << ")\n";
+    }
+  }
+  out << "Found workflows...\n";
+  out << "* " << demo->name << " - Workflow (ID " << wf->id << ")\n";
+}
+
+void LaminarCli::CmdRegisterPe(const std::vector<std::string>& args,
+                               std::ostream& out) {
+  if (args.empty()) {
+    out << "usage: register_pe <pe_name>  (a PE from a demo workflow)\n";
+    return;
+  }
+  for (const DemoWorkflow& wf : DemoWorkflows()) {
+    for (const PeSource& pe : wf.pes) {
+      if (pe.name == args[0]) {
+        Result<PeInfo> info = client_->RegisterPe(pe.code, pe.name);
+        if (!info.ok()) {
+          out << info.status().ToString() << "\n";
+        } else {
+          out << "* " << info->name << " - type (ID " << info->id << ")\n";
+        }
+        return;
+      }
+    }
+  }
+  out << "Unknown PE '" << args[0] << "'.\n";
+}
+
+void LaminarCli::CmdList(std::ostream& out) {
+  auto registry = client_->GetRegistry();
+  if (!registry.ok()) {
+    out << registry.status().ToString() << "\n";
+    return;
+  }
+  out << "Processing Elements:\n";
+  for (const PeInfo& pe : registry->first) {
+    out << "  [" << pe.id << "] " << pe.name << " - " << pe.description
+        << "\n";
+  }
+  out << "Workflows:\n";
+  for (const WorkflowInfo& wf : registry->second) {
+    out << "  [" << wf.id << "] " << wf.name << " - " << wf.description
+        << "\n";
+  }
+}
+
+void LaminarCli::CmdDescribe(const std::vector<std::string>& args,
+                             std::ostream& out) {
+  if (args.empty()) {
+    out << "usage: describe <id> [pe|workflow]\n";
+    return;
+  }
+  int64_t id = std::stoll(args[0]);
+  bool workflow = args.size() > 1 && args[1] == "workflow";
+  if (workflow) {
+    Result<WorkflowInfo> wf = client_->DescribeWorkflow(id);
+    if (!wf.ok()) {
+      out << wf.status().ToString() << "\n";
+      return;
+    }
+    out << wf->name << ": " << wf->description << "\n" << wf->code;
+  } else {
+    Result<PeInfo> pe = client_->DescribePe(id);
+    if (!pe.ok()) {
+      out << pe.status().ToString() << "\n";
+      return;
+    }
+    out << pe->name << ": " << pe->description << "\n" << pe->code;
+  }
+}
+
+void LaminarCli::CmdSearch(const std::vector<std::string>& args,
+                           std::ostream& out, bool semantic) {
+  if (args.size() < 2 || (args[0] != "pe" && args[0] != "workflow")) {
+    out << "usage: " << (semantic ? "semantic_search" : "literal_search")
+        << " [workflow|pe] [search_term]\n";
+    return;
+  }
+  std::string term = JoinFrom(args, 1);
+  auto hits = semantic ? client_->SearchRegistrySemantic(term, args[0])
+                       : client_->SearchRegistryLiteral(term, args[0]);
+  if (!hits.ok()) {
+    out << hits.status().ToString() << "\n";
+    return;
+  }
+  if (semantic) {
+    out << "Performing semantic search on " << args[0]
+        << ", with query type: text\nEncoded query as text\n";
+  }
+  out << "id\tname\tdescription\t"
+      << (semantic ? "cosine_similarity" : "match") << "\n";
+  for (const SearchHit& hit : hits.value()) {
+    std::string desc = hit.description.substr(0, 48);
+    out << hit.id << "\t" << hit.name << "\t" << desc << "\t"
+        << strings::Format("%.6f", hit.score) << "\n";
+  }
+}
+
+void LaminarCli::CmdRecommend(const std::vector<std::string>& args,
+                              std::ostream& out) {
+  if (args.size() < 2 || (args[0] != "pe" && args[0] != "workflow")) {
+    out << "usage: code_recommendation [workflow|pe] [code_snippet] "
+           "[--embedding_type spt|llm]\n";
+    return;
+  }
+  std::string embedding_type = "spt";
+  std::vector<std::string> rest;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--embedding_type" && i + 1 < args.size()) {
+      embedding_type = args[++i];
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  std::string snippet = strings::Join(rest, " ");
+  auto hits = client_->CodeRecommendation(snippet, args[0], embedding_type);
+  if (!hits.ok()) {
+    out << hits.status().ToString() << "\n";
+    return;
+  }
+  if (args[0] == "pe") {
+    out << "id\tpeName\tdescription\tscore\tsimilarFunc\n";
+    for (const SearchHit& hit : hits.value()) {
+      std::string code_head = hit.similar_code.substr(
+          0, std::min<size_t>(hit.similar_code.size(), 40));
+      for (char& c : code_head) {
+        if (c == '\n') c = ' ';
+      }
+      out << hit.id << "\t" << hit.name << "\t"
+          << hit.description.substr(0, 40) << "\t"
+          << strings::Format("%.1f", hit.score) << "\t" << code_head << "\n";
+    }
+  } else {
+    out << "id\tworkflowName\tdescription\toccurrences\n";
+    for (const SearchHit& hit : hits.value()) {
+      out << hit.id << "\t" << hit.name << "\t"
+          << hit.description.substr(0, 40) << "\t" << hit.occurrences << "\n";
+    }
+  }
+}
+
+void LaminarCli::CmdRun(const std::vector<std::string>& args,
+                        std::ostream& out) {
+  if (args.empty()) {
+    out << "usage: run <id|name> [-i N] [-v] [--multi [P]] [--dynamic]\n";
+    return;
+  }
+  std::string identifier = args[0];
+  Value input(10);
+  bool verbose = false;
+  bool rawinput = false;
+  std::string mapping = "simple";
+  int processes = 9;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if ((a == "-i" || a == "--input") && i + 1 < args.size()) {
+      const std::string& raw = args[++i];
+      if (rawinput) {
+        input = Value(raw);
+      } else {
+        Result<Value> parsed = json::Parse(raw);
+        input = parsed.ok() ? parsed.value() : Value(raw);
+      }
+    } else if (a == "-v" || a == "--verbose") {
+      verbose = true;
+    } else if (a == "--rawinput") {
+      rawinput = true;
+    } else if (a == "--multi") {
+      mapping = "multi";
+      if (i + 1 < args.size() && !args[i + 1].empty() &&
+          std::isdigit(static_cast<unsigned char>(args[i + 1][0]))) {
+        processes = std::stoi(args[++i]);
+      }
+    } else if (a == "--dynamic" || a == "--redis") {
+      mapping = "dynamic";
+    }
+  }
+
+  int64_t id;
+  if (!identifier.empty() &&
+      std::isdigit(static_cast<unsigned char>(identifier[0]))) {
+    id = std::stoll(identifier);
+  } else {
+    Result<WorkflowInfo> wf = client_->GetWorkflowByName(identifier);
+    if (!wf.ok()) {
+      out << wf.status().ToString() << "\n";
+      return;
+    }
+    id = wf->id;
+  }
+
+  // Re-fetch for the spec-driven run; we reuse RunSpec to pass verbose and
+  // process count uniformly.
+  auto on_line = [&out](const std::string& line) { out << line << "\n"; };
+  RunOutcome outcome;
+  if (mapping == "simple") {
+    outcome = client_->Run(id, input, on_line, {}, verbose);
+  } else if (mapping == "multi") {
+    outcome =
+        client_->RunMultiprocess(id, input, processes, on_line, {}, verbose);
+  } else {
+    outcome = client_->RunDynamic(id, input, on_line, {}, verbose);
+  }
+  if (!outcome.status.ok()) {
+    out << outcome.status.ToString() << "\n";
+    return;
+  }
+  out << "Run complete: " << outcome.stats.GetInt("tuples")
+      << " tuples processed, " << outcome.lines.size() << " output lines.\n";
+}
+
+}  // namespace laminar::client

@@ -1,0 +1,54 @@
+// The Laminar CLI (paper §IV-B, Fig. 5): an interactive command interpreter
+// over the client API. Commands mirror the paper's screenshots:
+//
+//   help [command]           list commands / usage of one command
+//   register_pe <name>       register a demo PE by name
+//   register_workflow <file> register a demo workflow (e.g. isprime_wf.py)
+//   list                     show the registry contents
+//   describe <id> [pe|workflow]
+//   literal_search [workflow|pe] <term...>
+//   semantic_search [workflow|pe] <term...>
+//   code_recommendation [workflow|pe] <snippet> [--embedding_type spt|llm]
+//   run <id|name> [-i N] [-v] [--multi [P]] [--dynamic] [--rawinput]
+//   update_pe_description <id> <text...>
+//   remove_pe <id> | remove_workflow <id> | remove_all
+//   quit
+//
+// The interpreter is a library class (no stdin coupling) so tests can drive
+// it line by line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "client/client.hpp"
+
+namespace laminar::client {
+
+class LaminarCli {
+ public:
+  explicit LaminarCli(LaminarClient& client) : client_(&client) {}
+
+  /// Executes one command line, writing human output to `out`. Returns
+  /// false when the command asks to quit.
+  bool ExecuteLine(const std::string& line, std::ostream& out);
+
+  /// Reads lines ("(laminar) " prompt) until EOF or quit.
+  void RunLoop(std::istream& in, std::ostream& out);
+
+ private:
+  void CmdHelp(const std::vector<std::string>& args, std::ostream& out);
+  void CmdRegisterWorkflow(const std::vector<std::string>& args,
+                           std::ostream& out);
+  void CmdRegisterPe(const std::vector<std::string>& args, std::ostream& out);
+  void CmdList(std::ostream& out);
+  void CmdDescribe(const std::vector<std::string>& args, std::ostream& out);
+  void CmdSearch(const std::vector<std::string>& args, std::ostream& out,
+                 bool semantic);
+  void CmdRecommend(const std::vector<std::string>& args, std::ostream& out);
+  void CmdRun(const std::vector<std::string>& args, std::ostream& out);
+
+  LaminarClient* client_;
+};
+
+}  // namespace laminar::client

@@ -1,0 +1,479 @@
+#include "client/client.hpp"
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "engine/resource_cache.hpp"
+
+namespace laminar::client {
+namespace {
+
+constexpr std::string_view kEndMarker = "##END## ";
+
+PeInfo PeFromJson(const Value& v) {
+  PeInfo pe;
+  pe.id = v.GetInt("peId");
+  pe.name = v.GetString("peName");
+  pe.description = v.GetString("description");
+  pe.code = v.GetString("code");
+  return pe;
+}
+
+WorkflowInfo WorkflowFromJson(const Value& v) {
+  WorkflowInfo wf;
+  wf.id = v.GetInt("workflowId");
+  wf.name = v.GetString("workflowName");
+  wf.description = v.GetString("description");
+  wf.code = v.GetString("code");
+  return wf;
+}
+
+std::vector<SearchHit> HitsFromJson(const Value& v) {
+  std::vector<SearchHit> hits;
+  for (const Value& h : v.at("hits").as_array()) {
+    SearchHit hit;
+    hit.id = h.GetInt("id");
+    hit.name = h.GetString("name");
+    hit.description = h.GetString("description");
+    hit.score = h.GetDouble("score");
+    hit.similar_code = h.GetString("similarCode");
+    hit.occurrences = h.GetInt("occurrences");
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+Status HttpError(int status, const Value& body) {
+  std::string msg = body.GetString("error", "HTTP " + std::to_string(status));
+  switch (status) {
+    case 400: return Status::InvalidArgument(msg);
+    case 401: return Status::PermissionDenied(msg);
+    case 404: return Status::NotFound(msg);
+    case 409: return Status::AlreadyExists(msg);
+    case 428: return Status::FailedPrecondition(msg);
+    case 408: return Status::DeadlineExceeded(msg);
+    case 503: return Status::Unavailable(msg);
+    default: return Status::Internal(msg);
+  }
+}
+
+}  // namespace
+
+LaminarClient::LaminarClient(std::shared_ptr<net::HttpConnection> connection)
+    : conn_(std::move(connection)) {}
+
+Result<Value> LaminarClient::CallJson(const std::string& path,
+                                      const Value& body, int* http_status) {
+  net::HttpRequest req;
+  req.path = path;
+  req.body = body.ToJson();
+  if (!token_.empty()) req.headers["authorization"] = token_;
+  Result<std::pair<int, std::string>> resp = conn_->Call(req);
+  if (!resp.ok()) return resp.status();
+  if (http_status != nullptr) *http_status = resp->first;
+  Result<Value> parsed = resp->second.empty()
+                             ? Result<Value>(Value::MakeObject())
+                             : json::Parse(resp->second);
+  if (!parsed.ok()) return parsed.status();
+  if (resp->first != 200) return HttpError(resp->first, parsed.value());
+  return parsed;
+}
+
+Result<int64_t> LaminarClient::Register(const std::string& user_name,
+                                        const std::string& password) {
+  Value body = Value::MakeObject();
+  body["userName"] = user_name;
+  body["password"] = password;
+  Result<Value> resp = CallJson("/users/register", body);
+  if (!resp.ok()) return resp.status();
+  return resp->GetInt("userId");
+}
+
+Status LaminarClient::Login(const std::string& user_name,
+                            const std::string& password) {
+  Value body = Value::MakeObject();
+  body["userName"] = user_name;
+  body["password"] = password;
+  Result<Value> resp = CallJson("/users/login", body);
+  if (!resp.ok()) return resp.status();
+  token_ = resp->GetString("token");
+  return Status::Ok();
+}
+
+Result<PeInfo> LaminarClient::RegisterPe(const std::string& code,
+                                         const std::string& name,
+                                         const std::string& description) {
+  Value body = Value::MakeObject();
+  body["code"] = code;
+  if (!name.empty()) body["name"] = name;
+  if (!description.empty()) body["description"] = description;
+  Result<Value> resp = CallJson("/pes/register", body);
+  if (!resp.ok()) return resp.status();
+  return PeFromJson(resp.value());
+}
+
+Result<WorkflowInfo> LaminarClient::RegisterWorkflow(
+    const std::string& name, const Value& spec,
+    const std::vector<PeSource>& pes, const std::string& code,
+    const std::string& description) {
+  Value body = Value::MakeObject();
+  body["name"] = name;
+  body["spec"] = spec;
+  if (!code.empty()) body["code"] = code;
+  if (!description.empty()) body["description"] = description;
+  Value pe_arr = Value::MakeArray();
+  for (const PeSource& pe : pes) {
+    Value p = Value::MakeObject();
+    p["code"] = pe.code;
+    if (!pe.name.empty()) p["name"] = pe.name;
+    if (!pe.description.empty()) p["description"] = pe.description;
+    pe_arr.push_back(std::move(p));
+  }
+  body["pes"] = std::move(pe_arr);
+  Result<Value> resp = CallJson("/workflows/register", body);
+  if (!resp.ok()) return resp.status();
+  WorkflowInfo wf;
+  wf.id = resp->GetInt("workflowId");
+  wf.name = name;
+  for (const Value& id : resp->at("peIds").as_array()) {
+    wf.pe_ids.push_back(id.as_int());
+  }
+  return wf;
+}
+
+Result<PeInfo> LaminarClient::GetPe(int64_t id) {
+  Value body = Value::MakeObject();
+  body["id"] = id;
+  Result<Value> resp = CallJson("/pes/get", body);
+  if (!resp.ok()) return resp.status();
+  return PeFromJson(resp.value());
+}
+
+Result<PeInfo> LaminarClient::GetPeByName(const std::string& name) {
+  Value body = Value::MakeObject();
+  body["name"] = name;
+  Result<Value> resp = CallJson("/pes/get", body);
+  if (!resp.ok()) return resp.status();
+  return PeFromJson(resp.value());
+}
+
+Result<WorkflowInfo> LaminarClient::GetWorkflow(int64_t id) {
+  Value body = Value::MakeObject();
+  body["id"] = id;
+  Result<Value> resp = CallJson("/workflows/get", body);
+  if (!resp.ok()) return resp.status();
+  return WorkflowFromJson(resp.value());
+}
+
+Result<WorkflowInfo> LaminarClient::GetWorkflowByName(const std::string& name) {
+  Value body = Value::MakeObject();
+  body["name"] = name;
+  Result<Value> resp = CallJson("/workflows/get", body);
+  if (!resp.ok()) return resp.status();
+  return WorkflowFromJson(resp.value());
+}
+
+Result<std::vector<PeInfo>> LaminarClient::GetPesByWorkflow(
+    int64_t workflow_id) {
+  Value body = Value::MakeObject();
+  body["id"] = workflow_id;
+  Result<Value> resp = CallJson("/workflows/pes", body);
+  if (!resp.ok()) return resp.status();
+  std::vector<PeInfo> pes;
+  for (const Value& p : resp->at("pes").as_array()) {
+    pes.push_back(PeFromJson(p));
+  }
+  return pes;
+}
+
+Result<Value> LaminarClient::GetExecutions(int64_t workflow_id) {
+  Value body = Value::MakeObject();
+  body["id"] = workflow_id;
+  return CallJson("/workflows/executions", body);
+}
+
+Result<std::pair<std::vector<PeInfo>, std::vector<WorkflowInfo>>>
+LaminarClient::GetRegistry() {
+  Result<Value> resp = CallJson("/registry/list", Value::MakeObject());
+  if (!resp.ok()) return resp.status();
+  std::vector<PeInfo> pes;
+  for (const Value& p : resp->at("pes").as_array()) pes.push_back(PeFromJson(p));
+  std::vector<WorkflowInfo> wfs;
+  for (const Value& w : resp->at("workflows").as_array()) {
+    wfs.push_back(WorkflowFromJson(w));
+  }
+  return std::make_pair(std::move(pes), std::move(wfs));
+}
+
+Status LaminarClient::UpdatePeDescription(int64_t id,
+                                          const std::string& description) {
+  Value body = Value::MakeObject();
+  body["id"] = id;
+  body["description"] = description;
+  return CallJson("/pes/update_description", body).status();
+}
+
+Status LaminarClient::UpdateWorkflowDescription(
+    int64_t id, const std::string& description) {
+  Value body = Value::MakeObject();
+  body["id"] = id;
+  body["description"] = description;
+  return CallJson("/workflows/update_description", body).status();
+}
+
+Status LaminarClient::RemovePe(int64_t id) {
+  Value body = Value::MakeObject();
+  body["id"] = id;
+  return CallJson("/pes/remove", body).status();
+}
+
+Status LaminarClient::RemoveWorkflow(int64_t id) {
+  Value body = Value::MakeObject();
+  body["id"] = id;
+  return CallJson("/workflows/remove", body).status();
+}
+
+Status LaminarClient::RemoveAll() {
+  return CallJson("/registry/remove_all", Value::MakeObject()).status();
+}
+
+Result<std::vector<SearchHit>> LaminarClient::SearchRegistryLiteral(
+    const std::string& term, const std::string& target, size_t limit) {
+  Value body = Value::MakeObject();
+  body["term"] = term;
+  body["target"] = target;
+  if (limit != 0) body["limit"] = static_cast<int64_t>(limit);
+  Result<Value> resp = CallJson("/search/literal", body);
+  if (!resp.ok()) return resp.status();
+  return HitsFromJson(resp.value());
+}
+
+Result<std::vector<SearchHit>> LaminarClient::SearchRegistrySemantic(
+    const std::string& query, const std::string& target, size_t limit) {
+  Value body = Value::MakeObject();
+  body["query"] = query;
+  body["target"] = target;
+  if (limit != 0) body["limit"] = static_cast<int64_t>(limit);
+  Result<Value> resp = CallJson("/search/semantic", body);
+  if (!resp.ok()) return resp.status();
+  return HitsFromJson(resp.value());
+}
+
+Result<std::vector<SearchHit>> LaminarClient::CodeRecommendation(
+    const std::string& code, const std::string& target,
+    const std::string& embedding_type, size_t limit) {
+  Value body = Value::MakeObject();
+  body["code"] = code;
+  body["target"] = target;
+  body["embedding_type"] = embedding_type;
+  if (limit != 0) body["limit"] = static_cast<int64_t>(limit);
+  Result<Value> resp = CallJson("/search/code", body);
+  if (!resp.ok()) return resp.status();
+  return HitsFromJson(resp.value());
+}
+
+Result<std::vector<SearchHit>> LaminarClient::CompleteCode(
+    const std::string& partial_code, size_t limit) {
+  Value body = Value::MakeObject();
+  body["code"] = partial_code;
+  body["limit"] = static_cast<int64_t>(limit);
+  Result<Value> resp = CallJson("/search/complete", body);
+  if (!resp.ok()) return resp.status();
+  std::vector<SearchHit> hits;
+  for (const Value& c : resp->at("completions").as_array()) {
+    SearchHit hit;
+    hit.id = c.GetInt("id");
+    hit.name = c.GetString("name");
+    hit.score = c.GetDouble("score");
+    hit.similar_code = c.GetString("continuation");
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+Status LaminarClient::SaveRegistry(const std::string& path) {
+  Value body = Value::MakeObject();
+  body["path"] = path;
+  return CallJson("/registry/save", body).status();
+}
+
+Status LaminarClient::LoadRegistry(const std::string& path) {
+  Value body = Value::MakeObject();
+  body["path"] = path;
+  return CallJson("/registry/load", body).status();
+}
+
+Result<Value> LaminarClient::GetStats() {
+  return CallJson("/stats", Value::MakeObject());
+}
+
+Status LaminarClient::UploadResources(const std::vector<Resource>& resources) {
+  std::vector<net::FilePart> parts;
+  parts.reserve(resources.size());
+  for (const Resource& r : resources) {
+    parts.push_back(net::FilePart{r.name, r.content});
+  }
+  net::HttpRequest req;
+  req.path = "/resources/upload";
+  req.body = net::EncodeMultipart(parts);
+  Result<std::pair<int, std::string>> resp = conn_->Call(req);
+  if (!resp.ok()) return resp.status();
+  if (resp->first != 200) {
+    return Status::Internal("resource upload failed: HTTP " +
+                            std::to_string(resp->first));
+  }
+  return Status::Ok();
+}
+
+RunOutcome LaminarClient::RunInternal(Value request_body,
+                                      const LineCallback& on_line,
+                                      const std::vector<Resource>& resources) {
+  RunOutcome outcome;
+  // §IV-F: attach content-hash refs so the engine can answer from cache.
+  Value refs = Value::MakeArray();
+  for (const Resource& r : resources) {
+    Value ref = Value::MakeObject();
+    ref["name"] = r.name;
+    ref["hash"] =
+        static_cast<int64_t>(engine::HashResourceContent(r.content));
+    refs.push_back(std::move(ref));
+  }
+  request_body["resources"] = std::move(refs);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Stopwatch watch;
+    net::HttpRequest req;
+    req.path = "/execute";
+    req.body = request_body.ToJson();
+    if (!token_.empty()) req.headers["authorization"] = token_;
+    std::shared_ptr<net::ResponseStream> stream = conn_->Send(req);
+
+    outcome.lines.clear();
+    outcome.first_line_ms = -1.0;
+    std::string carry;
+    std::string end_record;
+    while (auto chunk = stream->NextChunk()) {
+      carry += *chunk;
+      size_t pos;
+      while ((pos = carry.find('\n')) != std::string::npos) {
+        std::string line = carry.substr(0, pos);
+        carry.erase(0, pos + 1);
+        if (strings::StartsWith(line, kEndMarker)) {
+          end_record = line.substr(kEndMarker.size());
+          continue;
+        }
+        if (outcome.first_line_ms < 0) {
+          outcome.first_line_ms = watch.ElapsedMillis();
+        }
+        if (on_line) on_line(line);
+        outcome.lines.push_back(std::move(line));
+      }
+    }
+    if (!carry.empty()) {
+      if (strings::StartsWith(carry, kEndMarker)) {
+        end_record = carry.substr(kEndMarker.size());
+      } else {
+        if (outcome.first_line_ms < 0) {
+          outcome.first_line_ms = watch.ElapsedMillis();
+        }
+        if (on_line) on_line(carry);
+        outcome.lines.push_back(carry);
+      }
+    }
+    outcome.total_ms = watch.ElapsedMillis();
+    int status = stream->status();
+
+    if (status == 428 && attempt == 0) {
+      // Engine wants resources: upload exactly what it asked for, retry.
+      Result<Value> missing = json::Parse(
+          outcome.lines.empty() ? end_record
+                                : strings::Join(outcome.lines, ""));
+      std::vector<Resource> to_upload;
+      if (missing.ok()) {
+        for (const Value& m : missing->at("missing").as_array()) {
+          std::string name = m.GetString("name");
+          for (const Resource& r : resources) {
+            if (r.name == name) to_upload.push_back(r);
+          }
+        }
+      }
+      if (to_upload.empty()) to_upload = resources;
+      Status up = UploadResources(to_upload);
+      if (!up.ok()) {
+        outcome.status = up;
+        return outcome;
+      }
+      continue;  // retry the run
+    }
+
+    if (!end_record.empty()) {
+      Result<Value> stats = json::Parse(end_record);
+      if (stats.ok()) outcome.stats = std::move(stats.value());
+    }
+    if (status == 200) {
+      outcome.status = Status::Ok();
+    } else {
+      outcome.status = HttpError(
+          status, outcome.stats.is_object() ? outcome.stats
+                                            : Value::MakeObject());
+    }
+    return outcome;
+  }
+  outcome.status = Status::Internal("resource negotiation did not converge");
+  return outcome;
+}
+
+RunOutcome LaminarClient::Run(int64_t workflow_id, const Value& input,
+                              const LineCallback& on_line,
+                              const std::vector<Resource>& resources,
+                              bool verbose) {
+  Value body = Value::MakeObject();
+  body["workflowId"] = workflow_id;
+  body["mapping"] = "simple";
+  body["input"] = input;
+  body["verbose"] = verbose;
+  return RunInternal(std::move(body), on_line, resources);
+}
+
+RunOutcome LaminarClient::RunMultiprocess(
+    int64_t workflow_id, const Value& input, int processes,
+    const LineCallback& on_line, const std::vector<Resource>& resources,
+    bool verbose) {
+  Value body = Value::MakeObject();
+  body["workflowId"] = workflow_id;
+  body["mapping"] = "multi";
+  body["input"] = input;
+  body["processes"] = processes;
+  body["verbose"] = verbose;
+  return RunInternal(std::move(body), on_line, resources);
+}
+
+RunOutcome LaminarClient::RunDynamic(int64_t workflow_id, const Value& input,
+                                     const LineCallback& on_line,
+                                     const std::vector<Resource>& resources,
+                                     bool verbose) {
+  // Listing 3 of the paper: all broker/process parameters are defaulted by
+  // the engine configuration; the call needs only the workflow and input.
+  Value body = Value::MakeObject();
+  body["workflowId"] = workflow_id;
+  body["mapping"] = "dynamic";
+  body["input"] = input;
+  body["verbose"] = verbose;
+  return RunInternal(std::move(body), on_line, resources);
+}
+
+RunOutcome LaminarClient::RunSpec(const Value& spec, const std::string& mapping,
+                                  const Value& input, int processes,
+                                  const LineCallback& on_line,
+                                  const std::vector<Resource>& resources,
+                                  bool verbose) {
+  Value body = Value::MakeObject();
+  body["spec"] = spec;
+  body["mapping"] = mapping;
+  body["input"] = input;
+  body["processes"] = processes;
+  body["verbose"] = verbose;
+  return RunInternal(std::move(body), on_line, resources);
+}
+
+}  // namespace laminar::client

@@ -1,0 +1,30 @@
+#include "client/connect.hpp"
+
+namespace laminar::client {
+
+InProcessLaminar ConnectInProcess(server::ServerConfig config,
+                                  net::HttpConnection::Mode mode) {
+  InProcessLaminar out;
+  out.server = std::make_unique<server::LaminarServer>(std::move(config));
+  net::DuplexPipe pipe = net::CreatePipe();
+  out.server_side = std::make_unique<net::HttpConnection>(
+      std::move(pipe.first), mode, out.server->HandlerFn());
+  out.client_side = std::make_shared<net::HttpConnection>(
+      std::move(pipe.second), mode);
+  out.client = std::make_unique<LaminarClient>(out.client_side);
+  return out;
+}
+
+ExtraClient AttachClient(server::LaminarServer& server,
+                         net::HttpConnection::Mode mode) {
+  ExtraClient out;
+  net::DuplexPipe pipe = net::CreatePipe();
+  out.server_side = std::make_unique<net::HttpConnection>(
+      std::move(pipe.first), mode, server.HandlerFn());
+  out.client_side = std::make_shared<net::HttpConnection>(
+      std::move(pipe.second), mode);
+  out.client = std::make_unique<LaminarClient>(out.client_side);
+  return out;
+}
+
+}  // namespace laminar::client

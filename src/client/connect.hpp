@@ -1,0 +1,39 @@
+// Wiring helpers: stand up a LaminarServer and a LaminarClient over an
+// in-memory duplex pipe in one call — the standard harness for examples,
+// tests and benches.
+#pragma once
+
+#include <memory>
+
+#include "client/client.hpp"
+#include "server/server.hpp"
+
+namespace laminar::client {
+
+struct InProcessLaminar {
+  std::unique_ptr<server::LaminarServer> server;
+  /// Server-side connection endpoint (owns the handler binding).
+  std::unique_ptr<net::HttpConnection> server_side;
+  /// Client-side connection endpoint, shared with `client`.
+  std::shared_ptr<net::HttpConnection> client_side;
+  std::unique_ptr<LaminarClient> client;
+};
+
+/// Creates server + pipe + client. `mode` selects the transport behaviour on
+/// BOTH ends: kStreaming = Laminar 2.0, kBatch = the 1.0 baseline.
+InProcessLaminar ConnectInProcess(
+    server::ServerConfig config = {},
+    net::HttpConnection::Mode mode = net::HttpConnection::Mode::kStreaming);
+
+/// Attaches one more client connection to an existing server (multi-client
+/// scenarios). The returned connection pair must outlive the client.
+struct ExtraClient {
+  std::unique_ptr<net::HttpConnection> server_side;
+  std::shared_ptr<net::HttpConnection> client_side;
+  std::unique_ptr<LaminarClient> client;
+};
+ExtraClient AttachClient(
+    server::LaminarServer& server,
+    net::HttpConnection::Mode mode = net::HttpConnection::Mode::kStreaming);
+
+}  // namespace laminar::client

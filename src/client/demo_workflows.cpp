@@ -1,0 +1,232 @@
+#include "client/demo_workflows.hpp"
+
+namespace laminar::client {
+namespace {
+
+Value MakePe(const char* name, const char* type, Value params) {
+  Value pe = Value::MakeObject();
+  pe["name"] = name;
+  pe["type"] = type;
+  pe["params"] = std::move(params);
+  return pe;
+}
+
+Value MakeEdge(const char* from, const char* to,
+               const char* grouping = "shuffle", const char* key = "") {
+  Value edge = Value::MakeObject();
+  edge["from"] = from;
+  edge["to"] = to;
+  edge["grouping"] = grouping;
+  if (key[0] != '\0') edge["key"] = key;
+  return edge;
+}
+
+DemoWorkflow MakeIsPrime() {
+  DemoWorkflow wf;
+  wf.name = "isprime_wf";
+  wf.file_name = "isprime_wf.py";
+  Value spec = Value::MakeObject();
+  spec["name"] = "isprime_wf";
+  Value pes = Value::MakeArray();
+  Value producer_params = Value::MakeObject();
+  producer_params["seed"] = 42;
+  producer_params["lo"] = 1;
+  producer_params["hi"] = 1000;
+  pes.push_back(MakePe("NumberProducer", "NumberProducer",
+                       std::move(producer_params)));
+  pes.push_back(MakePe("IsPrime", "IsPrime", Value::MakeObject()));
+  pes.push_back(MakePe("PrintPrime", "PrintPrime", Value::MakeObject()));
+  spec["pes"] = std::move(pes);
+  Value edges = Value::MakeArray();
+  edges.push_back(MakeEdge("NumberProducer", "IsPrime"));
+  edges.push_back(MakeEdge("IsPrime", "PrintPrime"));
+  spec["edges"] = std::move(edges);
+  wf.spec = std::move(spec);
+
+  // Listing 1 of the paper, verbatim PE sources.
+  wf.pes.push_back(PeSource{
+      "class NumberProducer(ProducerPE):\n"
+      "    \"\"\"The number producer class. Generates random numbers.\"\"\"\n"
+      "    def __init__(self):\n"
+      "        ProducerPE.__init__(self)\n"
+      "    def _process(self, inputs):\n"
+      "        return random.randint(1, 1000)\n",
+      "NumberProducer", ""});
+  wf.pes.push_back(PeSource{
+      "class IsPrime(IterativePE):\n"
+      "    def __init__(self):\n"
+      "        IterativePE.__init__(self)\n"
+      "    def _process(self, num):\n"
+      "        # this PE consumes one input and produces one output\n"
+      "        if all(num % i != 0 for i in range(2, num)):\n"
+      "            return num\n",
+      "IsPrime", ""});
+  wf.pes.push_back(PeSource{
+      "class PrintPrime(ConsumerPE):\n"
+      "    def __init__(self):\n"
+      "        ConsumerPE.__init__(self)\n"
+      "    def _process(self, num):\n"
+      "        print('the num %s is prime' % num)\n",
+      "PrintPrime", ""});
+  wf.code =
+      "import random\n"
+      "from dispel4py.workflow_graph import WorkflowGraph\n"
+      "\n"
+      "producer = NumberProducer()\n"
+      "isprime = IsPrime()\n"
+      "printer = PrintPrime()\n"
+      "graph = WorkflowGraph()\n"
+      "graph.connect(producer, 'output', isprime, 'input')\n"
+      "graph.connect(isprime, 'output', printer, 'input')\n";
+  return wf;
+}
+
+DemoWorkflow MakeWordCount() {
+  DemoWorkflow wf;
+  wf.name = "wordcount_wf";
+  wf.file_name = "wordcount_wf.py";
+  Value spec = Value::MakeObject();
+  spec["name"] = "wordcount_wf";
+  Value pes = Value::MakeArray();
+  Value lines = Value::MakeObject();
+  Value line_arr = Value::MakeArray();
+  line_arr.push_back("the quick brown fox jumps over the lazy dog");
+  line_arr.push_back("the fox and the dog became friends");
+  line_arr.push_back("streams of words flow through the workflow");
+  lines["lines"] = std::move(line_arr);
+  pes.push_back(MakePe("LineProducer", "LineProducer", std::move(lines)));
+  pes.push_back(MakePe("Tokenizer", "Tokenizer", Value::MakeObject()));
+  pes.push_back(MakePe("WordCounter", "WordCounter", Value::MakeObject()));
+  pes.push_back(MakePe("CountPrinter", "CountPrinter", Value::MakeObject()));
+  spec["pes"] = std::move(pes);
+  Value edges = Value::MakeArray();
+  edges.push_back(MakeEdge("LineProducer", "Tokenizer"));
+  edges.push_back(MakeEdge("Tokenizer", "WordCounter", "group_by", "word"));
+  edges.push_back(MakeEdge("WordCounter", "CountPrinter", "all_to_one"));
+  spec["edges"] = std::move(edges);
+  wf.spec = std::move(spec);
+
+  wf.pes.push_back(PeSource{
+      "class Tokenizer(IterativePE):\n"
+      "    \"\"\"Splits text lines into lowercase word tuples.\"\"\"\n"
+      "    def __init__(self):\n"
+      "        IterativePE.__init__(self)\n"
+      "    def _process(self, line):\n"
+      "        for word in line.lower().split():\n"
+      "            self.write('output', {'word': word})\n",
+      "Tokenizer", ""});
+  wf.pes.push_back(PeSource{
+      "class WordCounter(IterativePE):\n"
+      "    \"\"\"Counts word frequencies in a stream of word tuples.\"\"\"\n"
+      "    def __init__(self):\n"
+      "        IterativePE.__init__(self)\n"
+      "        self.counts = {}\n"
+      "    def _process(self, item):\n"
+      "        word = item['word']\n"
+      "        self.counts[word] = self.counts.get(word, 0) + 1\n",
+      "WordCounter", ""});
+  wf.code =
+      "from dispel4py.workflow_graph import WorkflowGraph\n"
+      "graph = WorkflowGraph()\n";
+  return wf;
+}
+
+DemoWorkflow MakeAnomaly() {
+  DemoWorkflow wf;
+  wf.name = "anomaly_wf";
+  wf.file_name = "anomaly_wf.py";
+  Value spec = Value::MakeObject();
+  spec["name"] = "anomaly_wf";
+  Value pes = Value::MakeArray();
+  Value sensor = Value::MakeObject();
+  sensor["seed"] = 7;
+  sensor["anomaly_rate"] = 0.05;
+  pes.push_back(MakePe("SensorProducer", "SensorProducer", std::move(sensor)));
+  Value norm = Value::MakeObject();
+  norm["min"] = -20.0;
+  norm["max"] = 60.0;
+  pes.push_back(MakePe("NormalizeData", "NormalizeData", std::move(norm)));
+  Value det = Value::MakeObject();
+  det["threshold"] = 3.0;
+  det["window"] = 64;
+  pes.push_back(MakePe("AnomalyDetector", "AnomalyDetector", std::move(det)));
+  pes.push_back(MakePe("Alerter", "Alerter", Value::MakeObject()));
+  spec["pes"] = std::move(pes);
+  Value edges = Value::MakeArray();
+  edges.push_back(MakeEdge("SensorProducer", "NormalizeData"));
+  edges.push_back(MakeEdge("NormalizeData", "AnomalyDetector", "all_to_one"));
+  edges.push_back(MakeEdge("AnomalyDetector", "Alerter"));
+  spec["edges"] = std::move(edges);
+  wf.spec = std::move(spec);
+
+  wf.pes.push_back(PeSource{
+      "class AnomalyDetectionPE(IterativePE):\n"
+      "    \"\"\"Anomaly detection PE. Flags readings whose z score exceeds a "
+      "threshold.\"\"\"\n"
+      "    def __init__(self):\n"
+      "        IterativePE.__init__(self)\n"
+      "        self.window = []\n"
+      "    def _process(self, reading):\n"
+      "        value = reading['temperature']\n"
+      "        if len(self.window) >= 8:\n"
+      "            mean = sum(self.window) / len(self.window)\n"
+      "            var = sum((x - mean) ** 2 for x in self.window) / "
+      "len(self.window)\n"
+      "            z = (value - mean) / (var ** 0.5 + 1e-9)\n"
+      "            if abs(z) > 3.0:\n"
+      "                return reading\n"
+      "        self.window.append(value)\n",
+      "AnomalyDetectionPE", ""});
+  wf.pes.push_back(PeSource{
+      "class AlertingPE(ConsumerPE):\n"
+      "    \"\"\"AlertingPE class. Prints alerts for anomalous readings.\"\"\"\n"
+      "    def __init__(self):\n"
+      "        ConsumerPE.__init__(self)\n"
+      "    def _process(self, reading):\n"
+      "        print('ALERT %s' % reading)\n",
+      "AlertingPE", ""});
+  wf.pes.push_back(PeSource{
+      "class NormalizeDataPE(IterativePE):\n"
+      "    \"\"\"This pe normalizes the temperature of a record to the unit "
+      "range.\"\"\"\n"
+      "    def __init__(self):\n"
+      "        IterativePE.__init__(self)\n"
+      "    def _process(self, reading):\n"
+      "        t = reading['temperature']\n"
+      "        reading['normalized'] = (t - (-20.0)) / (60.0 - (-20.0))\n"
+      "        return reading\n",
+      "NormalizeDataPE", ""});
+  wf.pes.push_back(PeSource{
+      "class AggregateDataPE(IterativePE):\n"
+      "    \"\"\"AggregateDataPE - Aggregate data from a sequence of readings "
+      "into summary statistics.\"\"\"\n"
+      "    def __init__(self):\n"
+      "        IterativePE.__init__(self)\n"
+      "        self.count = 0\n"
+      "        self.total = 0.0\n"
+      "    def _process(self, reading):\n"
+      "        self.count = self.count + 1\n"
+      "        self.total = self.total + reading['temperature']\n",
+      "AggregateDataPE", ""});
+  wf.code =
+      "from dispel4py.workflow_graph import WorkflowGraph\n"
+      "graph = WorkflowGraph()\n";
+  return wf;
+}
+
+}  // namespace
+
+const std::vector<DemoWorkflow>& DemoWorkflows() {
+  static const std::vector<DemoWorkflow> kDemos = {
+      MakeIsPrime(), MakeWordCount(), MakeAnomaly()};
+  return kDemos;
+}
+
+const DemoWorkflow* FindDemoWorkflow(const std::string& name_or_file) {
+  for (const DemoWorkflow& wf : DemoWorkflows()) {
+    if (wf.name == name_or_file || wf.file_name == name_or_file) return &wf;
+  }
+  return nullptr;
+}
+
+}  // namespace laminar::client

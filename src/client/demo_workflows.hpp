@@ -1,0 +1,30 @@
+// Built-in demo workflows: the paper's running examples packaged as
+// ready-to-register bundles (workflow spec + the Python source of each PE +
+// the workflow module source). The CLI's `register_workflow isprime_wf.py`
+// resolves here, and the examples/tests reuse the same bundles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "common/value.hpp"
+
+namespace laminar::client {
+
+struct DemoWorkflow {
+  std::string name;          ///< e.g. "isprime_wf"
+  std::string file_name;     ///< e.g. "isprime_wf.py" (CLI argument)
+  Value spec;                ///< executable workflow spec
+  std::vector<PeSource> pes; ///< Python sources to register
+  std::string code;          ///< the workflow module's Python source
+};
+
+/// The catalogue: isprime_wf (paper Fig. 5), wordcount_wf, anomaly_wf
+/// (paper Fig. 8 pipeline).
+const std::vector<DemoWorkflow>& DemoWorkflows();
+
+/// Lookup by name or file name; nullptr if unknown.
+const DemoWorkflow* FindDemoWorkflow(const std::string& name_or_file);
+
+}  // namespace laminar::client

@@ -1,0 +1,48 @@
+// Time utilities: monotonic stopwatch for benches, and a calibrated
+// busy-work spinner used to model CPU-bound PE work deterministically
+// (sleep-based "work" under-reports scheduling effects the mapping benches
+// want to show).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace laminar {
+
+/// Microseconds since an arbitrary monotonic epoch.
+inline int64_t NowMicros() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+  void Reset() { start_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  int64_t start_;
+};
+
+/// Burns roughly `iters` iterations of integer work; the result is returned
+/// so the optimizer cannot elide the loop. Used by CPU-bound example PEs.
+inline uint64_t BusyWork(uint64_t iters) {
+  uint64_t acc = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t i = 0; i < iters; ++i) {
+    acc ^= acc << 13;
+    acc ^= acc >> 7;
+    acc ^= acc << 17;
+  }
+  return acc;
+}
+
+}  // namespace laminar

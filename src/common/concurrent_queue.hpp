@@ -1,0 +1,122 @@
+// Blocking MPMC queue — the backbone of every asynchronous boundary in
+// Laminar: stdout streaming from the execution engine (the paper's Flask
+// "concurrent queue"), inter-PE channels in the multiprocessing mapping, and
+// the dynamic mapping's worker feed.
+//
+// Semantics: unbounded by default (optionally bounded with blocking push);
+// Close() wakes all waiters; Pop on a closed, drained queue returns nullopt.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace laminar {
+
+template <typename T>
+class ConcurrentQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit ConcurrentQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  ConcurrentQueue(const ConcurrentQueue&) = delete;
+  ConcurrentQueue& operator=(const ConcurrentQueue&) = delete;
+
+  /// Blocks while the queue is full (bounded mode). Returns false if the
+  /// queue was closed (item is dropped).
+  bool Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false if full or closed.
+  bool TryPush(T item) {
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Waits up to `timeout`; nullopt on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// After Close(), pushes fail and pops drain remaining items then return
+  /// nullopt. Idempotent.
+  void Close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace laminar

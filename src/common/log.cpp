@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace laminar::log {
+namespace {
+
+std::atomic<Level>& LevelRef() {
+  static std::atomic<Level> level{Level::kWarn};
+  return level;
+}
+
+std::mutex& Mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+const char* Name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLevel(Level level) { LevelRef().store(level, std::memory_order_relaxed); }
+Level GetLevel() { return LevelRef().load(std::memory_order_relaxed); }
+
+void Write(Level level, std::string_view component, std::string_view message) {
+  if (level < GetLevel()) return;
+  std::scoped_lock lock(Mutex());
+  std::fprintf(stderr, "[%s %.*s] %.*s\n", Name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace laminar::log

@@ -1,0 +1,33 @@
+// Minimal leveled, thread-safe logger. Laminar components log to stderr;
+// tests set the level to kError to keep output clean. No non-const globals
+// are exposed — the singleton state lives behind accessor functions.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace laminar::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default kWarn).
+void SetLevel(Level level);
+Level GetLevel();
+
+/// Emits one line: "[LEVEL component] message".
+void Write(Level level, std::string_view component, std::string_view message);
+
+inline void Debug(std::string_view component, std::string_view message) {
+  Write(Level::kDebug, component, message);
+}
+inline void Info(std::string_view component, std::string_view message) {
+  Write(Level::kInfo, component, message);
+}
+inline void Warn(std::string_view component, std::string_view message) {
+  Write(Level::kWarn, component, message);
+}
+inline void Error(std::string_view component, std::string_view message) {
+  Write(Level::kError, component, message);
+}
+
+}  // namespace laminar::log

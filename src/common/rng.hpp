@@ -1,0 +1,87 @@
+// Deterministic pseudo-random generator for dataset synthesis and benches.
+//
+// Uses xoshiro-style state seeded via splitmix64. We avoid <random> engines
+// in the corpus generator because their distributions are not guaranteed
+// bit-identical across standard libraries, and our experiment tables must be
+// reproducible everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hashing.hpp"
+
+namespace laminar {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x1a2b3c4d5e6f7788ULL) {
+    state_[0] = hashing::SplitMix64(seed);
+    state_[1] = hashing::SplitMix64(state_[0]);
+  }
+
+  /// Next raw 64 bits (xoroshiro128++).
+  uint64_t NextU64() {
+    uint64_t s0 = state_[0];
+    uint64_t s1 = state_[1];
+    uint64_t result = Rotl(s0 + s1, 17) + s0;
+    s1 ^= s0;
+    state_[0] = Rotl(s0, 49) ^ s1 ^ (s1 << 21);
+    state_[1] = Rotl(s1, 28);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    // Debiased via rejection on the top range.
+    uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[NextBelow(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; lets parallel corpus shards stay
+  /// deterministic regardless of generation order.
+  Rng Fork(uint64_t salt) {
+    return Rng(hashing::Combine(NextU64(), hashing::SplitMix64(salt)));
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[2];
+};
+
+}  // namespace laminar

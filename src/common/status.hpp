@@ -1,0 +1,127 @@
+// Lightweight error-handling vocabulary used across all Laminar modules.
+//
+// Laminar is a client/server system: most failures (missing registry rows,
+// malformed code, protocol violations) are expected, recoverable conditions
+// that must travel across module boundaries without exceptions. `Status`
+// carries an error code plus a human-readable message; `Result<T>` couples a
+// Status with a value for fallible factories and lookups.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace laminar {
+
+/// Error categories, loosely modelled on HTTP/gRPC status families so that
+/// the server layer can map them onto wire responses without a lookup table.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< entity does not exist in the registry/store
+  kAlreadyExists,     ///< unique-key violation
+  kFailedPrecondition,///< operation not valid in the current state
+  kPermissionDenied,  ///< caller is not authenticated/authorized
+  kResourceExhausted, ///< capacity limits (queue bounds, cache size)
+  kUnavailable,       ///< transient: connection closed, engine busy
+  kDeadlineExceeded,  ///< execution exceeded its serverless duration limit
+  kInternal,          ///< invariant broken; indicates a bug
+  kParseError,        ///< lexer/parser/JSON rejection
+};
+
+/// Human-readable name for a status code (stable; used in wire messages).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy on the success path (no
+/// allocation: the message string is empty).
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status AlreadyExists(std::string msg) {
+    return {StatusCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status PermissionDenied(std::string msg) {
+    return {StatusCode::kPermissionDenied, std::move(msg)};
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status Unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return {StatusCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status Internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status ParseError(std::string msg) {
+    return {StatusCode::kParseError, std::move(msg)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<code-name>: <message>" (just "OK" for success); for logs and tests.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error. Mirrors the subset of absl::StatusOr Laminar needs:
+/// construction from T or Status, `ok()`, `value()`, `status()`.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value)  // NOLINT: implicit by design
+      : value_(std::move(value)), status_(Status::Ok()) {}
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+  Result(StatusCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessing the value of an error Result aborts via
+  /// std::optional's UB path in release; tests always check ok() first.
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Internal("Result constructed without value");
+};
+
+}  // namespace laminar

@@ -1,0 +1,222 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace laminar::strings {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find('\n', start);
+    std::string_view line;
+    if (pos == std::string_view::npos) {
+      if (start == text.size()) break;  // no trailing empty line
+      line = text.substr(start);
+      start = text.size() + 1;
+    } else {
+      line = text.substr(start, pos - start);
+      start = pos + 1;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    out.emplace_back(line);
+    if (pos == std::string_view::npos) break;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  auto lower = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    size_t j = 0;
+    while (j < needle.size() && lower(haystack[i + j]) == lower(needle[j])) ++j;
+    if (j == needle.size()) return true;
+  }
+  return false;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  out.reserve(text.size());
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      return out;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::vector<std::string> SplitIdentifier(std::string_view identifier) {
+  std::vector<std::string> words;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      words.push_back(ToLower(current));
+      current.clear();
+    }
+  };
+  for (size_t i = 0; i < identifier.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(identifier[i]);
+    if (c == '_' || c == '.' || c == ' ') {
+      flush();
+      continue;
+    }
+    if (std::isdigit(c)) {
+      if (!current.empty() && !std::isdigit(static_cast<unsigned char>(current.back()))) flush();
+      current += static_cast<char>(c);
+      continue;
+    }
+    if (std::isupper(c)) {
+      // Boundary at lower->Upper ("readHttp") and at the end of an acronym
+      // run ("HTTPResponse" -> "HTTP" + "Response").
+      bool prev_lower_or_digit =
+          !current.empty() &&
+          (std::islower(static_cast<unsigned char>(current.back())) ||
+           std::isdigit(static_cast<unsigned char>(current.back())));
+      bool next_lower = i + 1 < identifier.size() &&
+                        std::islower(static_cast<unsigned char>(identifier[i + 1]));
+      bool prev_upper = !current.empty() &&
+                        std::isupper(static_cast<unsigned char>(current.back()));
+      if (prev_lower_or_digit || (prev_upper && next_lower)) flush();
+      current += static_cast<char>(c);
+      continue;
+    }
+    if (!std::isalpha(c)) {  // other punctuation acts as a separator
+      flush();
+      continue;
+    }
+    if (!current.empty() && std::isdigit(static_cast<unsigned char>(current.back()))) flush();
+    current += static_cast<char>(c);
+  }
+  flush();
+  return words;
+}
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char ch : text) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string WithCommas(long long n) {
+  std::string digits = std::to_string(n < 0 ? -n : n);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (n < 0) out += '-';
+  return {out.rbegin(), out.rend()};
+}
+
+bool IsIdentifier(std::string_view text) {
+  if (text.empty()) return false;
+  unsigned char first = static_cast<unsigned char>(text[0]);
+  if (!std::isalpha(first) && first != '_') return false;
+  for (char ch : text.substr(1)) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (!std::isalnum(c) && c != '_') return false;
+  }
+  return true;
+}
+
+}  // namespace laminar::strings

@@ -1,0 +1,62 @@
+// String utilities shared by the lexer, search, summarizer and CLI layers.
+//
+// All functions are pure and allocation-honest: views in, owned strings out
+// only where a new string is genuinely produced.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace laminar::strings {
+
+/// Splits `text` on `sep` (single character). Empty fields are kept:
+/// Split("a,,b", ',') -> {"a", "", "b"}. Split("", ',') -> {""}.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any run of ASCII whitespace; no empty fields are produced.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Splits `text` into lines on '\n'; a trailing newline does not produce a
+/// final empty line. "\r" is stripped from line ends.
+std::vector<std::string> SplitLines(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Case-insensitive substring test (ASCII); used by literal search.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// Splits an identifier into lowercase words by snake_case, camelCase,
+/// PascalCase and digit boundaries: "readHTTPResponse2" ->
+/// {"read", "http", "response", "2"}; "num_workers" -> {"num", "workers"}.
+/// Used by the CodeT5 summarizer and the text embedder.
+std::vector<std::string> SplitIdentifier(std::string_view identifier);
+
+/// Lowercased word tokens of free text: alphanumeric runs only.
+/// "A PE that checks primes!" -> {"a", "pe", "that", "checks", "primes"}.
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// printf-lite: formats with snprintf semantics into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders `n` with thousands separators ("1234567" -> "1,234,567").
+std::string WithCommas(long long n);
+
+/// True if `text` is a valid Python-style identifier ([A-Za-z_][A-Za-z0-9_]*).
+bool IsIdentifier(std::string_view text);
+
+}  // namespace laminar::strings

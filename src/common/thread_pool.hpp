@@ -1,0 +1,52 @@
+// Fixed-size worker pool used by the serverless engine's function-instance
+// pool and by bench drivers. Tasks are type-erased closures; Shutdown()
+// drains the queue, Cancel() discards pending work.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/concurrent_queue.hpp"
+
+namespace laminar {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] {
+        while (auto task = tasks_.Pop()) {
+          (*task)();
+        }
+      });
+    }
+  }
+
+  ~ThreadPool() { Shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns false after shutdown.
+  bool Submit(std::function<void()> task) {
+    return tasks_.Push(std::move(task));
+  }
+
+  size_t size() const { return workers_.size(); }
+
+  /// Stops accepting tasks, finishes queued ones, joins workers. Idempotent.
+  void Shutdown() {
+    tasks_.Close();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+ private:
+  ConcurrentQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace laminar

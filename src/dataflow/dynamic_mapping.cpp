@@ -1,0 +1,289 @@
+#include "dataflow/dynamic_mapping.hpp"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+
+namespace laminar::dataflow {
+namespace {
+
+std::atomic<uint64_t> g_run_counter{1};
+
+/// Work-item wire format on the broker queues (JSON, as the Python
+/// implementation pickles/serializes items through Redis).
+std::string EncodeItem(const std::string& port, const Value& value) {
+  Value obj = Value::MakeObject();
+  obj["port"] = port;
+  obj["value"] = value;
+  return obj.ToJson();
+}
+
+bool DecodeItem(const std::string& text, std::string& port, Value& value) {
+  Result<Value> parsed = json::Parse(text);
+  if (!parsed.ok() || !parsed->is_object()) return false;
+  port = parsed->GetString("port");
+  value = parsed->at("value");
+  return true;
+}
+
+class SharedOutput {
+ public:
+  SharedOutput(RunResult& result, const LineSink& sink)
+      : result_(result), sink_(sink) {}
+  void Log(std::string_view line) {
+    std::scoped_lock lock(mu_);
+    result_.output_lines.emplace_back(line);
+    if (sink_) sink_(result_.output_lines.back());
+  }
+
+ private:
+  std::mutex mu_;
+  RunResult& result_;
+  const LineSink& sink_;
+};
+
+struct RunState {
+  const WorkflowGraph* graph = nullptr;
+  int64_t deadline_us = 0;  ///< 0 = no limit
+  std::atomic<bool> expired{false};
+  broker::Broker* broker = nullptr;
+  std::string prefix;
+  std::vector<std::string> queue_keys;  // per PE
+  std::atomic<int64_t> pending{0};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> tuples{0};
+  SharedOutput* output = nullptr;
+  /// Shared single instances for stateful PEs (+ the finish pass).
+  std::vector<std::unique_ptr<ProcessingElement>> shared_instances;
+  std::vector<std::unique_ptr<std::mutex>> pe_mutexes;
+};
+
+/// Emits by enqueueing downstream work items on the broker.
+class QueueEmitter final : public Emitter {
+ public:
+  QueueEmitter(RunState& state, size_t pe_index)
+      : state_(state), pe_index_(pe_index) {}
+
+  void Emit(std::string_view output_port, Value value) override {
+    for (const Edge* edge :
+         state_.graph->OutgoingEdges(pe_index_, output_port)) {
+      state_.pending.fetch_add(1, std::memory_order_acq_rel);
+      state_.broker->RPush(state_.queue_keys[edge->to_pe],
+                           EncodeItem(edge->to_port, value));
+    }
+  }
+
+  void Log(std::string_view line) override { state_.output->Log(line); }
+
+  void set_pe(size_t pe_index) { pe_index_ = pe_index; }
+
+ private:
+  RunState& state_;
+  size_t pe_index_;
+};
+
+/// Processes one tuple on the right instance (shared for stateful PEs,
+/// caller-local clone otherwise).
+void ProcessItem(RunState& state,
+                 std::vector<std::unique_ptr<ProcessingElement>>& local,
+                 size_t pe, const std::string& port, const Value& value) {
+  QueueEmitter emitter(state, pe);
+  if (state.graph->Node(pe).stateful()) {
+    std::scoped_lock lock(*state.pe_mutexes[pe]);
+    state.shared_instances[pe]->Process(port, value, emitter);
+  } else {
+    local[pe]->Process(port, value, emitter);
+  }
+  state.tuples.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WorkerLoop(RunState& state) {
+  // Per-worker clones for stateless PEs.
+  std::vector<std::unique_ptr<ProcessingElement>> local;
+  local.reserve(state.graph->NodeCount());
+  for (size_t i = 0; i < state.graph->NodeCount(); ++i) {
+    local.push_back(state.graph->Node(i).Clone());
+    local.back()->Setup(0, 1);
+  }
+  while (!state.stop.load(std::memory_order_acquire)) {
+    if (state.deadline_us != 0 && NowMicros() > state.deadline_us) {
+      state.expired.store(true, std::memory_order_release);
+      state.stop.store(true, std::memory_order_release);
+      break;
+    }
+    auto item = state.broker->BLPop(state.queue_keys,
+                                    std::chrono::milliseconds(20));
+    if (!item.has_value()) continue;  // timeout; re-check stop flag
+    // Map queue key back to PE index.
+    size_t pe = state.graph->NodeCount();
+    for (size_t i = 0; i < state.queue_keys.size(); ++i) {
+      if (state.queue_keys[i] == item->first) {
+        pe = i;
+        break;
+      }
+    }
+    std::string port;
+    Value value;
+    if (pe < state.graph->NodeCount() &&
+        DecodeItem(item->second, port, value)) {
+      ProcessItem(state, local, pe, port, value);
+    }
+    if (state.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      state.stop.store(true, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace
+
+DynamicMapping::DynamicMapping()
+    : owned_broker_(std::make_unique<broker::Broker>()),
+      broker_(owned_broker_.get()) {}
+
+DynamicMapping::DynamicMapping(broker::Broker* shared_broker)
+    : broker_(shared_broker) {}
+
+RunResult DynamicMapping::Execute(const WorkflowGraph& graph,
+                                  const RunOptions& options,
+                                  const LineSink& sink) {
+  RunResult result;
+  Stopwatch watch;
+  result.status = graph.Validate();
+  if (!result.status.ok()) return result;
+
+  SharedOutput output(result, sink);
+  RunState state;
+  state.graph = &graph;
+  state.broker = broker_;
+  state.output = &output;
+  state.prefix =
+      "wf:" + std::to_string(g_run_counter.fetch_add(1)) + ":q:";
+  state.deadline_us =
+      options.deadline_ms > 0
+          ? NowMicros() + static_cast<int64_t>(options.deadline_ms * 1000)
+          : 0;
+  for (size_t i = 0; i < graph.NodeCount(); ++i) {
+    state.queue_keys.push_back(state.prefix + std::to_string(i));
+    state.shared_instances.push_back(graph.Node(i).Clone());
+    state.shared_instances.back()->Setup(0, 1);
+    state.pe_mutexes.push_back(std::make_unique<std::mutex>());
+    result.partition[graph.Node(i).name()] = {0, 1};
+  }
+
+  // Seed producer iterations as work items.
+  std::vector<Value> iterations = ProducerIterations(options.input);
+  for (size_t producer : graph.Producers()) {
+    for (const Value& payload : iterations) {
+      state.pending.fetch_add(1, std::memory_order_acq_rel);
+      state.broker->RPush(state.queue_keys[producer],
+                          EncodeItem("iteration", payload));
+    }
+  }
+  if (state.pending.load() == 0) {
+    // Nothing to do; still run the finish pass below.
+    state.stop.store(true);
+  }
+
+  // Worker pool + autoscaler.
+  int max_workers = std::max(options.max_workers, 1);
+  int initial = std::clamp(options.initial_workers, 1, max_workers);
+  std::vector<std::thread> workers;
+  std::mutex workers_mu;
+  workers.reserve(static_cast<size_t>(max_workers));
+  for (int i = 0; i < initial; ++i) {
+    workers.emplace_back([&state] { WorkerLoop(state); });
+  }
+  int peak = initial;
+
+  std::thread autoscaler;
+  if (options.autoscale) {
+    autoscaler = std::thread([&] {
+      while (!state.stop.load(std::memory_order_acquire)) {
+        size_t queued = state.broker->TotalQueued(state.prefix);
+        size_t current;
+        {
+          std::scoped_lock lock(workers_mu);
+          current = workers.size();
+        }
+        if (current < static_cast<size_t>(max_workers) &&
+            queued > current * static_cast<size_t>(std::max(
+                          options.autoscale_queue_per_worker, 1))) {
+          std::scoped_lock lock(workers_mu);
+          workers.emplace_back([&state] { WorkerLoop(state); });
+          peak = std::max(peak, static_cast<int>(workers.size()));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
+  {
+    // Wait for the drain (workers flip `stop` when pending hits zero).
+    while (!state.stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  if (autoscaler.joinable()) autoscaler.join();
+  for (std::thread& w : workers) w.join();
+
+  // Finish pass: topological, synchronous, on the shared instances, so
+  // stateful aggregations flush exactly once. Skipped when the run expired
+  // (a killed serverless instance flushes nothing).
+  Result<std::vector<size_t>> topo = graph.TopologicalOrder();
+  if (state.expired.load()) topo = Status::DeadlineExceeded("expired");
+  if (topo.ok()) {
+    std::deque<std::pair<size_t, std::string>> local_queue;  // (pe, item)
+    struct FinishEmitter final : Emitter {
+      RunState& state;
+      size_t pe;
+      std::deque<std::pair<size_t, std::string>>& queue;
+      const WorkflowGraph& graph;
+      FinishEmitter(RunState& s, size_t p,
+                    std::deque<std::pair<size_t, std::string>>& q,
+                    const WorkflowGraph& g)
+          : state(s), pe(p), queue(q), graph(g) {}
+      void Emit(std::string_view output_port, Value value) override {
+        for (const Edge* edge : graph.OutgoingEdges(pe, output_port)) {
+          queue.emplace_back(edge->to_pe, EncodeItem(edge->to_port, value));
+        }
+      }
+      void Log(std::string_view line) override { state.output->Log(line); }
+    };
+    auto drain = [&] {
+      while (!local_queue.empty()) {
+        auto [pe, text] = std::move(local_queue.front());
+        local_queue.pop_front();
+        std::string port;
+        Value value;
+        if (!DecodeItem(text, port, value)) continue;
+        FinishEmitter emitter(state, pe, local_queue, graph);
+        state.shared_instances[pe]->Process(port, value, emitter);
+        state.tuples.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    for (size_t pe : topo.value()) {
+      FinishEmitter emitter(state, pe, local_queue, graph);
+      state.shared_instances[pe]->Finish(emitter);
+      drain();
+    }
+  }
+
+  if (options.verbose) {
+    output.Log("Dynamic run complete: " + std::to_string(state.tuples.load()) +
+               " tuples, peak workers " + std::to_string(peak) + ".");
+  }
+  result.tuples_processed = state.tuples.load();
+  if (state.expired.load()) {
+    result.status = Status::DeadlineExceeded(
+        "execution exceeded " + std::to_string(options.deadline_ms) + " ms");
+  }
+  result.peak_workers = peak;
+  result.elapsed_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace laminar::dataflow

@@ -1,0 +1,34 @@
+// Dynamic mapping — dispel4py's Redis mapping with adaptive workload
+// allocation (Liang et al. 2022; paper §II-A "Workload Allocation").
+//
+// Tuples are work items on per-PE broker queues; a pool of worker threads
+// BLPOPs across all queues, so busy PEs automatically attract more workers
+// — no static partition. An optional autoscaler grows the pool while queue
+// depth per worker exceeds a threshold. Stateful PEs are serialized onto a
+// single shared instance (per-PE mutex); stateless PEs run on per-worker
+// clones.
+#pragma once
+
+#include "broker/broker.hpp"
+#include "dataflow/mapping.hpp"
+
+namespace laminar::dataflow {
+
+class DynamicMapping final : public Mapping {
+ public:
+  /// Uses an internal private broker.
+  DynamicMapping();
+  /// Shares an external broker (the serverless engine passes its own, as
+  /// Laminar points every execution at one Redis instance).
+  explicit DynamicMapping(broker::Broker* shared_broker);
+
+  RunResult Execute(const WorkflowGraph& graph, const RunOptions& options,
+                    const LineSink& sink = nullptr) override;
+  std::string_view name() const override { return "dynamic"; }
+
+ private:
+  std::unique_ptr<broker::Broker> owned_broker_;
+  broker::Broker* broker_;
+};
+
+}  // namespace laminar::dataflow

@@ -1,0 +1,168 @@
+#include "dataflow/graph.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+namespace laminar::dataflow {
+
+size_t WorkflowGraph::Add(std::unique_ptr<ProcessingElement> pe) {
+  nodes_.push_back(std::move(pe));
+  return nodes_.size() - 1;
+}
+
+size_t WorkflowGraph::Merge(WorkflowGraph&& sub) {
+  size_t offset = nodes_.size();
+  for (auto& node : sub.nodes_) {
+    nodes_.push_back(std::move(node));
+  }
+  for (Edge& e : sub.edges_) {
+    e.from_pe += offset;
+    e.to_pe += offset;
+    edges_.push_back(std::move(e));
+  }
+  sub.nodes_.clear();
+  sub.edges_.clear();
+  return offset;
+}
+
+Status WorkflowGraph::Connect(size_t from_pe, std::string_view out_port,
+                              size_t to_pe, std::string_view in_port,
+                              Grouping grouping) {
+  if (from_pe >= nodes_.size() || to_pe >= nodes_.size()) {
+    return Status::InvalidArgument("Connect: node index out of range");
+  }
+  if (!nodes_[from_pe]->HasOutputPort(out_port)) {
+    return Status::InvalidArgument("PE '" + nodes_[from_pe]->name() +
+                                   "' has no output port '" +
+                                   std::string(out_port) + "'");
+  }
+  if (!nodes_[to_pe]->HasInputPort(in_port)) {
+    return Status::InvalidArgument("PE '" + nodes_[to_pe]->name() +
+                                   "' has no input port '" +
+                                   std::string(in_port) + "'");
+  }
+  edges_.push_back(Edge{from_pe, std::string(out_port), to_pe,
+                        std::string(in_port), std::move(grouping)});
+  return Status::Ok();
+}
+
+Status WorkflowGraph::Connect(size_t from_pe, size_t to_pe, Grouping grouping) {
+  return Connect(from_pe, kDefaultOutput, to_pe, kDefaultInput,
+                 std::move(grouping));
+}
+
+Status WorkflowGraph::Connect(const ProcessingElement& from,
+                              const ProcessingElement& to, Grouping grouping) {
+  size_t from_idx = IndexOf(from);
+  size_t to_idx = IndexOf(to);
+  if (from_idx == nodes_.size() || to_idx == nodes_.size()) {
+    return Status::InvalidArgument("Connect: PE not owned by this graph");
+  }
+  return Connect(from_idx, to_idx, std::move(grouping));
+}
+
+size_t WorkflowGraph::IndexOf(const ProcessingElement& pe) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].get() == &pe) return i;
+  }
+  return nodes_.size();
+}
+
+std::vector<const Edge*> WorkflowGraph::OutgoingEdges(
+    size_t pe, std::string_view port) const {
+  std::vector<const Edge*> out;
+  for (const Edge& e : edges_) {
+    if (e.from_pe == pe && e.from_port == port) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const Edge*> WorkflowGraph::IncomingEdges(size_t pe) const {
+  std::vector<const Edge*> out;
+  for (const Edge& e : edges_) {
+    if (e.to_pe == pe) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<size_t> WorkflowGraph::Producers() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->IsProducer()) out.push_back(i);
+  }
+  return out;
+}
+
+Result<std::vector<size_t>> WorkflowGraph::TopologicalOrder() const {
+  std::vector<size_t> indegree(nodes_.size(), 0);
+  for (const Edge& e : edges_) ++indegree[e.to_pe];
+  std::deque<size_t> ready;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<size_t> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    size_t n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (const Edge& e : edges_) {
+      if (e.from_pe == n && --indegree[e.to_pe] == 0) {
+        ready.push_back(e.to_pe);
+      }
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::InvalidArgument("workflow graph contains a cycle");
+  }
+  return order;
+}
+
+Status WorkflowGraph::Validate() const {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("workflow graph is empty");
+  }
+  std::vector<size_t> producers = Producers();
+  if (producers.empty()) {
+    return Status::InvalidArgument("workflow graph has no producer PE");
+  }
+  Result<std::vector<size_t>> topo = TopologicalOrder();
+  if (!topo.ok()) return topo.status();
+  // Reachability from producers.
+  std::unordered_set<size_t> reached(producers.begin(), producers.end());
+  std::deque<size_t> frontier(producers.begin(), producers.end());
+  while (!frontier.empty()) {
+    size_t n = frontier.front();
+    frontier.pop_front();
+    for (const Edge& e : edges_) {
+      if (e.from_pe == n && reached.insert(e.to_pe).second) {
+        frontier.push_back(e.to_pe);
+      }
+    }
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!reached.contains(i)) {
+      return Status::InvalidArgument("PE '" + nodes_[i]->name() +
+                                     "' is unreachable from any producer");
+    }
+  }
+  // Every non-producer input port must be fed by at least one edge.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (const std::string& port : nodes_[i]->input_ports()) {
+      bool fed = false;
+      for (const Edge& e : edges_) {
+        if (e.to_pe == i && e.to_port == port) {
+          fed = true;
+          break;
+        }
+      }
+      if (!fed) {
+        return Status::InvalidArgument("input port '" + port + "' of PE '" +
+                                       nodes_[i]->name() + "' is not connected");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace laminar::dataflow

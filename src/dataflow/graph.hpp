@@ -1,0 +1,119 @@
+// Abstract workflow graphs (paper §II-A): a DAG whose nodes are PEs and
+// whose edges are data streams with a grouping (routing) policy. The user
+// describes the abstract graph; a Mapping turns it into the concrete,
+// executable workflow.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dataflow/pe.hpp"
+
+namespace laminar::dataflow {
+
+/// How tuples on an edge are routed among the consumer's parallel ranks.
+enum class GroupingType {
+  kShuffle,   ///< round-robin (default)
+  kGroupBy,   ///< hash of a key field -> same rank for same key
+  kOneToAll,  ///< broadcast to every rank
+  kAllToOne,  ///< everything to rank 0
+};
+
+struct Grouping {
+  GroupingType type = GroupingType::kShuffle;
+  /// For kGroupBy: object field to hash; tuples missing the field hash to
+  /// their whole JSON encoding.
+  std::string key;
+
+  static Grouping Shuffle() { return {}; }
+  static Grouping GroupBy(std::string key) {
+    return Grouping{GroupingType::kGroupBy, std::move(key)};
+  }
+  static Grouping OneToAll() { return Grouping{GroupingType::kOneToAll, {}}; }
+  static Grouping AllToOne() { return Grouping{GroupingType::kAllToOne, {}}; }
+};
+
+struct Edge {
+  size_t from_pe = 0;
+  std::string from_port;
+  size_t to_pe = 0;
+  std::string to_port;
+  Grouping grouping;
+};
+
+class WorkflowGraph {
+ public:
+  WorkflowGraph() = default;
+  explicit WorkflowGraph(std::string name) : name_(std::move(name)) {}
+
+  WorkflowGraph(const WorkflowGraph&) = delete;
+  WorkflowGraph& operator=(const WorkflowGraph&) = delete;
+  WorkflowGraph(WorkflowGraph&&) = default;
+  WorkflowGraph& operator=(WorkflowGraph&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a PE; the graph takes ownership. Returns the node index.
+  size_t Add(std::unique_ptr<ProcessingElement> pe);
+
+  /// Constructs and adds a PE in place; returns a reference valid for the
+  /// graph's lifetime.
+  template <typename T, typename... Args>
+  T& AddPE(Args&&... args) {
+    auto pe = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *pe;
+    Add(std::move(pe));
+    return ref;
+  }
+
+  /// Merges another graph's PEs and edges into this one (dispel4py's
+  /// composite-PE pattern: build a reusable sub-pipeline, then splice it
+  /// into a larger workflow). Returns the index offset of the merged nodes:
+  /// node i of `sub` becomes node (offset + i) here. `sub` is consumed.
+  size_t Merge(WorkflowGraph&& sub);
+
+  /// Connects from_pe.out_port -> to_pe.in_port. Validates node indexes and
+  /// port names.
+  Status Connect(size_t from_pe, std::string_view out_port, size_t to_pe,
+                 std::string_view in_port, Grouping grouping = {});
+  /// Convenience: default ports.
+  Status Connect(size_t from_pe, size_t to_pe, Grouping grouping = {});
+  /// Convenience: connect by PE references previously added via AddPE.
+  Status Connect(const ProcessingElement& from, const ProcessingElement& to,
+                 Grouping grouping = {});
+
+  size_t NodeCount() const { return nodes_.size(); }
+  ProcessingElement& Node(size_t index) { return *nodes_[index]; }
+  const ProcessingElement& Node(size_t index) const { return *nodes_[index]; }
+  const std::vector<Edge>& Edges() const { return edges_; }
+
+  /// Index of a previously added PE (by identity); nodes_.size() if absent.
+  size_t IndexOf(const ProcessingElement& pe) const;
+
+  /// Edges leaving (pe, port).
+  std::vector<const Edge*> OutgoingEdges(size_t pe,
+                                         std::string_view port) const;
+  /// Edges entering pe on any port.
+  std::vector<const Edge*> IncomingEdges(size_t pe) const;
+
+  /// Node indexes of PEs with no input ports.
+  std::vector<size_t> Producers() const;
+
+  /// Topological order; fails if the graph has a cycle.
+  Result<std::vector<size_t>> TopologicalOrder() const;
+
+  /// Full validation: non-empty, at least one producer, acyclic, every node
+  /// reachable from a producer, all ports wired consistently.
+  Status Validate() const;
+
+ private:
+  std::string name_ = "workflow";
+  std::vector<std::unique_ptr<ProcessingElement>> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace laminar::dataflow

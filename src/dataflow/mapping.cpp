@@ -1,0 +1,28 @@
+#include "dataflow/mapping.hpp"
+
+#include "common/hashing.hpp"
+
+namespace laminar::dataflow {
+
+std::vector<Value> ProducerIterations(const Value& input) {
+  std::vector<Value> iterations;
+  if (input.is_int()) {
+    int64_t n = input.as_int();
+    for (int64_t i = 0; i < n; ++i) iterations.emplace_back(i);
+  } else if (input.is_array()) {
+    for (const Value& v : input.as_array()) iterations.push_back(v);
+  } else {
+    iterations.push_back(input);
+  }
+  return iterations;
+}
+
+uint64_t GroupingHash(const Value& tuple, const std::string& key) {
+  const Value* target = &tuple;
+  if (!key.empty() && tuple.is_object() && tuple.contains(key)) {
+    target = &tuple.at(key);
+  }
+  return hashing::SplitMix64(hashing::Fnv1a64(target->ToJson()));
+}
+
+}  // namespace laminar::dataflow

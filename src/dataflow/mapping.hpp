@@ -1,0 +1,80 @@
+// Mappings translate an abstract workflow graph onto an execution substrate
+// (paper §II-A): Sequential (simple), Multi (static rank partitioning over
+// threads — dispel4py's multiprocessing mapping), and Dynamic (broker-fed
+// worker pool with autoscaling — dispel4py's Redis mapping).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/value.hpp"
+#include "dataflow/graph.hpp"
+
+namespace laminar::dataflow {
+
+/// Receives workflow stdout line by line (thread-safe to call from any
+/// mapping thread). The serverless engine bridges this into the HTTP/2
+/// response stream; nullptr sinks are allowed (lines are still collected in
+/// RunResult).
+using LineSink = std::function<void(const std::string&)>;
+
+struct RunOptions {
+  /// Producer seed: an integer N drives each producer N times with the
+  /// iteration index; an array drives once per element; any other value
+  /// drives exactly once.
+  Value input = Value(1);
+  /// Multi mapping: total rank count to partition across PEs.
+  int num_processes = 4;
+  /// Dynamic mapping: worker pool shape.
+  int initial_workers = 2;
+  int max_workers = 8;
+  bool autoscale = true;
+  /// Dynamic mapping: queue depth per worker that triggers scale-up.
+  int autoscale_queue_per_worker = 4;
+  /// Print per-rank iteration summaries (the paper's -v output).
+  bool verbose = false;
+  /// Serverless duration limit in milliseconds (0 = none). A run that
+  /// exceeds it stops processing further tuples and reports
+  /// kDeadlineExceeded; output produced before the cutoff is kept.
+  double deadline_ms = 0.0;
+};
+
+struct RunResult {
+  Status status;
+  /// Workflow stdout in emission order.
+  std::vector<std::string> output_lines;
+  /// Tuples processed across all PEs and ranks.
+  uint64_t tuples_processed = 0;
+  double elapsed_ms = 0.0;
+  /// PE name -> [first_rank, last_rank) under the Multi mapping;
+  /// PE name -> instance count elsewhere.
+  std::map<std::string, std::pair<int, int>> partition;
+  /// Dynamic mapping: peak concurrent workers.
+  int peak_workers = 0;
+};
+
+class Mapping {
+ public:
+  virtual ~Mapping() = default;
+  /// Executes the workflow. The graph's PEs are used as prototypes and
+  /// cloned per rank; the graph itself is not mutated.
+  virtual RunResult Execute(const WorkflowGraph& graph,
+                            const RunOptions& options,
+                            const LineSink& sink = nullptr) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Expands RunOptions::input into the per-iteration payloads fed to each
+/// producer (see RunOptions::input).
+std::vector<Value> ProducerIterations(const Value& input);
+
+/// Stable routing hash for kGroupBy: hashes the grouping key field of the
+/// tuple (or its full JSON if the field is missing).
+uint64_t GroupingHash(const Value& tuple, const std::string& key);
+
+}  // namespace laminar::dataflow

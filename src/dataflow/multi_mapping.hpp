@@ -1,0 +1,30 @@
+// Multi mapping — dispel4py's `multiprocessing` mapping: static workload
+// distribution. The requested process count is partitioned across PEs
+// (producers get one rank; the rest are split evenly), each rank runs on its
+// own thread with a private PE clone and an inbound tuple queue, and edges
+// route tuples between ranks according to their grouping.
+//
+// Threads stand in for OS processes (DESIGN.md): the scheduling, partitioning
+// and message-passing structure — what the paper's Fig. 5b demonstrates — is
+// identical; only the address-space isolation differs.
+#pragma once
+
+#include "dataflow/mapping.hpp"
+
+namespace laminar::dataflow {
+
+/// Computes the static rank partition: PE index -> [first, last) global
+/// ranks. Producers are pinned to one rank; remaining ranks are split as
+/// evenly as possible over the other PEs (every PE gets at least one).
+/// `num_processes` is raised to the minimum feasible count if too small.
+std::vector<std::pair<int, int>> PartitionRanks(const WorkflowGraph& graph,
+                                                int num_processes);
+
+class MultiMapping final : public Mapping {
+ public:
+  RunResult Execute(const WorkflowGraph& graph, const RunOptions& options,
+                    const LineSink& sink = nullptr) override;
+  std::string_view name() const override { return "multi"; }
+};
+
+}  // namespace laminar::dataflow

@@ -1,0 +1,15 @@
+#include "dataflow/pe.hpp"
+
+#include <algorithm>
+
+namespace laminar::dataflow {
+
+bool ProcessingElement::HasInputPort(std::string_view port) const {
+  return std::find(inputs_.begin(), inputs_.end(), port) != inputs_.end();
+}
+
+bool ProcessingElement::HasOutputPort(std::string_view port) const {
+  return std::find(outputs_.begin(), outputs_.end(), port) != outputs_.end();
+}
+
+}  // namespace laminar::dataflow

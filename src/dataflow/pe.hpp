@@ -1,0 +1,159 @@
+// Processing Elements — the fundamental computation units of dispel4py
+// workflows (paper §II-A).
+//
+// A PE consumes tuples on named input ports, emits tuples on named output
+// ports, and may keep per-instance state between tuples. Mappings clone PEs
+// (one instance per parallel rank), so every concrete PE must be clonable —
+// derive through Clonable<> or provide Clone() directly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/value.hpp"
+
+namespace laminar::dataflow {
+
+inline constexpr std::string_view kDefaultInput = "input";
+inline constexpr std::string_view kDefaultOutput = "output";
+
+/// Sink for a PE's outputs during Process/Finish. Implemented by each
+/// mapping; also carries the workflow's line-oriented stdout (which the
+/// serverless engine streams to the client).
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  /// Emits a tuple on an output port.
+  virtual void Emit(std::string_view output_port, Value value) = 0;
+  /// Writes one line to the workflow's stdout stream.
+  virtual void Log(std::string_view line) = 0;
+};
+
+class ProcessingElement {
+ public:
+  virtual ~ProcessingElement() = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<std::string>& input_ports() const { return inputs_; }
+  const std::vector<std::string>& output_ports() const { return outputs_; }
+  bool HasInputPort(std::string_view port) const;
+  bool HasOutputPort(std::string_view port) const;
+
+  /// A producer has no input ports; mappings drive it from the run input.
+  bool IsProducer() const { return inputs_.empty(); }
+
+  /// Stateful PEs are serialized onto a single instance by the dynamic
+  /// mapping (and may rely on state_ across tuples in any mapping).
+  bool stateful() const { return stateful_; }
+
+  /// Free-form per-instance state; cloned with the PE.
+  Value& state() { return state_; }
+  const Value& state() const { return state_; }
+
+  /// Called once per instance before any tuple, with this instance's rank
+  /// and the PE's total rank count under the active mapping.
+  virtual void Setup(int rank, int num_ranks) {
+    rank_ = rank;
+    num_ranks_ = num_ranks;
+  }
+
+  /// Handles one tuple arriving on `input_port`. For producers, the mapping
+  /// calls this once per requested iteration with port "iteration" and the
+  /// iteration payload.
+  virtual void Process(std::string_view input_port, const Value& value,
+                       Emitter& out) = 0;
+
+  /// Called once per instance after the input streams end; emit any
+  /// aggregated results here.
+  virtual void Finish(Emitter& out) { (void)out; }
+
+  /// Deep copy for per-rank instantiation.
+  virtual std::unique_ptr<ProcessingElement> Clone() const = 0;
+
+  int rank() const { return rank_; }
+  int num_ranks() const { return num_ranks_; }
+
+ protected:
+  ProcessingElement() = default;
+  ProcessingElement(const ProcessingElement&) = default;
+  ProcessingElement& operator=(const ProcessingElement&) = default;
+
+  void AddInput(std::string_view port) { inputs_.emplace_back(port); }
+  void AddOutput(std::string_view port) { outputs_.emplace_back(port); }
+  void SetStateful(bool stateful) { stateful_ = stateful; }
+
+ private:
+  std::string name_ = "PE";
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  Value state_;
+  bool stateful_ = false;
+  int rank_ = 0;
+  int num_ranks_ = 1;
+};
+
+/// CRTP mixin providing Clone() via the derived copy constructor.
+template <typename Derived, typename Base = ProcessingElement>
+class Clonable : public Base {
+ public:
+  using Base::Base;
+  std::unique_ptr<ProcessingElement> Clone() const override {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+/// dispel4py's IterativePE: one input, one output. Override ProcessItem; a
+/// returned value is emitted on the default output, nullopt emits nothing.
+class IterativePE : public ProcessingElement {
+ public:
+  IterativePE() {
+    AddInput(kDefaultInput);
+    AddOutput(kDefaultOutput);
+  }
+  void Process(std::string_view input_port, const Value& value,
+               Emitter& out) override {
+    (void)input_port;
+    if (std::optional<Value> result = ProcessItem(value, out)) {
+      out.Emit(kDefaultOutput, std::move(*result));
+    }
+  }
+  virtual std::optional<Value> ProcessItem(const Value& value, Emitter& out) = 0;
+};
+
+/// dispel4py's ProducerPE: no inputs, one output. The mapping invokes
+/// Process once per iteration with the iteration index.
+class ProducerBase : public ProcessingElement {
+ public:
+  ProducerBase() { AddOutput(kDefaultOutput); }
+};
+
+/// dispel4py's ConsumerPE: one input, no outputs.
+class ConsumerBase : public ProcessingElement {
+ public:
+  ConsumerBase() { AddInput(kDefaultInput); }
+};
+
+/// A stateless IterativePE wrapping a plain function — handy in tests and
+/// examples.
+class FunctionPE final : public Clonable<FunctionPE, IterativePE> {
+ public:
+  using Fn = std::function<std::optional<Value>(const Value&)>;
+  explicit FunctionPE(Fn fn, std::string name = "FunctionPE")
+      : fn_(std::move(fn)) {
+    set_name(std::move(name));
+  }
+  std::optional<Value> ProcessItem(const Value& value, Emitter&) override {
+    return fn_(value);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace laminar::dataflow

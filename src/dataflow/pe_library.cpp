@@ -1,0 +1,311 @@
+#include "dataflow/pe_library.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.hpp"
+#include "common/strings.hpp"
+
+namespace laminar::dataflow {
+
+// ---- NumberProducer ----
+
+NumberProducer::NumberProducer(uint64_t seed, int64_t lo, int64_t hi)
+    : seed_(seed), lo_(lo), hi_(hi), rng_(seed) {
+  set_name("NumberProducer");
+  SetStateful(true);  // owns an RNG stream; must not be cloned per worker
+}
+
+void NumberProducer::Setup(int rank, int num_ranks) {
+  ProcessingElement::Setup(rank, num_ranks);
+  // Decorrelate parallel producer ranks while staying deterministic.
+  rng_ = Rng(seed_ + static_cast<uint64_t>(rank) * 0x9e3779b9ULL);
+}
+
+void NumberProducer::Process(std::string_view, const Value&, Emitter& out) {
+  out.Emit(kDefaultOutput, Value(rng_.NextInt(lo_, hi_)));
+}
+
+// ---- IsPrime ----
+
+IsPrime::IsPrime() { set_name("IsPrime"); }
+
+std::optional<Value> IsPrime::ProcessItem(const Value& value, Emitter&) {
+  int64_t num = value.is_object() ? value.GetInt("input") : value.as_int();
+  if (num < 2) return std::nullopt;
+  // Same brute-force check as Listing 1: all(num % i != 0 for i in
+  // range(2, num)) — intentionally O(n), it is the CPU load of the example.
+  for (int64_t i = 2; i < num; ++i) {
+    if (num % i == 0) return std::nullopt;
+  }
+  return Value(num);
+}
+
+// ---- PrintPrime ----
+
+PrintPrime::PrintPrime() { set_name("PrintPrime"); }
+
+void PrintPrime::Process(std::string_view, const Value& value, Emitter& out) {
+  int64_t num = value.is_object() ? value.GetInt("input") : value.as_int();
+  out.Log("the num {'input': " + std::to_string(num) + "} is prime");
+}
+
+// ---- LineProducer ----
+
+LineProducer::LineProducer(std::vector<std::string> lines)
+    : lines_(std::move(lines)) {
+  set_name("LineProducer");
+  SetStateful(true);  // cursor over the line list
+}
+
+void LineProducer::Process(std::string_view, const Value&, Emitter& out) {
+  if (lines_.empty()) return;
+  out.Emit(kDefaultOutput, Value(lines_[next_ % lines_.size()]));
+  ++next_;
+}
+
+// ---- Tokenizer ----
+
+Tokenizer::Tokenizer() { set_name("Tokenizer"); }
+
+std::optional<Value> Tokenizer::ProcessItem(const Value& value, Emitter& out) {
+  for (const std::string& word : strings::WordTokens(value.as_string())) {
+    Value tuple = Value::MakeObject();
+    tuple["word"] = word;
+    out.Emit(kDefaultOutput, std::move(tuple));
+  }
+  return std::nullopt;
+}
+
+// ---- WordCounter ----
+
+WordCounter::WordCounter() {
+  set_name("WordCounter");
+  AddInput(kDefaultInput);
+  AddOutput(kDefaultOutput);
+  SetStateful(true);
+}
+
+void WordCounter::Process(std::string_view, const Value& value, Emitter&) {
+  const std::string& word = value.GetString("word");
+  if (word.empty()) return;
+  Value& counts = state()["counts"];
+  counts[word] = counts.at(word).as_int() + 1;
+}
+
+void WordCounter::Finish(Emitter& out) {
+  for (const auto& [word, count] : state().at("counts").as_object()) {
+    Value tuple = Value::MakeObject();
+    tuple["word"] = word;
+    tuple["count"] = count;
+    out.Emit(kDefaultOutput, std::move(tuple));
+  }
+}
+
+// ---- CountPrinter ----
+
+CountPrinter::CountPrinter() {
+  set_name("CountPrinter");
+  AddInput(kDefaultInput);
+  SetStateful(true);
+}
+
+void CountPrinter::Process(std::string_view, const Value& value, Emitter&) {
+  state()["tuples"].push_back(value);
+}
+
+void CountPrinter::Finish(Emitter& out) {
+  std::vector<std::pair<std::string, int64_t>> entries;
+  for (const Value& t : state().at("tuples").as_array()) {
+    entries.emplace_back(t.GetString("word"), t.GetInt("count"));
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (const auto& [word, count] : entries) {
+    out.Log(word + ": " + std::to_string(count));
+  }
+}
+
+// ---- SensorProducer ----
+
+SensorProducer::SensorProducer(uint64_t seed, double anomaly_rate)
+    : seed_(seed), anomaly_rate_(anomaly_rate), rng_(seed) {
+  set_name("SensorProducer");
+  SetStateful(true);  // owns an RNG stream
+}
+
+void SensorProducer::Setup(int rank, int num_ranks) {
+  ProcessingElement::Setup(rank, num_ranks);
+  rng_ = Rng(seed_ + static_cast<uint64_t>(rank) * 0x51ed2701ULL);
+}
+
+void SensorProducer::Process(std::string_view, const Value& value,
+                             Emitter& out) {
+  Value reading = Value::MakeObject();
+  reading["t"] = value.as_int();
+  double base = 20.0 + 2.0 * (rng_.NextDouble() - 0.5);
+  bool anomaly = rng_.NextBool(anomaly_rate_);
+  if (anomaly) base += rng_.NextBool() ? 35.0 : -30.0;
+  reading["temperature"] = base;
+  reading["injected_anomaly"] = anomaly;
+  out.Emit(kDefaultOutput, std::move(reading));
+}
+
+// ---- NormalizeData ----
+
+NormalizeData::NormalizeData(double min_value, double max_value)
+    : min_(min_value), max_(max_value) {
+  set_name("NormalizeData");
+}
+
+std::optional<Value> NormalizeData::ProcessItem(const Value& value, Emitter&) {
+  Value out = value;
+  double t = value.GetDouble("temperature");
+  double norm = (t - min_) / (max_ - min_);
+  out["normalized"] = std::clamp(norm, 0.0, 1.0);
+  return out;
+}
+
+// ---- AnomalyDetector ----
+
+AnomalyDetector::AnomalyDetector(double threshold, size_t window)
+    : threshold_(threshold), window_(window) {
+  set_name("AnomalyDetector");
+  AddInput(kDefaultInput);
+  AddOutput(kDefaultOutput);
+  SetStateful(true);
+}
+
+void AnomalyDetector::Process(std::string_view, const Value& value,
+                              Emitter& out) {
+  double x = value.GetDouble("temperature");
+  Value& win = state()["window"];
+  const Value::Array& samples = win.as_array();
+  if (samples.size() >= 8) {  // need a minimal window before judging
+    double sum = 0, sq = 0;
+    for (const Value& s : samples) {
+      double v = s.as_double();
+      sum += v;
+      sq += v * v;
+    }
+    double n = static_cast<double>(samples.size());
+    double mean = sum / n;
+    double variance = std::max(sq / n - mean * mean, 1e-9);
+    double z = (x - mean) / std::sqrt(variance);
+    if (std::abs(z) > threshold_) {
+      Value alert = value;
+      alert["zscore"] = z;
+      out.Emit(kDefaultOutput, std::move(alert));
+      return;  // anomalies stay out of the window estimate
+    }
+  }
+  win.push_back(x);
+  if (win.as_array().size() > window_) {
+    Value::Array& arr = win.mutable_array();
+    arr.erase(arr.begin());
+  }
+}
+
+// ---- Alerter ----
+
+Alerter::Alerter() { set_name("Alerter"); }
+
+void Alerter::Process(std::string_view, const Value& value, Emitter& out) {
+  out.Log("ALERT: t=" + std::to_string(value.GetInt("t")) + " temperature=" +
+          strings::Format("%.2f", value.GetDouble("temperature")) +
+          " z=" + strings::Format("%.2f", value.GetDouble("zscore")));
+}
+
+// ---- AggregateData ----
+
+AggregateData::AggregateData(std::string field) : field_(std::move(field)) {
+  set_name("AggregateData");
+  AddInput(kDefaultInput);
+  AddOutput(kDefaultOutput);
+  SetStateful(true);
+}
+
+void AggregateData::Process(std::string_view, const Value& value, Emitter&) {
+  double x = value.GetDouble(field_);
+  Value& agg = state();
+  int64_t count = agg.GetInt("count");
+  agg["count"] = count + 1;
+  agg["sum"] = agg.GetDouble("sum") + x;
+  agg["min"] = count == 0 ? x : std::min(agg.GetDouble("min"), x);
+  agg["max"] = count == 0 ? x : std::max(agg.GetDouble("max"), x);
+}
+
+void AggregateData::Finish(Emitter& out) {
+  int64_t count = state().GetInt("count");
+  if (count == 0) return;
+  Value summary = Value::MakeObject();
+  summary["field"] = field_;
+  summary["count"] = count;
+  summary["mean"] = state().GetDouble("sum") / static_cast<double>(count);
+  summary["min"] = state().GetDouble("min");
+  summary["max"] = state().GetDouble("max");
+  out.Emit(kDefaultOutput, std::move(summary));
+}
+
+// ---- CpuBurn ----
+
+CpuBurn::CpuBurn(uint64_t iters_per_tuple) : iters_(iters_per_tuple) {
+  set_name("CpuBurn");
+}
+
+std::optional<Value> CpuBurn::ProcessItem(const Value& value, Emitter&) {
+  uint64_t sink = BusyWork(iters_);
+  Value out = value;
+  if (out.is_object()) out["burn"] = static_cast<int64_t>(sink & 0xFF);
+  return out;
+}
+
+// ---- ThresholdSplitter ----
+
+ThresholdSplitter::ThresholdSplitter(std::string field, double threshold)
+    : field_(std::move(field)), threshold_(threshold) {
+  set_name("ThresholdSplitter");
+  AddInput(kDefaultInput);
+  AddOutput("high");
+  AddOutput("low");
+}
+
+void ThresholdSplitter::Process(std::string_view, const Value& value,
+                                Emitter& out) {
+  double x = value.is_object() ? value.GetDouble(field_) : value.as_double();
+  out.Emit(x > threshold_ ? "high" : "low", value);
+}
+
+// ---- EchoSink ----
+
+EchoSink::EchoSink() { set_name("EchoSink"); }
+
+void EchoSink::Process(std::string_view, const Value& value, Emitter& out) {
+  out.Log(value.ToJson());
+}
+
+// ---- NullSink ----
+
+NullSink::NullSink() {
+  set_name("NullSink");
+  AddInput(kDefaultInput);
+  SetStateful(true);
+}
+
+void NullSink::Process(std::string_view, const Value&, Emitter&) {
+  state()["count"] = state().GetInt("count") + 1;
+}
+
+void NullSink::Finish(Emitter& out) {
+  // Silent when this instance saw nothing: under parallel mappings some
+  // ranks legitimately receive zero tuples, and their logs would otherwise
+  // differ from the sequential reference output.
+  int64_t count = state().GetInt("count");
+  if (count > 0) {
+    out.Log("NullSink received " + std::to_string(count) + " tuples");
+  }
+}
+
+}  // namespace laminar::dataflow

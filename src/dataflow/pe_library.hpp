@@ -1,0 +1,185 @@
+// Built-in Processing Elements: the PEs from the paper's running examples
+// (isprime_wf: NumberProducer -> IsPrime -> PrintPrime), the PEs its
+// semantic-search figures mention (anomaly detection, alerting, data
+// normalization/aggregation), plus word-count and CPU-burn PEs used by the
+// examples, tests and mapping benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "dataflow/pe.hpp"
+
+namespace laminar::dataflow {
+
+/// Emits `lo..hi` uniform random integers, one per iteration (the paper's
+/// NumberProducer generating numbers for isprime_wf). Deterministic per
+/// seed+rank.
+class NumberProducer final : public Clonable<NumberProducer, ProducerBase> {
+ public:
+  explicit NumberProducer(uint64_t seed = 42, int64_t lo = 1, int64_t hi = 1000);
+  void Setup(int rank, int num_ranks) override;
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+
+ private:
+  uint64_t seed_;
+  int64_t lo_;
+  int64_t hi_;
+  Rng rng_;
+};
+
+/// Forwards its input only if it is prime (Listing 1 of the paper).
+class IsPrime final : public Clonable<IsPrime, IterativePE> {
+ public:
+  IsPrime();
+  std::optional<Value> ProcessItem(const Value& value, Emitter& out) override;
+};
+
+/// Prints each received prime in the paper's CLI format:
+/// "the num {'input': 751} is prime".
+class PrintPrime final : public Clonable<PrintPrime, ConsumerBase> {
+ public:
+  PrintPrime();
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+};
+
+/// Emits the elements of a configured string list, one per iteration
+/// (cycling if iterations exceed the list).
+class LineProducer final : public Clonable<LineProducer, ProducerBase> {
+ public:
+  explicit LineProducer(std::vector<std::string> lines);
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+
+ private:
+  std::vector<std::string> lines_;
+  size_t next_ = 0;
+};
+
+/// Splits each input line into lowercase word tuples {"word": w}.
+class Tokenizer final : public Clonable<Tokenizer, IterativePE> {
+ public:
+  Tokenizer();
+  std::optional<Value> ProcessItem(const Value& value, Emitter& out) override;
+};
+
+/// Stateful word counter; emits {"word": w, "count": n} per word on Finish.
+/// Use with Grouping::GroupBy("word") under parallel mappings.
+class WordCounter final : public Clonable<WordCounter, ProcessingElement> {
+ public:
+  WordCounter();
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+  void Finish(Emitter& out) override;
+};
+
+/// Collects {"word","count"} tuples and prints "word: count" lines sorted
+/// by descending count on Finish.
+class CountPrinter final : public Clonable<CountPrinter, ProcessingElement> {
+ public:
+  CountPrinter();
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+  void Finish(Emitter& out) override;
+};
+
+/// Synthetic sensor: emits {"t": i, "temperature": v} readings with
+/// occasional injected anomalies (deterministic per seed).
+class SensorProducer final : public Clonable<SensorProducer, ProducerBase> {
+ public:
+  explicit SensorProducer(uint64_t seed = 7, double anomaly_rate = 0.05);
+  void Setup(int rank, int num_ranks) override;
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+
+ private:
+  uint64_t seed_;
+  double anomaly_rate_;
+  Rng rng_;
+};
+
+/// Normalizes temperature readings to [0,1] given fixed bounds
+/// (the "NormalizeDataPE" of the paper's Fig. 8).
+class NormalizeData final : public Clonable<NormalizeData, IterativePE> {
+ public:
+  NormalizeData(double min_value = -20.0, double max_value = 60.0);
+  std::optional<Value> ProcessItem(const Value& value, Emitter& out) override;
+
+ private:
+  double min_;
+  double max_;
+};
+
+/// Stateful streaming z-score detector: forwards tuples whose reading
+/// deviates more than `threshold` sigma from the running window mean
+/// (the "AnomalyDetectionPE" of Fig. 8).
+class AnomalyDetector final : public Clonable<AnomalyDetector, ProcessingElement> {
+ public:
+  explicit AnomalyDetector(double threshold = 3.0, size_t window = 64);
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+
+ private:
+  double threshold_;
+  size_t window_;
+};
+
+/// Prints "ALERT: ..." lines for anomalies (the "AlertingPE" of Fig. 8).
+class Alerter final : public Clonable<Alerter, ConsumerBase> {
+ public:
+  Alerter();
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+};
+
+/// Stateful aggregator: computes count/mean/min/max of a numeric field and
+/// emits one summary tuple on Finish (the "AggregateDataPE" of Fig. 8).
+class AggregateData final : public Clonable<AggregateData, ProcessingElement> {
+ public:
+  explicit AggregateData(std::string field = "temperature");
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+  void Finish(Emitter& out) override;
+
+ private:
+  std::string field_;
+};
+
+/// Burns a fixed amount of CPU per tuple then forwards it — the workload
+/// knob for the mapping-scaling bench.
+class CpuBurn final : public Clonable<CpuBurn, IterativePE> {
+ public:
+  explicit CpuBurn(uint64_t iters_per_tuple = 200'000);
+  std::optional<Value> ProcessItem(const Value& value, Emitter& out) override;
+
+ private:
+  uint64_t iters_;
+};
+
+/// Routes each tuple to one of two named output ports — "high" if the
+/// numeric field exceeds the threshold, "low" otherwise. Exercises
+/// dispel4py's multi-port PEs (every other built-in uses single default
+/// ports).
+class ThresholdSplitter final
+    : public Clonable<ThresholdSplitter, ProcessingElement> {
+ public:
+  explicit ThresholdSplitter(std::string field = "value",
+                             double threshold = 0.0);
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+
+ private:
+  std::string field_;
+  double threshold_;
+};
+
+/// Logs every received tuple as one line (the line-per-tuple sink the
+/// streaming benches use to model real-time workflow output).
+class EchoSink final : public Clonable<EchoSink, ConsumerBase> {
+ public:
+  EchoSink();
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+};
+
+/// Consumes tuples and counts them (sink for benches; logs total on Finish).
+class NullSink final : public Clonable<NullSink, ProcessingElement> {
+ public:
+  NullSink();
+  void Process(std::string_view port, const Value& value, Emitter& out) override;
+  void Finish(Emitter& out) override;
+};
+
+}  // namespace laminar::dataflow

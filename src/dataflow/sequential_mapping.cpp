@@ -1,0 +1,128 @@
+#include "dataflow/sequential_mapping.hpp"
+
+#include <deque>
+
+#include "common/clock.hpp"
+
+namespace laminar::dataflow {
+namespace {
+
+struct PendingTuple {
+  size_t pe;
+  std::string port;
+  Value value;
+};
+
+/// Emitter that appends downstream tuples to the scheduler queue.
+class SequentialEmitter final : public Emitter {
+ public:
+  SequentialEmitter(const WorkflowGraph& graph, size_t pe_index,
+                    std::deque<PendingTuple>& queue, RunResult& result,
+                    const LineSink& sink)
+      : graph_(graph),
+        pe_index_(pe_index),
+        queue_(queue),
+        result_(result),
+        sink_(sink) {}
+
+  void Emit(std::string_view output_port, Value value) override {
+    for (const Edge* edge : graph_.OutgoingEdges(pe_index_, output_port)) {
+      queue_.push_back(PendingTuple{edge->to_pe, edge->to_port, value});
+    }
+  }
+
+  void Log(std::string_view line) override {
+    result_.output_lines.emplace_back(line);
+    if (sink_) sink_(result_.output_lines.back());
+  }
+
+  void set_pe(size_t pe_index) { pe_index_ = pe_index; }
+
+ private:
+  const WorkflowGraph& graph_;
+  size_t pe_index_;
+  std::deque<PendingTuple>& queue_;
+  RunResult& result_;
+  const LineSink& sink_;
+};
+
+}  // namespace
+
+RunResult SequentialMapping::Execute(const WorkflowGraph& graph,
+                                     const RunOptions& options,
+                                     const LineSink& sink) {
+  RunResult result;
+  Stopwatch watch;
+  result.status = graph.Validate();
+  if (!result.status.ok()) return result;
+
+  // One instance per PE (clones, so the prototype graph stays reusable).
+  std::vector<std::unique_ptr<ProcessingElement>> instances;
+  instances.reserve(graph.NodeCount());
+  for (size_t i = 0; i < graph.NodeCount(); ++i) {
+    instances.push_back(graph.Node(i).Clone());
+    instances.back()->Setup(/*rank=*/0, /*num_ranks=*/1);
+    result.partition[graph.Node(i).name()] = {0, 1};
+  }
+
+  std::deque<PendingTuple> queue;
+  SequentialEmitter emitter(graph, 0, queue, result, sink);
+
+  // Serverless duration limit (§II-B "limited execution duration").
+  int64_t deadline_us =
+      options.deadline_ms > 0
+          ? NowMicros() + static_cast<int64_t>(options.deadline_ms * 1000)
+          : 0;
+  bool expired = false;
+  auto past_deadline = [&] {
+    if (deadline_us != 0 && NowMicros() > deadline_us) expired = true;
+    return expired;
+  };
+
+  auto drain = [&] {
+    while (!queue.empty() && !past_deadline()) {
+      PendingTuple t = std::move(queue.front());
+      queue.pop_front();
+      emitter.set_pe(t.pe);
+      instances[t.pe]->Process(t.port, t.value, emitter);
+      ++result.tuples_processed;
+    }
+  };
+
+  // Drive producers.
+  std::vector<Value> iterations = ProducerIterations(options.input);
+  for (size_t producer : graph.Producers()) {
+    for (const Value& payload : iterations) {
+      if (past_deadline()) break;
+      emitter.set_pe(producer);
+      instances[producer]->Process("iteration", payload, emitter);
+      ++result.tuples_processed;
+      drain();
+    }
+  }
+
+  // Finish in topological order so upstream flushes reach downstream PEs.
+  Result<std::vector<size_t>> topo = graph.TopologicalOrder();
+  if (topo.ok()) {
+    for (size_t pe : topo.value()) {
+      emitter.set_pe(pe);
+      instances[pe]->Finish(emitter);
+      drain();
+    }
+  }
+
+  if (options.verbose) {
+    for (size_t i = 0; i < instances.size(); ++i) {
+      emitter.set_pe(i);
+      emitter.Log(instances[i]->name() + " (rank 0): sequential execution.");
+    }
+  }
+  if (expired) {
+    result.status = Status::DeadlineExceeded(
+        "execution exceeded " + std::to_string(options.deadline_ms) + " ms");
+  }
+  result.elapsed_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace laminar::dataflow

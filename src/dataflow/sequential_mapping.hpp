@@ -1,0 +1,17 @@
+// Sequential mapping: single-threaded reference execution. Every mapping
+// must produce the same multiset of output lines as this one (the property
+// tests in tests/mapping_equivalence_test.cpp rely on it).
+#pragma once
+
+#include "dataflow/mapping.hpp"
+
+namespace laminar::dataflow {
+
+class SequentialMapping final : public Mapping {
+ public:
+  RunResult Execute(const WorkflowGraph& graph, const RunOptions& options,
+                    const LineSink& sink = nullptr) override;
+  std::string_view name() const override { return "simple"; }
+};
+
+}  // namespace laminar::dataflow

@@ -1,0 +1,363 @@
+#include "dataset/families.hpp"
+
+namespace laminar::dataset {
+
+const std::vector<FamilySpec>& Families() {
+  static const std::vector<FamilySpec> kFamilies = {
+      {"is_prime", "IsPrime",
+       "Checks whether a number is prime and returns it if so.",
+       "a pe that determines if the given integer is a prime number",
+       "test primality of a number",
+       "if $IN < 2:\n"
+       "    return None\n"
+       "for $A in range(2, $IN):\n"
+       "    if $IN % $A == 0:\n"
+       "        return None\n"
+       "return $IN\n"},
+
+      {"fibonacci", "Fibonacci",
+       "Computes the n-th Fibonacci number iteratively.",
+       "calculate fibonacci numbers for an index",
+       "a pe returning the fibonacci sequence value",
+       "$A = 0\n"
+       "$B = 1\n"
+       "for $C in range($IN):\n"
+       "    $A, $B = $B, $A + $B\n"
+       "return $A\n"},
+
+      {"factorial", "Factorial",
+       "Computes the factorial of a non-negative integer.",
+       "a pe that multiplies all integers up to n",
+       "compute n factorial of the input",
+       "$A = 1\n"
+       "for $B in range(2, $IN + 1):\n"
+       "    $A = $A * $B\n"
+       "return $A\n"},
+
+      {"gcd", "GreatestCommonDivisor",
+       "Computes the greatest common divisor of two numbers.",
+       "find the gcd of a pair of integers",
+       "a pe computing the largest common factor",
+       "$A = $IN[0]\n"
+       "$B = $IN[1]\n"
+       "while $B != 0:\n"
+       "    $A, $B = $B, $A % $B\n"
+       "return $A\n"},
+
+      {"reverse_string", "ReverseString",
+       "Reverses the characters of a string.",
+       "a pe that returns the input text backwards",
+       "reverse the order of characters in text",
+       "$A = ''\n"
+       "for $B in $IN:\n"
+       "    $A = $B + $A\n"
+       "return $A\n"},
+
+      {"palindrome", "PalindromeCheck",
+       "Checks whether a string reads the same forwards and backwards.",
+       "detect if the given text is a palindrome",
+       "a pe testing for palindromic strings",
+       "$A = $IN.lower()\n"
+       "$B = $A[::-1]\n"
+       "if $A == $B:\n"
+       "    return $IN\n"
+       "return None\n"},
+
+      {"count_vowels", "CountVowels",
+       "Counts the vowels appearing in a string.",
+       "a pe that counts vowel characters in text",
+       "how many vowels does the input contain",
+       "$A = 0\n"
+       "for $B in $IN.lower():\n"
+       "    if $B in 'aeiou':\n"
+       "        $A = $A + 1\n"
+       "return $A\n"},
+
+      {"word_count", "WordCount",
+       "Counts word frequencies in a text and returns a dictionary.",
+       "a pe building a word frequency map from text",
+       "count how often each word occurs",
+       "$A = {}\n"
+       "for $B in $IN.split():\n"
+       "    $C = $B.lower()\n"
+       "    $A[$C] = $A.get($C, 0) + 1\n"
+       "return $A\n"},
+
+      {"find_max", "FindMaximum",
+       "Finds the largest element of a numeric sequence.",
+       "a pe returning the maximum value of a list",
+       "find the biggest number in the input",
+       "$A = $IN[0]\n"
+       "for $B in $IN:\n"
+       "    if $B > $A:\n"
+       "        $A = $B\n"
+       "return $A\n"},
+
+      {"find_min", "FindMinimum",
+       "Finds the smallest element of a numeric sequence.",
+       "a pe returning the minimum value of a list",
+       "find the smallest number in the input",
+       "$A = $IN[0]\n"
+       "for $B in $IN:\n"
+       "    if $B < $A:\n"
+       "        $A = $B\n"
+       "return $A\n"},
+
+      {"mean_value", "MeanValue",
+       "Computes the arithmetic mean of a list of numbers.",
+       "a pe that averages the values of a sequence",
+       "calculate the mean of numeric data",
+       "$A = 0.0\n"
+       "for $B in $IN:\n"
+       "    $A = $A + $B\n"
+       "return $A / len($IN)\n"},
+
+      {"median_value", "MedianValue",
+       "Computes the median of a list of numbers.",
+       "a pe finding the middle value of sorted data",
+       "calculate the median of a numeric list",
+       "$A = sorted($IN)\n"
+       "$B = len($A)\n"
+       "if $B % 2 == 1:\n"
+       "    return $A[$B // 2]\n"
+       "return ($A[$B // 2 - 1] + $A[$B // 2]) / 2.0\n"},
+
+      {"variance", "Variance",
+       "Computes the population variance of a numeric list.",
+       "a pe measuring the spread of values",
+       "calculate variance of the numbers",
+       "$A = sum($IN) / len($IN)\n"
+       "$B = 0.0\n"
+       "for $C in $IN:\n"
+       "    $B = $B + ($C - $A) * ($C - $A)\n"
+       "return $B / len($IN)\n"},
+
+      {"binary_search", "BinarySearch",
+       "Searches a sorted list for a target value and returns its index.",
+       "a pe performing binary search over sorted data",
+       "find the position of an element with bisection",
+       "$A = 0\n"
+       "$B = len($IN[0]) - 1\n"
+       "while $A <= $B:\n"
+       "    $C = ($A + $B) // 2\n"
+       "    if $IN[0][$C] == $IN[1]:\n"
+       "        return $C\n"
+       "    if $IN[0][$C] < $IN[1]:\n"
+       "        $A = $C + 1\n"
+       "    else:\n"
+       "        $B = $C - 1\n"
+       "return -1\n"},
+
+      {"bubble_sort", "BubbleSort",
+       "Sorts a list of numbers in ascending order.",
+       "a pe ordering values from smallest to largest",
+       "sort the numeric input ascending",
+       "$A = list($IN)\n"
+       "for $B in range(len($A)):\n"
+       "    for $C in range(len($A) - $B - 1):\n"
+       "        if $A[$C] > $A[$C + 1]:\n"
+       "            $A[$C], $A[$C + 1] = $A[$C + 1], $A[$C]\n"
+       "return $A\n"},
+
+      {"dedupe", "RemoveDuplicates",
+       "Removes duplicate elements from a list while keeping order.",
+       "a pe filtering out repeated items",
+       "deduplicate the values of a sequence",
+       "$A = []\n"
+       "$B = set()\n"
+       "for $C in $IN:\n"
+       "    if $C not in $B:\n"
+       "        $B.add($C)\n"
+       "        $A.append($C)\n"
+       "return $A\n"},
+
+      {"normalize_minmax", "NormalizeData",
+       "Normalizes numeric values to the range zero to one.",
+       "a pe rescaling data with min max normalization",
+       "normalize temperature records to unit range",
+       "$A = min($IN)\n"
+       "$B = max($IN)\n"
+       "if $B == $A:\n"
+       "    return [0.0 for $C in $IN]\n"
+       "return [($C - $A) / ($B - $A) for $C in $IN]\n"},
+
+      {"zscore_anomaly", "AnomalyDetection",
+       "Detects anomalies in a numeric series using z scores.",
+       "a pe that is able to detect anomalies",
+       "flag outlier readings in sensor data",
+       "$A = sum($IN) / len($IN)\n"
+       "$B = (sum(($C - $A) * ($C - $A) for $C in $IN) / len($IN)) ** 0.5\n"
+       "if $B == 0:\n"
+       "    return []\n"
+       "return [$C for $C in $IN if abs(($C - $A) / $B) > $N1]\n"},
+
+      {"moving_average", "MovingAverage",
+       "Computes a sliding window moving average over a series.",
+       "a pe smoothing a time series with a rolling mean",
+       "apply windowed averaging to streaming values",
+       "$A = []\n"
+       "for $B in range(len($IN) - $N1 + 1):\n"
+       "    $C = sum($IN[$B:$B + $N1]) / float($N1)\n"
+       "    $A.append($C)\n"
+       "return $A\n"},
+
+      {"temperature_convert", "TemperatureConvert",
+       "Converts a temperature from celsius to fahrenheit.",
+       "a pe translating celsius readings to fahrenheit",
+       "convert degrees between temperature scales",
+       "$A = $IN * 9.0 / 5.0 + 32.0\n"
+       "return $A\n"},
+
+      {"caesar_cipher", "CaesarCipher",
+       "Encrypts text by shifting each letter a fixed amount.",
+       "a pe applying a caesar shift cipher to text",
+       "encode a message with letter rotation",
+       "$A = ''\n"
+       "for $B in $IN:\n"
+       "    if $B.isalpha():\n"
+       "        $C = ord($B.lower()) - ord('a')\n"
+       "        $A = $A + chr(ord('a') + ($C + $N1) % 26)\n"
+       "    else:\n"
+       "        $A = $A + $B\n"
+       "return $A\n"},
+
+      {"flatten_list", "FlattenList",
+       "Flattens a nested list one level deep.",
+       "a pe merging nested lists into one",
+       "flatten a list of lists into a single list",
+       "$A = []\n"
+       "for $B in $IN:\n"
+       "    for $C in $B:\n"
+       "        $A.append($C)\n"
+       "return $A\n"},
+
+      {"running_total", "RunningTotal",
+       "Computes the cumulative sum of a numeric sequence.",
+       "a pe producing prefix sums of the input",
+       "accumulate a running total over values",
+       "$A = []\n"
+       "$B = 0\n"
+       "for $C in $IN:\n"
+       "    $B = $B + $C\n"
+       "    $A.append($B)\n"
+       "return $A\n"},
+
+      {"clamp_values", "ClampValues",
+       "Clamps every value of a list into a fixed interval.",
+       "a pe limiting numbers to lower and upper bounds",
+       "restrict readings into an allowed range",
+       "$A = []\n"
+       "for $B in $IN:\n"
+       "    if $B < $N1:\n"
+       "        $A.append($N1)\n"
+       "    elif $B > $N2:\n"
+       "        $A.append($N2)\n"
+       "    else:\n"
+       "        $A.append($B)\n"
+       "return $A\n"},
+
+      {"histogram", "Histogram",
+       "Builds a histogram mapping each value to its frequency.",
+       "a pe counting occurrences of every element",
+       "build a frequency histogram of the data",
+       "$A = {}\n"
+       "for $B in $IN:\n"
+       "    if $B in $A:\n"
+       "        $A[$B] = $A[$B] + 1\n"
+       "    else:\n"
+       "        $A[$B] = 1\n"
+       "return $A\n"},
+
+      {"levenshtein", "EditDistance",
+       "Computes the Levenshtein edit distance between two strings.",
+       "a pe measuring string similarity by edits",
+       "how many edits between two words",
+       "$A = $IN[0]\n"
+       "$B = $IN[1]\n"
+       "$C = [[0] * (len($B) + 1) for _ in range(len($A) + 1)]\n"
+       "for i in range(len($A) + 1):\n"
+       "    $C[i][0] = i\n"
+       "for j in range(len($B) + 1):\n"
+       "    $C[0][j] = j\n"
+       "for i in range(1, len($A) + 1):\n"
+       "    for j in range(1, len($B) + 1):\n"
+       "        cost = 0 if $A[i - 1] == $B[j - 1] else 1\n"
+       "        $C[i][j] = min($C[i - 1][j] + 1, $C[i][j - 1] + 1, $C[i - 1][j - 1] + cost)\n"
+       "return $C[len($A)][len($B)]\n"},
+
+      {"stop_words", "StopWordFilter",
+       "Removes common stop words from a text.",
+       "a pe filtering stopwords out of sentences",
+       "drop common english words from the input",
+       "$A = {'the', 'a', 'an', 'of', 'to', 'and'}\n"
+       "$B = []\n"
+       "for $C in $IN.split():\n"
+       "    if $C.lower() not in $A:\n"
+       "        $B.append($C)\n"
+       "return ' '.join($B)\n"},
+
+      {"dot_product", "DotProduct",
+       "Computes the dot product of two numeric vectors.",
+       "a pe multiplying vectors element by element and summing",
+       "inner product of two lists of numbers",
+       "$A = 0.0\n"
+       "for $B in range(len($IN[0])):\n"
+       "    $A = $A + $IN[0][$B] * $IN[1][$B]\n"
+       "return $A\n"},
+
+      {"csv_parse", "CsvParse",
+       "Parses a comma separated line into trimmed fields.",
+       "a pe splitting csv rows into columns",
+       "parse a comma delimited record",
+       "$A = []\n"
+       "for $B in $IN.split(','):\n"
+       "    $A.append($B.strip())\n"
+       "return $A\n"},
+
+      {"email_valid", "EmailValidate",
+       "Validates that a string looks like an email address.",
+       "a pe checking email address format",
+       "is the given text a valid email",
+       "if '@' not in $IN:\n"
+       "    return None\n"
+       "$A = $IN.split('@')\n"
+       "if len($A) != 2:\n"
+       "    return None\n"
+       "if '.' not in $A[1]:\n"
+       "    return None\n"
+       "return $IN\n"},
+  };
+  return kFamilies;
+}
+
+const std::vector<std::string_view>& InputNamePool() {
+  static const std::vector<std::string_view> kPool = {
+      "data", "value", "item", "record", "payload", "entry", "sample", "num"};
+  return kPool;
+}
+
+const std::vector<std::string_view>& LocalNamePoolA() {
+  static const std::vector<std::string_view> kPool = {
+      "result", "out", "acc", "total", "res", "collected", "answer", "buf"};
+  return kPool;
+}
+
+const std::vector<std::string_view>& LocalNamePoolB() {
+  static const std::vector<std::string_view> kPool = {
+      "cur", "tmp", "aux", "hold", "mid", "probe", "cursor", "mark"};
+  return kPool;
+}
+
+const std::vector<std::string_view>& LocalNamePoolC() {
+  static const std::vector<std::string_view> kPool = {
+      "elem", "x", "entry2", "tok", "piece", "cell", "unit", "part"};
+  return kPool;
+}
+
+const std::vector<std::string_view>& ClassSuffixPool() {
+  static const std::vector<std::string_view> kPool = {
+      "PE", "Node", "Step", "Stage", "Op", "Task", "Unit", "Worker"};
+  return kPool;
+}
+
+}  // namespace laminar::dataset

@@ -1,0 +1,47 @@
+// Semantic family templates for the synthetic CodeSearchNet-PE corpus
+// (paper §VII-A).
+//
+// The real evaluation used ~450k CodeSearchNet Python functions converted to
+// PEs and grouped by semantic similarity of their descriptions. We cannot
+// ship that dataset, so the generator synthesizes an equivalent: each
+// *family* is one semantic group — a code template with placeholder
+// identifiers/constants plus a ground-truth description and paraphrases used
+// as queries. Rendering a family V times with different identifier choices
+// and optional structure noise yields V semantically-equivalent,
+// textually-different PEs: exactly the regime that separates structural
+// (Aroma) from token-sequence (ReACC) retrieval.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace laminar::dataset {
+
+struct FamilySpec {
+  std::string_view key;         ///< stable family id, e.g. "is_prime"
+  std::string_view class_base;  ///< PascalCase PE name stem, e.g. "IsPrime"
+  /// Ground-truth description (stored in the registry as if CodeT5 wrote it).
+  std::string_view description;
+  /// Query paraphrases (what a user would type); share vocabulary with the
+  /// description but not its exact wording.
+  std::string_view paraphrase_a;
+  std::string_view paraphrase_b;
+  /// _process body template. Placeholders: $IN input param, $A/$B/$C local
+  /// variables, $N1/$N2 integer constants, $F float constant. Lines are
+  /// indented relative to the method body (8 spaces added by the renderer).
+  std::string_view body;
+};
+
+/// The full family table (24+ families).
+const std::vector<FamilySpec>& Families();
+
+/// Identifier pools the renderer draws from, per placeholder role.
+const std::vector<std::string_view>& InputNamePool();
+const std::vector<std::string_view>& LocalNamePoolA();
+const std::vector<std::string_view>& LocalNamePoolB();
+const std::vector<std::string_view>& LocalNamePoolC();
+/// Class-name suffixes that keep rendered names unique and human-plausible.
+const std::vector<std::string_view>& ClassSuffixPool();
+
+}  // namespace laminar::dataset

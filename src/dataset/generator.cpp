@@ -1,0 +1,182 @@
+#include "dataset/generator.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace laminar::dataset {
+namespace {
+
+/// Renders one family variant into a PE class source.
+PeExample RenderVariant(const FamilySpec& family, int group, int64_t id,
+                        size_t variant, Rng& rng,
+                        const DatasetConfig& config) {
+  PeExample ex;
+  ex.id = id;
+  ex.group = group;
+  ex.family_key = std::string(family.key);
+
+  // Unique, human-plausible class name: stem + suffix + variant ordinal.
+  std::string suffix(rng.Choice(ClassSuffixPool()));
+  ex.name = std::string(family.class_base) + suffix +
+            (variant > 0 ? std::to_string(variant) : "");
+
+  ex.description = std::string(family.description);
+  ex.query = std::string(rng.NextBool() ? family.paraphrase_a
+                                        : family.paraphrase_b);
+
+  // Identifier choices (independent per variant — the rename noise).
+  std::string in_name(rng.Choice(InputNamePool()));
+  std::string a_name(rng.Choice(LocalNamePoolA()));
+  std::string b_name(rng.Choice(LocalNamePoolB()));
+  std::string c_name(rng.Choice(LocalNamePoolC()));
+  // Guard against collisions across pools.
+  if (a_name == b_name) b_name += "2";
+  if (c_name == a_name || c_name == b_name) c_name += "3";
+  std::string n1 = std::to_string(rng.NextInt(2, 5));
+  std::string n2 = std::to_string(rng.NextInt(50, 200));
+  std::string f1 = std::to_string(rng.NextInt(1, 9)) + ".5";
+
+  std::string body(family.body);
+  body = strings::ReplaceAll(body, "$IN", in_name);
+  body = strings::ReplaceAll(body, "$A", a_name);
+  body = strings::ReplaceAll(body, "$B", b_name);
+  body = strings::ReplaceAll(body, "$C", c_name);
+  body = strings::ReplaceAll(body, "$N1", n1);
+  body = strings::ReplaceAll(body, "$N2", n2);
+  body = strings::ReplaceAll(body, "$F", f1);
+
+  // Structure noise. Variants within a group model *independent
+  // implementations* of the same task (CodeSearchNet groups are not copies
+  // of one function): docstrings are differently phrased, and each variant
+  // carries its own incidental statements, which breaks literal token
+  // n-grams without changing the semantics or the core structure.
+  bool with_docstring = rng.NextBool(config.docstring_probability);
+  bool with_counter = rng.NextBool(config.noise_probability);
+  std::string docstring;
+  switch (rng.NextBelow(3)) {
+    case 0: docstring = std::string(family.description); break;
+    case 1: docstring = std::string(family.paraphrase_a) + "."; break;
+    default: docstring = std::string(family.paraphrase_b) + "."; break;
+  }
+
+  // Incidental per-variant statements at the top of _process.
+  static constexpr std::string_view kNoisePool[] = {
+      "$D = 0\n",
+      "if $IN is None:\n    return None\n",
+      "$D = str($IN)\n",
+      "$E = []\n",
+      "$D = len(str($IN)) + $N9\n",
+      "$D = repr($IN)[:$N9]\n",
+      "$E = {}\n",
+      "$D = isinstance($IN, str)\n",
+  };
+  std::string noise;
+  // At most one incidental statement: enough to break token n-grams between
+  // variants without letting validation boilerplate dominate short bodies
+  // under heavy code dropping.
+  if (rng.NextBool(0.6)) {
+    noise += kNoisePool[rng.NextBelow(std::size(kNoisePool))];
+  }
+  noise = strings::ReplaceAll(noise, "$IN", in_name);
+  noise = strings::ReplaceAll(noise, "$D", "aux" + std::to_string(rng.NextInt(0, 99)));
+  noise = strings::ReplaceAll(noise, "$E", "scratch" + std::to_string(rng.NextInt(0, 99)));
+  noise = strings::ReplaceAll(noise, "$N9", std::to_string(rng.NextInt(3, 40)));
+
+  std::string code;
+  code += "class " + ex.name + "(IterativePE):\n";
+  if (with_docstring) {
+    code += "    \"\"\"" + docstring + "\"\"\"\n";
+  }
+  code += "    def __init__(self):\n";
+  code += "        IterativePE.__init__(self)\n";
+  if (with_counter) {
+    code += "        self.seen = 0\n";
+  }
+  code += "    def _process(self, " + in_name + "):\n";
+  if (with_counter) {
+    code += "        self.seen = self.seen + 1\n";
+  }
+  for (const std::string& line : strings::SplitLines(noise)) {
+    code += "        " + line + "\n";
+  }
+  for (const std::string& line : strings::SplitLines(body)) {
+    code += "        " + line + "\n";
+  }
+  ex.pe_code = std::move(code);
+  return ex;
+}
+
+}  // namespace
+
+CodeSearchNetPeDataset CodeSearchNetPeDataset::Generate(
+    const DatasetConfig& config) {
+  CodeSearchNetPeDataset ds;
+  const std::vector<FamilySpec>& table = Families();
+  size_t families = config.families == 0
+                        ? table.size()
+                        : std::min(config.families, table.size());
+  ds.family_count_ = families;
+  Rng rng(config.seed);
+  int64_t next_id = 1;
+  for (size_t f = 0; f < families; ++f) {
+    Rng family_rng = rng.Fork(f + 1);
+    for (size_t v = 0; v < config.variants_per_family; ++v) {
+      PeExample ex = RenderVariant(table[f], static_cast<int>(f), next_id++,
+                                   v, family_rng, config);
+      ds.groups_[ex.group].push_back(ex.id);
+      ds.examples_.push_back(std::move(ex));
+    }
+  }
+  return ds;
+}
+
+const std::vector<int64_t>& CodeSearchNetPeDataset::GroupMembers(
+    int group) const {
+  static const std::vector<int64_t> kEmpty;
+  auto it = groups_.find(group);
+  return it == groups_.end() ? kEmpty : it->second;
+}
+
+std::string DropCode(const std::string& pe_code, double fraction,
+                     DropMode mode, uint64_t seed) {
+  if (fraction <= 0.0) return pe_code;
+  std::vector<std::string> lines = strings::SplitLines(pe_code);
+  // Locate the _process body: everything after the "def _process" line.
+  size_t body_start = 0;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("def _process") != std::string::npos) {
+      body_start = i + 1;
+      break;
+    }
+  }
+  if (body_start == 0 || body_start >= lines.size()) {
+    // No recognizable body; drop from the overall tail instead.
+    body_start = std::min<size_t>(1, lines.size());
+  }
+  size_t body_len = lines.size() - body_start;
+  size_t keep = static_cast<size_t>(
+      static_cast<double>(body_len) * (1.0 - fraction) + 0.5);
+  if (keep >= body_len) {
+    // Guarantee the drop removes at least one line when asked to.
+    keep = body_len > 0 ? body_len - 1 : 0;
+  }
+
+  std::vector<std::string> out(lines.begin(),
+                               lines.begin() + static_cast<std::ptrdiff_t>(body_start));
+  if (mode == DropMode::kTail) {
+    for (size_t i = 0; i < keep; ++i) out.push_back(lines[body_start + i]);
+  } else {
+    // Random drop: choose `keep` body line indexes, preserve order.
+    std::vector<size_t> idx(body_len);
+    for (size_t i = 0; i < body_len; ++i) idx[i] = i;
+    Rng rng(seed);
+    rng.Shuffle(idx);
+    idx.resize(keep);
+    std::sort(idx.begin(), idx.end());
+    for (size_t i : idx) out.push_back(lines[body_start + i]);
+  }
+  return strings::Join(out, "\n") + (out.empty() ? "" : "\n");
+}
+
+}  // namespace laminar::dataset

@@ -1,0 +1,25 @@
+#include "embed/hashed_encoder.hpp"
+
+#include "common/hashing.hpp"
+
+namespace laminar::embed {
+
+HashedEncoder::HashedEncoder(size_t dims, uint64_t seed)
+    : dims_(dims), seed_(seed), acc_(dims, 0.0f) {}
+
+void HashedEncoder::Add(std::string_view term, float weight) {
+  uint64_t h = hashing::Fnv1a64(term, seed_);
+  uint64_t mixed = hashing::SplitMix64(h);
+  size_t dim = static_cast<size_t>(mixed % dims_);
+  float sign = (mixed >> 63) != 0 ? 1.0f : -1.0f;
+  acc_[dim] += sign * weight;
+}
+
+Vector HashedEncoder::Finish() {
+  Vector out(dims_, 0.0f);
+  out.swap(acc_);
+  L2Normalize(out);
+  return out;
+}
+
+}  // namespace laminar::embed

@@ -1,0 +1,38 @@
+// Signed feature hashing ("hashing trick") into a fixed-dimension dense
+// vector — the numerical core of the offline neural-model simulators.
+//
+// Each term is hashed twice: once to pick a dimension, once to pick a sign.
+// Terms that co-occur across two texts therefore contribute correlated mass
+// to the same dimensions, so cosine over the hashed vectors approximates
+// weighted term overlap — exactly the property semantic search needs, with
+// no model weights required.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "embed/embedding.hpp"
+
+namespace laminar::embed {
+
+class HashedEncoder {
+ public:
+  /// `seed` namespaces the hash space: encoders with different seeds produce
+  /// incomparable vectors (used to keep text and code spaces separate).
+  explicit HashedEncoder(size_t dims, uint64_t seed);
+
+  /// Accumulates a term with the given weight.
+  void Add(std::string_view term, float weight);
+
+  /// Returns the accumulated, L2-normalized vector and resets the encoder.
+  Vector Finish();
+
+  size_t dims() const { return dims_; }
+
+ private:
+  size_t dims_;
+  uint64_t seed_;
+  Vector acc_;
+};
+
+}  // namespace laminar::embed

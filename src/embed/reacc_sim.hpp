@@ -1,0 +1,40 @@
+// ReaccSim — offline stand-in for the ReACC-py-retriever code-embedding
+// model that implemented code-to-code search in Laminar 1.0 (the baseline
+// the paper's Fig. 13 evaluates).
+//
+// ReACC's published behaviour: excellent recall of identical or nearly
+// identical code (clone detection), but sensitive to identifier renames and
+// to missing code — it embeds the token *sequence*. We reproduce exactly
+// that profile: verbatim token unigrams plus token n-grams (sequence
+// coupling). No variable-name generalization — that is Aroma's advantage,
+// and the contrast is the whole point of the Fig. 12/13 experiment.
+#pragma once
+
+#include <string_view>
+
+#include "embed/hashed_encoder.hpp"
+
+namespace laminar::embed {
+
+struct ReaccConfig {
+  size_t dims = 4096;
+  float unigram_weight = 0.5f;
+  float ngram_weight = 3.0f;  ///< sequence coupling dominates
+  int ngram = 5;
+};
+
+class ReaccSim {
+ public:
+  explicit ReaccSim(ReaccConfig config = {});
+
+  /// Embeds a code snippet. Tokenizes with the Python lexer when possible,
+  /// falling back to whitespace tokens for unlexable fragments.
+  Vector EncodeCode(std::string_view code) const;
+
+  size_t dims() const { return config_.dims; }
+
+ private:
+  ReaccConfig config_;
+};
+
+}  // namespace laminar::embed

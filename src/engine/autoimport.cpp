@@ -1,0 +1,115 @@
+#include "engine/autoimport.hpp"
+
+#include <algorithm>
+
+#include "pycode/parser.hpp"
+
+namespace laminar::engine {
+namespace {
+
+using pycode::Node;
+using pycode::TokenType;
+
+/// First dotted-name segment after 'import' / 'from'.
+void CollectImports(const Node& node, std::vector<std::string>& out) {
+  if (!node.leaf &&
+      (node.kind == "import_stmt" || node.kind == "from_import_stmt")) {
+    // Walk children: names following the import/from keyword until 'as',
+    // ',' resets, '.' continues a dotted name (we only need the top module).
+    bool expect_module = false;
+    bool taken_for_this_clause = false;
+    bool from_form = node.kind == "from_import_stmt";
+    for (const auto& c : node.children) {
+      if (c->leaf && c->token.type == TokenType::kKeyword) {
+        if (c->token.text == "import") {
+          // In the from-form, the module already appeared after 'from'.
+          expect_module = !from_form;
+          taken_for_this_clause = from_form;  // stop collecting names
+          if (from_form) break;
+          continue;
+        }
+        if (c->token.text == "from") {
+          expect_module = true;
+          continue;
+        }
+        if (c->token.text == "as") {
+          expect_module = false;
+          continue;
+        }
+      }
+      if (c->leaf && c->token.IsOp(",")) {
+        expect_module = true;
+        taken_for_this_clause = false;
+        continue;
+      }
+      if (!expect_module || taken_for_this_clause) continue;
+      if (c->leaf && c->token.type == TokenType::kName) {
+        out.push_back(c->token.text);
+        taken_for_this_clause = true;
+      } else if (!c->leaf && c->kind == "dotted_name" &&
+                 !c->children.empty() && c->children[0]->leaf) {
+        out.push_back(c->children[0]->token.text);
+        taken_for_this_clause = true;
+      }
+    }
+    return;
+  }
+  for (const auto& c : node.children) CollectImports(*c, out);
+}
+
+}  // namespace
+
+AutoImporter::AutoImporter() {
+  // Python stdlib + the packages a Laminar engine image ships with.
+  for (const char* m :
+       {"sys",    "os",        "math",   "random", "json",      "re",
+        "time",   "datetime",  "itertools", "functools", "collections",
+        "typing", "string",    "statistics", "heapq", "bisect",  "csv",
+        "io",     "hashlib",   "uuid",   "logging", "argparse",  "abc",
+        "numpy",  "redis",     "requests", "flask", "dispel4py"}) {
+    preinstalled_.insert(m);
+  }
+}
+
+void AutoImporter::RegisterModule(const std::string& module) {
+  registered_.insert(module);
+}
+
+void AutoImporter::AddPreinstalled(const std::string& module) {
+  preinstalled_.insert(module);
+}
+
+Result<ImportScan> AutoImporter::Scan(std::string_view code) const {
+  Result<pycode::NodePtr> parsed = pycode::ParseLenient(code);
+  if (!parsed.ok()) return parsed.status();
+  std::vector<std::string> raw;
+  CollectImports(*parsed.value(), raw);
+
+  ImportScan scan;
+  for (const std::string& module : raw) {
+    if (std::find(scan.imports.begin(), scan.imports.end(), module) !=
+        scan.imports.end()) {
+      continue;  // dedupe, keep first occurrence order
+    }
+    scan.imports.push_back(module);
+    if (preinstalled_.contains(module)) {
+      scan.preinstalled.push_back(module);
+    } else if (registered_.contains(module)) {
+      scan.registered.push_back(module);
+    } else {
+      scan.missing.push_back(module);
+    }
+  }
+  return scan;
+}
+
+Status AutoImporter::CheckSatisfied(std::string_view code) const {
+  Result<ImportScan> scan = Scan(code);
+  if (!scan.ok()) return scan.status();
+  if (scan->missing.empty()) return Status::Ok();
+  std::string msg = "unresolved imports:";
+  for (const std::string& m : scan->missing) msg += " " + m;
+  return Status::FailedPrecondition(msg);
+}
+
+}  // namespace laminar::engine

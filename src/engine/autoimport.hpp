@@ -1,0 +1,53 @@
+// Auto-import dependency management (paper §III: the execution engine
+// "supports auto-import mechanisms for dependency management").
+//
+// Scans registered Python code for import statements and resolves each
+// module against (a) an allow-list modelling the engine's pre-installed
+// site-packages and (b) modules registered in this engine (other PEs).
+// Unresolvable imports are reported back before execution rather than
+// failing mid-run.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace laminar::engine {
+
+struct ImportScan {
+  /// Top-level modules imported by the code (deduplicated, source order).
+  std::vector<std::string> imports;
+  /// Imports satisfied by the preinstalled allow-list.
+  std::vector<std::string> preinstalled;
+  /// Imports satisfied by registered modules.
+  std::vector<std::string> registered;
+  /// Imports nothing can satisfy.
+  std::vector<std::string> missing;
+};
+
+class AutoImporter {
+ public:
+  AutoImporter();
+
+  /// Adds a module name the engine can now satisfy (e.g. a registered PE
+  /// module or an uploaded resource package).
+  void RegisterModule(const std::string& module);
+
+  /// Extends the preinstalled allow-list (engine configuration).
+  void AddPreinstalled(const std::string& module);
+
+  /// Parses `code` (leniently) and classifies every import.
+  Result<ImportScan> Scan(std::string_view code) const;
+
+  /// Convenience: Ok iff Scan succeeds with no missing imports.
+  Status CheckSatisfied(std::string_view code) const;
+
+ private:
+  std::set<std::string> preinstalled_;
+  std::set<std::string> registered_;
+};
+
+}  // namespace laminar::engine

@@ -1,0 +1,135 @@
+#include "engine/engine.hpp"
+
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/concurrent_queue.hpp"
+#include "dataflow/dynamic_mapping.hpp"
+#include "dataflow/multi_mapping.hpp"
+#include "dataflow/sequential_mapping.hpp"
+
+namespace laminar::engine {
+
+ExecutionEngine::ExecutionEngine(EngineConfig config)
+    : config_(config), cache_(config.resource_cache_bytes) {}
+
+ExecutionEngine::~ExecutionEngine() { broker_.Shutdown(); }
+
+std::vector<ResourceRef> ExecutionEngine::MissingResources(
+    const std::vector<ResourceRef>& refs) const {
+  return cache_.Missing(refs);
+}
+
+void ExecutionEngine::PutResource(const std::string& name,
+                                  std::string content) {
+  cache_.Put(name, std::move(content));
+}
+
+bool ExecutionEngine::AcquireInstance() {
+  std::unique_lock lock(pool_mu_);
+  pool_cv_.wait(lock, [&] { return running_ < config_.max_concurrent; });
+  ++running_;
+  if (warm_ > 0) {
+    --warm_;
+    return false;  // reused a warm instance
+  }
+  return true;  // cold start
+}
+
+void ExecutionEngine::ReleaseInstance() {
+  {
+    std::scoped_lock lock(pool_mu_);
+    --running_;
+    if (warm_ < config_.max_warm_instances) ++warm_;
+  }
+  pool_cv_.notify_one();
+}
+
+int ExecutionEngine::warm_instances() const {
+  std::scoped_lock lock(pool_mu_);
+  return warm_;
+}
+
+Result<dataflow::RunResult> ExecutionEngine::Execute(
+    const ExecuteRequest& request, const dataflow::LineSink& sink,
+    ExecuteStats* stats) {
+  // Resource gate (§IV-F): refuse with the missing list encoded in the
+  // message; the server layer turns this into a "resources" response.
+  std::vector<ResourceRef> missing = MissingResources(request.resources);
+  if (!missing.empty()) {
+    std::string msg = "missing resources:";
+    for (const ResourceRef& r : missing) msg += " " + r.name;
+    return Status::FailedPrecondition(msg);
+  }
+  // Import gate: every dependency of the registered code must resolve.
+  if (!request.workflow_code.empty()) {
+    Status st = importer_.CheckSatisfied(request.workflow_code);
+    if (!st.ok()) return st;
+  }
+  Result<dataflow::WorkflowGraph> graph = BuildGraph(request.workflow_spec);
+  if (!graph.ok()) return graph.status();
+
+  bool cold = AcquireInstance();
+  struct Release {
+    ExecutionEngine* engine;
+    ~Release() { engine->ReleaseInstance(); }
+  } release{this};
+
+  if (cold && config_.cold_start_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        config_.cold_start_ms));
+  }
+
+  dataflow::RunOptions run_options = request.run_options;
+  if (run_options.deadline_ms <= 0 && config_.max_execution_ms > 0) {
+    run_options.deadline_ms = config_.max_execution_ms;
+  }
+
+  std::unique_ptr<dataflow::Mapping> mapping;
+  if (request.mapping == "simple") {
+    mapping = std::make_unique<dataflow::SequentialMapping>();
+  } else if (request.mapping == "multi") {
+    mapping = std::make_unique<dataflow::MultiMapping>();
+  } else if (request.mapping == "dynamic") {
+    mapping = std::make_unique<dataflow::DynamicMapping>(&broker_);
+  } else {
+    return Status::InvalidArgument("unknown mapping '" + request.mapping +
+                                   "'");
+  }
+
+  // §IV-E true-streaming: the mapping's emitter threads push lines into a
+  // concurrent queue; a dedicated drainer forwards them to the transport
+  // sink in order, so slow network writes never block PE threads.
+  laminar::ConcurrentQueue<std::string> stdout_queue;
+  std::thread drainer;
+  dataflow::LineSink queue_sink;
+  if (sink) {
+    queue_sink = [&stdout_queue](const std::string& line) {
+      stdout_queue.Push(line);
+    };
+    drainer = std::thread([&stdout_queue, &sink] {
+      while (auto line = stdout_queue.Pop()) sink(*line);
+    });
+  }
+
+  Stopwatch watch;
+  dataflow::RunResult result = mapping->Execute(
+      graph.value(), run_options, sink ? queue_sink : nullptr);
+  double run_ms = watch.ElapsedMillis();
+
+  stdout_queue.Close();
+  if (drainer.joinable()) drainer.join();
+
+  if (stats != nullptr) {
+    stats->cold_start = cold;
+    stats->cold_start_ms = cold ? config_.cold_start_ms : 0.0;
+    stats->run_ms = run_ms;
+    stats->tuples = result.tuples_processed;
+    stats->lines = result.output_lines.size();
+    stats->peak_workers = result.peak_workers;
+  }
+  if (!result.status.ok()) return result.status;
+  return result;
+}
+
+}  // namespace laminar::engine

@@ -1,0 +1,104 @@
+// The serverless execution engine (paper §III, §IV-E/F).
+//
+// Runs workflows "serverlessly": each execution acquires a function
+// instance from a warm pool (cold starts are simulated with a configurable
+// delay — the classic serverless cost the paper's Background §II-B names),
+// verifies resources against the content-addressed cache, checks imports,
+// enacts the workflow under the requested mapping, and streams stdout line
+// by line through a concurrent queue to whatever sink the transport layer
+// provides — exactly the Flask-response-streaming structure of §IV-E.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "common/status.hpp"
+#include "common/value.hpp"
+#include "dataflow/mapping.hpp"
+#include "engine/autoimport.hpp"
+#include "engine/resource_cache.hpp"
+#include "engine/workflow_spec.hpp"
+
+namespace laminar::engine {
+
+struct EngineConfig {
+  /// Simulated container cold-start latency (milliseconds). 0 in unit tests.
+  double cold_start_ms = 100.0;
+  /// Warm instances kept alive between executions.
+  int max_warm_instances = 4;
+  /// Upper bound on concurrent executions (requests beyond it queue).
+  int max_concurrent = 8;
+  /// Resource cache budget (0 = unlimited).
+  uint64_t resource_cache_bytes = 0;
+  /// Default serverless execution duration limit applied to every run that
+  /// does not set its own RunOptions::deadline_ms (0 = unlimited).
+  double max_execution_ms = 0.0;
+};
+
+struct ExecuteRequest {
+  Value workflow_spec;                  ///< see workflow_spec.hpp
+  std::string workflow_code;            ///< Python source (import checking)
+  std::string mapping = "simple";       ///< simple | multi | dynamic
+  dataflow::RunOptions run_options;
+  std::vector<ResourceRef> resources;   ///< required resources
+};
+
+struct ExecuteStats {
+  bool cold_start = false;
+  double cold_start_ms = 0.0;
+  double run_ms = 0.0;
+  uint64_t tuples = 0;
+  uint64_t lines = 0;
+  int peak_workers = 0;
+};
+
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(EngineConfig config = {});
+  ~ExecutionEngine();
+
+  /// Step 1 of the §IV-F protocol: which of these resources must the client
+  /// upload before Execute will run?
+  std::vector<ResourceRef> MissingResources(
+      const std::vector<ResourceRef>& refs) const;
+
+  /// Step 2: accept an uploaded resource.
+  void PutResource(const std::string& name, std::string content);
+
+  /// Executes a workflow, streaming stdout lines into `sink` as they are
+  /// produced (sink may be null). Fails fast with kFailedPrecondition if
+  /// resources are missing or imports cannot be satisfied.
+  Result<dataflow::RunResult> Execute(const ExecuteRequest& request,
+                                      const dataflow::LineSink& sink = nullptr,
+                                      ExecuteStats* stats = nullptr);
+
+  AutoImporter& auto_importer() { return importer_; }
+  ResourceCache& resource_cache() { return cache_; }
+  broker::Broker& broker() { return broker_; }
+  const EngineConfig& config() const { return config_; }
+
+  /// Warm instances currently pooled (tests/benches).
+  int warm_instances() const;
+
+ private:
+  /// Blocks until an instance is available; returns whether it was cold.
+  bool AcquireInstance();
+  void ReleaseInstance();
+
+  EngineConfig config_;
+  ResourceCache cache_;
+  AutoImporter importer_;
+  broker::Broker broker_;
+
+  mutable std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  int warm_ = 0;      ///< idle warm instances
+  int running_ = 0;   ///< executions in flight
+};
+
+}  // namespace laminar::engine

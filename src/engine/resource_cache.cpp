@@ -1,0 +1,82 @@
+#include "engine/resource_cache.hpp"
+
+#include <algorithm>
+
+#include "common/hashing.hpp"
+
+namespace laminar::engine {
+
+uint64_t HashResourceContent(std::string_view content) {
+  return hashing::Fnv1a64(content);
+}
+
+std::vector<ResourceRef> ResourceCache::Missing(
+    const std::vector<ResourceRef>& refs) const {
+  std::scoped_lock lock(mu_);
+  std::vector<ResourceRef> missing;
+  for (const ResourceRef& ref : refs) {
+    auto it = entries_.find(ref.name);
+    if (it != entries_.end() && it->second.hash == ref.content_hash) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+      missing.push_back(ref);
+    }
+  }
+  return missing;
+}
+
+void ResourceCache::Put(const std::string& name, std::string content) {
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    stored_bytes_ -= it->second.content.size();
+    entries_.erase(it);
+  }
+  stored_bytes_ += content.size();
+  uint64_t hash = HashResourceContent(content);
+  entries_[name] = Entry{std::move(content), hash, ++clock_};
+  stats_.bytes_stored = stored_bytes_;
+  EvictIfNeeded();
+}
+
+std::optional<std::string> ResourceCache::Get(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.content;
+}
+
+bool ResourceCache::Has(const ResourceRef& ref) const {
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(ref.name);
+  return it != entries_.end() && it->second.hash == ref.content_hash;
+}
+
+void ResourceCache::Clear() {
+  std::scoped_lock lock(mu_);
+  entries_.clear();
+  stored_bytes_ = 0;
+  stats_.bytes_stored = 0;
+}
+
+ResourceCacheStats ResourceCache::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+void ResourceCache::EvictIfNeeded() {
+  if (max_bytes_ == 0) return;
+  while (stored_bytes_ > max_bytes_ && !entries_.empty()) {
+    auto oldest = std::min_element(
+        entries_.begin(), entries_.end(), [](const auto& a, const auto& b) {
+          return a.second.last_used < b.second.last_used;
+        });
+    stored_bytes_ -= oldest->second.content.size();
+    entries_.erase(oldest);
+    ++stats_.evictions;
+    stats_.bytes_stored = stored_bytes_;
+  }
+}
+
+}  // namespace laminar::engine

@@ -1,0 +1,66 @@
+// Engine-side resource cache (paper §IV-F).
+//
+// Laminar 1.0 serialized a resources/ directory into every execution
+// request; 2.0 sends a *list of required resources*, the engine answers with
+// the ones it is missing, the client uploads only those (multipart), and a
+// cache avoids retransmitting large files on subsequent runs. Entries are
+// content-addressed: (name, content-hash), so a changed file re-uploads.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace laminar::engine {
+
+struct ResourceRef {
+  std::string name;
+  uint64_t content_hash = 0;
+};
+
+/// Stable content hash used by both client and engine sides.
+uint64_t HashResourceContent(std::string_view content);
+
+struct ResourceCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t bytes_stored = 0;
+  uint64_t evictions = 0;
+};
+
+class ResourceCache {
+ public:
+  /// max_bytes == 0 means unlimited.
+  explicit ResourceCache(uint64_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  /// Returns the subset of refs not present with a matching content hash.
+  std::vector<ResourceRef> Missing(const std::vector<ResourceRef>& refs) const;
+
+  /// Stores a resource (LRU eviction under the byte budget).
+  void Put(const std::string& name, std::string content);
+
+  std::optional<std::string> Get(const std::string& name) const;
+  bool Has(const ResourceRef& ref) const;
+  void Clear();
+  ResourceCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string content;
+    uint64_t hash;
+    uint64_t last_used;
+  };
+  void EvictIfNeeded();
+
+  mutable std::mutex mu_;
+  uint64_t max_bytes_;
+  uint64_t clock_ = 0;
+  uint64_t stored_bytes_ = 0;
+  std::unordered_map<std::string, Entry> entries_;
+  mutable ResourceCacheStats stats_;
+};
+
+}  // namespace laminar::engine

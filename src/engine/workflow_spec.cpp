@@ -1,0 +1,131 @@
+#include "engine/workflow_spec.hpp"
+
+#include <unordered_map>
+
+#include "dataflow/pe_library.hpp"
+
+namespace laminar::engine {
+
+using dataflow::ProcessingElement;
+
+Result<std::unique_ptr<ProcessingElement>> CreatePe(const std::string& type,
+                                                    const Value& params) {
+  std::unique_ptr<ProcessingElement> pe;
+  if (type == "NumberProducer") {
+    pe = std::make_unique<dataflow::NumberProducer>(
+        static_cast<uint64_t>(params.GetInt("seed", 42)),
+        params.GetInt("lo", 1), params.GetInt("hi", 1000));
+  } else if (type == "IsPrime") {
+    pe = std::make_unique<dataflow::IsPrime>();
+  } else if (type == "PrintPrime") {
+    pe = std::make_unique<dataflow::PrintPrime>();
+  } else if (type == "LineProducer") {
+    std::vector<std::string> lines;
+    for (const Value& v : params.at("lines").as_array()) {
+      lines.push_back(v.as_string());
+    }
+    pe = std::make_unique<dataflow::LineProducer>(std::move(lines));
+  } else if (type == "Tokenizer") {
+    pe = std::make_unique<dataflow::Tokenizer>();
+  } else if (type == "WordCounter") {
+    pe = std::make_unique<dataflow::WordCounter>();
+  } else if (type == "CountPrinter") {
+    pe = std::make_unique<dataflow::CountPrinter>();
+  } else if (type == "SensorProducer") {
+    pe = std::make_unique<dataflow::SensorProducer>(
+        static_cast<uint64_t>(params.GetInt("seed", 7)),
+        params.GetDouble("anomaly_rate", 0.05));
+  } else if (type == "NormalizeData") {
+    pe = std::make_unique<dataflow::NormalizeData>(
+        params.GetDouble("min", -20.0), params.GetDouble("max", 60.0));
+  } else if (type == "AnomalyDetector") {
+    pe = std::make_unique<dataflow::AnomalyDetector>(
+        params.GetDouble("threshold", 3.0),
+        static_cast<size_t>(params.GetInt("window", 64)));
+  } else if (type == "Alerter") {
+    pe = std::make_unique<dataflow::Alerter>();
+  } else if (type == "AggregateData") {
+    pe = std::make_unique<dataflow::AggregateData>(
+        params.GetString("field", "temperature"));
+  } else if (type == "CpuBurn") {
+    pe = std::make_unique<dataflow::CpuBurn>(
+        static_cast<uint64_t>(params.GetInt("iters", 200000)));
+  } else if (type == "ThresholdSplitter") {
+    pe = std::make_unique<dataflow::ThresholdSplitter>(
+        params.GetString("field", "value"),
+        params.GetDouble("threshold", 0.0));
+  } else if (type == "EchoSink") {
+    pe = std::make_unique<dataflow::EchoSink>();
+  } else if (type == "NullSink") {
+    pe = std::make_unique<dataflow::NullSink>();
+  } else {
+    return Status::InvalidArgument("unknown PE type '" + type + "'");
+  }
+  return pe;
+}
+
+std::vector<std::string> KnownPeTypes() {
+  return {"NumberProducer", "IsPrime",       "PrintPrime",   "LineProducer",
+          "Tokenizer",      "WordCounter",   "CountPrinter", "SensorProducer",
+          "NormalizeData",  "AnomalyDetector", "Alerter",    "AggregateData",
+          "CpuBurn",        "NullSink",       "EchoSink",     "ThresholdSplitter"};
+}
+
+Result<dataflow::Grouping> ParseGrouping(const Value& edge) {
+  std::string g = edge.GetString("grouping", "shuffle");
+  if (g == "shuffle") return dataflow::Grouping::Shuffle();
+  if (g == "group_by") {
+    std::string key = edge.GetString("key");
+    if (key.empty()) {
+      return Status::InvalidArgument("group_by edge requires a 'key'");
+    }
+    return dataflow::Grouping::GroupBy(key);
+  }
+  if (g == "one_to_all") return dataflow::Grouping::OneToAll();
+  if (g == "all_to_one") return dataflow::Grouping::AllToOne();
+  return Status::InvalidArgument("unknown grouping '" + g + "'");
+}
+
+Result<dataflow::WorkflowGraph> BuildGraph(const Value& spec) {
+  if (!spec.is_object()) {
+    return Status::InvalidArgument("workflow spec must be a JSON object");
+  }
+  dataflow::WorkflowGraph graph(spec.GetString("name", "workflow"));
+  std::unordered_map<std::string, size_t> by_name;
+  for (const Value& pe_spec : spec.at("pes").as_array()) {
+    std::string name = pe_spec.GetString("name");
+    std::string type = pe_spec.GetString("type", name);
+    if (name.empty()) {
+      return Status::InvalidArgument("PE spec missing 'name'");
+    }
+    if (by_name.contains(name)) {
+      return Status::InvalidArgument("duplicate PE name '" + name + "'");
+    }
+    Result<std::unique_ptr<dataflow::ProcessingElement>> pe =
+        CreatePe(type, pe_spec.at("params"));
+    if (!pe.ok()) return pe.status();
+    pe.value()->set_name(name);
+    by_name[name] = graph.Add(std::move(pe.value()));
+  }
+  for (const Value& edge : spec.at("edges").as_array()) {
+    auto from = by_name.find(edge.GetString("from"));
+    auto to = by_name.find(edge.GetString("to"));
+    if (from == by_name.end() || to == by_name.end()) {
+      return Status::InvalidArgument("edge references unknown PE");
+    }
+    Result<dataflow::Grouping> grouping = ParseGrouping(edge);
+    if (!grouping.ok()) return grouping.status();
+    std::string out_port =
+        edge.GetString("from_port", std::string(dataflow::kDefaultOutput));
+    std::string in_port =
+        edge.GetString("to_port", std::string(dataflow::kDefaultInput));
+    Status st = graph.Connect(from->second, out_port, to->second, in_port,
+                              std::move(grouping.value()));
+    if (!st.ok()) return st;
+  }
+  Status st = graph.Validate();
+  if (!st.ok()) return st;
+  return graph;
+}
+
+}  // namespace laminar::engine

@@ -1,0 +1,45 @@
+// Workflow specifications: the JSON document a client registers and the
+// execution engine enacts.
+//
+// In Laminar the registry stores the workflow's *Python source* and the
+// engine imports it. Our C++ engine cannot import Python, so execution runs
+// from a declarative spec naming built-in PE types (DESIGN.md substitution):
+// the Python source still travels with every registration and feeds the
+// search/recommendation pipeline; the spec is what the engine enacts.
+//
+// Spec shape:
+// {
+//   "name": "isprime_wf",
+//   "pes": [ {"name": "NumberProducer", "type": "NumberProducer",
+//             "params": {"seed": 42, "lo": 1, "hi": 1000}}, ... ],
+//   "edges": [ {"from": "NumberProducer", "to": "IsPrime",
+//               "grouping": "shuffle"},
+//              {"from": "IsPrime", "to": "PrintPrime",
+//               "grouping": "group_by", "key": "word"} ]
+// }
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/value.hpp"
+#include "dataflow/graph.hpp"
+
+namespace laminar::engine {
+
+/// Instantiates a built-in PE by type name with a params object. Central
+/// factory for every PE in dataflow/pe_library.hpp.
+Result<std::unique_ptr<dataflow::ProcessingElement>> CreatePe(
+    const std::string& type, const Value& params);
+
+/// Known PE type names (for the CLI's help and validation errors).
+std::vector<std::string> KnownPeTypes();
+
+/// Builds an executable graph from a spec document.
+Result<dataflow::WorkflowGraph> BuildGraph(const Value& spec);
+
+/// Parses the grouping fields of an edge object.
+Result<dataflow::Grouping> ParseGrouping(const Value& edge);
+
+}  // namespace laminar::engine

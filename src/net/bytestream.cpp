@@ -1,0 +1,98 @@
+#include "net/bytestream.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+namespace laminar::net {
+namespace {
+
+std::atomic<uint64_t> g_bytes_written{0};
+
+/// One direction of a pipe: a byte FIFO with close semantics.
+struct Channel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string buffer;
+  bool closed = false;
+
+  bool Write(std::string_view data) {
+    {
+      std::scoped_lock lock(mu);
+      if (closed) return false;
+      buffer.append(data.data(), data.size());
+    }
+    g_bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+    cv.notify_all();
+    return true;
+  }
+
+  size_t Read(char* out, size_t max) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return closed || !buffer.empty(); });
+    if (buffer.empty()) return 0;  // closed and drained -> EOF
+    size_t n = std::min(max, buffer.size());
+    std::memcpy(out, buffer.data(), n);
+    buffer.erase(0, n);
+    return n;
+  }
+
+  void Close() {
+    {
+      std::scoped_lock lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class PipeEnd final : public ByteStream {
+ public:
+  PipeEnd(std::shared_ptr<Channel> out, std::shared_ptr<Channel> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+  ~PipeEnd() override {
+    out_->Close();
+    in_->Close();
+  }
+
+  bool Write(std::string_view data) override { return out_->Write(data); }
+  size_t Read(char* buf, size_t max) override { return in_->Read(buf, max); }
+  void CloseWrite() override { out_->Close(); }
+  void CloseRead() override { in_->Close(); }
+
+ private:
+  std::shared_ptr<Channel> out_;
+  std::shared_ptr<Channel> in_;
+};
+
+}  // namespace
+
+bool ByteStream::ReadExact(char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    size_t r = Read(buf + got, n - got);
+    if (r == 0) return false;
+    got += r;
+  }
+  return true;
+}
+
+DuplexPipe CreatePipe() {
+  auto ab = std::make_shared<Channel>();
+  auto ba = std::make_shared<Channel>();
+  DuplexPipe pipe;
+  pipe.first = std::make_unique<PipeEnd>(ab, ba);
+  pipe.second = std::make_unique<PipeEnd>(ba, ab);
+  return pipe;
+}
+
+uint64_t PipeCounters::BytesWritten() {
+  return g_bytes_written.load(std::memory_order_relaxed);
+}
+
+void PipeCounters::Reset() {
+  g_bytes_written.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace laminar::net

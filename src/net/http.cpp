@@ -1,0 +1,265 @@
+#include "net/http.hpp"
+
+#include "common/byte_buffer.hpp"
+#include "common/json.hpp"
+
+namespace laminar::net {
+namespace {
+
+constexpr uint8_t kFrameHeaders = 1;
+constexpr uint8_t kFrameData = 2;
+constexpr uint8_t kFrameEnd = 3;
+constexpr uint8_t kFrameRst = 4;
+
+}  // namespace
+
+Value HttpRequest::ToValue() const {
+  Value v = Value::MakeObject();
+  v["method"] = method;
+  v["path"] = path;
+  v["headers"] = headers;
+  v["body"] = body;
+  return v;
+}
+
+Result<HttpRequest> HttpRequest::FromValue(const Value& v) {
+  if (!v.is_object()) return Status::ParseError("request must be an object");
+  HttpRequest req;
+  req.method = v.GetString("method", "POST");
+  req.path = v.GetString("path");
+  req.headers = v.at("headers");
+  req.body = v.GetString("body");
+  if (req.path.empty()) return Status::ParseError("request missing path");
+  return req;
+}
+
+std::optional<std::string> ResponseStream::NextChunk() {
+  return chunks_.Pop();
+}
+
+std::string ResponseStream::ReadAll() {
+  std::string out;
+  while (auto chunk = NextChunk()) out += *chunk;
+  return out;
+}
+
+/// Server-side responder bound to one stream.
+class HttpConnection::Responder final : public StreamResponder {
+ public:
+  Responder(HttpConnection& conn, uint64_t stream_id)
+      : conn_(conn), stream_id_(stream_id) {}
+
+  void SendChunk(std::string_view chunk) override {
+    if (ended_) return;
+    if (conn_.mode_ == Mode::kBatch) {
+      // HTTP/1.1 behaviour: nothing leaves the server until the handler
+      // completes; stdout is captured into one buffer.
+      buffer_.append(chunk.data(), chunk.size());
+      return;
+    }
+    SendChunkFrames(chunk);
+  }
+
+  void End(int status) override {
+    if (ended_) return;
+    ended_ = true;
+    if (conn_.mode_ == Mode::kBatch && !buffer_.empty()) {
+      SendChunkFrames(buffer_);
+    }
+    ByteWriter w;
+    w.PutU32(static_cast<uint32_t>(status));
+    conn_.WriteFrame(kFrameEnd, stream_id_, w.data());
+  }
+
+ private:
+  void SendChunkFrames(std::string_view chunk) {
+    // Respect the frame-size bound, splitting large chunks.
+    while (!chunk.empty()) {
+      size_t n = std::min(chunk.size(), kMaxFrameSize);
+      conn_.WriteFrame(kFrameData, stream_id_, chunk.substr(0, n));
+      chunk.remove_prefix(n);
+    }
+  }
+
+  HttpConnection& conn_;
+  uint64_t stream_id_;
+  std::string buffer_;
+  bool ended_ = false;
+};
+
+HttpConnection::HttpConnection(std::unique_ptr<ByteStream> stream, Mode mode,
+                               StreamHandler handler)
+    : stream_(std::move(stream)), mode_(mode), handler_(std::move(handler)) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+HttpConnection::~HttpConnection() {
+  Close();
+  if (reader_.joinable()) reader_.join();
+  std::vector<std::thread> workers;
+  {
+    std::scoped_lock lock(handler_threads_mu_);
+    workers.swap(handler_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void HttpConnection::Close() {
+  if (closed_.exchange(true)) return;
+  stream_->CloseWrite();
+  stream_->CloseRead();  // unblock our reader thread
+  // Unblock local pending readers.
+  std::scoped_lock lock(streams_mu_);
+  for (auto& [id, rs] : pending_) rs->chunks_.Close();
+  pending_.clear();
+}
+
+void HttpConnection::WriteFrame(uint8_t type, uint64_t stream_id,
+                                std::string_view payload) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU8(type);
+  w.PutU64(stream_id);
+  w.PutRaw(payload);
+  std::scoped_lock lock(write_mu_);
+  stream_->Write(w.data());
+}
+
+std::shared_ptr<ResponseStream> HttpConnection::Send(
+    const HttpRequest& request) {
+  auto response = std::make_shared<ResponseStream>();
+  if (closed_.load()) {
+    response->status_.store(503);
+    response->chunks_.Close();
+    return response;
+  }
+  uint64_t id = next_stream_id_.fetch_add(2);  // odd ids: locally initiated
+  {
+    std::scoped_lock lock(streams_mu_);
+    pending_[id] = response;
+  }
+  if (mode_ == Mode::kBatch) {
+    // No pipelining: hold the batch lock until the response completes.
+    std::scoped_lock batch(batch_mu_);
+    WriteFrame(kFrameHeaders, id, request.ToValue().ToJson());
+    // Wait for END by buffering chunks locally; the reader thread closes
+    // the queue when the response ends.
+    std::string all;
+    while (auto chunk = response->chunks_.Pop()) all += *chunk;
+    auto buffered = std::make_shared<ResponseStream>();
+    buffered->status_.store(response->status());
+    if (!all.empty()) buffered->chunks_.Push(std::move(all));
+    buffered->chunks_.Close();
+    return buffered;
+  }
+  WriteFrame(kFrameHeaders, id, request.ToValue().ToJson());
+  return response;
+}
+
+Result<std::pair<int, std::string>> HttpConnection::Call(
+    const HttpRequest& request) {
+  std::shared_ptr<ResponseStream> rs = Send(request);
+  std::string body = rs->ReadAll();
+  int status = rs->status();
+  if (status == 0) {
+    return Status::Unavailable("connection closed before response completed");
+  }
+  return std::make_pair(status, std::move(body));
+}
+
+void HttpConnection::ReaderLoop() {
+  while (true) {
+    char header[4 + 1 + 8];
+    if (!stream_->ReadExact(header, sizeof header)) break;  // EOF
+    ByteReader r(std::string_view(header, sizeof header));
+    uint32_t len = r.GetU32().value();
+    uint8_t type = r.GetU8().value();
+    uint64_t stream_id = r.GetU64().value();
+    std::string payload(len, '\0');
+    if (len > 0 && !stream_->ReadExact(payload.data(), len)) break;
+
+    switch (type) {
+      case kFrameHeaders: {
+        Result<Value> parsed = json::Parse(payload);
+        if (!parsed.ok()) {
+          WriteFrame(kFrameRst, stream_id, parsed.status().message());
+          break;
+        }
+        Result<HttpRequest> req = HttpRequest::FromValue(parsed.value());
+        if (!req.ok() || !handler_) {
+          ByteWriter w;
+          w.PutU32(handler_ ? 400u : 501u);
+          WriteFrame(kFrameEnd, stream_id, w.data());
+          break;
+        }
+        // Dispatch on a worker so slow handlers do not stall the reader
+        // (kStreaming multiplexes; kBatch clients only send one anyway).
+        auto responder = std::make_shared<Responder>(*this, stream_id);
+        HttpRequest request = std::move(req.value());
+        std::scoped_lock lock(handler_threads_mu_);
+        handler_threads_.emplace_back(
+            [this, responder, request = std::move(request)] {
+              handler_(request, *responder);
+            });
+        break;
+      }
+      case kFrameData: {
+        std::shared_ptr<ResponseStream> rs;
+        {
+          std::scoped_lock lock(streams_mu_);
+          auto it = pending_.find(stream_id);
+          if (it != pending_.end()) rs = it->second;
+        }
+        if (rs) rs->chunks_.Push(std::move(payload));
+        break;
+      }
+      case kFrameEnd: {
+        ByteReader er(payload);
+        int status = static_cast<int>(er.GetU32().value_or(500));
+        std::shared_ptr<ResponseStream> rs;
+        {
+          std::scoped_lock lock(streams_mu_);
+          auto it = pending_.find(stream_id);
+          if (it != pending_.end()) {
+            rs = it->second;
+            pending_.erase(it);
+          }
+        }
+        if (rs) {
+          rs->status_.store(status);
+          rs->chunks_.Close();
+        }
+        break;
+      }
+      case kFrameRst: {
+        std::shared_ptr<ResponseStream> rs;
+        {
+          std::scoped_lock lock(streams_mu_);
+          auto it = pending_.find(stream_id);
+          if (it != pending_.end()) {
+            rs = it->second;
+            pending_.erase(it);
+          }
+        }
+        if (rs) {
+          rs->status_.store(500);
+          rs->chunks_.Close();
+        }
+        break;
+      }
+      default:
+        break;  // unknown frame types are ignored (forward compatibility)
+    }
+  }
+  // EOF: fail all pending responses.
+  std::scoped_lock lock(streams_mu_);
+  for (auto& [id, rs] : pending_) {
+    rs->status_.store(503);
+    rs->chunks_.Close();
+  }
+  pending_.clear();
+}
+
+}  // namespace laminar::net

@@ -1,0 +1,122 @@
+// The Laminar wire protocol, in two flavours over the same frame codec:
+//
+//  * Http1Connection — models Laminar 1.0's HTTP/1.1 usage: one request at a
+//    time, the response fully buffered server-side and delivered whole
+//    ("the engine ran the entire workflow, captured stdout, and sent the
+//    complete response back", paper §IV-E).
+//  * Http2Connection — models Laminar 2.0's HTTP/2 streaming: multiplexed
+//    streams, DATA frames forwarded to the client as they are produced,
+//    bounded frame size.
+//
+// Frame layout (little-endian): u32 payload_len | u8 type | u64 stream_id |
+// payload. Types: HEADERS (JSON request), DATA (chunk), END (u32 status),
+// RST.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/concurrent_queue.hpp"
+#include "common/status.hpp"
+#include "common/value.hpp"
+#include "net/bytestream.hpp"
+
+namespace laminar::net {
+
+struct HttpRequest {
+  std::string method = "POST";
+  std::string path;
+  Value headers = Value::MakeObject();
+  std::string body;
+
+  Value ToValue() const;
+  static Result<HttpRequest> FromValue(const Value& v);
+};
+
+/// Server-side handle for writing a (possibly streaming) response.
+class StreamResponder {
+ public:
+  virtual ~StreamResponder() = default;
+  virtual void SendChunk(std::string_view chunk) = 0;
+  /// Completes the response. Exactly once per request.
+  virtual void End(int status) = 0;
+};
+
+/// Server request handler; may block, may stream chunks as they appear.
+using StreamHandler =
+    std::function<void(const HttpRequest&, StreamResponder&)>;
+
+/// Client-side streaming response. NextChunk blocks until a chunk, returns
+/// nullopt at end-of-response; status() is valid after that.
+class ResponseStream {
+ public:
+  std::optional<std::string> NextChunk();
+  /// Convenience: concatenates remaining chunks.
+  std::string ReadAll();
+  int status() const { return status_.load(); }
+
+ private:
+  friend class HttpConnection;
+  ConcurrentQueue<std::string> chunks_;
+  std::atomic<int> status_{0};
+};
+
+/// One protocol endpoint. A connection is created over a ByteStream end and
+/// can serve (with a handler) and/or send requests — Laminar's engine does
+/// both (it serves /execute and calls back for missing resources).
+class HttpConnection {
+ public:
+  enum class Mode {
+    kBatch,      ///< HTTP/1.1-like: responses buffered, one request in flight
+    kStreaming,  ///< HTTP/2-like: multiplexed, chunks forwarded immediately
+  };
+
+  HttpConnection(std::unique_ptr<ByteStream> stream, Mode mode,
+                 StreamHandler handler = nullptr);
+  ~HttpConnection();
+
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Sends a request. In kBatch mode, blocks any further Send until the
+  /// response ends (protocol has no pipelining). Returns the response
+  /// stream (already-whole in batch mode).
+  std::shared_ptr<ResponseStream> Send(const HttpRequest& request);
+
+  /// Blocking convenience: sends and reads the full response body.
+  Result<std::pair<int, std::string>> Call(const HttpRequest& request);
+
+  /// Closes the write side; the peer sees EOF after draining.
+  void Close();
+
+  Mode mode() const { return mode_; }
+
+  /// Maximum DATA frame payload (chunks are split to this size).
+  static constexpr size_t kMaxFrameSize = 16 * 1024;
+
+ private:
+  class Responder;
+  void ReaderLoop();
+  void WriteFrame(uint8_t type, uint64_t stream_id, std::string_view payload);
+
+  std::unique_ptr<ByteStream> stream_;
+  Mode mode_;
+  StreamHandler handler_;
+  std::mutex write_mu_;
+  std::mutex streams_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<ResponseStream>> pending_;
+  std::atomic<uint64_t> next_stream_id_{1};
+  std::mutex batch_mu_;  ///< serializes batch-mode requests
+  std::vector<std::thread> handler_threads_;
+  std::mutex handler_threads_mu_;
+  std::thread reader_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace laminar::net

@@ -1,0 +1,43 @@
+#include "net/multipart.hpp"
+
+#include "common/byte_buffer.hpp"
+
+namespace laminar::net {
+
+namespace {
+constexpr char kMagic[] = "LMPT1";  // laminar multipart v1
+}
+
+std::string EncodeMultipart(const std::vector<FilePart>& parts) {
+  ByteWriter w;
+  w.PutRaw(kMagic);
+  w.PutU32(static_cast<uint32_t>(parts.size()));
+  for (const FilePart& p : parts) {
+    w.PutString(p.name);
+    w.PutString(p.content);
+  }
+  return std::move(w).Take();
+}
+
+Result<std::vector<FilePart>> DecodeMultipart(std::string_view body) {
+  if (body.size() < 5 || body.substr(0, 5) != kMagic) {
+    return Status::ParseError("not a multipart body");
+  }
+  ByteReader r(body.substr(5));
+  Result<uint32_t> count = r.GetU32();
+  if (!count.ok()) return count.status();
+  std::vector<FilePart> parts;
+  parts.reserve(count.value());
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    Result<std::string> name = r.GetString();
+    if (!name.ok()) return name.status();
+    Result<std::string> content = r.GetString();
+    if (!content.ok()) return content.status();
+    parts.push_back(FilePart{std::move(name.value()),
+                             std::move(content.value())});
+  }
+  if (!r.AtEnd()) return Status::ParseError("trailing bytes in multipart body");
+  return parts;
+}
+
+}  // namespace laminar::net

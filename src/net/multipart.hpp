@@ -1,0 +1,26 @@
+// Multipart bodies for resource upload (paper §IV-F): "new endpoints on the
+// execution engine and server accept HTTP multipart requests for these
+// files". Encodes a set of named files into one body with a boundary, and
+// decodes it back; binary-safe because parts are length-prefixed in their
+// part headers (a simplification over MIME that keeps parsing exact).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace laminar::net {
+
+struct FilePart {
+  std::string name;     ///< logical resource path, e.g. "data/input.csv"
+  std::string content;  ///< raw bytes
+};
+
+/// Encodes parts into a multipart body.
+std::string EncodeMultipart(const std::vector<FilePart>& parts);
+
+/// Decodes a multipart body produced by EncodeMultipart.
+Result<std::vector<FilePart>> DecodeMultipart(std::string_view body);
+
+}  // namespace laminar::net

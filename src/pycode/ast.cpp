@@ -1,0 +1,33 @@
+#include "pycode/ast.hpp"
+
+namespace laminar::pycode {
+namespace {
+
+void SExprInto(std::string& out, const Node& node) {
+  if (node.leaf) {
+    switch (node.token.type) {
+      case TokenType::kNewline: out += "<NL>"; return;
+      case TokenType::kIndent: out += "<IND>"; return;
+      case TokenType::kDedent: out += "<DED>"; return;
+      case TokenType::kEnd: out += "<END>"; return;
+      default: out += node.token.text; return;
+    }
+  }
+  out += '(';
+  out += node.kind;
+  for (const auto& c : node.children) {
+    out += ' ';
+    SExprInto(out, *c);
+  }
+  out += ')';
+}
+
+}  // namespace
+
+std::string Node::ToSExpr() const {
+  std::string out;
+  SExprInto(out, *this);
+  return out;
+}
+
+}  // namespace laminar::pycode

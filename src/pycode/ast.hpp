@@ -1,0 +1,91 @@
+// Parse-tree model for the Python subset.
+//
+// Unlike a semantic AST, this is a *parse tree* in Aroma's sense: every
+// source token survives as a leaf, and internal nodes carry the grammar-rule
+// name. Aroma's simplified parse trees (SPTs) are derived from this shape by
+// keeping keyword/operator leaves verbatim and generalizing the rest.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pycode/token.hpp"
+
+namespace laminar::pycode {
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  /// Grammar rule name for internal nodes ("func_def", "call", ...);
+  /// empty for leaves.
+  std::string kind;
+  /// Valid iff leaf.
+  Token token;
+  bool leaf = false;
+  std::vector<NodePtr> children;
+
+  static NodePtr Leaf(Token t) {
+    auto n = std::make_unique<Node>();
+    n->leaf = true;
+    n->token = std::move(t);
+    return n;
+  }
+  static NodePtr Internal(std::string k) {
+    auto n = std::make_unique<Node>();
+    n->kind = std::move(k);
+    return n;
+  }
+
+  void Add(NodePtr child) { children.push_back(std::move(child)); }
+  void AddLeaf(Token t) { children.push_back(Leaf(std::move(t))); }
+
+  /// First source line covered by this subtree (0 if empty).
+  int FirstLine() const {
+    if (leaf) return token.line;
+    for (const auto& c : children) {
+      int l = c->FirstLine();
+      if (l) return l;
+    }
+    return 0;
+  }
+  /// Last source line covered by this subtree (0 if empty).
+  int LastLine() const {
+    if (leaf) return token.line;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      int l = (*it)->LastLine();
+      if (l) return l;
+    }
+    return 0;
+  }
+
+  /// Pre-order visit over all nodes (including leaves).
+  void Visit(const std::function<void(const Node&)>& fn) const {
+    fn(*this);
+    for (const auto& c : children) c->Visit(fn);
+  }
+
+  /// Number of nodes in the subtree.
+  size_t TreeSize() const {
+    size_t n = 1;
+    for (const auto& c : children) n += c->TreeSize();
+    return n;
+  }
+
+  /// Collects leaf tokens left-to-right.
+  void CollectTokens(std::vector<const Token*>& out) const {
+    if (leaf) {
+      out.push_back(&token);
+      return;
+    }
+    for (const auto& c : children) c->CollectTokens(out);
+  }
+
+  /// Multi-line structural dump for debugging and parser tests:
+  /// internal nodes as "(kind child child)", leaves as their spelling.
+  std::string ToSExpr() const;
+};
+
+}  // namespace laminar::pycode

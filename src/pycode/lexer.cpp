@@ -1,0 +1,284 @@
+#include "pycode/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace laminar::pycode {
+namespace {
+
+// Multi-character operators, longest first so maximal munch works by probing
+// in order.
+constexpr std::array<std::string_view, 24> kOps3 = {
+    "**=", "//=", ">>=", "<<=", "...",
+    // 2-char (probed after 3-char)
+    "**", "//", ">>", "<<", "<=", ">=", "==", "!=", "->", "+=", "-=", "*=",
+    "/=", "%=", "&=", "|=", "^=", ":=", "@="};
+
+constexpr std::string_view kSingleOps = "+-*/%@<>=&|^~()[]{},:.;";
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { indents_.push_back(0); }
+
+  Result<std::vector<Token>> Run() {
+    while (true) {
+      Status st = LexLine();
+      if (!st.ok()) return st;
+      if (at_end_emitted_) break;
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  bool Eof() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 0;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void Emit(TokenType type, std::string text, int line, int col) {
+    tokens_.push_back(Token{type, std::move(text), line, col});
+  }
+
+  Status ErrorAt(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ", col " + std::to_string(col_));
+  }
+
+  // Lexes one physical-line-start: handles indentation, then tokens until a
+  // logical newline (respecting bracket nesting and line continuations).
+  Status LexLine() {
+    if (Eof()) {
+      FinishIndents();
+      return Status::Ok();
+    }
+    // Measure indentation of this physical line.
+    int indent = 0;
+    size_t scan = pos_;
+    while (scan < src_.size() && (src_[scan] == ' ' || src_[scan] == '\t')) {
+      indent += src_[scan] == '\t' ? 8 - (indent % 8) : 1;
+      ++scan;
+    }
+    // Blank line or comment-only line: skip entirely (no NEWLINE token).
+    if (scan >= src_.size() || src_[scan] == '\n' || src_[scan] == '#' ||
+        src_[scan] == '\r') {
+      while (!Eof() && Peek() != '\n') Advance();
+      if (!Eof()) Advance();  // consume '\n'
+      if (Eof()) FinishIndents();
+      return Status::Ok();
+    }
+    // Apply indentation tokens.
+    while (pos_ < scan) Advance();
+    if (indent > indents_.back()) {
+      indents_.push_back(indent);
+      Emit(TokenType::kIndent, "", line_, col_);
+    } else {
+      while (indent < indents_.back()) {
+        indents_.pop_back();
+        Emit(TokenType::kDedent, "", line_, col_);
+      }
+      if (indent != indents_.back()) {
+        return ErrorAt("inconsistent dedent");
+      }
+    }
+    // Lex tokens until logical end of line.
+    while (true) {
+      if (Eof()) {
+        Emit(TokenType::kNewline, "", line_, col_);
+        FinishIndents();
+        return Status::Ok();
+      }
+      char c = Peek();
+      if (c == '\n') {
+        Advance();
+        if (bracket_depth_ == 0) {
+          Emit(TokenType::kNewline, "", line_, col_);
+          if (Eof()) FinishIndents();
+          return Status::Ok();
+        }
+        continue;  // implicit joining inside brackets
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        Advance();
+        continue;
+      }
+      if (c == '#') {
+        while (!Eof() && Peek() != '\n') Advance();
+        continue;
+      }
+      if (c == '\\' && Peek(1) == '\n') {  // explicit continuation
+        Advance();
+        Advance();
+        continue;
+      }
+      Status st = LexToken();
+      if (!st.ok()) return st;
+    }
+  }
+
+  void FinishIndents() {
+    if (at_end_emitted_) return;
+    while (indents_.back() > 0) {
+      indents_.pop_back();
+      Emit(TokenType::kDedent, "", line_, col_);
+    }
+    Emit(TokenType::kEnd, "", line_, col_);
+    at_end_emitted_ = true;
+  }
+
+  Status LexToken() {
+    int tline = line_;
+    int tcol = col_;
+    char c = Peek();
+    unsigned char uc = static_cast<unsigned char>(c);
+
+    // String literal (with optional prefix letters r/b/f/u in any case).
+    if (c == '"' || c == '\'') return LexString("", tline, tcol);
+    if (std::isalpha(uc) || c == '_') {
+      size_t start = pos_;
+      while (!Eof() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+        Advance();
+      }
+      std::string word(src_.substr(start, pos_ - start));
+      if ((Peek() == '"' || Peek() == '\'') && word.size() <= 2 &&
+          IsStringPrefix(word)) {
+        return LexString(word, tline, tcol);
+      }
+      TokenType type =
+          IsPythonKeyword(word) ? TokenType::kKeyword : TokenType::kName;
+      Emit(type, std::move(word), tline, tcol);
+      return Status::Ok();
+    }
+    if (std::isdigit(uc) || (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexNumber(tline, tcol);
+    }
+    // Operators: try 3-char, then 2-char, then 1-char.
+    for (std::string_view op : kOps3) {
+      if (op.size() <= src_.size() - pos_ && src_.substr(pos_, op.size()) == op) {
+        for (size_t i = 0; i < op.size(); ++i) Advance();
+        UpdateBrackets(op);
+        Emit(TokenType::kOp, std::string(op), tline, tcol);
+        return Status::Ok();
+      }
+    }
+    if (kSingleOps.find(c) != std::string_view::npos) {
+      Advance();
+      std::string op(1, c);
+      UpdateBrackets(op);
+      Emit(TokenType::kOp, std::move(op), tline, tcol);
+      return Status::Ok();
+    }
+    return ErrorAt(std::string("unexpected character '") + c + "'");
+  }
+
+  static bool IsStringPrefix(std::string_view word) {
+    for (char c : word) {
+      char l = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      if (l != 'r' && l != 'b' && l != 'f' && l != 'u') return false;
+    }
+    return true;
+  }
+
+  void UpdateBrackets(std::string_view op) {
+    if (op == "(" || op == "[" || op == "{") ++bracket_depth_;
+    if ((op == ")" || op == "]" || op == "}") && bracket_depth_ > 0) {
+      --bracket_depth_;
+    }
+  }
+
+  Status LexString(const std::string& prefix, int tline, int tcol) {
+    std::string text = prefix;
+    char quote = Peek();
+    bool triple = Peek(1) == quote && Peek(2) == quote;
+    int n = triple ? 3 : 1;
+    for (int i = 0; i < n; ++i) text += Advance();
+    while (true) {
+      if (Eof()) return ErrorAt("unterminated string literal");
+      char c = Peek();
+      if (c == '\\') {
+        text += Advance();
+        if (Eof()) return ErrorAt("unterminated escape in string");
+        text += Advance();
+        continue;
+      }
+      if (!triple && c == '\n') return ErrorAt("newline in string literal");
+      if (c == quote) {
+        if (!triple) {
+          text += Advance();
+          break;
+        }
+        if (Peek(1) == quote && Peek(2) == quote) {
+          for (int i = 0; i < 3; ++i) text += Advance();
+          break;
+        }
+      }
+      text += Advance();
+    }
+    Emit(TokenType::kString, std::move(text), tline, tcol);
+    return Status::Ok();
+  }
+
+  Status LexNumber(int tline, int tcol) {
+    size_t start = pos_;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X' || Peek(1) == 'o' ||
+                          Peek(1) == 'O' || Peek(1) == 'b' || Peek(1) == 'B')) {
+      Advance();
+      Advance();
+      while (!Eof() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+        Advance();
+      }
+    } else {
+      while (!Eof() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+        Advance();
+      }
+      if (Peek() == '.') {
+        Advance();
+        while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        size_t save = pos_;
+        Advance();
+        if (Peek() == '+' || Peek() == '-') Advance();
+        if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+        } else {
+          pos_ = save;  // 'e' belongs to a following name, unusual but safe
+        }
+      }
+      if (Peek() == 'j' || Peek() == 'J') Advance();  // complex literal
+    }
+    Emit(TokenType::kNumber, std::string(src_.substr(start, pos_ - start)),
+         tline, tcol);
+    return Status::Ok();
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 0;
+  int bracket_depth_ = 0;
+  std::vector<int> indents_;
+  std::vector<Token> tokens_;
+  bool at_end_emitted_ = false;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace laminar::pycode

@@ -1,0 +1,17 @@
+// Python-subset lexer: indentation-aware tokenization with implicit line
+// joining inside brackets, comments, and single/triple-quoted strings.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pycode/token.hpp"
+
+namespace laminar::pycode {
+
+/// Tokenizes `source`. On success the stream always ends with kEnd and is
+/// balanced: every kIndent has a matching kDedent. Errors report line/col.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace laminar::pycode

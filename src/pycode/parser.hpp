@@ -1,0 +1,31 @@
+// Recursive-descent parser for the Python subset used by Laminar PEs.
+//
+// Covers everything the corpus generator, the example PEs and typical
+// dispel4py code need: classes, functions (plain & decorated), all common
+// statements, full expression grammar with comprehensions, slices, lambdas,
+// starred args, and chained comparisons.
+//
+// Two entry points:
+//  * Parse        — strict; any syntax error is reported.
+//  * ParseLenient — for partial snippets (Aroma queries with dropped code):
+//    falls back to per-logical-line fragment trees for unparseable regions so
+//    that feature extraction still sees most of the structure, mirroring how
+//    Aroma handles incomplete code.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "pycode/ast.hpp"
+
+namespace laminar::pycode {
+
+/// Strict parse of a complete module.
+Result<NodePtr> Parse(std::string_view source);
+
+/// Parse that never fails on syntactically broken snippets: regions that do
+/// not parse become flat "fragment" nodes holding their tokens. Returns an
+/// error only if the input produces no tokens at all.
+Result<NodePtr> ParseLenient(std::string_view source);
+
+}  // namespace laminar::pycode

@@ -1,0 +1,33 @@
+#include "pycode/token.hpp"
+
+#include <array>
+#include <algorithm>
+
+namespace laminar::pycode {
+
+std::string_view TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kName: return "NAME";
+    case TokenType::kKeyword: return "KEYWORD";
+    case TokenType::kNumber: return "NUMBER";
+    case TokenType::kString: return "STRING";
+    case TokenType::kOp: return "OP";
+    case TokenType::kNewline: return "NEWLINE";
+    case TokenType::kIndent: return "INDENT";
+    case TokenType::kDedent: return "DEDENT";
+    case TokenType::kEnd: return "END";
+  }
+  return "?";
+}
+
+bool IsPythonKeyword(std::string_view word) {
+  static constexpr std::array<std::string_view, 35> kKeywords = {
+      "False",  "None",   "True",    "and",    "as",     "assert", "async",
+      "await",  "break",  "class",   "continue", "def",  "del",    "elif",
+      "else",   "except", "finally", "for",    "from",   "global", "if",
+      "import", "in",     "is",      "lambda", "nonlocal", "not",  "or",
+      "pass",   "raise",  "return",  "try",    "while",  "with",   "yield"};
+  return std::find(kKeywords.begin(), kKeywords.end(), word) != kKeywords.end();
+}
+
+}  // namespace laminar::pycode

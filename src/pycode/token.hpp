@@ -1,0 +1,51 @@
+// Token model for the Python-subset front end.
+//
+// Laminar 2.0 used ANTLR-generated Python lexers/parsers to build parse
+// trees for Aroma. We replace that generated code with a hand-written,
+// dependency-free lexer producing the same token classes a grammar-based
+// lexer would: names, keywords, literals, operators, and the INDENT/DEDENT/
+// NEWLINE structure tokens Python's grammar needs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace laminar::pycode {
+
+enum class TokenType {
+  kName,      ///< identifier (not a keyword)
+  kKeyword,   ///< def, class, if, return, ...
+  kNumber,    ///< integer/float literal, original spelling kept
+  kString,    ///< string literal including quotes/prefix
+  kOp,        ///< operator or punctuation, e.g. "+", "**=", "("
+  kNewline,   ///< logical line end
+  kIndent,    ///< indentation increase
+  kDedent,    ///< indentation decrease
+  kEnd,       ///< end of input
+};
+
+std::string_view TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  ///< source spelling ("" for INDENT/DEDENT/END)
+  int line = 0;      ///< 1-based source line
+  int col = 0;       ///< 0-based source column
+
+  bool Is(TokenType t) const { return type == t; }
+  bool Is(TokenType t, std::string_view s) const {
+    return type == t && text == s;
+  }
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOp(std::string_view op) const {
+    return type == TokenType::kOp && text == op;
+  }
+};
+
+/// True for Python keywords recognized by the subset grammar.
+bool IsPythonKeyword(std::string_view word);
+
+}  // namespace laminar::pycode

@@ -1,0 +1,131 @@
+#include "registry/database.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace laminar::registry {
+
+Status Database::CreateTable(TableSchema schema) {
+  if (GetTable(schema.name) != nullptr) {
+    return Status::AlreadyExists("table '" + schema.name + "' already exists");
+  }
+  for (const ForeignKeySpec& fk : schema.foreign_keys) {
+    if (GetTable(fk.ref_table) == nullptr) {
+      return Status::InvalidArgument("foreign key references unknown table '" +
+                                     fk.ref_table + "'");
+    }
+  }
+  std::string name = schema.name;
+  tables_.emplace_back(name, std::make_unique<Table>(std::move(schema)));
+  return Status::Ok();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  for (auto& [n, t] : tables_) {
+    if (n == name) return t.get();
+  }
+  return nullptr;
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  for (const auto& [n, t] : tables_) {
+    if (n == name) return t.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [n, t] : tables_) names.push_back(n);
+  return names;
+}
+
+Status Database::CheckForeignKeys(const Table& table, const Row& row) const {
+  for (const ForeignKeySpec& fk : table.schema().foreign_keys) {
+    const Value& v = row.at(fk.column);
+    if (v.is_null()) continue;
+    const Table* ref = GetTable(fk.ref_table);
+    if (ref == nullptr || !ref->Exists(v.as_int())) {
+      return Status::InvalidArgument(
+          "foreign key violation: " + table.schema().name + "." + fk.column +
+          " -> " + fk.ref_table + " id " + std::to_string(v.as_int()));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> Database::Insert(const std::string& table, Row row) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no table '" + table + "'");
+  Status st = CheckForeignKeys(*t, row);
+  if (!st.ok()) return st;
+  return t->Insert(std::move(row));
+}
+
+Status Database::Update(const std::string& table, int64_t id,
+                        const Row& fields) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no table '" + table + "'");
+  Status st = CheckForeignKeys(*t, fields);
+  if (!st.ok()) return st;
+  return t->Update(id, fields);
+}
+
+Status Database::Erase(const std::string& table, int64_t id) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no table '" + table + "'");
+  // Refuse while referenced.
+  for (const auto& [name, other] : tables_) {
+    for (const ForeignKeySpec& fk : other->schema().foreign_keys) {
+      if (fk.ref_table != table) continue;
+      std::vector<Row> refs = other->FindBy(fk.column, Value(id));
+      if (!refs.empty()) {
+        return Status::FailedPrecondition(
+            "row " + std::to_string(id) + " of '" + table +
+            "' is still referenced by table '" + name + "'");
+      }
+    }
+  }
+  if (!t->Erase(id)) {
+    return Status::NotFound("no row " + std::to_string(id) + " in '" + table +
+                            "'");
+  }
+  return Status::Ok();
+}
+
+std::string Database::Dump() const {
+  Value root = Value::MakeObject();
+  for (const auto& [name, table] : tables_) {
+    root[name] = table->ToJson();
+  }
+  return root.ToJsonPretty();
+}
+
+Status Database::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Unavailable("cannot open '" + path + "' for write");
+  out << Dump();
+  return out.good() ? Status::Ok()
+                    : Status::Unavailable("write to '" + path + "' failed");
+}
+
+Status Database::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<Value> parsed = json::Parse(buffer.str());
+  if (!parsed.ok()) return parsed.status();
+  for (auto& [name, table] : tables_) {
+    const Value& table_obj = parsed->at(name);
+    if (table_obj.is_null()) continue;  // table absent in snapshot
+    Status st = table->LoadRows(table_obj);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace laminar::registry

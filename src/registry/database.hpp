@@ -1,0 +1,41 @@
+// Embedded relational database: named tables + foreign-key enforcement +
+// whole-database JSON persistence. Stands in for the MySQL instance behind
+// the Laminar registry (DESIGN.md substitution table).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "registry/table.hpp"
+
+namespace laminar::registry {
+
+class Database {
+ public:
+  Status CreateTable(TableSchema schema);
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Insert with foreign-key checks (Table::Insert alone does not see other
+  /// tables).
+  Result<int64_t> Insert(const std::string& table, Row row);
+  /// Update with foreign-key checks on any changed FK columns.
+  Status Update(const std::string& table, int64_t id, const Row& fields);
+  /// Erase, refusing while other rows still reference this one.
+  Status Erase(const std::string& table, int64_t id);
+
+  /// Serializes every table (schema names + rows) to pretty JSON.
+  std::string Dump() const;
+  Status SaveToFile(const std::string& path) const;
+  /// Restores rows into the already-created tables of this database.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  Status CheckForeignKeys(const Table& table, const Row& row) const;
+
+  std::vector<std::pair<std::string, std::unique_ptr<Table>>> tables_;
+};
+
+}  // namespace laminar::registry

@@ -1,0 +1,27 @@
+// The Laminar 2.0 registry schema (paper Fig. 6 / Table II): User, Workflow,
+// ProcessingElement, Execution, Response, plus the WorkflowPE link table
+// that normalizes the many-to-many between workflows and reusable PEs.
+// Code and embeddings live in CLOB columns; names are indexed for literal
+// search; (workflowId, peId) pairs and usernames are unique.
+#pragma once
+
+#include "registry/database.hpp"
+
+namespace laminar::registry {
+
+inline constexpr const char kUserTable[] = "user";
+inline constexpr const char kWorkflowTable[] = "workflow";
+inline constexpr const char kPeTable[] = "processing_element";
+inline constexpr const char kWorkflowPeTable[] = "workflow_pe";
+inline constexpr const char kExecutionTable[] = "execution";
+inline constexpr const char kResponseTable[] = "response";
+
+/// Creates all Laminar 2.0 tables in `db` (which must be empty of them).
+Status CreateLaminarSchema(Database& db);
+
+/// The Laminar *1.0* schema variant used by bench_registry's ablation:
+/// code/embeddings in bounded String columns, no secondary indexes, no link
+/// table. Tables get a "v1_" prefix so both schemas can coexist.
+Status CreateLegacySchema(Database& db);
+
+}  // namespace laminar::registry

@@ -1,0 +1,117 @@
+// Embedded relational table — the storage unit of the Laminar registry.
+//
+// Models the MySQL features the paper's schema update (§IV-D, Fig. 6)
+// relies on: typed columns, VARCHAR-style bounded strings vs CLOBs
+// (character large objects) for code and embeddings, auto-increment primary
+// keys, unique constraints and secondary hash indexes. The VARCHAR bound is
+// real: Laminar 1.0 stored Python code in a String field "which limited
+// storage size" — bench_registry reproduces exactly that failure mode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/value.hpp"
+
+namespace laminar::registry {
+
+enum class ColumnType {
+  kInt,
+  kDouble,
+  kBool,
+  kString,  ///< bounded text (VARCHAR); see TableSchema::string_limit
+  kClob,    ///< unbounded character large object
+};
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+  bool nullable = true;
+};
+
+struct ForeignKeySpec {
+  std::string column;     ///< local column holding the referenced id
+  std::string ref_table;  ///< referenced table (by its primary key)
+};
+
+struct TableSchema {
+  std::string name;
+  /// Auto-increment integer primary key column (always present, named here).
+  std::string primary_key = "id";
+  std::vector<ColumnSpec> columns;  ///< non-key columns
+  std::vector<std::string> unique_columns;
+  std::vector<std::string> indexed_columns;  ///< secondary hash indexes
+  std::vector<ForeignKeySpec> foreign_keys;
+  /// Maximum length of ColumnType::kString values (MySQL VARCHAR(255)
+  /// default — the Laminar 1.0 limitation).
+  size_t string_limit = 255;
+};
+
+/// Read/write row representation: a Value object keyed by column name.
+using Row = Value;
+
+/// Lookup statistics used by bench_registry to show index effect.
+struct TableStats {
+  uint64_t index_lookups = 0;
+  uint64_t full_scans = 0;
+  uint64_t rows_scanned = 0;
+};
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Validates column types/limits/uniqueness, assigns the next primary key
+  /// and stores the row. Returns the new id.
+  Result<int64_t> Insert(Row row);
+
+  Result<Row> Get(int64_t id) const;
+  bool Exists(int64_t id) const { return rows_.contains(id); }
+
+  /// Merges `fields` into the row (validating types/uniqueness).
+  Status Update(int64_t id, const Row& fields);
+  bool Erase(int64_t id);
+
+  /// Equality lookup. Uses the hash index when the column is indexed or
+  /// unique; falls back to a full scan otherwise (and counts it).
+  std::vector<Row> FindBy(const std::string& column, const Value& value) const;
+
+  /// Predicate scan over all rows, ascending id order.
+  std::vector<Row> Scan(const std::function<bool(const Row&)>& pred) const;
+  /// All rows, ascending id order.
+  std::vector<Row> All() const;
+
+  void Clear();
+  TableStats stats() const { return stats_; }
+
+  /// Persistence hooks used by Database.
+  Value ToJson() const;
+  Status LoadRows(const Value& rows_array);
+
+ private:
+  const ColumnSpec* FindColumn(const std::string& name) const;
+  Status ValidateTypes(const Row& row, bool partial) const;
+  Status CheckUnique(const Row& row, int64_t ignore_id) const;
+  void IndexRow(int64_t id, const Row& row);
+  void DeindexRow(int64_t id, const Row& row);
+  static std::string IndexKey(const Value& v);
+
+  TableSchema schema_;
+  std::map<int64_t, Row> rows_;  // ordered for deterministic scans
+  int64_t next_id_ = 1;
+  /// column -> value-key -> row ids.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::vector<int64_t>>>
+      indexes_;
+  mutable TableStats stats_;
+};
+
+}  // namespace laminar::registry

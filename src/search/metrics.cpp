@@ -1,0 +1,74 @@
+#include "search/metrics.hpp"
+
+#include <algorithm>
+
+namespace laminar::search {
+
+std::vector<PrPoint> PrecisionRecallCurve(
+    const std::vector<std::vector<int64_t>>& ranked_per_query,
+    const std::vector<std::unordered_set<int64_t>>& relevant_per_query,
+    size_t max_k) {
+  std::vector<PrPoint> curve;
+  size_t queries = std::min(ranked_per_query.size(), relevant_per_query.size());
+  for (size_t k = 1; k <= max_k; ++k) {
+    double precision_sum = 0.0;
+    double recall_sum = 0.0;
+    size_t counted = 0;
+    for (size_t q = 0; q < queries; ++q) {
+      const auto& relevant = relevant_per_query[q];
+      if (relevant.empty()) continue;
+      const auto& ranked = ranked_per_query[q];
+      size_t upto = std::min(k, ranked.size());
+      size_t hits = 0;
+      for (size_t i = 0; i < upto; ++i) {
+        if (relevant.contains(ranked[i])) ++hits;
+      }
+      // Precision uses the *requested* k (an empty tail counts against the
+      // system, as in the paper's fixed-size result lists).
+      precision_sum += static_cast<double>(hits) / static_cast<double>(k);
+      recall_sum +=
+          static_cast<double>(hits) / static_cast<double>(relevant.size());
+      ++counted;
+    }
+    if (counted == 0) break;
+    PrPoint p;
+    p.k = k;
+    p.precision = precision_sum / static_cast<double>(counted);
+    p.recall = recall_sum / static_cast<double>(counted);
+    p.f1 = (p.precision + p.recall) > 0
+               ? 2 * p.precision * p.recall / (p.precision + p.recall)
+               : 0.0;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+PrPoint BestF1(const std::vector<PrPoint>& curve) {
+  PrPoint best;
+  for (const PrPoint& p : curve) {
+    if (p.f1 > best.f1) best = p;
+  }
+  return best;
+}
+
+double MeanReciprocalRank(
+    const std::vector<std::vector<int64_t>>& ranked_per_query,
+    const std::vector<std::unordered_set<int64_t>>& relevant_per_query) {
+  size_t queries = std::min(ranked_per_query.size(), relevant_per_query.size());
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t q = 0; q < queries; ++q) {
+    if (relevant_per_query[q].empty()) continue;
+    ++counted;
+    const auto& ranked = ranked_per_query[q];
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      if (relevant_per_query[q].contains(ranked[i])) {
+        sum += 1.0 / static_cast<double>(i + 1);
+        break;
+      }
+    }
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace laminar::search

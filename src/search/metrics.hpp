@@ -1,0 +1,37 @@
+// Ranked-retrieval metrics for the paper's evaluation figures (11-13):
+// precision/recall/F1 at result-set size k, averaged over queries, traced
+// into a precision-recall curve by sweeping k.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace laminar::search {
+
+struct PrPoint {
+  size_t k = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Computes the macro-averaged PR curve: for each k in 1..max_k, precision
+/// and recall of the top-k of every query's ranked list against its
+/// relevant set, averaged over queries. Queries with empty relevant sets
+/// are skipped.
+std::vector<PrPoint> PrecisionRecallCurve(
+    const std::vector<std::vector<int64_t>>& ranked_per_query,
+    const std::vector<std::unordered_set<int64_t>>& relevant_per_query,
+    size_t max_k);
+
+/// Highest F1 on the curve (the paper's headline "best F1" numbers).
+PrPoint BestF1(const std::vector<PrPoint>& curve);
+
+/// Mean reciprocal rank of the first relevant result.
+double MeanReciprocalRank(
+    const std::vector<std::vector<int64_t>>& ranked_per_query,
+    const std::vector<std::unordered_set<int64_t>>& relevant_per_query);
+
+}  // namespace laminar::search

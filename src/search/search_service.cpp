@@ -1,0 +1,224 @@
+#include "search/search_service.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace laminar::search {
+
+SearchService::SearchService(registry::Repository& repo, SearchConfig config)
+    : repo_(&repo),
+      config_(config),
+      unixcoder_(config.unixcoder),
+      reacc_(config.reacc),
+      aroma_(config.aroma) {}
+
+Status SearchService::AddPe(int64_t pe_id) {
+  Result<registry::PeRecord> pe = repo_->GetPe(pe_id);
+  if (!pe.ok()) return pe.status();
+  Doc doc;
+  doc.name = pe->name;
+  doc.description = pe->description;
+  doc.text_embedding = pe->description_embedding.empty()
+                           ? unixcoder_.EncodeText(pe->description)
+                           : embed::FromJson(pe->description_embedding);
+  if (doc.text_embedding.empty()) {
+    doc.text_embedding = unixcoder_.EncodeText(pe->description);
+  }
+  doc.code_embedding = reacc_.EncodeCode(pe->code);
+  pe_docs_[pe_id] = std::move(doc);
+  // The Aroma index ignores snippets with no extractable features (e.g.
+  // registration of an empty stub) rather than failing the registration.
+  (void)aroma_.AddSnippet(pe_id, pe->code);
+  return Status::Ok();
+}
+
+Status SearchService::AddWorkflow(int64_t workflow_id) {
+  Result<registry::WorkflowRecord> wf = repo_->GetWorkflow(workflow_id);
+  if (!wf.ok()) return wf.status();
+  Doc doc;
+  doc.name = wf->name;
+  doc.description = wf->description;
+  doc.text_embedding = wf->description_embedding.empty()
+                           ? unixcoder_.EncodeText(wf->description)
+                           : embed::FromJson(wf->description_embedding);
+  if (doc.text_embedding.empty()) {
+    doc.text_embedding = unixcoder_.EncodeText(wf->description);
+  }
+  doc.code_embedding = reacc_.EncodeCode(wf->code);
+  workflow_docs_[workflow_id] = std::move(doc);
+  return Status::Ok();
+}
+
+void SearchService::RemovePe(int64_t pe_id) {
+  pe_docs_.erase(pe_id);
+  aroma_.RemoveSnippet(pe_id);
+}
+
+void SearchService::RemoveWorkflow(int64_t workflow_id) {
+  workflow_docs_.erase(workflow_id);
+}
+
+void SearchService::Clear() {
+  pe_docs_.clear();
+  workflow_docs_.clear();
+  // AromaEngine has no bulk clear; rebuild it.
+  aroma_ = spt::AromaEngine(config_.aroma);
+}
+
+Status SearchService::ReindexAll() {
+  Clear();
+  for (const registry::PeRecord& pe : repo_->AllPes()) {
+    Status st = AddPe(pe.id);
+    if (!st.ok()) return st;
+  }
+  for (const registry::WorkflowRecord& wf : repo_->AllWorkflows()) {
+    Status st = AddWorkflow(wf.id);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+std::vector<SearchHit> SearchService::LiteralSearch(const std::string& term,
+                                                    SearchTarget target,
+                                                    size_t limit) const {
+  if (limit == 0) limit = config_.default_limit;
+  const auto& docs = target == SearchTarget::kPe ? pe_docs_ : workflow_docs_;
+  std::vector<SearchHit> hits;
+  for (const auto& [id, doc] : docs) {
+    bool name_match = strings::ContainsIgnoreCase(doc.name, term);
+    bool desc_match = strings::ContainsIgnoreCase(doc.description, term);
+    if (!name_match && !desc_match) continue;
+    SearchHit hit;
+    hit.id = id;
+    hit.name = doc.name;
+    hit.description = doc.description;
+    hit.score = name_match ? 2.0 : 1.0;  // name matches rank first
+    hits.push_back(std::move(hit));
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  if (hits.size() > limit) hits.resize(limit);
+  return hits;
+}
+
+std::vector<SearchHit> SearchService::RankByCosine(
+    const embed::Vector& query, const std::unordered_map<int64_t, Doc>& docs,
+    bool use_code_embedding, size_t limit) const {
+  std::vector<SearchHit> hits;
+  hits.reserve(docs.size());
+  for (const auto& [id, doc] : docs) {
+    const embed::Vector& target =
+        use_code_embedding ? doc.code_embedding : doc.text_embedding;
+    double score = embed::Cosine(query, target);
+    SearchHit hit;
+    hit.id = id;
+    hit.name = doc.name;
+    hit.description = doc.description;
+    hit.score = score;
+    hits.push_back(std::move(hit));
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  if (hits.size() > limit) hits.resize(limit);
+  return hits;
+}
+
+std::vector<SearchHit> SearchService::SemanticSearch(const std::string& query,
+                                                     SearchTarget target,
+                                                     size_t limit) const {
+  if (limit == 0) limit = config_.default_limit;
+  embed::Vector q = unixcoder_.EncodeText(query);
+  return RankByCosine(
+      q, target == SearchTarget::kPe ? pe_docs_ : workflow_docs_,
+      /*use_code_embedding=*/false, limit);
+}
+
+std::vector<SearchHit> SearchService::CodeSearchLlm(const std::string& code,
+                                                    SearchTarget target,
+                                                    size_t limit) const {
+  if (limit == 0) limit = config_.default_limit;
+  embed::Vector q = reacc_.EncodeCode(code);
+  return RankByCosine(
+      q, target == SearchTarget::kPe ? pe_docs_ : workflow_docs_,
+      /*use_code_embedding=*/true, limit);
+}
+
+Result<std::vector<spt::Completion>> SearchService::CodeCompletion(
+    const std::string& partial_code, size_t limit) const {
+  return aroma_.Complete(partial_code, limit);
+}
+
+Result<std::vector<RecommendationHit>> SearchService::CodeRecommendation(
+    const std::string& code, SearchTarget target, size_t limit) const {
+  if (limit == 0) limit = config_.default_limit;
+  if (target == SearchTarget::kPe) {
+    Result<std::vector<spt::Recommendation>> recs = aroma_.Recommend(code);
+    if (!recs.ok()) return recs.status();
+    std::vector<RecommendationHit> out;
+    for (const spt::Recommendation& rec : recs.value()) {
+      if (out.size() >= limit) break;
+      RecommendationHit hit;
+      hit.id = rec.snippet_id;
+      auto doc = pe_docs_.find(rec.snippet_id);
+      if (doc != pe_docs_.end()) {
+        hit.name = doc->second.name;
+        hit.description = doc->second.description;
+      }
+      hit.score = rec.score;
+      hit.similar_code = rec.recommended_code;
+      out.push_back(std::move(hit));
+    }
+    return out;
+  }
+
+  // Workflow recommendation (§VI-A): find similar PEs, then rank the
+  // workflows containing them by occurrence count. Uses the raw structural
+  // search (not the clustered recommendations — clustering would collapse
+  // several similar PEs of one workflow into a single occurrence).
+  Result<std::vector<spt::SptIndex::Hit>> pe_hits =
+      aroma_.Search(code, /*k=*/4 * limit + 8, spt::Metric::kOverlap);
+  if (!pe_hits.ok()) return pe_hits.status();
+  std::map<int64_t, RecommendationHit> by_workflow;
+  for (const spt::SptIndex::Hit& pe_hit : pe_hits.value()) {
+    if (pe_hit.score < config_.recommend_min_score) continue;
+    for (int64_t wf_id : repo_->WorkflowsUsingPe(pe_hit.doc_id)) {
+      RecommendationHit& hit = by_workflow[wf_id];
+      if (hit.id == 0) {
+        hit.id = wf_id;
+        auto doc = workflow_docs_.find(wf_id);
+        if (doc != workflow_docs_.end()) {
+          hit.name = doc->second.name;
+          hit.description = doc->second.description;
+        }
+        hit.occurrences = 0;
+      }
+      ++hit.occurrences;
+      hit.score = std::max(hit.score, pe_hit.score);
+      if (hit.similar_code.empty()) {
+        auto pe_doc = pe_docs_.find(pe_hit.doc_id);
+        if (pe_doc != pe_docs_.end()) hit.similar_code = pe_doc->second.name;
+      }
+    }
+  }
+  std::vector<RecommendationHit> out;
+  out.reserve(by_workflow.size());
+  for (auto& [id, hit] : by_workflow) out.push_back(std::move(hit));
+  std::sort(out.begin(), out.end(),
+            [](const RecommendationHit& a, const RecommendationHit& b) {
+              if (a.occurrences != b.occurrences) {
+                return a.occurrences > b.occurrences;
+              }
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace laminar::search

@@ -1,0 +1,121 @@
+// The registry search & recommendation service (paper §V and §VI): literal
+// search, semantic (text-to-code) search over UniXcoder-style description
+// embeddings, LLM code-to-code search (ReACC baseline), and SPT structural
+// code recommendation (Aroma).
+//
+// The service keeps in-memory indexes (dense embedding matrices + the Aroma
+// feature index) synchronized with the registry via Add/Remove hooks, just
+// as the paper's server precomputes and stores embeddings at registration
+// time (§V-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "embed/codet5_sim.hpp"
+#include "embed/reacc_sim.hpp"
+#include "embed/unixcoder_sim.hpp"
+#include "registry/repository.hpp"
+#include "spt/recommend.hpp"
+
+namespace laminar::search {
+
+/// What to search over, mirroring the CLI's [workflow|pe] argument.
+enum class SearchTarget { kPe, kWorkflow };
+
+struct SearchHit {
+  int64_t id = 0;
+  std::string name;
+  std::string description;
+  double score = 0.0;
+};
+
+struct RecommendationHit {
+  int64_t id = 0;
+  std::string name;
+  std::string description;
+  double score = 0.0;
+  std::string similar_code;  ///< pruned snippet (spt) or full code (llm)
+  size_t occurrences = 1;    ///< for workflow recommendations
+};
+
+struct SearchConfig {
+  size_t default_limit = 5;           ///< paper: top five results
+  double recommend_min_score = 6.0;   ///< paper §VI-A default threshold
+  embed::UnixcoderConfig unixcoder;
+  embed::ReaccConfig reacc;
+  spt::AromaConfig aroma;
+};
+
+class SearchService {
+ public:
+  SearchService(registry::Repository& repo, SearchConfig config = {});
+
+  /// Index maintenance — the server calls these on registration/removal.
+  /// AddPe/AddWorkflow read the record back from the repository.
+  Status AddPe(int64_t pe_id);
+  Status AddWorkflow(int64_t workflow_id);
+  void RemovePe(int64_t pe_id);
+  void RemoveWorkflow(int64_t workflow_id);
+  void Clear();
+  /// Rebuilds everything from the repository.
+  Status ReindexAll();
+
+  /// §V-A literal search: case-insensitive term match on names and
+  /// descriptions.
+  std::vector<SearchHit> LiteralSearch(const std::string& term,
+                                       SearchTarget target,
+                                       size_t limit = 0) const;
+
+  /// §V-B semantic text-to-code search: cosine between the encoded query
+  /// and stored description embeddings.
+  std::vector<SearchHit> SemanticSearch(const std::string& query,
+                                        SearchTarget target,
+                                        size_t limit = 0) const;
+
+  /// Laminar 1.0 code-to-code search (--embedding_type llm): cosine between
+  /// ReACC code embeddings.
+  std::vector<SearchHit> CodeSearchLlm(const std::string& code,
+                                       SearchTarget target,
+                                       size_t limit = 0) const;
+
+  /// Code completion: continuation lines of registered PEs whose prefix
+  /// structurally matches the partial snippet.
+  Result<std::vector<spt::Completion>> CodeCompletion(
+      const std::string& partial_code, size_t limit = 3) const;
+
+  /// §VI code recommendation (--embedding_type spt, the default): Aroma
+  /// structural search over PE SPTs. For kWorkflow, similar PEs are mapped
+  /// to the workflows containing them, ranked by occurrence count.
+  Result<std::vector<RecommendationHit>> CodeRecommendation(
+      const std::string& code, SearchTarget target, size_t limit = 0) const;
+
+  const SearchConfig& config() const { return config_; }
+  const embed::UnixcoderSim& text_encoder() const { return unixcoder_; }
+  const embed::ReaccSim& code_encoder() const { return reacc_; }
+  const spt::AromaEngine& aroma() const { return aroma_; }
+
+ private:
+  struct Doc {
+    std::string name;
+    std::string description;
+    embed::Vector text_embedding;
+    embed::Vector code_embedding;
+  };
+  std::vector<SearchHit> RankByCosine(
+      const embed::Vector& query,
+      const std::unordered_map<int64_t, Doc>& docs,
+      bool use_code_embedding, size_t limit) const;
+
+  registry::Repository* repo_;
+  SearchConfig config_;
+  embed::UnixcoderSim unixcoder_;
+  embed::ReaccSim reacc_;
+  spt::AromaEngine aroma_;  ///< indexes PE snippets by pe id
+  std::unordered_map<int64_t, Doc> pe_docs_;
+  std::unordered_map<int64_t, Doc> workflow_docs_;
+};
+
+}  // namespace laminar::search

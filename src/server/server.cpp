@@ -1,0 +1,694 @@
+#include "server/server.hpp"
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "net/multipart.hpp"
+#include "pycode/parser.hpp"
+
+namespace laminar::server {
+namespace {
+
+int StatusToHttp(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kParseError: return 400;
+    case StatusCode::kPermissionDenied: return 401;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kAlreadyExists: return 409;
+    case StatusCode::kFailedPrecondition: return 428;
+    case StatusCode::kResourceExhausted: return 429;
+    case StatusCode::kUnavailable: return 503;
+    case StatusCode::kDeadlineExceeded: return 408;
+    case StatusCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+Value ErrorBody(const Status& st) {
+  Value body = Value::MakeObject();
+  body["error"] = st.ToString();
+  return body;
+}
+
+search::SearchTarget ParseTarget(const Value& body) {
+  return body.GetString("target", "pe") == "workflow"
+             ? search::SearchTarget::kWorkflow
+             : search::SearchTarget::kPe;
+}
+
+/// Class name of the first class definition in the code (the registered PE's
+/// canonical name when the client did not provide one).
+std::string ExtractClassName(const std::string& code) {
+  Result<pycode::NodePtr> parsed = pycode::ParseLenient(code);
+  if (!parsed.ok()) return {};
+  std::string name;
+  parsed.value()->Visit([&](const pycode::Node& n) {
+    if (!name.empty() || n.leaf || n.kind != "class_def") return;
+    bool saw_kw = false;
+    for (const auto& c : n.children) {
+      if (c->leaf && c->token.IsKeyword("class")) {
+        saw_kw = true;
+        continue;
+      }
+      if (saw_kw && c->leaf && c->token.type == pycode::TokenType::kName) {
+        name = c->token.text;
+        return;
+      }
+    }
+  });
+  return name;
+}
+
+}  // namespace
+
+LaminarServer::LaminarServer(ServerConfig config)
+    : config_(std::move(config)),
+      repo_(db_),
+      search_(repo_, config_.search),
+      engine_(config_.engine),
+      unixcoder_(config_.search.unixcoder) {
+  Status st = registry::CreateLaminarSchema(db_);
+  if (!st.ok()) {
+    log::Error("server", "schema creation failed: " + st.ToString());
+  }
+  Result<int64_t> uid = repo_.CreateUser(config_.default_user, "laminar");
+  default_user_id_ = uid.ok() ? uid.value() : 1;
+}
+
+net::StreamHandler LaminarServer::HandlerFn() {
+  return [this](const net::HttpRequest& req, net::StreamResponder& out) {
+    Handle(req, out);
+  };
+}
+
+void LaminarServer::Reply(net::StreamResponder& out, int status,
+                          const Value& body) {
+  out.SendChunk(body.ToJson());
+  out.End(status);
+}
+
+int64_t LaminarServer::AuthUser(const net::HttpRequest& request) {
+  std::string token = request.headers.GetString("authorization");
+  if (!token.empty()) {
+    auto it = tokens_.find(token);
+    if (it != tokens_.end()) return it->second;
+  }
+  return default_user_id_;
+}
+
+Value LaminarServer::PeToJson(const registry::PeRecord& pe,
+                              bool with_code) const {
+  Value v = Value::MakeObject();
+  v["peId"] = pe.id;
+  v["peName"] = pe.name;
+  v["description"] = pe.description;
+  v["peType"] = pe.type;
+  if (with_code) v["code"] = pe.code;
+  return v;
+}
+
+Value LaminarServer::WorkflowToJson(const registry::WorkflowRecord& wf,
+                                    bool with_code) const {
+  Value v = Value::MakeObject();
+  v["workflowId"] = wf.id;
+  v["workflowName"] = wf.name;
+  v["description"] = wf.description;
+  v["entryPoint"] = wf.entry_point;
+  if (with_code) v["code"] = wf.code;
+  return v;
+}
+
+Result<int64_t> LaminarServer::RegisterPeLocked(const Value& pe_obj) {
+  registry::PeRecord pe;
+  pe.code = pe_obj.GetString("code");
+  if (pe.code.empty()) {
+    return Status::InvalidArgument("PE registration requires 'code'");
+  }
+  pe.name = pe_obj.GetString("name");
+  if (pe.name.empty()) pe.name = ExtractClassName(pe.code);
+  if (pe.name.empty()) {
+    return Status::InvalidArgument("cannot determine PE name from code");
+  }
+  pe.description = pe_obj.GetString("description");
+  if (pe.description.empty()) {
+    // §IV-C: auto-generate from the full class context.
+    pe.description =
+        codet5_.Summarize(pe.code, embed::DescriptionContext::kFullClass);
+  }
+  pe.description_embedding =
+      embed::ToJson(unixcoder_.EncodeText(pe.description));
+  Result<spt::FeatureBag> features = search_.aroma().Featurize(pe.code);
+  if (features.ok()) {
+    pe.spt_embedding = spt::FeatureBagToJson(features.value());
+  }
+  pe.type = pe_obj.GetString("type", "IterativePE");
+  Result<int64_t> id = repo_.CreatePe(pe);
+  if (!id.ok()) return id;
+  Status st = search_.AddPe(id.value());
+  if (!st.ok()) return st;
+  return id;
+}
+
+void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
+                                  net::StreamResponder& out) {
+  engine::ExecuteRequest req;
+  int64_t workflow_id = body.GetInt("workflowId", 0);
+  {
+    std::scoped_lock lock(mu_);
+    if (workflow_id != 0) {
+      Result<registry::WorkflowRecord> wf = repo_.GetWorkflow(workflow_id);
+      if (!wf.ok()) {
+        Reply(out, 404, ErrorBody(wf.status()));
+        return;
+      }
+      Result<Value> spec = json::Parse(wf->entry_point);
+      if (!spec.ok()) {
+        Reply(out, 500,
+              ErrorBody(Status::Internal("workflow has no executable spec")));
+        return;
+      }
+      req.workflow_spec = std::move(spec.value());
+      req.workflow_code = wf->code;
+    } else if (body.contains("spec")) {
+      req.workflow_spec = body.at("spec");
+    } else {
+      Reply(out, 400,
+            ErrorBody(Status::InvalidArgument(
+                "execute requires 'workflowId' or 'spec'")));
+      return;
+    }
+  }
+  req.mapping = body.GetString("mapping", "simple");
+  if (body.contains("input")) req.run_options.input = body.at("input");
+  req.run_options.num_processes =
+      static_cast<int>(body.GetInt("processes", 4));
+  req.run_options.verbose = body.GetBool("verbose", false);
+  req.run_options.max_workers =
+      static_cast<int>(body.GetInt("max_workers", 8));
+  req.run_options.deadline_ms = body.GetDouble("deadline_ms", 0.0);
+  for (const Value& r : body.at("resources").as_array()) {
+    engine::ResourceRef ref;
+    ref.name = r.GetString("name");
+    ref.content_hash = static_cast<uint64_t>(r.GetInt("hash"));
+    req.resources.push_back(std::move(ref));
+  }
+
+  // §IV-F: answer with the missing-resource list before anything runs.
+  std::vector<engine::ResourceRef> missing =
+      engine_.MissingResources(req.resources);
+  if (!missing.empty()) {
+    Value resp = Value::MakeObject();
+    Value arr = Value::MakeArray();
+    for (const engine::ResourceRef& m : missing) {
+      Value e = Value::MakeObject();
+      e["name"] = m.name;
+      e["hash"] = static_cast<int64_t>(m.content_hash);
+      arr.push_back(std::move(e));
+    }
+    resp["missing"] = std::move(arr);
+    Reply(out, 428, resp);
+    return;
+  }
+
+  int64_t execution_id = 0;
+  if (workflow_id != 0) {
+    std::scoped_lock lock(mu_);
+    Result<int64_t> eid =
+        repo_.CreateExecution(workflow_id, user_id, req.mapping);
+    if (eid.ok()) execution_id = eid.value();
+  }
+
+  // §IV-E: stream stdout lines as response chunks the moment they appear.
+  engine::ExecuteStats stats;
+  Result<dataflow::RunResult> result = engine_.Execute(
+      req,
+      [&out](const std::string& line) { out.SendChunk(line + "\n"); },
+      &stats);
+
+  Value end = Value::MakeObject();
+  if (!result.ok()) {
+    end["error"] = result.status().ToString();
+    if (execution_id != 0) {
+      std::scoped_lock lock(mu_);
+      (void)repo_.FinishExecution(execution_id, "failed",
+                                  result.status().ToString(), 0);
+    }
+    out.SendChunk(std::string(kEndMarker) + end.ToJson());
+    out.End(StatusToHttp(result.status()));
+    return;
+  }
+  end["tuples"] = static_cast<int64_t>(stats.tuples);
+  end["lines"] = static_cast<int64_t>(stats.lines);
+  end["coldStart"] = stats.cold_start;
+  end["runMs"] = stats.run_ms;
+  end["peakWorkers"] = stats.peak_workers;
+  end["executionId"] = execution_id;
+  if (execution_id != 0) {
+    std::string output;
+    for (const std::string& line : result->output_lines) {
+      output += line;
+      output += '\n';
+    }
+    std::scoped_lock lock(mu_);
+    (void)repo_.FinishExecution(
+        execution_id, "succeeded", output,
+        static_cast<int64_t>(result->output_lines.size()));
+  }
+  out.SendChunk(std::string(kEndMarker) + end.ToJson());
+  out.End(200);
+}
+
+void LaminarServer::Handle(const net::HttpRequest& request,
+                           net::StreamResponder& out) {
+  const std::string& path = request.path;
+
+  // Multipart endpoint first (binary body, not JSON).
+  if (path == "/resources/upload") {
+    Result<std::vector<net::FilePart>> parts =
+        net::DecodeMultipart(request.body);
+    if (!parts.ok()) {
+      Reply(out, 400, ErrorBody(parts.status()));
+      return;
+    }
+    Value resp = Value::MakeObject();
+    int64_t stored = 0;
+    for (net::FilePart& part : parts.value()) {
+      engine_.PutResource(part.name, std::move(part.content));
+      ++stored;
+    }
+    resp["stored"] = stored;
+    Reply(out, 200, resp);
+    return;
+  }
+
+  Value body = Value::MakeObject();
+  if (!request.body.empty()) {
+    Result<Value> parsed = json::Parse(request.body);
+    if (!parsed.ok()) {
+      Reply(out, 400, ErrorBody(parsed.status()));
+      return;
+    }
+    body = std::move(parsed.value());
+  }
+
+  if (path == "/health") {
+    Value resp = Value::MakeObject();
+    resp["status"] = "ok";
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/execute") {
+    int64_t user_id;
+    {
+      std::scoped_lock lock(mu_);
+      user_id = AuthUser(request);
+    }
+    HandleExecute(body, user_id, out);
+    return;
+  }
+
+  std::scoped_lock lock(mu_);
+
+  if (path == "/users/register") {
+    Result<int64_t> id = repo_.CreateUser(body.GetString("userName"),
+                                          body.GetString("password"));
+    if (!id.ok()) {
+      Reply(out, StatusToHttp(id.status()), ErrorBody(id.status()));
+      return;
+    }
+    Value resp = Value::MakeObject();
+    resp["userId"] = id.value();
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/users/login") {
+    Result<registry::UserRecord> user =
+        repo_.GetUserByName(body.GetString("userName"));
+    if (!user.ok() || user->password != body.GetString("password")) {
+      Reply(out, 401,
+            ErrorBody(Status::PermissionDenied("bad username or password")));
+      return;
+    }
+    std::string token = "tok-" + std::to_string(next_token_++);
+    tokens_[token] = user->id;
+    Value resp = Value::MakeObject();
+    resp["token"] = token;
+    resp["userId"] = user->id;
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/pes/register") {
+    Result<int64_t> id = RegisterPeLocked(body);
+    if (!id.ok()) {
+      Reply(out, StatusToHttp(id.status()), ErrorBody(id.status()));
+      return;
+    }
+    Result<registry::PeRecord> pe = repo_.GetPe(id.value());
+    Reply(out, 200, PeToJson(pe.value(), /*with_code=*/false));
+    return;
+  }
+
+  if (path == "/pes/get" || path == "/pes/describe") {
+    Result<registry::PeRecord> pe =
+        body.contains("id") ? repo_.GetPe(body.GetInt("id"))
+                            : repo_.GetPeByName(body.GetString("name"));
+    if (!pe.ok()) {
+      Reply(out, 404, ErrorBody(pe.status()));
+      return;
+    }
+    Reply(out, 200, PeToJson(pe.value(), /*with_code=*/true));
+    return;
+  }
+
+  if (path == "/pes/update_description") {
+    int64_t id = body.GetInt("id");
+    Value fields = Value::MakeObject();
+    std::string description = body.GetString("description");
+    fields["description"] = description;
+    fields["descriptionEmbedding"] =
+        embed::ToJson(unixcoder_.EncodeText(description));
+    Status st = repo_.UpdatePe(id, fields);
+    if (!st.ok()) {
+      Reply(out, StatusToHttp(st), ErrorBody(st));
+      return;
+    }
+    search_.RemovePe(id);
+    (void)search_.AddPe(id);  // record exists; re-index cannot fail
+    Reply(out, 200, Value::MakeObject());
+    return;
+  }
+
+  if (path == "/pes/remove") {
+    int64_t id = body.GetInt("id");
+    Status st = repo_.RemovePe(id);
+    if (!st.ok()) {
+      Reply(out, StatusToHttp(st), ErrorBody(st));
+      return;
+    }
+    search_.RemovePe(id);
+    Reply(out, 200, Value::MakeObject());
+    return;
+  }
+
+  if (path == "/workflows/register") {
+    registry::WorkflowRecord wf;
+    wf.user_id = AuthUser(request);
+    wf.name = body.GetString("name");
+    wf.code = body.GetString("code");
+    wf.entry_point = body.at("spec").is_object()
+                         ? body.at("spec").ToJson()
+                         : body.GetString("spec");
+    if (wf.name.empty()) {
+      Reply(out, 400,
+            ErrorBody(Status::InvalidArgument("workflow requires 'name'")));
+      return;
+    }
+    // Register the member PEs first (they may already exist by name).
+    std::vector<int64_t> pe_ids;
+    std::vector<std::string> pe_descriptions;
+    for (const Value& pe_obj : body.at("pes").as_array()) {
+      Result<int64_t> pe_id = RegisterPeLocked(pe_obj);
+      if (!pe_id.ok()) {
+        Reply(out, StatusToHttp(pe_id.status()), ErrorBody(pe_id.status()));
+        return;
+      }
+      pe_ids.push_back(pe_id.value());
+      Result<registry::PeRecord> pe = repo_.GetPe(pe_id.value());
+      if (pe.ok()) pe_descriptions.push_back(pe->description);
+    }
+    wf.description = body.GetString("description");
+    if (wf.description.empty()) {
+      // §IV-C: workflow descriptions synthesized from their PEs.
+      wf.description = codet5_.SummarizeWorkflow(wf.name, pe_descriptions);
+    }
+    wf.description_embedding =
+        embed::ToJson(unixcoder_.EncodeText(wf.description));
+    if (!wf.code.empty()) {
+      Result<spt::FeatureBag> features = search_.aroma().Featurize(wf.code);
+      if (features.ok()) {
+        wf.spt_embedding = spt::FeatureBagToJson(features.value());
+      }
+    }
+    Result<int64_t> wf_id = repo_.CreateWorkflow(wf);
+    if (!wf_id.ok()) {
+      Reply(out, StatusToHttp(wf_id.status()), ErrorBody(wf_id.status()));
+      return;
+    }
+    for (int64_t pe_id : pe_ids) {
+      (void)repo_.LinkPe(wf_id.value(), pe_id);  // both rows just created
+    }
+    (void)search_.AddWorkflow(wf_id.value());
+    Value resp = Value::MakeObject();
+    resp["workflowId"] = wf_id.value();
+    Value ids = Value::MakeArray();
+    for (int64_t pe_id : pe_ids) ids.push_back(pe_id);
+    resp["peIds"] = std::move(ids);
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/workflows/get" || path == "/workflows/describe") {
+    Result<registry::WorkflowRecord> wf =
+        body.contains("id")
+            ? repo_.GetWorkflow(body.GetInt("id"))
+            : repo_.GetWorkflowByName(body.GetString("name"));
+    if (!wf.ok()) {
+      Reply(out, 404, ErrorBody(wf.status()));
+      return;
+    }
+    Reply(out, 200, WorkflowToJson(wf.value(), /*with_code=*/true));
+    return;
+  }
+
+  if (path == "/workflows/pes") {
+    Value resp = Value::MakeObject();
+    Value arr = Value::MakeArray();
+    for (const registry::PeRecord& pe :
+         repo_.PesOfWorkflow(body.GetInt("id"))) {
+      arr.push_back(PeToJson(pe, /*with_code=*/false));
+    }
+    resp["pes"] = std::move(arr);
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/workflows/executions") {
+    Value resp = Value::MakeObject();
+    Value arr = Value::MakeArray();
+    for (const registry::ExecutionRecord& e :
+         repo_.ExecutionsOfWorkflow(body.GetInt("id"))) {
+      Value x = Value::MakeObject();
+      x["executionId"] = e.id;
+      x["mapping"] = e.mapping;
+      x["status"] = e.status;
+      x["startedAtMs"] = e.started_at_ms;
+      x["finishedAtMs"] = e.finished_at_ms;
+      arr.push_back(std::move(x));
+    }
+    resp["executions"] = std::move(arr);
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/workflows/update_description") {
+    int64_t id = body.GetInt("id");
+    Value fields = Value::MakeObject();
+    std::string description = body.GetString("description");
+    fields["description"] = description;
+    fields["descriptionEmbedding"] =
+        embed::ToJson(unixcoder_.EncodeText(description));
+    Status st = repo_.UpdateWorkflow(id, fields);
+    if (!st.ok()) {
+      Reply(out, StatusToHttp(st), ErrorBody(st));
+      return;
+    }
+    search_.RemoveWorkflow(id);
+    (void)search_.AddWorkflow(id);
+    Reply(out, 200, Value::MakeObject());
+    return;
+  }
+
+  if (path == "/workflows/remove") {
+    int64_t id = body.GetInt("id");
+    Status st = repo_.RemoveWorkflow(id);
+    if (!st.ok()) {
+      Reply(out, StatusToHttp(st), ErrorBody(st));
+      return;
+    }
+    search_.RemoveWorkflow(id);
+    Reply(out, 200, Value::MakeObject());
+    return;
+  }
+
+  if (path == "/registry/list") {
+    Value resp = Value::MakeObject();
+    Value pes = Value::MakeArray();
+    for (const registry::PeRecord& pe : repo_.AllPes()) {
+      pes.push_back(PeToJson(pe, /*with_code=*/false));
+    }
+    Value wfs = Value::MakeArray();
+    for (const registry::WorkflowRecord& wf : repo_.AllWorkflows()) {
+      wfs.push_back(WorkflowToJson(wf, /*with_code=*/false));
+    }
+    resp["pes"] = std::move(pes);
+    resp["workflows"] = std::move(wfs);
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/registry/remove_all") {
+    (void)repo_.RemoveAll();
+    search_.Clear();
+    Reply(out, 200, Value::MakeObject());
+    return;
+  }
+
+  if (path == "/search/literal" || path == "/search/semantic") {
+    std::vector<search::SearchHit> hits;
+    size_t limit = static_cast<size_t>(body.GetInt("limit", 0));
+    if (path == "/search/literal") {
+      hits = search_.LiteralSearch(body.GetString("term"), ParseTarget(body),
+                                   limit);
+    } else {
+      hits = search_.SemanticSearch(body.GetString("query"),
+                                    ParseTarget(body), limit);
+    }
+    Value resp = Value::MakeObject();
+    Value arr = Value::MakeArray();
+    for (const search::SearchHit& hit : hits) {
+      Value h = Value::MakeObject();
+      h["id"] = hit.id;
+      h["name"] = hit.name;
+      h["description"] = hit.description;
+      h["score"] = hit.score;
+      arr.push_back(std::move(h));
+    }
+    resp["hits"] = std::move(arr);
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/search/complete") {
+    Result<std::vector<spt::Completion>> completions = search_.CodeCompletion(
+        body.GetString("code"),
+        static_cast<size_t>(body.GetInt("limit", 3)));
+    if (!completions.ok()) {
+      Reply(out, StatusToHttp(completions.status()),
+            ErrorBody(completions.status()));
+      return;
+    }
+    Value resp = Value::MakeObject();
+    Value arr = Value::MakeArray();
+    for (const spt::Completion& c : completions.value()) {
+      Value h = Value::MakeObject();
+      h["id"] = c.snippet_id;
+      Result<registry::PeRecord> pe = repo_.GetPe(c.snippet_id);
+      if (pe.ok()) h["name"] = pe->name;
+      h["score"] = c.score;
+      h["continuation"] = c.continuation;
+      arr.push_back(std::move(h));
+    }
+    resp["completions"] = std::move(arr);
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/registry/save") {
+    std::string file = body.GetString("path");
+    if (file.empty()) {
+      Reply(out, 400,
+            ErrorBody(Status::InvalidArgument("save requires 'path'")));
+      return;
+    }
+    Status st = db_.SaveToFile(file);
+    if (!st.ok()) {
+      Reply(out, StatusToHttp(st), ErrorBody(st));
+      return;
+    }
+    Reply(out, 200, Value::MakeObject());
+    return;
+  }
+
+  if (path == "/registry/load") {
+    std::string file = body.GetString("path");
+    Status st = db_.LoadFromFile(file);
+    if (!st.ok()) {
+      Reply(out, StatusToHttp(st), ErrorBody(st));
+      return;
+    }
+    st = search_.ReindexAll();
+    if (!st.ok()) {
+      Reply(out, StatusToHttp(st), ErrorBody(st));
+      return;
+    }
+    Value resp = Value::MakeObject();
+    resp["pes"] = static_cast<int64_t>(repo_.AllPes().size());
+    resp["workflows"] = static_cast<int64_t>(repo_.AllWorkflows().size());
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/stats") {
+    Value resp = Value::MakeObject();
+    resp["pes"] = static_cast<int64_t>(repo_.AllPes().size());
+    resp["workflows"] = static_cast<int64_t>(repo_.AllWorkflows().size());
+    auto cache = engine_.resource_cache().stats();
+    resp["cache"]["hits"] = static_cast<int64_t>(cache.hits);
+    resp["cache"]["misses"] = static_cast<int64_t>(cache.misses);
+    resp["cache"]["bytesStored"] = static_cast<int64_t>(cache.bytes_stored);
+    auto broker_stats = engine_.broker().stats();
+    resp["broker"]["pushes"] = static_cast<int64_t>(broker_stats.pushes);
+    resp["broker"]["pops"] = static_cast<int64_t>(broker_stats.pops);
+    resp["engine"]["warmInstances"] = engine_.warm_instances();
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/search/code") {
+    std::string embedding_type = body.GetString("embedding_type", "spt");
+    size_t limit = static_cast<size_t>(body.GetInt("limit", 0));
+    Value resp = Value::MakeObject();
+    Value arr = Value::MakeArray();
+    if (embedding_type == "llm") {
+      for (const search::SearchHit& hit : search_.CodeSearchLlm(
+               body.GetString("code"), ParseTarget(body), limit)) {
+        Value h = Value::MakeObject();
+        h["id"] = hit.id;
+        h["name"] = hit.name;
+        h["description"] = hit.description;
+        h["score"] = hit.score;
+        arr.push_back(std::move(h));
+      }
+    } else {
+      Result<std::vector<search::RecommendationHit>> recs =
+          search_.CodeRecommendation(body.GetString("code"),
+                                     ParseTarget(body), limit);
+      if (!recs.ok()) {
+        Reply(out, StatusToHttp(recs.status()), ErrorBody(recs.status()));
+        return;
+      }
+      for (const search::RecommendationHit& hit : recs.value()) {
+        Value h = Value::MakeObject();
+        h["id"] = hit.id;
+        h["name"] = hit.name;
+        h["description"] = hit.description;
+        h["score"] = hit.score;
+        h["similarCode"] = hit.similar_code;
+        h["occurrences"] = static_cast<int64_t>(hit.occurrences);
+        arr.push_back(std::move(h));
+      }
+    }
+    resp["hits"] = std::move(arr);
+    Reply(out, 200, resp);
+    return;
+  }
+
+  Reply(out, 404,
+        ErrorBody(Status::NotFound("unknown endpoint '" + path + "'")));
+}
+
+}  // namespace laminar::server

@@ -1,0 +1,98 @@
+// The Laminar server (paper §III): coordinates clients, registry, search and
+// the execution engine. Organized like the paper's layering — this class is
+// the controller tier; registry::Repository is the data-access tier;
+// search::SearchService / ExecutionEngine are the service tier.
+//
+// The server is transport-agnostic: Handle() implements the protocol and can
+// be bound as the handler of any number of HttpConnections (batch or
+// streaming). All registry mutations are serialized by one mutex; workflow
+// execution runs outside it.
+//
+// Endpoints (all POST, JSON bodies):
+//   /users/register {userName,password}            -> {userId}
+//   /users/login    {userName,password}            -> {token,userId}
+//   /pes/register   {name?,code,description?}      -> {peId,name,description}
+//   /pes/get        {id|name}                      -> PE record
+//   /pes/describe   {id}                           -> {description,code}
+//   /pes/update_description {id,description}       -> {}
+//   /pes/remove     {id}                           -> {}
+//   /workflows/register {name,code?,spec,description?,pes:[...]}
+//                                                  -> {workflowId,peIds}
+//   /workflows/get  {id|name}                      -> workflow record
+//   /workflows/pes  {id}                           -> {pes:[...]}
+//   /workflows/update_description {id,description} -> {}
+//   /workflows/remove {id}                         -> {}
+//   /registry/list  {}                             -> {pes,workflows}
+//   /registry/remove_all {}                        -> {}
+//   /search/literal  {target,term,limit?}          -> {hits}
+//   /search/semantic {target,query,limit?}         -> {hits}
+//   /search/code     {target,code,embedding_type?,limit?} -> {hits}
+//   /resources/upload (multipart body)             -> {stored}
+//   /execute {workflowId|spec,mapping,input,processes,resources,verbose}
+//       -> streamed stdout lines, then "##END## {stats}" chunk
+//          (HTTP 428 + {missing:[...]} when resources must be uploaded)
+//   /health {}                                     -> {status:"ok"}
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "embed/codet5_sim.hpp"
+#include "engine/engine.hpp"
+#include "net/http.hpp"
+#include "registry/repository.hpp"
+#include "search/search_service.hpp"
+
+namespace laminar::server {
+
+struct ServerConfig {
+  engine::EngineConfig engine;
+  search::SearchConfig search;
+  /// Name of the implicit user owning unauthenticated registrations.
+  std::string default_user = "laminar";
+};
+
+class LaminarServer {
+ public:
+  explicit LaminarServer(ServerConfig config = {});
+
+  /// The protocol handler; bind into HttpConnection as the StreamHandler.
+  void Handle(const net::HttpRequest& request, net::StreamResponder& out);
+
+  /// Convenience for binding: a StreamHandler closure over this server.
+  net::StreamHandler HandlerFn();
+
+  registry::Repository& repository() { return repo_; }
+  search::SearchService& search() { return search_; }
+  engine::ExecutionEngine& engine() { return engine_; }
+
+  /// Marker prefixing the final stats chunk of an /execute stream.
+  static constexpr std::string_view kEndMarker = "##END## ";
+
+ private:
+  void Reply(net::StreamResponder& out, int status, const Value& body);
+  Result<int64_t> RegisterPeLocked(const Value& pe_obj);
+  Value PeToJson(const registry::PeRecord& pe, bool with_code) const;
+  Value WorkflowToJson(const registry::WorkflowRecord& wf,
+                       bool with_code) const;
+  int64_t AuthUser(const net::HttpRequest& request);
+
+  // Endpoint implementations (registry lock held by caller where needed).
+  void HandleExecute(const Value& body, int64_t user_id,
+                     net::StreamResponder& out);
+
+  ServerConfig config_;
+  registry::Database db_;
+  registry::Repository repo_;
+  search::SearchService search_;
+  engine::ExecutionEngine engine_;
+  embed::CodeT5Sim codet5_;
+  embed::UnixcoderSim unixcoder_;
+  std::mutex mu_;  ///< guards db_/repo_/search_/tokens_
+  std::unordered_map<std::string, int64_t> tokens_;
+  int64_t default_user_id_ = 0;
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace laminar::server

@@ -1,0 +1,68 @@
+#include "spt/index.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace laminar::spt {
+
+void SptIndex::Add(int64_t doc_id, FeatureBag bag) {
+  Remove(doc_id);
+  for (const auto& [h, c] : bag.counts) {
+    postings_[h].push_back(doc_id);
+  }
+  docs_[doc_id] = std::move(bag);
+}
+
+bool SptIndex::Remove(int64_t doc_id) {
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return false;
+  for (const auto& [h, c] : it->second.counts) {
+    auto pit = postings_.find(h);
+    if (pit == postings_.end()) continue;
+    std::erase(pit->second, doc_id);
+    if (pit->second.empty()) postings_.erase(pit);
+  }
+  docs_.erase(it);
+  return true;
+}
+
+void SptIndex::Clear() {
+  docs_.clear();
+  postings_.clear();
+}
+
+const FeatureBag* SptIndex::Get(int64_t doc_id) const {
+  auto it = docs_.find(doc_id);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+std::vector<SptIndex::Hit> SptIndex::TopK(const FeatureBag& query, size_t k,
+                                          Metric metric) const {
+  // Gather candidate docs sharing at least one feature with the query.
+  std::unordered_set<int64_t> candidates;
+  for (const auto& [h, c] : query.counts) {
+    auto pit = postings_.find(h);
+    if (pit == postings_.end()) continue;
+    candidates.insert(pit->second.begin(), pit->second.end());
+  }
+  std::vector<Hit> hits;
+  hits.reserve(candidates.size());
+  for (int64_t doc_id : candidates) {
+    const FeatureBag& bag = docs_.at(doc_id);
+    double score = 0.0;
+    switch (metric) {
+      case Metric::kOverlap: score = OverlapScore(query, bag); break;
+      case Metric::kCosine: score = CosineSimilarity(query, bag); break;
+      case Metric::kContainment: score = ContainmentScore(query, bag); break;
+    }
+    if (score > 0.0) hits.push_back(Hit{doc_id, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace laminar::spt

@@ -1,0 +1,49 @@
+// Featurization search index (Aroma "Feature Extraction and Search" stage).
+//
+// Aroma scores a query against every indexed snippet with a sparse
+// matrix-vector product over binary feature vectors. We implement the same
+// computation with an inverted index (feature -> posting list), which gives
+// identical scores without materializing the matrix.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "spt/features.hpp"
+
+namespace laminar::spt {
+
+enum class Metric {
+  kOverlap,      ///< Σ min(count) — Aroma's score; threshold 6.0 by default
+  kCosine,       ///< normalized dot — Laminar 2.0's simplified path
+  kContainment,  ///< fraction of the query covered
+};
+
+class SptIndex {
+ public:
+  struct Hit {
+    int64_t doc_id = 0;
+    double score = 0.0;
+  };
+
+  /// Adds (or replaces) a document's feature bag.
+  void Add(int64_t doc_id, FeatureBag bag);
+  bool Remove(int64_t doc_id);
+  void Clear();
+
+  const FeatureBag* Get(int64_t doc_id) const;
+  size_t size() const { return docs_.size(); }
+
+  /// Top-k most similar documents, ties broken by ascending doc id so
+  /// results are deterministic.
+  std::vector<Hit> TopK(const FeatureBag& query, size_t k,
+                        Metric metric = Metric::kOverlap) const;
+
+ private:
+  std::unordered_map<int64_t, FeatureBag> docs_;
+  /// feature hash -> doc ids containing it (deduplicated lazily on search).
+  std::unordered_map<uint64_t, std::vector<int64_t>> postings_;
+};
+
+}  // namespace laminar::spt

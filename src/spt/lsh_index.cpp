@@ -1,0 +1,118 @@
+#include "spt/lsh_index.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/hashing.hpp"
+
+namespace laminar::spt {
+
+LshIndex::LshIndex(LshConfig config) : config_(config) {
+  if (config_.bands == 0 || config_.num_hashes % config_.bands != 0) {
+    // Fall back to a safe shape rather than failing construction: one row
+    // per band.
+    config_.bands = config_.num_hashes;
+  }
+  hash_seeds_.reserve(config_.num_hashes);
+  uint64_t s = config_.seed;
+  for (size_t i = 0; i < config_.num_hashes; ++i) {
+    s = hashing::SplitMix64(s);
+    hash_seeds_.push_back(s);
+  }
+  buckets_.resize(config_.bands);
+}
+
+LshIndex::Signature LshIndex::Sign(const FeatureBag& bag) const {
+  Signature sig(config_.num_hashes, std::numeric_limits<uint64_t>::max());
+  for (const auto& [feature, count] : bag.counts) {
+    for (size_t i = 0; i < config_.num_hashes; ++i) {
+      uint64_t h = hashing::SplitMix64(feature ^ hash_seeds_[i]);
+      if (h < sig[i]) sig[i] = h;
+    }
+  }
+  return sig;
+}
+
+uint64_t LshIndex::BandKey(const Signature& sig, size_t band) const {
+  size_t rows = config_.num_hashes / config_.bands;
+  uint64_t key = hashing::SplitMix64(band + 0x9e37ULL);
+  for (size_t r = 0; r < rows; ++r) {
+    key = hashing::Combine(key, sig[band * rows + r]);
+  }
+  return key;
+}
+
+void LshIndex::Add(int64_t doc_id, FeatureBag bag) {
+  Remove(doc_id);
+  Doc doc;
+  doc.signature = Sign(bag);
+  doc.bag = std::move(bag);
+  for (size_t b = 0; b < config_.bands; ++b) {
+    buckets_[b][BandKey(doc.signature, b)].push_back(doc_id);
+  }
+  docs_.emplace(doc_id, std::move(doc));
+}
+
+bool LshIndex::Remove(int64_t doc_id) {
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) return false;
+  for (size_t b = 0; b < config_.bands; ++b) {
+    uint64_t key = BandKey(it->second.signature, b);
+    auto bit = buckets_[b].find(key);
+    if (bit == buckets_[b].end()) continue;
+    std::erase(bit->second, doc_id);
+    if (bit->second.empty()) buckets_[b].erase(bit);
+  }
+  docs_.erase(it);
+  return true;
+}
+
+std::vector<int64_t> LshIndex::Candidates(const FeatureBag& query) const {
+  Signature sig = Sign(query);
+  std::unordered_set<int64_t> seen;
+  std::vector<int64_t> out;
+  for (size_t b = 0; b < config_.bands; ++b) {
+    auto it = buckets_[b].find(BandKey(sig, b));
+    if (it == buckets_[b].end()) continue;
+    for (int64_t id : it->second) {
+      if (seen.insert(id).second) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<SptIndex::Hit> LshIndex::TopK(const FeatureBag& query, size_t k,
+                                          Metric metric) const {
+  std::vector<SptIndex::Hit> hits;
+  for (int64_t id : Candidates(query)) {
+    const FeatureBag& bag = docs_.at(id).bag;
+    double score = 0.0;
+    switch (metric) {
+      case Metric::kOverlap: score = OverlapScore(query, bag); break;
+      case Metric::kCosine: score = CosineSimilarity(query, bag); break;
+      case Metric::kContainment: score = ContainmentScore(query, bag); break;
+    }
+    if (score > 0.0) hits.push_back(SptIndex::Hit{id, score});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SptIndex::Hit& a, const SptIndex::Hit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc_id < b.doc_id;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+double LshIndex::EstimateJaccard(int64_t doc_a, int64_t doc_b) const {
+  auto a = docs_.find(doc_a);
+  auto b = docs_.find(doc_b);
+  if (a == docs_.end() || b == docs_.end()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < config_.num_hashes; ++i) {
+    if (a->second.signature[i] == b->second.signature[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(config_.num_hashes);
+}
+
+}  // namespace laminar::spt

@@ -1,0 +1,75 @@
+// MinHash-LSH index over SPT feature sets — the paper's stated future work
+// ("refining deep learning models, including LSH for structural code"),
+// modelled on Senatus / DeSkew-LSH (Silavong et al. 2021), which the
+// related-work section cites as the scalability upgrade to Aroma.
+//
+// Instead of scoring a query against every snippet (exact SptIndex), each
+// snippet's feature set is summarized by a MinHash signature; signatures are
+// cut into bands and hashed into buckets, so lookup only scores snippets
+// that collide with the query in at least one band. Jaccard-similar
+// snippets collide with high probability; dissimilar ones almost never do —
+// turning O(corpus) scoring into O(candidates).
+//
+// Retrieval quality is traded against speed via (num_hashes, bands): more
+// bands → higher recall, more candidates. Candidates are re-scored exactly
+// (overlap or cosine) so ranking quality equals the exact index on the
+// candidate set; only recall can be lost.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "spt/index.hpp"
+
+namespace laminar::spt {
+
+struct LshConfig {
+  /// Signature length. Must be divisible by `bands`.
+  size_t num_hashes = 64;
+  /// Bands of rows = num_hashes / bands each; a candidate must match the
+  /// query in all rows of at least one band.
+  size_t bands = 16;
+  uint64_t seed = 0x5e7a7e5ULL;
+};
+
+class LshIndex {
+ public:
+  explicit LshIndex(LshConfig config = {});
+
+  /// Adds (or replaces) a document.
+  void Add(int64_t doc_id, FeatureBag bag);
+  bool Remove(int64_t doc_id);
+  size_t size() const { return docs_.size(); }
+
+  /// Top-k by exact metric over LSH candidates only.
+  std::vector<SptIndex::Hit> TopK(const FeatureBag& query, size_t k,
+                                  Metric metric = Metric::kOverlap) const;
+
+  /// Candidate ids for a query (diagnostics / recall measurement).
+  std::vector<int64_t> Candidates(const FeatureBag& query) const;
+
+  /// Estimated Jaccard similarity from signatures alone (no feature access).
+  double EstimateJaccard(int64_t doc_a, int64_t doc_b) const;
+
+  const LshConfig& config() const { return config_; }
+
+ private:
+  using Signature = std::vector<uint64_t>;
+
+  Signature Sign(const FeatureBag& bag) const;
+  /// Bucket key of one band of a signature.
+  uint64_t BandKey(const Signature& sig, size_t band) const;
+
+  LshConfig config_;
+  std::vector<uint64_t> hash_seeds_;
+  struct Doc {
+    FeatureBag bag;
+    Signature signature;
+  };
+  std::unordered_map<int64_t, Doc> docs_;
+  /// band index -> bucket key -> doc ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> buckets_;
+};
+
+}  // namespace laminar::spt

@@ -1,0 +1,68 @@
+#include "spt/rerank.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace laminar::spt {
+
+PruneResult PruneAgainstQuery(const FeatureBag& query,
+                              const FeatureBag& candidate) {
+  PruneResult result;
+  if (query.total == 0 || candidate.occurrences.empty()) return result;
+
+  // Per-line feature multisets of the candidate.
+  std::map<int, std::unordered_map<uint64_t, uint32_t>> by_line;
+  for (const auto& [hash, line] : candidate.occurrences) {
+    ++by_line[line][hash];
+  }
+
+  // Remaining query budget per feature.
+  std::unordered_map<uint64_t, uint32_t> remaining = query.counts;
+  std::vector<int> selected;
+  std::vector<int> pool;
+  pool.reserve(by_line.size());
+  for (const auto& [line, feats] : by_line) pool.push_back(line);
+
+  double total_overlap = 0.0;
+  while (!pool.empty()) {
+    int best_line = 0;
+    double best_gain = 0.0;
+    size_t best_pos = 0;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const auto& feats = by_line[pool[i]];
+      double gain = 0.0;
+      for (const auto& [h, c] : feats) {
+        auto it = remaining.find(h);
+        if (it != remaining.end()) {
+          gain += std::min(c, it->second);
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_line = pool[i];
+        best_pos = i;
+      }
+    }
+    if (best_gain <= 0.0) break;
+    // Commit the line: consume its matched features from the budget.
+    for (const auto& [h, c] : by_line[best_line]) {
+      auto it = remaining.find(h);
+      if (it == remaining.end()) continue;
+      uint32_t used = std::min(c, it->second);
+      it->second -= used;
+      if (it->second == 0) remaining.erase(it);
+    }
+    total_overlap += best_gain;
+    selected.push_back(best_line);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_pos));
+  }
+
+  std::sort(selected.begin(), selected.end());
+  result.lines = std::move(selected);
+  result.overlap = total_overlap;
+  result.containment = total_overlap / static_cast<double>(query.total);
+  return result;
+}
+
+}  // namespace laminar::spt

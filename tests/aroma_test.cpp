@@ -1,0 +1,275 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "dataset/generator.hpp"
+#include "spt/index.hpp"
+#include "spt/recommend.hpp"
+#include "spt/rerank.hpp"
+
+namespace laminar::spt {
+namespace {
+
+FeatureBag Feat(const std::string& code, bool occurrences = false) {
+  Result<SptNodePtr> spt = SptFromSource(code);
+  EXPECT_TRUE(spt.ok());
+  FeatureOptions opts;
+  opts.with_occurrences = occurrences;
+  return ExtractFeatures(*spt.value(), opts);
+}
+
+// ---- SptIndex ----
+
+TEST(SptIndex, AddGetRemove) {
+  SptIndex index;
+  index.Add(1, Feat("x = 1\n"));
+  index.Add(2, Feat("y = 2\n"));
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_NE(index.Get(1), nullptr);
+  EXPECT_TRUE(index.Remove(1));
+  EXPECT_FALSE(index.Remove(1));
+  EXPECT_EQ(index.Get(1), nullptr);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(SptIndex, ReAddReplaces) {
+  SptIndex index;
+  index.Add(1, Feat("x = 1\n"));
+  index.Add(1, Feat("while flag:\n    step(1)\n"));
+  EXPECT_EQ(index.size(), 1u);
+  // Retrieval requires at least one shared (generalized) token — here
+  // `flag` and the literal 1.
+  auto hits = index.TopK(Feat("while flag:\n    go(1)\n"), 5, Metric::kCosine);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc_id, 1);
+}
+
+TEST(SptIndex, TopKRanksStructuralMatchesFirst) {
+  SptIndex index;
+  index.Add(1, Feat("for i in range(2, n):\n    if n % i == 0:\n        return None\n"));
+  index.Add(2, Feat("result = []\nfor x in xs:\n    result.append(x * 2)\n"));
+  index.Add(3, Feat("with open(path) as fh:\n    data = fh.read()\n"));
+  auto hits = index.TopK(
+      Feat("for d in range(2, value):\n    if value % d == 0:\n        return None\n"),
+      3, Metric::kOverlap);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc_id, 1);
+}
+
+TEST(SptIndex, TopKRespectsK) {
+  SptIndex index;
+  for (int64_t i = 0; i < 10; ++i) {
+    index.Add(i, Feat("x = " + std::to_string(i) + "\n"));
+  }
+  auto hits = index.TopK(Feat("x = 99\n"), 3, Metric::kCosine);
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(SptIndex, DeterministicTieBreakById) {
+  SptIndex index;
+  index.Add(5, Feat("a = 1\n"));
+  index.Add(2, Feat("b = 1\n"));  // structurally identical after #VAR
+  auto hits = index.TopK(Feat("c = 1\n"), 2, Metric::kCosine);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_DOUBLE_EQ(hits[0].score, hits[1].score);
+  EXPECT_EQ(hits[0].doc_id, 2);
+}
+
+TEST(SptIndex, NoSharedFeaturesNoHits) {
+  SptIndex index;
+  index.Add(1, Feat("import os\n"));
+  auto hits = index.TopK(Feat("9999\n"), 5, Metric::kOverlap);
+  // Any overlap must be via genuinely shared features; a bare unique number
+  // shares nothing with an import statement.
+  for (const auto& hit : hits) EXPECT_GT(hit.score, 0.0);
+}
+
+// ---- Prune & rerank ----
+
+TEST(Prune, SelectsOnlyRelevantLines) {
+  FeatureBag query = Feat("total = total + price\n");
+  FeatureBag candidate = Feat(
+      "def bill(items):\n"
+      "    total = 0\n"
+      "    for price in items:\n"
+      "        total = total + price\n"
+      "    log_invoice()\n"
+      "    return total\n",
+      /*occurrences=*/true);
+  PruneResult pruned = PruneAgainstQuery(query, candidate);
+  ASSERT_FALSE(pruned.lines.empty());
+  // Line 4 (the accumulation) must be selected; line 5 (logging) must not.
+  EXPECT_NE(std::find(pruned.lines.begin(), pruned.lines.end(), 4),
+            pruned.lines.end());
+  EXPECT_EQ(std::find(pruned.lines.begin(), pruned.lines.end(), 5),
+            pruned.lines.end());
+  EXPECT_GT(pruned.containment, 0.5);
+}
+
+TEST(Prune, EmptyQueryYieldsNothing) {
+  FeatureBag query;  // empty
+  FeatureBag candidate = Feat("x = 1\n", true);
+  PruneResult pruned = PruneAgainstQuery(query, candidate);
+  EXPECT_TRUE(pruned.lines.empty());
+  EXPECT_DOUBLE_EQ(pruned.overlap, 0.0);
+}
+
+TEST(Prune, CandidateWithoutOccurrencesYieldsNothing) {
+  FeatureBag query = Feat("x = 1\n");
+  FeatureBag candidate = Feat("x = 1\n", /*occurrences=*/false);
+  EXPECT_TRUE(PruneAgainstQuery(query, candidate).lines.empty());
+}
+
+TEST(Prune, LinesSortedAscending) {
+  FeatureBag query = Feat("a = 1\nb = 2\nc = 3\n");
+  FeatureBag candidate = Feat("c = 3\nb = 2\na = 1\n", true);
+  PruneResult pruned = PruneAgainstQuery(query, candidate);
+  EXPECT_TRUE(std::is_sorted(pruned.lines.begin(), pruned.lines.end()));
+}
+
+// ---- Clustering ----
+
+TEST(Cluster, GroupsSimilarSeparatesDifferent) {
+  FeatureBag a1 = Feat("for i in range(n):\n    acc += i\n");
+  FeatureBag a2 = Feat("for j in range(m):\n    sum2 += j\n");
+  FeatureBag b = Feat("with open(f) as fh:\n    data = fh.read()\n");
+  std::vector<ClusterInput> inputs = {{1, &a1}, {2, &a2}, {3, &b}};
+  auto clusters = ClusterCandidates(inputs, 0.5);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(clusters[1], (std::vector<size_t>{2}));
+}
+
+TEST(Cluster, ThresholdOneIsolatesAll) {
+  FeatureBag a = Feat("x = 1\n");
+  FeatureBag b = Feat("y = 2\n");
+  std::vector<ClusterInput> inputs = {{1, &a}, {2, &b}};
+  auto clusters = ClusterCandidates(inputs, 1.01);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(Cluster, ThresholdZeroMergesAll) {
+  FeatureBag a = Feat("x = 1\n");
+  FeatureBag b = Feat("import os\n");
+  std::vector<ClusterInput> inputs = {{1, &a}, {2, &b}};
+  auto clusters = ClusterCandidates(inputs, 0.0);
+  EXPECT_EQ(clusters.size(), 1u);
+}
+
+// ---- AromaEngine end-to-end ----
+
+class AromaEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset::DatasetConfig config;
+    config.families = 8;
+    config.variants_per_family = 4;
+    ds_ = dataset::CodeSearchNetPeDataset::Generate(config);
+    for (const auto& ex : ds_.examples()) {
+      ASSERT_TRUE(engine_.AddSnippet(ex.id, ex.pe_code).ok()) << ex.name;
+    }
+  }
+
+  dataset::CodeSearchNetPeDataset ds_;
+  AromaEngine engine_;
+};
+
+TEST_F(AromaEngineTest, FullCodeQueryFindsOwnFamily) {
+  const auto& query = ds_.example(0);
+  Result<std::vector<SptIndex::Hit>> hits =
+      engine_.Search(query.pe_code, 4, Metric::kCosine);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ(hits->front().doc_id, query.id);  // self first
+  // Most of the rest of the top-4 should be family members.
+  const auto& members = ds_.GroupMembers(query.group);
+  int family_hits = 0;
+  for (const auto& hit : hits.value()) {
+    if (std::find(members.begin(), members.end(), hit.doc_id) != members.end()) {
+      ++family_hits;
+    }
+  }
+  EXPECT_GE(family_hits, 3);
+}
+
+TEST_F(AromaEngineTest, PartialQueryStillRecommendsFamily) {
+  const auto& query = ds_.example(5);
+  std::string partial = dataset::DropCode(query.pe_code, 0.5);
+  Result<std::vector<Recommendation>> recs = engine_.Recommend(partial);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  const auto& members = ds_.GroupMembers(query.group);
+  EXPECT_NE(std::find(members.begin(), members.end(), recs->front().snippet_id),
+            members.end());
+}
+
+TEST_F(AromaEngineTest, RecommendationsIncludePrunedCode) {
+  const auto& query = ds_.example(2);
+  Result<std::vector<Recommendation>> recs = engine_.Recommend(query.pe_code);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  EXPECT_FALSE(recs->front().recommended_code.empty());
+  EXPECT_FALSE(recs->front().pruned_lines.empty());
+  EXPECT_GT(recs->front().score, 6.0);  // paper's default threshold
+}
+
+TEST_F(AromaEngineTest, ClustersCollapseNearDuplicates) {
+  Result<std::vector<Recommendation>> recs =
+      engine_.Recommend(ds_.example(1).pe_code);
+  ASSERT_TRUE(recs.ok());
+  // At least one recommendation should represent a multi-member cluster,
+  // since each family has 4 structurally-equivalent variants.
+  bool clustered = false;
+  for (const auto& rec : recs.value()) {
+    if (rec.cluster_size > 1) clustered = true;
+  }
+  EXPECT_TRUE(clustered);
+}
+
+TEST_F(AromaEngineTest, SimplifiedModeMatchesPaperDefaults) {
+  AromaConfig config;
+  config.use_full_pipeline = false;
+  AromaEngine simple(config);
+  for (const auto& ex : ds_.examples()) {
+    ASSERT_TRUE(simple.AddSnippet(ex.id, ex.pe_code).ok());
+  }
+  Result<std::vector<Recommendation>> recs =
+      simple.Recommend(ds_.example(0).pe_code);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  EXPECT_LE(recs->size(), 5u);  // top-five default
+  EXPECT_EQ(recs->front().snippet_id, ds_.example(0).id);
+}
+
+TEST_F(AromaEngineTest, RemoveSnippetForgetsIt) {
+  const auto& ex = ds_.example(0);
+  EXPECT_TRUE(engine_.RemoveSnippet(ex.id));
+  Result<std::vector<SptIndex::Hit>> hits = engine_.Search(ex.pe_code, 3);
+  ASSERT_TRUE(hits.ok());
+  for (const auto& hit : hits.value()) EXPECT_NE(hit.doc_id, ex.id);
+}
+
+TEST(AromaEngineEdge, RejectsEmptySnippet) {
+  AromaEngine engine;
+  EXPECT_FALSE(engine.AddSnippet(1, "").ok());
+}
+
+TEST(FeatureBagJson, RoundTrips) {
+  Result<SptNodePtr> spt = SptFromSource("x = f(1)\n");
+  ASSERT_TRUE(spt.ok());
+  FeatureBag bag = ExtractFeatures(*spt.value());
+  std::string json_text = FeatureBagToJson(bag);
+  Result<FeatureBag> back = FeatureBagFromJson(json_text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->counts, bag.counts);
+  EXPECT_EQ(back->total, bag.total);
+}
+
+TEST(FeatureBagJson, RejectsMalformed) {
+  EXPECT_FALSE(FeatureBagFromJson("not json").ok());
+  EXPECT_FALSE(FeatureBagFromJson("[1,2]").ok());
+  EXPECT_FALSE(FeatureBagFromJson(R"({"abc":1})").ok());
+  EXPECT_FALSE(FeatureBagFromJson(R"({"12":0})").ok());
+}
+
+}  // namespace
+}  // namespace laminar::spt

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "broker/broker.hpp"
+
+namespace laminar::broker {
+namespace {
+
+TEST(Broker, StringOps) {
+  Broker b;
+  EXPECT_FALSE(b.Get("k").has_value());
+  b.Set("k", "v");
+  EXPECT_EQ(b.Get("k").value(), "v");
+  EXPECT_TRUE(b.Exists("k"));
+  EXPECT_TRUE(b.Del("k"));
+  EXPECT_FALSE(b.Del("k"));
+  EXPECT_FALSE(b.Exists("k"));
+}
+
+TEST(Broker, IncrSemantics) {
+  Broker b;
+  EXPECT_EQ(b.Incr("n"), 1);
+  EXPECT_EQ(b.Incr("n", 5), 6);
+  EXPECT_EQ(b.Incr("n", -2), 4);
+  EXPECT_EQ(b.Get("n").value(), "4");
+}
+
+TEST(Broker, HashOps) {
+  Broker b;
+  b.HSet("h", "f1", "a");
+  b.HSet("h", "f2", "b");
+  EXPECT_EQ(b.HGet("h", "f1").value(), "a");
+  EXPECT_FALSE(b.HGet("h", "nope").has_value());
+  auto all = b.HGetAll("h");
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(b.HDel("h", "f1"));
+  EXPECT_FALSE(b.HDel("h", "f1"));
+  EXPECT_FALSE(b.HGet("h", "f1").has_value());
+}
+
+TEST(Broker, ListPushPopFifo) {
+  Broker b;
+  EXPECT_EQ(b.RPush("q", "1"), 1u);
+  EXPECT_EQ(b.RPush("q", "2"), 2u);
+  EXPECT_EQ(b.LPop("q").value(), "1");
+  EXPECT_EQ(b.LPop("q").value(), "2");
+  EXPECT_FALSE(b.LPop("q").has_value());
+  EXPECT_EQ(b.LLen("q"), 0u);
+}
+
+TEST(Broker, BlpopImmediateWhenAvailable) {
+  Broker b;
+  b.RPush("a", "x");
+  auto hit = b.BLPop({"a", "b"}, std::chrono::milliseconds(10));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, "a");
+  EXPECT_EQ(hit->second, "x");
+}
+
+TEST(Broker, BlpopKeyPriorityOrder) {
+  Broker b;
+  b.RPush("second", "s");
+  b.RPush("first", "f");
+  auto hit = b.BLPop({"first", "second"}, std::chrono::milliseconds(10));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, "first");  // first listed key wins, BLPOP semantics
+}
+
+TEST(Broker, BlpopTimesOut) {
+  Broker b;
+  auto hit = b.BLPop({"empty"}, std::chrono::milliseconds(20));
+  EXPECT_FALSE(hit.has_value());
+  EXPECT_GE(b.stats().blocked_pops, 1u);
+}
+
+TEST(Broker, BlpopWakesOnPush) {
+  Broker b;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    b.RPush("q", "late");
+  });
+  auto hit = b.BLPop({"q"});  // wait forever
+  producer.join();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->second, "late");
+}
+
+TEST(Broker, BlpopConcurrentConsumersEachItemOnce) {
+  Broker b;
+  constexpr int kItems = 500;
+  std::atomic<int> received{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (true) {
+        auto hit = b.BLPop({"work"}, std::chrono::milliseconds(50));
+        if (!hit.has_value()) return;
+        received.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < kItems; ++i) b.RPush("work", std::to_string(i));
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(received.load(), kItems);
+}
+
+TEST(Broker, ShutdownWakesBlockedConsumers) {
+  Broker b;
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    auto hit = b.BLPop({"never"});
+    EXPECT_FALSE(hit.has_value());
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  b.Shutdown();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(Broker, TotalQueuedByPrefix) {
+  Broker b;
+  b.RPush("wf:1:q:0", "a");
+  b.RPush("wf:1:q:1", "b");
+  b.RPush("wf:2:q:0", "c");
+  EXPECT_EQ(b.TotalQueued("wf:1:"), 2u);
+  EXPECT_EQ(b.TotalQueued("wf:"), 3u);
+  EXPECT_EQ(b.TotalQueued("nope"), 0u);
+}
+
+TEST(Broker, PubSubDeliversToSubscribers) {
+  Broker b;
+  std::vector<std::string> got_a, got_b;
+  uint64_t sub_a = b.Subscribe("chan", [&](const std::string& m) { got_a.push_back(m); });
+  b.Subscribe("chan", [&](const std::string& m) { got_b.push_back(m); });
+  b.Subscribe("other", [&](const std::string&) { FAIL(); });
+  EXPECT_EQ(b.Publish("chan", "m1"), 2u);
+  b.Unsubscribe(sub_a);
+  EXPECT_EQ(b.Publish("chan", "m2"), 1u);
+  EXPECT_EQ(got_a, (std::vector<std::string>{"m1"}));
+  EXPECT_EQ(got_b, (std::vector<std::string>{"m1", "m2"}));
+}
+
+TEST(Broker, PublishWithNoSubscribers) {
+  Broker b;
+  EXPECT_EQ(b.Publish("void", "x"), 0u);
+}
+
+TEST(Broker, FlushAllClearsEverything) {
+  Broker b;
+  b.Set("s", "1");
+  b.HSet("h", "f", "2");
+  b.RPush("l", "3");
+  b.FlushAll();
+  EXPECT_FALSE(b.Exists("s"));
+  EXPECT_FALSE(b.Exists("h"));
+  EXPECT_EQ(b.LLen("l"), 0u);
+}
+
+TEST(Broker, StatsCountOperations) {
+  Broker b;
+  b.Set("a", "1");
+  b.Get("a");
+  b.RPush("q", "x");
+  b.LPop("q");
+  b.Publish("c", "m");
+  BrokerStats s = b.stats();
+  EXPECT_EQ(s.sets, 1u);
+  EXPECT_EQ(s.gets, 1u);
+  EXPECT_EQ(s.pushes, 1u);
+  EXPECT_EQ(s.pops, 1u);
+  EXPECT_EQ(s.publishes, 1u);
+}
+
+}  // namespace
+}  // namespace laminar::broker

@@ -1,0 +1,188 @@
+// CLI tests: drive the interactive interpreter line by line and check the
+// paper's Fig. 5/7/8/9 interactions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "client/cli.hpp"
+#include "client/connect.hpp"
+
+namespace laminar::client {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  CliTest() {
+    server::ServerConfig config;
+    config.engine.cold_start_ms = 0;
+    laminar_ = ConnectInProcess(config);
+    cli_ = std::make_unique<LaminarCli>(*laminar_.client);
+  }
+
+  std::string Run(const std::string& line) {
+    std::ostringstream out;
+    keep_going_ = cli_->ExecuteLine(line, out);
+    return out.str();
+  }
+
+  InProcessLaminar laminar_;
+  std::unique_ptr<LaminarCli> cli_;
+  bool keep_going_ = true;
+};
+
+TEST_F(CliTest, HelpListsCommands) {
+  std::string out = Run("help");
+  EXPECT_NE(out.find("code_recommendation"), std::string::npos);
+  EXPECT_NE(out.find("register_workflow"), std::string::npos);
+  EXPECT_NE(out.find("semantic_search"), std::string::npos);
+  EXPECT_NE(out.find("remove_all"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpRunShowsOptions) {
+  std::string out = Run("help run");
+  EXPECT_NE(out.find("--multi"), std::string::npos);
+  EXPECT_NE(out.find("--dynamic"), std::string::npos);
+  EXPECT_NE(out.find("-i, --input"), std::string::npos);
+}
+
+TEST_F(CliTest, QuitStopsLoop) {
+  Run("quit");
+  EXPECT_FALSE(keep_going_);
+}
+
+TEST_F(CliTest, UnknownCommandHinted) {
+  std::string out = Run("frobnicate");
+  EXPECT_NE(out.find("Unknown command"), std::string::npos);
+  EXPECT_TRUE(keep_going_);
+}
+
+TEST_F(CliTest, RegisterWorkflowPrintsFoundPes) {
+  std::string out = Run("register_workflow isprime_wf.py");
+  EXPECT_NE(out.find("Found PEs"), std::string::npos);
+  EXPECT_NE(out.find("IsPrime"), std::string::npos);
+  EXPECT_NE(out.find("NumberProducer"), std::string::npos);
+  EXPECT_NE(out.find("Found workflows"), std::string::npos);
+  EXPECT_NE(out.find("isprime_wf"), std::string::npos);
+}
+
+TEST_F(CliTest, RegisterUnknownWorkflowListsAvailable) {
+  std::string out = Run("register_workflow nope.py");
+  EXPECT_NE(out.find("isprime_wf.py"), std::string::npos);
+  EXPECT_NE(out.find("anomaly_wf.py"), std::string::npos);
+}
+
+TEST_F(CliTest, ListShowsRegistryContents) {
+  Run("register_workflow isprime_wf.py");
+  std::string out = Run("list");
+  EXPECT_NE(out.find("Processing Elements:"), std::string::npos);
+  EXPECT_NE(out.find("IsPrime"), std::string::npos);
+  EXPECT_NE(out.find("Workflows:"), std::string::npos);
+}
+
+TEST_F(CliTest, RunWorkflowByName) {
+  Run("register_workflow isprime_wf.py");
+  std::string out = Run("run isprime_wf -i 20");
+  EXPECT_NE(out.find("is prime"), std::string::npos);
+  EXPECT_NE(out.find("Run complete:"), std::string::npos);
+}
+
+TEST_F(CliTest, RunWorkflowByIdWithMulti) {
+  Run("register_workflow isprime_wf.py");
+  Result<WorkflowInfo> wf = laminar_.client->GetWorkflowByName("isprime_wf");
+  ASSERT_TRUE(wf.ok());
+  std::string out =
+      Run("run " + std::to_string(wf->id) + " -i 10 --multi 9");
+  EXPECT_NE(out.find("Run complete:"), std::string::npos);
+}
+
+TEST_F(CliTest, RunDynamic) {
+  Run("register_workflow isprime_wf.py");
+  std::string out = Run("run isprime_wf -i 5 --dynamic");
+  EXPECT_NE(out.find("Run complete:"), std::string::npos);
+}
+
+TEST_F(CliTest, RunMissingWorkflowReportsError) {
+  std::string out = Run("run ghost_wf -i 5");
+  EXPECT_NE(out.find("NOT_FOUND"), std::string::npos);
+}
+
+TEST_F(CliTest, LiteralSearchTableOutput) {
+  Run("register_workflow isprime_wf.py");
+  std::string out = Run("literal_search pe prime");
+  EXPECT_NE(out.find("IsPrime"), std::string::npos);
+}
+
+TEST_F(CliTest, SemanticSearchHeaderMatchesPaper) {
+  Run("register_workflow anomaly_wf.py");
+  std::string out =
+      Run("semantic_search pe \"a pe that is able to detect anomalies\"");
+  EXPECT_NE(out.find("Performing semantic search on pe"), std::string::npos);
+  EXPECT_NE(out.find("cosine_similarity"), std::string::npos);
+  EXPECT_NE(out.find("Anomaly"), std::string::npos);
+}
+
+TEST_F(CliTest, CodeRecommendationFig9) {
+  Run("register_workflow isprime_wf.py");
+  std::string out = Run("code_recommendation pe \"random.randint(1, 1000)\"");
+  EXPECT_NE(out.find("NumberProducer"), std::string::npos);
+  std::string wf_out =
+      Run("code_recommendation workflow \"random.randint(1, 1000)\"");
+  EXPECT_NE(wf_out.find("isprime_wf"), std::string::npos);
+  EXPECT_NE(wf_out.find("occurrences"), std::string::npos);
+}
+
+TEST_F(CliTest, CodeRecommendationLlmMode) {
+  Run("register_workflow isprime_wf.py");
+  std::string out = Run(
+      "code_recommendation pe \"random.randint(1, 1000)\" "
+      "--embedding_type llm");
+  EXPECT_NE(out.find("NumberProducer"), std::string::npos);
+}
+
+TEST_F(CliTest, DescribeShowsCode) {
+  Run("register_workflow isprime_wf.py");
+  Result<PeInfo> pe = laminar_.client->GetPeByName("IsPrime");
+  ASSERT_TRUE(pe.ok());
+  std::string out = Run("describe " + std::to_string(pe->id));
+  EXPECT_NE(out.find("class IsPrime"), std::string::npos);
+}
+
+TEST_F(CliTest, UpdateDescriptionAndRemove) {
+  Run("register_workflow isprime_wf.py");
+  Result<PeInfo> pe = laminar_.client->GetPeByName("IsPrime");
+  ASSERT_TRUE(pe.ok());
+  std::string out = Run("update_pe_description " + std::to_string(pe->id) +
+                        " checks primality fast");
+  EXPECT_NE(out.find("updated"), std::string::npos);
+  EXPECT_EQ(laminar_.client->GetPe(pe->id)->description,
+            "checks primality fast");
+  out = Run("remove_pe " + std::to_string(pe->id));
+  EXPECT_NE(out.find("Removed."), std::string::npos);
+  EXPECT_FALSE(laminar_.client->GetPe(pe->id).ok());
+}
+
+TEST_F(CliTest, RemoveAllClears) {
+  Run("register_workflow isprime_wf.py");
+  std::string out = Run("remove_all");
+  EXPECT_NE(out.find("Registry cleared."), std::string::npos);
+  EXPECT_EQ(Run("list").find("IsPrime"), std::string::npos);
+}
+
+TEST_F(CliTest, RunLoopReadsUntilQuit) {
+  std::istringstream in("help\nquit\n");
+  std::ostringstream out;
+  cli_->RunLoop(in, out);
+  EXPECT_NE(out.str().find("Welcome to the Laminar CLI"), std::string::npos);
+  EXPECT_NE(out.str().find("(laminar)"), std::string::npos);
+}
+
+TEST_F(CliTest, QuotedTokenizationKeepsSnippetsIntact) {
+  Run("register_workflow isprime_wf.py");
+  // Spaces inside the quoted snippet must not split it.
+  std::string out =
+      Run("code_recommendation pe 'return random.randint(1, 1000)'");
+  EXPECT_NE(out.find("NumberProducer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace laminar::client

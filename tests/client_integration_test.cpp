@@ -1,0 +1,327 @@
+// Integration tests: every Table I client function exercised through the
+// full stack — client API -> wire protocol -> server -> registry / search /
+// execution engine — over an in-memory connection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "client/connect.hpp"
+#include "client/demo_workflows.hpp"
+
+namespace laminar::client {
+namespace {
+
+server::ServerConfig FastServer() {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  return config;
+}
+
+class ClientIntegration : public ::testing::Test {
+ protected:
+  ClientIntegration() : laminar_(ConnectInProcess(FastServer())) {}
+
+  LaminarClient& client() { return *laminar_.client; }
+
+  WorkflowInfo RegisterIsPrime() {
+    const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+    Result<WorkflowInfo> wf = client().RegisterWorkflow(
+        demo->name, demo->spec, demo->pes, demo->code);
+    EXPECT_TRUE(wf.ok()) << wf.status().ToString();
+    return wf.value();
+  }
+
+  InProcessLaminar laminar_;
+};
+
+TEST_F(ClientIntegration, RegisterAndLogin) {
+  Result<int64_t> uid = client().Register("alice", "pw");
+  ASSERT_TRUE(uid.ok());
+  EXPECT_GT(uid.value(), 0);
+  EXPECT_FALSE(client().Register("alice", "pw2").ok());  // duplicate name
+  EXPECT_TRUE(client().Login("alice", "pw").ok());
+  EXPECT_FALSE(client().Login("alice", "wrong").ok());
+  EXPECT_FALSE(client().Login("nobody", "pw").ok());
+}
+
+TEST_F(ClientIntegration, RegisterPeGeneratesDescription) {
+  Result<PeInfo> pe = client().RegisterPe(
+      "class Doubler(IterativePE):\n"
+      "    def _process(self, x):\n"
+      "        return x * 2\n");
+  ASSERT_TRUE(pe.ok()) << pe.status().ToString();
+  EXPECT_EQ(pe->name, "Doubler");  // extracted from the class
+  EXPECT_FALSE(pe->description.empty());  // CodeT5-style auto description
+}
+
+TEST_F(ClientIntegration, RegisterPeRequiresCode) {
+  EXPECT_FALSE(client().RegisterPe("").ok());
+}
+
+TEST_F(ClientIntegration, UserDescriptionWinsOverGenerated) {
+  Result<PeInfo> pe = client().RegisterPe(
+      "class X(IterativePE):\n    def _process(self, v):\n        return v\n",
+      "X", "my own words");
+  ASSERT_TRUE(pe.ok());
+  EXPECT_EQ(pe->description, "my own words");
+}
+
+TEST_F(ClientIntegration, WorkflowRegistrationLinksPes) {
+  WorkflowInfo wf = RegisterIsPrime();
+  EXPECT_EQ(wf.pe_ids.size(), 3u);
+  Result<std::vector<PeInfo>> pes = client().GetPesByWorkflow(wf.id);
+  ASSERT_TRUE(pes.ok());
+  EXPECT_EQ(pes->size(), 3u);
+  std::set<std::string> names;
+  for (const PeInfo& pe : pes.value()) names.insert(pe.name);
+  EXPECT_TRUE(names.contains("IsPrime"));
+  EXPECT_TRUE(names.contains("NumberProducer"));
+  EXPECT_TRUE(names.contains("PrintPrime"));
+}
+
+TEST_F(ClientIntegration, GetByIdAndByName) {
+  WorkflowInfo wf = RegisterIsPrime();
+  Result<WorkflowInfo> by_id = client().GetWorkflow(wf.id);
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(by_id->name, "isprime_wf");
+  Result<WorkflowInfo> by_name = client().GetWorkflowByName("isprime_wf");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name->id, wf.id);
+  Result<PeInfo> pe = client().GetPeByName("IsPrime");
+  ASSERT_TRUE(pe.ok());
+  EXPECT_NE(pe->code.find("all(num % i != 0"), std::string::npos);
+  EXPECT_FALSE(client().GetPe(9999).ok());
+  EXPECT_FALSE(client().GetWorkflowByName("ghost").ok());
+}
+
+TEST_F(ClientIntegration, GetRegistryListsEverything) {
+  RegisterIsPrime();
+  auto registry = client().GetRegistry();
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ(registry->first.size(), 3u);   // PEs
+  EXPECT_EQ(registry->second.size(), 1u);  // workflows
+}
+
+TEST_F(ClientIntegration, UpdateDescriptionsReflectInSearch) {
+  WorkflowInfo wf = RegisterIsPrime();
+  int64_t pe_id = wf.pe_ids[1];
+  ASSERT_TRUE(client()
+                  .UpdatePeDescription(pe_id, "verifies integer primality")
+                  .ok());
+  EXPECT_EQ(client().GetPe(pe_id)->description,
+            "verifies integer primality");
+  auto hits =
+      client().SearchRegistrySemantic("verifies integer primality", "pe", 1);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ(hits->front().id, pe_id);
+  ASSERT_TRUE(
+      client().UpdateWorkflowDescription(wf.id, "the prime pipeline").ok());
+  EXPECT_EQ(client().GetWorkflow(wf.id)->description, "the prime pipeline");
+}
+
+TEST_F(ClientIntegration, RemovePeAndWorkflow) {
+  WorkflowInfo wf = RegisterIsPrime();
+  ASSERT_TRUE(client().RemovePe(wf.pe_ids[0]).ok());
+  EXPECT_FALSE(client().GetPe(wf.pe_ids[0]).ok());
+  EXPECT_EQ(client().GetPesByWorkflow(wf.id)->size(), 2u);
+  ASSERT_TRUE(client().RemoveWorkflow(wf.id).ok());
+  EXPECT_FALSE(client().GetWorkflow(wf.id).ok());
+  EXPECT_FALSE(client().RemoveWorkflow(wf.id).ok());  // already gone
+}
+
+TEST_F(ClientIntegration, RemoveAllClearsRegistry) {
+  RegisterIsPrime();
+  ASSERT_TRUE(client().RemoveAll().ok());
+  auto registry = client().GetRegistry();
+  ASSERT_TRUE(registry.ok());
+  EXPECT_TRUE(registry->first.empty());
+  EXPECT_TRUE(registry->second.empty());
+}
+
+TEST_F(ClientIntegration, LiteralAndSemanticSearch) {
+  RegisterIsPrime();
+  auto literal = client().SearchRegistryLiteral("prime", "pe", 10);
+  ASSERT_TRUE(literal.ok());
+  EXPECT_GE(literal->size(), 2u);  // IsPrime + PrintPrime
+  auto literal_wf = client().SearchRegistryLiteral("isprime", "workflow");
+  ASSERT_TRUE(literal_wf.ok());
+  EXPECT_EQ(literal_wf->size(), 1u);
+  auto semantic =
+      client().SearchRegistrySemantic("random number generator", "pe", 3);
+  ASSERT_TRUE(semantic.ok());
+  ASSERT_FALSE(semantic->empty());
+  EXPECT_EQ(semantic->front().name, "NumberProducer");
+}
+
+TEST_F(ClientIntegration, CodeRecommendationSptAndLlm) {
+  RegisterIsPrime();
+  // Fig. 9: snippet "random.randint(1, 1000)" should recommend the
+  // NumberProducer PE.
+  auto spt = client().CodeRecommendation("random.randint(1, 1000)", "pe");
+  ASSERT_TRUE(spt.ok());
+  ASSERT_FALSE(spt->empty());
+  EXPECT_EQ(spt->front().name, "NumberProducer");
+  EXPECT_FALSE(spt->front().similar_code.empty());
+  auto llm = client().CodeRecommendation(
+      "class IsPrime(IterativePE):\n"
+      "    def _process(self, num):\n"
+      "        if all(num % i != 0 for i in range(2, num)):\n"
+      "            return num\n",
+      "pe", "llm");
+  ASSERT_TRUE(llm.ok());
+  ASSERT_FALSE(llm->empty());
+  EXPECT_EQ(llm->front().name, "IsPrime");  // clone detection
+}
+
+TEST_F(ClientIntegration, WorkflowCodeRecommendation) {
+  RegisterIsPrime();
+  auto recs =
+      client().CodeRecommendation("random.randint(1, 1000)", "workflow");
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  EXPECT_EQ(recs->front().name, "isprime_wf");
+  EXPECT_GE(recs->front().occurrences, 1);
+}
+
+TEST_F(ClientIntegration, RunSequentialStreamsOutput) {
+  WorkflowInfo wf = RegisterIsPrime();
+  std::vector<std::string> streamed;
+  RunOutcome outcome = client().Run(
+      wf.id, Value(20),
+      [&](const std::string& line) { streamed.push_back(line); });
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(streamed, outcome.lines);
+  EXPECT_GT(outcome.stats.GetInt("tuples"), 0);
+  EXPECT_GT(outcome.stats.GetInt("executionId"), 0);
+  for (const std::string& line : outcome.lines) {
+    EXPECT_NE(line.find("is prime"), std::string::npos);
+  }
+}
+
+TEST_F(ClientIntegration, RunModesAgree) {
+  WorkflowInfo wf = RegisterIsPrime();
+  RunOutcome seq = client().Run(wf.id, Value(25));
+  RunOutcome multi = client().RunMultiprocess(wf.id, Value(25), 9);
+  RunOutcome dynamic = client().RunDynamic(wf.id, Value(25));
+  ASSERT_TRUE(seq.status.ok());
+  ASSERT_TRUE(multi.status.ok());
+  ASSERT_TRUE(dynamic.status.ok());
+  std::multiset<std::string> a(seq.lines.begin(), seq.lines.end());
+  std::multiset<std::string> b(multi.lines.begin(), multi.lines.end());
+  std::multiset<std::string> c(dynamic.lines.begin(), dynamic.lines.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST_F(ClientIntegration, RunRecordsExecutionInRegistry) {
+  WorkflowInfo wf = RegisterIsPrime();
+  RunOutcome outcome = client().Run(wf.id, Value(5));
+  ASSERT_TRUE(outcome.status.ok());
+  int64_t exec_id = outcome.stats.GetInt("executionId");
+  auto& repo = laminar_.server->repository();
+  Result<registry::ExecutionRecord> exec = repo.GetExecution(exec_id);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->status, "succeeded");
+  EXPECT_EQ(exec->workflow_id, wf.id);
+}
+
+TEST_F(ClientIntegration, RunUnknownWorkflowFails) {
+  RunOutcome outcome = client().Run(404, Value(1));
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ClientIntegration, ResourceNegotiationUploadsOnlyOnce) {
+  WorkflowInfo wf = RegisterIsPrime();
+  std::vector<Resource> resources = {
+      {"data/config.json", R"({"threshold": 3})"},
+      {"data/big.bin", std::string(50'000, 'b')},
+  };
+  // First run: engine reports missing, client uploads, run proceeds.
+  RunOutcome first = client().Run(wf.id, Value(5), nullptr, resources);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  auto stats_after_first = laminar_.server->engine().resource_cache().stats();
+  EXPECT_EQ(stats_after_first.misses, 2u);
+  // Second run: warm cache, nothing re-uploaded.
+  RunOutcome second = client().Run(wf.id, Value(5), nullptr, resources);
+  ASSERT_TRUE(second.status.ok());
+  auto stats_after_second = laminar_.server->engine().resource_cache().stats();
+  EXPECT_EQ(stats_after_second.misses, 2u);  // unchanged
+  EXPECT_GE(stats_after_second.hits, 2u);
+}
+
+TEST_F(ClientIntegration, ChangedResourceReUploads) {
+  WorkflowInfo wf = RegisterIsPrime();
+  std::vector<Resource> v1 = {{"cfg", "version 1"}};
+  ASSERT_TRUE(client().Run(wf.id, Value(2), nullptr, v1).status.ok());
+  std::vector<Resource> v2 = {{"cfg", "version 2"}};
+  ASSERT_TRUE(client().Run(wf.id, Value(2), nullptr, v2).status.ok());
+  EXPECT_EQ(laminar_.server->engine().resource_cache().Get("cfg").value(),
+            "version 2");
+}
+
+TEST_F(ClientIntegration, RunSpecWithoutRegistration) {
+  const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+  RunOutcome outcome = client().RunSpec(demo->spec, "simple", Value(10));
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_GT(outcome.stats.GetInt("tuples"), 0);
+}
+
+TEST_F(ClientIntegration, TrueStreamingDeliversFirstLineEarly) {
+  // §IV-E: with the streaming transport, the first output line reaches the
+  // client long before a long-running workflow finishes.
+  const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+  Value spec = demo->spec;
+  // Make the workflow slow: many CPU-heavy inputs.
+  RunOutcome outcome = client().RunSpec(spec, "simple", Value(400));
+  ASSERT_TRUE(outcome.status.ok());
+  ASSERT_GT(outcome.lines.size(), 10u);
+  EXPECT_LT(outcome.first_line_ms, outcome.total_ms);
+}
+
+TEST_F(ClientIntegration, BatchModeClientStillWorks) {
+  // The whole protocol also functions over the 1.0-style batch transport.
+  InProcessLaminar batch =
+      ConnectInProcess(FastServer(), net::HttpConnection::Mode::kBatch);
+  const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+  Result<WorkflowInfo> wf = batch.client->RegisterWorkflow(
+      demo->name, demo->spec, demo->pes, demo->code);
+  ASSERT_TRUE(wf.ok());
+  RunOutcome outcome = batch.client->Run(wf->id, Value(10));
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_FALSE(outcome.lines.empty());
+}
+
+TEST_F(ClientIntegration, MultipleClientsShareOneServer) {
+  WorkflowInfo wf = RegisterIsPrime();
+  ExtraClient second = AttachClient(*laminar_.server);
+  Result<WorkflowInfo> seen = second.client->GetWorkflow(wf.id);
+  ASSERT_TRUE(seen.ok());
+  EXPECT_EQ(seen->name, "isprime_wf");
+  RunOutcome outcome = second.client->Run(wf.id, Value(5));
+  EXPECT_TRUE(outcome.status.ok());
+}
+
+TEST_F(ClientIntegration, AnomalyDemoEndToEnd) {
+  const DemoWorkflow* demo = FindDemoWorkflow("anomaly_wf");
+  Result<WorkflowInfo> wf = client().RegisterWorkflow(
+      demo->name, demo->spec, demo->pes, demo->code);
+  ASSERT_TRUE(wf.ok());
+  RunOutcome outcome = client().Run(wf->id, Value(400));
+  ASSERT_TRUE(outcome.status.ok());
+  // The seeded sensor stream injects ~5% anomalies; some alerts must fire.
+  EXPECT_FALSE(outcome.lines.empty());
+  for (const std::string& line : outcome.lines) {
+    EXPECT_EQ(line.find("ALERT"), 0u) << line;
+  }
+  // Fig. 8's query should surface the anomaly PE.
+  auto hits = client().SearchRegistrySemantic(
+      "a pe that is able to detect anomalies", "pe", 5);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_NE(hits->front().name.find("Anomaly"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace laminar::client

@@ -1,0 +1,143 @@
+#include <algorithm>
+// Tests for code completion (AromaEngine::Complete and its exposure through
+// the search service, server endpoint, client API and CLI).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "client/cli.hpp"
+#include "client/connect.hpp"
+#include "dataset/generator.hpp"
+#include "spt/recommend.hpp"
+
+namespace laminar {
+namespace {
+
+constexpr const char* kFullSnippet =
+    "class RunningTotal(IterativePE):\n"
+    "    def __init__(self):\n"
+    "        IterativePE.__init__(self)\n"
+    "    def _process(self, values):\n"
+    "        sums = []\n"
+    "        acc = 0\n"
+    "        for v in values:\n"
+    "            acc = acc + v\n"
+    "            sums.append(acc)\n"
+    "        return sums\n";
+
+TEST(AromaComplete, ContinuesAPrefix) {
+  spt::AromaEngine engine;
+  ASSERT_TRUE(engine.AddSnippet(1, kFullSnippet).ok());
+  // The user has typed the first half.
+  std::string prefix =
+      "class MyTotal(IterativePE):\n"
+      "    def _process(self, values):\n"
+      "        sums = []\n"
+      "        acc = 0\n";
+  Result<std::vector<spt::Completion>> completions = engine.Complete(prefix);
+  ASSERT_TRUE(completions.ok());
+  ASSERT_FALSE(completions->empty());
+  const spt::Completion& c = completions->front();
+  EXPECT_EQ(c.snippet_id, 1);
+  // The continuation must contain the loop body that follows the prefix.
+  EXPECT_NE(c.continuation.find("for v in values:"), std::string::npos)
+      << c.continuation;
+  EXPECT_NE(c.continuation.find("return sums"), std::string::npos);
+  // ...and not repeat the already-typed initialization.
+  EXPECT_EQ(c.continuation.find("acc = 0"), std::string::npos)
+      << c.continuation;
+}
+
+TEST(AromaComplete, NoContinuationWhenQueryCoversWholeSnippet) {
+  spt::AromaEngine engine;
+  ASSERT_TRUE(engine.AddSnippet(1, kFullSnippet).ok());
+  Result<std::vector<spt::Completion>> completions =
+      engine.Complete(kFullSnippet);
+  ASSERT_TRUE(completions.ok());
+  // The full snippet matches everything; nothing is left to suggest.
+  for (const spt::Completion& c : completions.value()) {
+    EXPECT_NE(c.snippet_id, 1);
+  }
+}
+
+TEST(AromaComplete, WeakMatchesFiltered) {
+  spt::AromaEngine engine;
+  ASSERT_TRUE(engine.AddSnippet(1, kFullSnippet).ok());
+  Result<std::vector<spt::Completion>> completions =
+      engine.Complete("import os\n");
+  ASSERT_TRUE(completions.ok());
+  EXPECT_TRUE(completions->empty());  // below the 6.0 overlap threshold
+}
+
+TEST(AromaComplete, RanksByOverlap) {
+  spt::AromaEngine engine;
+  dataset::DatasetConfig config;
+  config.families = 10;
+  config.variants_per_family = 3;
+  auto ds = dataset::CodeSearchNetPeDataset::Generate(config);
+  for (const auto& ex : ds.examples()) {
+    ASSERT_TRUE(engine.AddSnippet(ex.id, ex.pe_code).ok());
+  }
+  const auto& ex = ds.example(4);
+  std::string prefix = dataset::DropCode(ex.pe_code, 0.6);
+  Result<std::vector<spt::Completion>> completions =
+      engine.Complete(prefix, 3);
+  ASSERT_TRUE(completions.ok());
+  ASSERT_FALSE(completions->empty());
+  for (size_t i = 1; i < completions->size(); ++i) {
+    EXPECT_GE((*completions)[i - 1].score, (*completions)[i].score);
+  }
+  // The best continuation should come from the query's own family.
+  const auto& members = ds.GroupMembers(ex.group);
+  EXPECT_NE(std::find(members.begin(), members.end(),
+                      completions->front().snippet_id),
+            members.end());
+}
+
+class CompletionEndToEnd : public ::testing::Test {
+ protected:
+  CompletionEndToEnd() {
+    server::ServerConfig config;
+    config.engine.cold_start_ms = 0;
+    laminar_ = client::ConnectInProcess(config);
+  }
+  client::InProcessLaminar laminar_;
+};
+
+TEST_F(CompletionEndToEnd, ThroughClientApi) {
+  ASSERT_TRUE(laminar_.client->RegisterPe(kFullSnippet, "RunningTotal").ok());
+  auto completions = laminar_.client->CompleteCode(
+      "class MyTotal(IterativePE):\n"
+      "    def _process(self, values):\n"
+      "        sums = []\n"
+      "        acc = 0\n");
+  ASSERT_TRUE(completions.ok()) << completions.status().ToString();
+  ASSERT_FALSE(completions->empty());
+  EXPECT_EQ(completions->front().name, "RunningTotal");
+  EXPECT_NE(completions->front().similar_code.find("sums.append"),
+            std::string::npos);
+}
+
+TEST_F(CompletionEndToEnd, ThroughCli) {
+  client::LaminarCli cli(*laminar_.client);
+  std::ostringstream setup;
+  cli.ExecuteLine("register_workflow isprime_wf.py", setup);
+  std::ostringstream out;
+  cli.ExecuteLine(
+      "code_completion 'class P(IterativePE):\n"
+      "    def _process(self, num):\n"
+      "        if all(num % i != 0 for i in range(2, num)):'",
+      out);
+  // Completion either shows the continuation (return num) or reports no
+  // match; with the IsPrime PE registered it must find it.
+  EXPECT_NE(out.str().find("IsPrime"), std::string::npos) << out.str();
+}
+
+TEST_F(CompletionEndToEnd, EmptyRegistryYieldsNoCompletions) {
+  auto completions = laminar_.client->CompleteCode("x = 1\n");
+  ASSERT_TRUE(completions.ok());
+  EXPECT_TRUE(completions->empty());
+}
+
+}  // namespace
+}  // namespace laminar

@@ -1,0 +1,143 @@
+// Tests for composite-workflow merging (WorkflowGraph::Merge) and the
+// execution-history surface (/workflows/executions + CLI `history`).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "client/cli.hpp"
+#include "client/connect.hpp"
+#include "client/demo_workflows.hpp"
+#include "dataflow/pe_library.hpp"
+#include "dataflow/sequential_mapping.hpp"
+
+namespace laminar {
+namespace {
+
+using namespace dataflow;
+
+/// Reusable sub-pipeline: normalize -> detect (no producer, no sink).
+WorkflowGraph DetectionStage() {
+  WorkflowGraph sub("detection_stage");
+  auto& normalize = sub.AddPE<NormalizeData>();
+  auto& detect = sub.AddPE<AnomalyDetector>(3.0, 32);
+  EXPECT_TRUE(sub.Connect(normalize, detect, Grouping::AllToOne()).ok());
+  return sub;
+}
+
+TEST(CompositeGraph, MergeSplicesSubgraph) {
+  WorkflowGraph g("composite_wf");
+  size_t sensor = g.Add(std::make_unique<SensorProducer>(5));
+  size_t offset = g.Merge(DetectionStage());
+  size_t alert = g.Add(std::make_unique<Alerter>());
+  // Wire the host graph to the merged stage's boundary PEs.
+  ASSERT_TRUE(g.Connect(sensor, kDefaultOutput, offset + 0, kDefaultInput).ok());
+  ASSERT_TRUE(
+      g.Connect(offset + 1, kDefaultOutput, alert, kDefaultInput).ok());
+  EXPECT_EQ(g.NodeCount(), 4u);
+  EXPECT_EQ(g.Edges().size(), 3u);  // 1 internal + 2 boundary
+  ASSERT_TRUE(g.Validate().ok());
+
+  SequentialMapping mapping;
+  RunOptions options;
+  options.input = Value(300);
+  RunResult result = mapping.Execute(g, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_FALSE(result.output_lines.empty());  // alerts fired
+  for (const std::string& line : result.output_lines) {
+    EXPECT_EQ(line.find("ALERT"), 0u);
+  }
+}
+
+TEST(CompositeGraph, MergeOffsetsAreStable) {
+  WorkflowGraph g;
+  g.Add(std::make_unique<NumberProducer>());
+  size_t first = g.Merge(DetectionStage());
+  size_t second = g.Merge(DetectionStage());
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(second, 3u);
+  EXPECT_EQ(g.NodeCount(), 5u);
+  // Internal edges of both copies survived with remapped indexes.
+  EXPECT_EQ(g.Edges().size(), 2u);
+  EXPECT_EQ(g.Edges()[0].from_pe, 1u);
+  EXPECT_EQ(g.Edges()[1].from_pe, 3u);
+}
+
+TEST(CompositeGraph, MergedSourceIsEmptied) {
+  WorkflowGraph host;
+  WorkflowGraph sub;
+  sub.AddPE<IsPrime>();
+  host.Merge(std::move(sub));
+  EXPECT_EQ(host.NodeCount(), 1u);
+}
+
+class HistoryTest : public ::testing::Test {
+ protected:
+  HistoryTest() {
+    server::ServerConfig config;
+    config.engine.cold_start_ms = 0;
+    laminar_ = client::ConnectInProcess(config);
+  }
+  client::InProcessLaminar laminar_;
+};
+
+TEST_F(HistoryTest, ExecutionsRecordedPerRun) {
+  const client::DemoWorkflow* demo = client::FindDemoWorkflow("isprime_wf");
+  Result<client::WorkflowInfo> wf = laminar_.client->RegisterWorkflow(
+      demo->name, demo->spec, demo->pes, demo->code);
+  ASSERT_TRUE(wf.ok());
+  ASSERT_TRUE(laminar_.client->Run(wf->id, Value(3)).status.ok());
+  ASSERT_TRUE(
+      laminar_.client->RunMultiprocess(wf->id, Value(3), 5).status.ok());
+
+  Result<Value> history = laminar_.client->GetExecutions(wf->id);
+  ASSERT_TRUE(history.ok());
+  const Value::Array& executions = history->at("executions").as_array();
+  ASSERT_EQ(executions.size(), 2u);
+  EXPECT_EQ(executions[0].GetString("mapping"), "simple");
+  EXPECT_EQ(executions[1].GetString("mapping"), "multi");
+  for (const Value& e : executions) {
+    EXPECT_EQ(e.GetString("status"), "succeeded");
+    EXPECT_GE(e.GetInt("finishedAtMs"), e.GetInt("startedAtMs"));
+  }
+}
+
+TEST_F(HistoryTest, FailedRunRecordedAsFailed) {
+  // Register a workflow whose stored spec is valid JSON but not a runnable
+  // graph (unknown PE type), then run it by id.
+  Value spec = Value::MakeObject();
+  spec["name"] = "broken";
+  Value pes = Value::MakeArray();
+  Value pe = Value::MakeObject();
+  pe["name"] = "Ghost";
+  pe["type"] = "GhostType";
+  pes.push_back(std::move(pe));
+  spec["pes"] = std::move(pes);
+  spec["edges"] = Value::MakeArray();
+  Result<client::WorkflowInfo> wf = laminar_.client->RegisterWorkflow(
+      "broken_wf", spec, {}, "graph = None");
+  ASSERT_TRUE(wf.ok());
+  client::RunOutcome outcome = laminar_.client->Run(wf->id, Value(1));
+  EXPECT_FALSE(outcome.status.ok());
+  Result<Value> history = laminar_.client->GetExecutions(wf->id);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->at("executions").size(), 1u);
+  EXPECT_EQ(history->at("executions").as_array()[0].GetString("status"),
+            "failed");
+}
+
+TEST_F(HistoryTest, CliHistoryCommand) {
+  client::LaminarCli cli(*laminar_.client);
+  std::ostringstream setup;
+  cli.ExecuteLine("register_workflow isprime_wf.py", setup);
+  cli.ExecuteLine("run isprime_wf -i 3", setup);
+  Result<client::WorkflowInfo> wf =
+      laminar_.client->GetWorkflowByName("isprime_wf");
+  ASSERT_TRUE(wf.ok());
+  std::ostringstream out;
+  cli.ExecuteLine("history " + std::to_string(wf->id), out);
+  EXPECT_NE(out.str().find("simple"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("succeeded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace laminar

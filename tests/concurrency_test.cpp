@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/concurrent_queue.hpp"
+#include "common/thread_pool.hpp"
+
+namespace laminar {
+namespace {
+
+TEST(ConcurrentQueue, FifoOrder) {
+  ConcurrentQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(ConcurrentQueue, CloseDrainsThenEnds) {
+  ConcurrentQueue<int> q;
+  q.Push(1);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.Push(9));  // rejected after close
+}
+
+TEST(ConcurrentQueue, PopBlocksUntilPush) {
+  ConcurrentQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Push(42);
+  });
+  EXPECT_EQ(q.Pop().value(), 42);  // must block, then wake
+  producer.join();
+}
+
+TEST(ConcurrentQueue, PopForTimesOut) {
+  ConcurrentQueue<int> q;
+  auto v = q.PopFor(std::chrono::milliseconds(10));
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(ConcurrentQueue, TryOpsNonBlocking) {
+  ConcurrentQueue<int> q(/*capacity=*/1);
+  EXPECT_FALSE(q.TryPop().has_value());
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));  // full
+  EXPECT_EQ(q.TryPop().value(), 1);
+}
+
+TEST(ConcurrentQueue, BoundedPushBlocksUntilSpace) {
+  ConcurrentQueue<int> q(/*capacity=*/1);
+  q.Push(1);
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    q.Push(2);  // blocks until Pop
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  t.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(ConcurrentQueue, MpmcStress) {
+  ConcurrentQueue<int> q;
+  constexpr int kProducers = 4, kItemsEach = 2000, kConsumers = 4;
+  std::atomic<long long> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kItemsEach; ++i) q.Push(p * kItemsEach + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        ++count;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<size_t>(p)].join();
+  q.Close();
+  for (size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+  long long n = kProducers * kItemsEach;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Shutdown();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownIdempotentAndRejectsNewWork) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPool, ParallelismActuallyHappens) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      int now = concurrent.fetch_add(1) + 1;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.Shutdown();
+  EXPECT_GE(peak.load(), 2);
+}
+
+}  // namespace
+}  // namespace laminar

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "dataset/generator.hpp"
+#include "pycode/parser.hpp"
+
+namespace laminar::dataset {
+namespace {
+
+TEST(Families, TableIsWellFormed) {
+  const auto& table = Families();
+  EXPECT_GE(table.size(), 24u);
+  std::set<std::string_view> keys;
+  for (const FamilySpec& f : table) {
+    EXPECT_FALSE(f.key.empty());
+    EXPECT_FALSE(f.description.empty());
+    EXPECT_FALSE(f.paraphrase_a.empty());
+    EXPECT_FALSE(f.paraphrase_b.empty());
+    EXPECT_FALSE(f.body.empty());
+    EXPECT_TRUE(keys.insert(f.key).second) << "duplicate family " << f.key;
+  }
+}
+
+TEST(Generator, ProducesRequestedShape) {
+  DatasetConfig config;
+  config.families = 5;
+  config.variants_per_family = 7;
+  CodeSearchNetPeDataset ds = CodeSearchNetPeDataset::Generate(config);
+  EXPECT_EQ(ds.size(), 35u);
+  EXPECT_EQ(ds.family_count(), 5u);
+  for (int g = 0; g < 5; ++g) {
+    EXPECT_EQ(ds.GroupMembers(g).size(), 7u);
+  }
+  EXPECT_TRUE(ds.GroupMembers(99).empty());
+}
+
+TEST(Generator, IdsAndNamesUnique) {
+  CodeSearchNetPeDataset ds = CodeSearchNetPeDataset::Generate({});
+  std::unordered_set<int64_t> ids;
+  std::unordered_set<std::string> names;
+  for (const PeExample& ex : ds.examples()) {
+    EXPECT_TRUE(ids.insert(ex.id).second);
+    EXPECT_TRUE(names.insert(ex.name).second) << ex.name;
+  }
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  DatasetConfig config;
+  config.families = 4;
+  config.variants_per_family = 3;
+  CodeSearchNetPeDataset a = CodeSearchNetPeDataset::Generate(config);
+  CodeSearchNetPeDataset b = CodeSearchNetPeDataset::Generate(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.example(i).pe_code, b.example(i).pe_code);
+    EXPECT_EQ(a.example(i).name, b.example(i).name);
+  }
+  config.seed ^= 0xFFFF;
+  CodeSearchNetPeDataset c = CodeSearchNetPeDataset::Generate(config);
+  bool any_difference = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.example(i).pe_code != c.example(i).pe_code) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, EveryGeneratedPeParsesStrictly) {
+  // The paper converted all CodeSearchNet functions to valid PE classes;
+  // our generator must produce strictly-parseable Python for every family
+  // and every noise combination.
+  DatasetConfig config;
+  config.variants_per_family = 10;
+  CodeSearchNetPeDataset ds = CodeSearchNetPeDataset::Generate(config);
+  for (const PeExample& ex : ds.examples()) {
+    Result<pycode::NodePtr> tree = pycode::Parse(ex.pe_code);
+    ASSERT_TRUE(tree.ok()) << ex.name << ": " << tree.status().ToString()
+                           << "\n" << ex.pe_code;
+  }
+}
+
+TEST(Generator, VariantsWithinFamilyDifferTextually) {
+  DatasetConfig config;
+  config.families = 6;
+  config.variants_per_family = 4;
+  CodeSearchNetPeDataset ds = CodeSearchNetPeDataset::Generate(config);
+  for (int g = 0; g < 6; ++g) {
+    const auto& members = ds.GroupMembers(g);
+    std::set<std::string> bodies;
+    for (int64_t id : members) {
+      bodies.insert(ds.example(static_cast<size_t>(id - 1)).pe_code);
+    }
+    EXPECT_GE(bodies.size(), 2u) << "family " << g << " has no text variety";
+  }
+}
+
+TEST(Generator, DescriptionsAndQueriesShareFamilyVocabulary) {
+  CodeSearchNetPeDataset ds = CodeSearchNetPeDataset::Generate({});
+  for (const PeExample& ex : ds.examples()) {
+    EXPECT_FALSE(ex.description.empty());
+    EXPECT_FALSE(ex.query.empty());
+    EXPECT_NE(ex.description, ex.query);  // paraphrase, not copy
+  }
+}
+
+TEST(Generator, CodeContainsProcessMethod) {
+  CodeSearchNetPeDataset ds = CodeSearchNetPeDataset::Generate({});
+  for (const PeExample& ex : ds.examples()) {
+    EXPECT_NE(ex.pe_code.find("def _process(self, "), std::string::npos);
+    EXPECT_NE(ex.pe_code.find("class " + ex.name + "(IterativePE):"),
+              std::string::npos);
+  }
+}
+
+// ---- DropCode ----
+
+constexpr const char* kPe =
+    "class Demo(IterativePE):\n"
+    "    def __init__(self):\n"
+    "        IterativePE.__init__(self)\n"
+    "    def _process(self, data):\n"
+    "        a = 1\n"
+    "        b = 2\n"
+    "        c = 3\n"
+    "        d = 4\n";
+
+TEST(DropCode, ZeroFractionIsIdentity) {
+  EXPECT_EQ(DropCode(kPe, 0.0), kPe);
+}
+
+TEST(DropCode, TailDropKeepsHeaderAndPrefix) {
+  std::string dropped = DropCode(kPe, 0.5);
+  EXPECT_NE(dropped.find("class Demo"), std::string::npos);
+  EXPECT_NE(dropped.find("def _process"), std::string::npos);
+  EXPECT_NE(dropped.find("a = 1"), std::string::npos);
+  EXPECT_NE(dropped.find("b = 2"), std::string::npos);
+  EXPECT_EQ(dropped.find("c = 3"), std::string::npos);
+  EXPECT_EQ(dropped.find("d = 4"), std::string::npos);
+}
+
+TEST(DropCode, NinetyPercentLeavesAlmostNothing) {
+  std::string dropped = DropCode(kPe, 0.9);
+  EXPECT_EQ(dropped.find("b = 2"), std::string::npos);
+  EXPECT_NE(dropped.find("def _process"), std::string::npos);
+}
+
+TEST(DropCode, AlwaysDropsAtLeastOneLineWhenAsked) {
+  std::string dropped = DropCode(kPe, 0.01);
+  EXPECT_LT(dropped.size(), std::string(kPe).size());
+}
+
+TEST(DropCode, RandomModeKeepsRightCount) {
+  std::string dropped = DropCode(kPe, 0.5, DropMode::kRandom, 7);
+  // 4 body lines -> keep 2.
+  int body_lines = 0;
+  for (const char* marker : {"a = 1", "b = 2", "c = 3", "d = 4"}) {
+    if (dropped.find(marker) != std::string::npos) ++body_lines;
+  }
+  EXPECT_EQ(body_lines, 2);
+  // Deterministic for the same seed.
+  EXPECT_EQ(dropped, DropCode(kPe, 0.5, DropMode::kRandom, 7));
+}
+
+TEST(DropCode, DroppedCodeStillLeniencyParses) {
+  CodeSearchNetPeDataset ds = CodeSearchNetPeDataset::Generate({});
+  for (double fraction : {0.5, 0.75, 0.9}) {
+    for (size_t i = 0; i < ds.size(); i += 7) {
+      std::string dropped = DropCode(ds.example(i).pe_code, fraction);
+      Result<pycode::NodePtr> tree = pycode::ParseLenient(dropped);
+      EXPECT_TRUE(tree.ok()) << ds.example(i).name << " @" << fraction;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace laminar::dataset

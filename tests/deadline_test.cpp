@@ -1,0 +1,131 @@
+// Serverless execution-duration limits (§II-B names "limited execution
+// duration" as a core serverless challenge): runs that exceed their
+// deadline stop processing, keep the output produced so far, and report
+// DEADLINE_EXCEEDED through every layer (mapping -> engine -> server ->
+// client, HTTP 408).
+#include <gtest/gtest.h>
+
+#include "client/connect.hpp"
+#include "common/json.hpp"
+#include "dataflow/dynamic_mapping.hpp"
+#include "dataflow/multi_mapping.hpp"
+#include "dataflow/pe_library.hpp"
+#include "dataflow/sequential_mapping.hpp"
+#include "engine/engine.hpp"
+
+namespace laminar {
+namespace {
+
+using namespace dataflow;
+
+/// A workflow that would run for seconds: heavy CpuBurn per tuple.
+std::unique_ptr<WorkflowGraph> SlowGraph() {
+  auto g = std::make_unique<WorkflowGraph>("slow_wf");
+  auto& producer = g->AddPE<NumberProducer>(9);
+  auto& burn = g->AddPE<CpuBurn>(4'000'000);
+  auto& echo = g->AddPE<EchoSink>();
+  EXPECT_TRUE(g->Connect(producer, burn).ok());
+  EXPECT_TRUE(g->Connect(burn, echo).ok());
+  return g;
+}
+
+class DeadlineMapping : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeadlineMapping, ExpiresAndKeepsPartialOutput) {
+  std::unique_ptr<Mapping> mapping;
+  std::string name = GetParam();
+  if (name == "simple") mapping = std::make_unique<SequentialMapping>();
+  else if (name == "multi") mapping = std::make_unique<MultiMapping>();
+  else mapping = std::make_unique<DynamicMapping>();
+
+  RunOptions options;
+  options.input = Value(500);  // far more work than the deadline allows
+  options.num_processes = 4;
+  options.deadline_ms = 60;
+  RunResult result = mapping->Execute(*SlowGraph(), options);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded)
+      << result.status.ToString();
+  // It genuinely stopped early rather than finishing all 500 tuples...
+  EXPECT_LT(result.output_lines.size(), 500u);
+  // ...but within a generous multiple of the deadline (not unbounded).
+  EXPECT_LT(result.elapsed_ms, 4000.0);
+}
+
+TEST_P(DeadlineMapping, GenerousDeadlineDoesNotTrigger) {
+  std::unique_ptr<Mapping> mapping;
+  std::string name = GetParam();
+  if (name == "simple") mapping = std::make_unique<SequentialMapping>();
+  else if (name == "multi") mapping = std::make_unique<MultiMapping>();
+  else mapping = std::make_unique<DynamicMapping>();
+
+  RunOptions options;
+  options.input = Value(3);
+  options.deadline_ms = 60'000;
+  RunResult result = mapping->Execute(*SlowGraph(), options);
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.output_lines.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, DeadlineMapping,
+                         ::testing::Values("simple", "multi", "dynamic"));
+
+Value SlowSpec() {
+  return json::Parse(R"({
+    "name": "slow_wf",
+    "pes": [
+      {"name": "P", "type": "NumberProducer", "params": {"seed": 9}},
+      {"name": "B", "type": "CpuBurn", "params": {"iters": 4000000}},
+      {"name": "E", "type": "EchoSink", "params": {}}
+    ],
+    "edges": [{"from": "P", "to": "B"}, {"from": "B", "to": "E"}]
+  })").value();
+}
+
+TEST(DeadlineEngine, EngineDefaultLimitApplies) {
+  engine::EngineConfig config;
+  config.cold_start_ms = 0;
+  config.max_execution_ms = 60;  // platform-wide function duration limit
+  engine::ExecutionEngine engine(config);
+  engine::ExecuteRequest req;
+  req.workflow_spec = SlowSpec();
+  req.run_options.input = Value(500);
+  Result<dataflow::RunResult> result = engine.Execute(req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineEngine, PerRequestDeadlineOverridesDefault) {
+  engine::EngineConfig config;
+  config.cold_start_ms = 0;
+  config.max_execution_ms = 50;
+  engine::ExecutionEngine engine(config);
+  engine::ExecuteRequest req;
+  req.workflow_spec = SlowSpec();
+  req.run_options.input = Value(2);
+  req.run_options.deadline_ms = 60'000;  // generous explicit deadline wins
+  EXPECT_TRUE(engine.Execute(req).ok());
+}
+
+TEST(DeadlineEndToEnd, ClientSeesDeadlineAndPartialStream) {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  client::InProcessLaminar laminar = client::ConnectInProcess(config);
+
+  Value body_spec = SlowSpec();
+  // Drive through RunSpec-equivalent with a deadline in the body.
+  net::HttpRequest req;
+  req.path = "/execute";
+  Value body = Value::MakeObject();
+  body["spec"] = body_spec;
+  body["mapping"] = "simple";
+  body["input"] = 500;
+  body["deadline_ms"] = 60;
+  req.body = body.ToJson();
+  auto stream = laminar.client_side->Send(req);
+  std::string all = stream->ReadAll();
+  EXPECT_EQ(stream->status(), 408);  // HTTP request-timeout family
+  EXPECT_NE(all.find("DEADLINE_EXCEEDED"), std::string::npos) << all;
+}
+
+}  // namespace
+}  // namespace laminar

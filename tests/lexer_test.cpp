@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "pycode/lexer.hpp"
+
+namespace laminar::pycode {
+namespace {
+
+std::vector<std::string> Spellings(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const Token& t : tokens) {
+    switch (t.type) {
+      case TokenType::kNewline: out.push_back("<NL>"); break;
+      case TokenType::kIndent: out.push_back("<IND>"); break;
+      case TokenType::kDedent: out.push_back("<DED>"); break;
+      case TokenType::kEnd: out.push_back("<END>"); break;
+      default: out.push_back(t.text);
+    }
+  }
+  return out;
+}
+
+TEST(Lexer, KeywordsVsNames) {
+  auto tokens = Lex("class Foo def bar if xif");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens.value()[1].type, TokenType::kName);
+  EXPECT_EQ(tokens.value()[2].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens.value()[3].type, TokenType::kName);
+  EXPECT_EQ(tokens.value()[4].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens.value()[5].type, TokenType::kName);  // xif not a keyword
+}
+
+TEST(Lexer, IndentDedentBalance) {
+  auto tokens = Lex(
+      "if a:\n"
+      "    b\n"
+      "    if c:\n"
+      "        d\n"
+      "e\n");
+  ASSERT_TRUE(tokens.ok());
+  int depth = 0;
+  for (const Token& t : tokens.value()) {
+    if (t.type == TokenType::kIndent) ++depth;
+    if (t.type == TokenType::kDedent) --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Lexer, BlankAndCommentLinesIgnored) {
+  auto tokens = Lex("a\n\n   \n# full comment\nb\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Spellings(tokens.value()),
+            (std::vector<std::string>{"a", "<NL>", "b", "<NL>", "<END>"}));
+}
+
+TEST(Lexer, TrailingCommentStripped) {
+  auto tokens = Lex("x = 1  # comment here\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Spellings(tokens.value()),
+            (std::vector<std::string>{"x", "=", "1", "<NL>", "<END>"}));
+}
+
+TEST(Lexer, ImplicitLineJoiningInsideBrackets) {
+  auto tokens = Lex("f(1,\n   2,\n   3)\n");
+  ASSERT_TRUE(tokens.ok());
+  // No NEWLINE until the bracket closes.
+  std::vector<std::string> sp = Spellings(tokens.value());
+  EXPECT_EQ(sp, (std::vector<std::string>{"f", "(", "1", ",", "2", ",", "3",
+                                          ")", "<NL>", "<END>"}));
+}
+
+TEST(Lexer, ExplicitContinuation) {
+  auto tokens = Lex("a = 1 + \\\n    2\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Spellings(tokens.value()),
+            (std::vector<std::string>{"a", "=", "1", "+", "2", "<NL>", "<END>"}));
+}
+
+TEST(Lexer, StringLiterals) {
+  auto tokens = Lex(R"(x = "dq" + 'sq' + "es\"c")" "\n");
+  ASSERT_TRUE(tokens.ok());
+  const auto& toks = tokens.value();
+  EXPECT_EQ(toks[2].type, TokenType::kString);
+  EXPECT_EQ(toks[2].text, "\"dq\"");
+  EXPECT_EQ(toks[4].text, "'sq'");
+  EXPECT_EQ(toks[6].text, "\"es\\\"c\"");
+}
+
+TEST(Lexer, TripleQuotedStringsSpanLines) {
+  auto tokens = Lex("s = \"\"\"line1\nline2\"\"\"\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[2].type, TokenType::kString);
+  EXPECT_NE(tokens.value()[2].text.find("line2"), std::string::npos);
+}
+
+TEST(Lexer, PrefixedStrings) {
+  auto tokens = Lex("a = r'raw' + f\"fmt\"\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[2].text, "r'raw'");
+  EXPECT_EQ(tokens.value()[4].text, "f\"fmt\"");
+}
+
+TEST(Lexer, Numbers) {
+  auto tokens = Lex("a = 1 + 2.5 + 1e-9 + 0xFF + 10_000 + 3j\n");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> nums;
+  for (const Token& t : tokens.value()) {
+    if (t.type == TokenType::kNumber) nums.push_back(t.text);
+  }
+  EXPECT_EQ(nums, (std::vector<std::string>{"1", "2.5", "1e-9", "0xFF",
+                                            "10_000", "3j"}));
+}
+
+TEST(Lexer, MultiCharOperatorsMaximalMunch) {
+  auto tokens = Lex("a **= b // c >> d != e ** f\n");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> ops;
+  for (const Token& t : tokens.value()) {
+    if (t.type == TokenType::kOp) ops.push_back(t.text);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"**=", "//", ">>", "!=", "**"}));
+}
+
+TEST(Lexer, WalrusAndArrow) {
+  auto tokens = Lex("def f(x) -> int:\n    return (y := x)\n");
+  ASSERT_TRUE(tokens.ok());
+  bool saw_arrow = false, saw_walrus = false;
+  for (const Token& t : tokens.value()) {
+    saw_arrow |= t.IsOp("->");
+    saw_walrus |= t.IsOp(":=");
+  }
+  EXPECT_TRUE(saw_arrow);
+  EXPECT_TRUE(saw_walrus);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto tokens = Lex("a\n  b c\n");
+  ASSERT_TRUE(tokens.ok());
+  const auto& toks = tokens.value();
+  EXPECT_EQ(toks[0].line, 1);
+  // b is on line 2 (after the INDENT token)
+  const Token* b = nullptr;
+  const Token* c = nullptr;
+  for (const Token& t : toks) {
+    if (t.text == "b") b = &t;
+    if (t.text == "c") c = &t;
+  }
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(b->line, 2);
+  EXPECT_EQ(c->line, 2);
+  EXPECT_GT(c->col, b->col);
+}
+
+TEST(Lexer, ErrorsReportPosition) {
+  auto r1 = Lex("x = 'unterminated\n");
+  EXPECT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("line 1"), std::string::npos);
+  auto r2 = Lex("good\n  bad_indent\n bad_dedent\n");
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(Lexer, UnexpectedCharacterRejected) {
+  auto r = Lex("a = 1 ? 2\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Lexer, MissingFinalNewlineStillEndsCleanly) {
+  auto tokens = Lex("x = 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value().back().type, TokenType::kEnd);
+  EXPECT_EQ(tokens.value()[tokens.value().size() - 2].type,
+            TokenType::kNewline);
+}
+
+TEST(Lexer, DedentToIntermediateLevel) {
+  auto tokens = Lex(
+      "if a:\n"
+      "        x\n"
+      "    y\n");  // dedent to a level never pushed -> error
+  EXPECT_FALSE(tokens.ok());
+}
+
+}  // namespace
+}  // namespace laminar::pycode

@@ -1,0 +1,165 @@
+// Tests for the MinHash-LSH structural index (the paper's LSH future work).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dataset/generator.hpp"
+#include "spt/lsh_index.hpp"
+
+namespace laminar::spt {
+namespace {
+
+FeatureBag Feat(const std::string& code) {
+  Result<SptNodePtr> spt = SptFromSource(code);
+  EXPECT_TRUE(spt.ok());
+  return ExtractFeatures(*spt.value());
+}
+
+TEST(LshIndex, AddRemoveLifecycle) {
+  LshIndex index;
+  index.Add(1, Feat("x = 1\n"));
+  index.Add(2, Feat("for i in items:\n    use(i)\n"));
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.Remove(1));
+  EXPECT_FALSE(index.Remove(1));
+  EXPECT_EQ(index.size(), 1u);
+  auto hits = index.TopK(Feat("x = 1\n"), 5);
+  for (const auto& hit : hits) EXPECT_NE(hit.doc_id, 1);
+}
+
+TEST(LshIndex, ReAddReplaces) {
+  LshIndex index;
+  index.Add(1, Feat("x = 1\n"));
+  index.Add(1, Feat("while flag:\n    step(1)\n"));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(LshIndex, IdenticalSnippetAlwaysCandidate) {
+  LshIndex index;
+  FeatureBag bag = Feat("total = 0\nfor v in xs:\n    total += v\n");
+  index.Add(7, bag);
+  std::vector<int64_t> candidates = index.Candidates(bag);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 7);
+  auto hits = index.TopK(bag, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc_id, 7);
+}
+
+TEST(LshIndex, DissimilarSnippetsRarelyCollide) {
+  LshIndex index;
+  index.Add(1, Feat("import os\nimport sys\n"));
+  // A structurally unrelated query should produce (near) zero candidates.
+  FeatureBag query = Feat(
+      "while left < right:\n"
+      "    middle = (left + right) // 2\n"
+      "    probe(middle)\n");
+  EXPECT_LE(index.Candidates(query).size(), 1u);
+}
+
+TEST(LshIndex, JaccardEstimateTracksTruth) {
+  LshConfig config;
+  config.num_hashes = 128;
+  config.bands = 32;
+  LshIndex index(config);
+  FeatureBag a = Feat(
+      "result = 1\nfor i in range(2, n + 1):\n    result = result * i\n");
+  FeatureBag b = Feat(
+      "acc = 1\nfor k in range(2, m + 1):\n    acc = acc * k\n");  // rename
+  FeatureBag c = Feat("with open(p) as fh:\n    data = fh.read()\n");
+  index.Add(1, a);
+  index.Add(2, b);
+  index.Add(3, c);
+  double sim_ab = index.EstimateJaccard(1, 2);
+  double sim_ac = index.EstimateJaccard(1, 3);
+  double true_ab = JaccardSimilarity(a, b);
+  EXPECT_GT(sim_ab, sim_ac);
+  EXPECT_NEAR(sim_ab, true_ab, 0.25);  // MinHash estimate tolerance
+  EXPECT_EQ(index.EstimateJaccard(1, 99), 0.0);
+}
+
+TEST(LshIndex, InvalidBandShapeFallsBack) {
+  LshConfig config;
+  config.num_hashes = 10;
+  config.bands = 3;  // not a divisor
+  LshIndex index(config);
+  index.Add(1, Feat("x = 1\n"));
+  EXPECT_EQ(index.TopK(Feat("x = 1\n"), 1).size(), 1u);
+}
+
+class LshCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset::DatasetConfig config;
+    config.families = 0;
+    config.variants_per_family = 8;
+    ds_ = dataset::CodeSearchNetPeDataset::Generate(config);
+    FeatureOptions opts;
+    for (const auto& ex : ds_.examples()) {
+      Result<SptNodePtr> spt = SptFromSource(ex.pe_code);
+      ASSERT_TRUE(spt.ok());
+      FeatureBag bag = ExtractFeatures(*spt.value(), opts);
+      exact_.Add(ex.id, bag);
+      lsh_.Add(ex.id, std::move(bag));
+    }
+  }
+
+  dataset::CodeSearchNetPeDataset ds_;
+  SptIndex exact_;
+  LshIndex lsh_;
+};
+
+TEST_F(LshCorpusTest, HighRecallOfExactTopResults) {
+  // LSH must recover the large majority of the exact index's top-5 results.
+  size_t found = 0, total = 0;
+  for (size_t i = 0; i < ds_.size(); i += 4) {
+    const auto& ex = ds_.example(i);
+    Result<SptNodePtr> spt = SptFromSource(ex.pe_code);
+    ASSERT_TRUE(spt.ok());
+    FeatureBag query = ExtractFeatures(*spt.value());
+    auto exact_hits = exact_.TopK(query, 5, Metric::kOverlap);
+    auto lsh_hits = lsh_.TopK(query, 5, Metric::kOverlap);
+    std::unordered_set<int64_t> lsh_ids;
+    for (const auto& hit : lsh_hits) lsh_ids.insert(hit.doc_id);
+    for (const auto& hit : exact_hits) {
+      ++total;
+      if (lsh_ids.contains(hit.doc_id)) ++found;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  double recall = static_cast<double>(found) / static_cast<double>(total);
+  EXPECT_GT(recall, 0.8) << found << "/" << total;
+}
+
+TEST_F(LshCorpusTest, CandidateSetMuchSmallerThanCorpus) {
+  size_t total_candidates = 0;
+  size_t queries = 0;
+  for (size_t i = 0; i < ds_.size(); i += 8) {
+    const auto& ex = ds_.example(i);
+    Result<SptNodePtr> spt = SptFromSource(ex.pe_code);
+    ASSERT_TRUE(spt.ok());
+    total_candidates +=
+        lsh_.Candidates(ExtractFeatures(*spt.value())).size();
+    ++queries;
+  }
+  double avg = static_cast<double>(total_candidates) /
+               static_cast<double>(queries);
+  // The point of LSH: score a fraction of the corpus, not all of it.
+  EXPECT_LT(avg, static_cast<double>(ds_.size()) * 0.5) << avg;
+}
+
+TEST_F(LshCorpusTest, TopHitAgreesWithExactForSelfQueries) {
+  for (size_t i = 0; i < ds_.size(); i += 16) {
+    const auto& ex = ds_.example(i);
+    Result<SptNodePtr> spt = SptFromSource(ex.pe_code);
+    ASSERT_TRUE(spt.ok());
+    FeatureBag query = ExtractFeatures(*spt.value());
+    auto hits = lsh_.TopK(query, 1, Metric::kOverlap);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].doc_id, ex.id);
+  }
+}
+
+}  // namespace
+}  // namespace laminar::spt

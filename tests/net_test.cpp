@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "net/http.hpp"
+#include "net/multipart.hpp"
+
+namespace laminar::net {
+namespace {
+
+TEST(Pipe, BytesFlowBothWays) {
+  DuplexPipe pipe = CreatePipe();
+  ASSERT_TRUE(pipe.first->Write("hello"));
+  char buf[16];
+  size_t n = pipe.second->Read(buf, sizeof buf);
+  EXPECT_EQ(std::string(buf, n), "hello");
+  ASSERT_TRUE(pipe.second->Write("hi"));
+  n = pipe.first->Read(buf, sizeof buf);
+  EXPECT_EQ(std::string(buf, n), "hi");
+}
+
+TEST(Pipe, CloseWriteDrainsThenEof) {
+  DuplexPipe pipe = CreatePipe();
+  pipe.first->Write("tail");
+  pipe.first->CloseWrite();
+  char buf[16];
+  size_t n = pipe.second->Read(buf, sizeof buf);
+  EXPECT_EQ(std::string(buf, n), "tail");
+  EXPECT_EQ(pipe.second->Read(buf, sizeof buf), 0u);  // EOF
+  EXPECT_FALSE(pipe.first->Write("after close"));
+}
+
+TEST(Pipe, ReadBlocksUntilWrite) {
+  DuplexPipe pipe = CreatePipe();
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pipe.first->Write("late");
+  });
+  char buf[8];
+  size_t n = pipe.second->Read(buf, sizeof buf);
+  writer.join();
+  EXPECT_EQ(std::string(buf, n), "late");
+}
+
+TEST(Pipe, ReadExactAssemblesFragments) {
+  DuplexPipe pipe = CreatePipe();
+  std::thread writer([&] {
+    pipe.first->Write("ab");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    pipe.first->Write("cd");
+  });
+  char buf[4];
+  EXPECT_TRUE(pipe.second->ReadExact(buf, 4));
+  writer.join();
+  EXPECT_EQ(std::string(buf, 4), "abcd");
+  pipe.first->CloseWrite();
+  EXPECT_FALSE(pipe.second->ReadExact(buf, 1));  // premature EOF
+}
+
+TEST(Multipart, RoundTripsBinaryParts) {
+  std::vector<FilePart> parts = {
+      {"data/input.csv", "a,b\n1,2\n"},
+      {"bin", std::string("\x00\x01\xFF", 3)},
+      {"empty", ""},
+  };
+  Result<std::vector<FilePart>> back = DecodeMultipart(EncodeMultipart(parts));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ((*back)[0].name, "data/input.csv");
+  EXPECT_EQ((*back)[1].content, parts[1].content);
+  EXPECT_EQ((*back)[2].content, "");
+}
+
+TEST(Multipart, RejectsGarbage) {
+  EXPECT_FALSE(DecodeMultipart("nope").ok());
+  EXPECT_FALSE(DecodeMultipart("").ok());
+  std::string truncated = EncodeMultipart({{"a", "abc"}});
+  EXPECT_FALSE(DecodeMultipart(truncated.substr(0, truncated.size() - 2)).ok());
+  EXPECT_FALSE(DecodeMultipart(truncated + "extra").ok());
+}
+
+struct Harness {
+  explicit Harness(HttpConnection::Mode mode, StreamHandler handler) {
+    DuplexPipe pipe = CreatePipe();
+    server = std::make_unique<HttpConnection>(std::move(pipe.first), mode,
+                                              std::move(handler));
+    client = std::make_unique<HttpConnection>(std::move(pipe.second), mode);
+  }
+  std::unique_ptr<HttpConnection> server;
+  std::unique_ptr<HttpConnection> client;
+};
+
+TEST(Http, BasicCallRoundTrip) {
+  Harness h(HttpConnection::Mode::kStreaming,
+            [](const HttpRequest& req, StreamResponder& out) {
+              EXPECT_EQ(req.method, "POST");
+              out.SendChunk("echo:" + req.body);
+              out.End(200);
+            });
+  HttpRequest req;
+  req.path = "/echo";
+  req.body = "payload";
+  auto resp = h.client->Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->first, 200);
+  EXPECT_EQ(resp->second, "echo:payload");
+}
+
+TEST(Http, HeadersTravel) {
+  Harness h(HttpConnection::Mode::kStreaming,
+            [](const HttpRequest& req, StreamResponder& out) {
+              out.SendChunk(req.headers.GetString("authorization"));
+              out.End(200);
+            });
+  HttpRequest req;
+  req.path = "/auth";
+  req.headers["authorization"] = "tok-1";
+  auto resp = h.client->Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->second, "tok-1");
+}
+
+TEST(Http, ErrorStatusPropagates) {
+  Harness h(HttpConnection::Mode::kStreaming,
+            [](const HttpRequest&, StreamResponder& out) { out.End(404); });
+  HttpRequest req;
+  req.path = "/missing";
+  auto resp = h.client->Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->first, 404);
+  EXPECT_EQ(resp->second, "");
+}
+
+TEST(Http, NoHandlerYields501) {
+  DuplexPipe pipe = CreatePipe();
+  HttpConnection server(std::move(pipe.first),
+                        HttpConnection::Mode::kStreaming);  // no handler
+  HttpConnection client(std::move(pipe.second),
+                        HttpConnection::Mode::kStreaming);
+  HttpRequest req;
+  req.path = "/x";
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->first, 501);
+}
+
+TEST(Http, StreamingChunksArriveBeforeEnd) {
+  // The §IV-E property: in streaming mode, the client observes the first
+  // chunk while the handler is still running.
+  std::atomic<bool> handler_done{false};
+  Harness h(HttpConnection::Mode::kStreaming,
+            [&](const HttpRequest&, StreamResponder& out) {
+              out.SendChunk("first\n");
+              std::this_thread::sleep_for(std::chrono::milliseconds(80));
+              out.SendChunk("second\n");
+              handler_done = true;
+              out.End(200);
+            });
+  HttpRequest req;
+  req.path = "/stream";
+  auto stream = h.client->Send(req);
+  auto first = stream->NextChunk();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "first\n");
+  EXPECT_FALSE(handler_done.load());  // observed mid-handler
+  EXPECT_EQ(stream->ReadAll(), "second\n");
+  EXPECT_EQ(stream->status(), 200);
+}
+
+TEST(Http, BatchModeBuffersUntilEnd) {
+  // The Laminar 1.0 behaviour: nothing reaches the client until the handler
+  // finishes; the whole body arrives at once.
+  Harness h(HttpConnection::Mode::kBatch,
+            [&](const HttpRequest&, StreamResponder& out) {
+              out.SendChunk("first\n");
+              std::this_thread::sleep_for(std::chrono::milliseconds(50));
+              out.SendChunk("second\n");
+              out.End(200);
+            });
+  HttpRequest req;
+  req.path = "/batch";
+  Stopwatch watch;
+  auto stream = h.client->Send(req);
+  auto chunk = stream->NextChunk();
+  double first_ms = watch.ElapsedMillis();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(*chunk, "first\nsecond\n");  // single coalesced body
+  EXPECT_GE(first_ms, 45.0);             // not before the handler finished
+  EXPECT_FALSE(stream->NextChunk().has_value());
+}
+
+TEST(Http, LargeBodySplitsIntoFrames) {
+  std::string big(100'000, 'z');
+  Harness h(HttpConnection::Mode::kStreaming,
+            [&](const HttpRequest&, StreamResponder& out) {
+              out.SendChunk(big);
+              out.End(200);
+            });
+  HttpRequest req;
+  req.path = "/big";
+  auto resp = h.client->Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->second.size(), big.size());
+  EXPECT_EQ(resp->second, big);
+}
+
+TEST(Http, MultiplexedConcurrentRequests) {
+  Harness h(HttpConnection::Mode::kStreaming,
+            [](const HttpRequest& req, StreamResponder& out) {
+              if (req.path == "/slow") {
+                std::this_thread::sleep_for(std::chrono::milliseconds(60));
+              }
+              out.SendChunk(req.path);
+              out.End(200);
+            });
+  HttpRequest slow;
+  slow.path = "/slow";
+  HttpRequest fast;
+  fast.path = "/fast";
+  auto slow_stream = h.client->Send(slow);
+  auto fast_stream = h.client->Send(fast);
+  // The fast response must complete while the slow one is still pending.
+  EXPECT_EQ(fast_stream->ReadAll(), "/fast");
+  EXPECT_EQ(slow_stream->ReadAll(), "/slow");
+}
+
+TEST(Http, CloseFailsPendingRequests) {
+  Harness h(HttpConnection::Mode::kStreaming,
+            [](const HttpRequest&, StreamResponder& out) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(200));
+              out.End(200);
+            });
+  HttpRequest req;
+  req.path = "/hang";
+  auto stream = h.client->Send(req);
+  h.client->Close();
+  EXPECT_FALSE(stream->NextChunk().has_value());
+  EXPECT_NE(stream->status(), 200);
+}
+
+TEST(Http, SendAfterCloseFailsFast) {
+  Harness h(HttpConnection::Mode::kStreaming,
+            [](const HttpRequest&, StreamResponder& out) { out.End(200); });
+  h.client->Close();
+  HttpRequest req;
+  req.path = "/x";
+  auto stream = h.client->Send(req);
+  EXPECT_FALSE(stream->NextChunk().has_value());
+  EXPECT_EQ(stream->status(), 503);
+}
+
+TEST(Http, MalformedRequestValueRejected) {
+  Result<HttpRequest> r = HttpRequest::FromValue(Value("not an object"));
+  EXPECT_FALSE(r.ok());
+  Value no_path = Value::MakeObject();
+  no_path["method"] = "POST";
+  EXPECT_FALSE(HttpRequest::FromValue(no_path).ok());
+}
+
+TEST(Http, ManySequentialCallsReuseConnection) {
+  Harness h(HttpConnection::Mode::kStreaming,
+            [](const HttpRequest& req, StreamResponder& out) {
+              out.SendChunk(req.body);
+              out.End(200);
+            });
+  for (int i = 0; i < 50; ++i) {
+    HttpRequest req;
+    req.path = "/n";
+    req.body = std::to_string(i);
+    auto resp = h.client->Call(req);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->second, std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace laminar::net

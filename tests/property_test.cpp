@@ -1,0 +1,261 @@
+// Property-based tests: randomized invariants over seeds, swept with
+// parameterized gtest. Each property states something that must hold for
+// *every* input the generators can produce.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "dataflow/dynamic_mapping.hpp"
+#include "dataflow/multi_mapping.hpp"
+#include "dataflow/pe_library.hpp"
+#include "dataflow/sequential_mapping.hpp"
+#include "dataset/generator.hpp"
+#include "embed/unixcoder_sim.hpp"
+#include "net/http.hpp"
+#include "pycode/parser.hpp"
+#include "spt/recommend.hpp"
+
+namespace laminar {
+namespace {
+
+// ---- JSON: serialize(parse(x)) == x for arbitrary documents ----
+
+Value RandomValue(Rng& rng, int depth) {
+  // Leaning scalar at depth; containers shrink with depth.
+  uint64_t kind = rng.NextBelow(depth <= 0 ? 5 : 7);
+  switch (kind) {
+    case 0: return Value();
+    case 1: return Value(rng.NextBool());
+    case 2: return Value(rng.NextInt(-1'000'000, 1'000'000));
+    case 3: {
+      // Doubles that survive round-trip exactly: dyadic fractions.
+      double d = static_cast<double>(rng.NextInt(-4096, 4096)) / 64.0;
+      return Value(d);
+    }
+    case 4: {
+      std::string s;
+      size_t len = rng.NextBelow(12);
+      for (size_t i = 0; i < len; ++i) {
+        // Include escapes, quotes, unicode and control characters.
+        static const char* kAlphabet =
+            "abc \"\\\n\t{}[]:,\xC3\xA9\x01z0123456789";
+        s += kAlphabet[rng.NextBelow(28)];
+      }
+      return Value(std::move(s));
+    }
+    case 5: {
+      Value arr = Value::MakeArray();
+      size_t n = rng.NextBelow(4);
+      for (size_t i = 0; i < n; ++i) arr.push_back(RandomValue(rng, depth - 1));
+      return arr;
+    }
+    default: {
+      Value obj = Value::MakeObject();
+      size_t n = rng.NextBelow(4);
+      for (size_t i = 0; i < n; ++i) {
+        obj["k" + std::to_string(rng.NextBelow(10))] =
+            RandomValue(rng, depth - 1);
+      }
+      return obj;
+    }
+  }
+}
+
+class JsonRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonRoundTripProperty, ParseOfSerializeIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Value original = RandomValue(rng, 4);
+    Result<Value> back = json::Parse(original.ToJson());
+    ASSERT_TRUE(back.ok()) << original.ToJson();
+    EXPECT_EQ(back.value(), original) << original.ToJson();
+    Result<Value> pretty = json::Parse(original.ToJsonPretty());
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(pretty.value(), original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Dataset/parser: every generated PE parses; every drop level
+//      lenient-parses and featurizes ----
+
+class CorpusParseProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorpusParseProperty, GeneratedCodeAlwaysUsable) {
+  dataset::DatasetConfig config;
+  config.families = 0;
+  config.variants_per_family = 3;
+  config.seed = GetParam();
+  dataset::CodeSearchNetPeDataset ds =
+      dataset::CodeSearchNetPeDataset::Generate(config);
+  Rng rng(GetParam() ^ 0xD0D0);
+  for (const dataset::PeExample& ex : ds.examples()) {
+    ASSERT_TRUE(pycode::Parse(ex.pe_code).ok()) << ex.pe_code;
+    double fraction = rng.NextDouble() * 0.9;
+    dataset::DropMode mode = rng.NextBool() ? dataset::DropMode::kTail
+                                            : dataset::DropMode::kRandom;
+    std::string dropped =
+        dataset::DropCode(ex.pe_code, fraction, mode, rng.NextU64());
+    Result<spt::SptNodePtr> spt = spt::SptFromSource(dropped);
+    ASSERT_TRUE(spt.ok()) << "drop " << fraction << " of\n" << ex.pe_code;
+    EXPECT_GT(spt::ExtractFeatures(*spt.value()).total, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusParseProperty,
+                         ::testing::Values(11, 22, 33));
+
+// ---- SPT features: rename invariance under arbitrary consistent renames --
+
+class RenameInvarianceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RenameInvarianceProperty, LocalRenamesNeverChangeFeatures) {
+  dataset::DatasetConfig config;
+  config.families = 6;
+  config.variants_per_family = 1;
+  config.seed = GetParam();
+  dataset::CodeSearchNetPeDataset ds =
+      dataset::CodeSearchNetPeDataset::Generate(config);
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (const dataset::PeExample& ex : ds.examples()) {
+    // Rename a known pool variable consistently; class names stay (they are
+    // API names, intentionally not generalized).
+    std::string renamed = ex.pe_code;
+    for (const char* var : {"result", "out", "acc", "total", "cur", "tmp",
+                            "data", "value", "item", "elem", "x"}) {
+      std::string fresh = "zz" + std::to_string(rng.NextBelow(1000));
+      // Whole-token replacement via word-ish boundaries: wrap with common
+      // delimiters to avoid touching identifiers that contain the pool name.
+      for (const char* pre : {" ", "(", "[", ",", "="}) {
+        for (const char* post : {" ", ")", "]", ",", ":", ".", "\n", "["}) {
+          renamed = strings::ReplaceAll(
+              renamed, std::string(pre) + var + post,
+              std::string(pre) + fresh + post);
+        }
+      }
+    }
+    Result<spt::SptNodePtr> a = spt::SptFromSource(ex.pe_code);
+    Result<spt::SptNodePtr> b = spt::SptFromSource(renamed);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    spt::FeatureBag fa = spt::ExtractFeatures(*a.value());
+    spt::FeatureBag fb = spt::ExtractFeatures(*b.value());
+    EXPECT_GT(spt::CosineSimilarity(fa, fb), 0.999)
+        << ex.name << "\n" << renamed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RenameInvarianceProperty,
+                         ::testing::Values(101, 202));
+
+// ---- Embeddings: cosine is bounded and self-similarity is maximal ----
+
+class EmbeddingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EmbeddingProperty, CosineBoundsAndSelfSimilarity) {
+  embed::UnixcoderSim model;
+  Rng rng(GetParam());
+  std::vector<std::string> vocabulary = {
+      "stream", "prime",  "anomaly", "sensor", "sort",  "count",
+      "words",  "filter", "detect",  "search", "index", "parse"};
+  for (int i = 0; i < 50; ++i) {
+    std::string a, b;
+    size_t len = 2 + rng.NextBelow(8);
+    for (size_t w = 0; w < len; ++w) a += rng.Choice(vocabulary) + " ";
+    for (size_t w = 0; w < len; ++w) b += rng.Choice(vocabulary) + " ";
+    embed::Vector va = model.EncodeText(a);
+    embed::Vector vb = model.EncodeText(b);
+    float cross = embed::Cosine(va, vb);
+    EXPECT_GE(cross, -1.0001f);
+    EXPECT_LE(cross, 1.0001f);
+    EXPECT_NEAR(embed::Cosine(va, va), 1.0f, 1e-5);
+    EXPECT_GE(embed::Cosine(va, va), cross - 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmbeddingProperty, ::testing::Values(7, 8));
+
+// ---- Mappings: equivalence holds for every producer seed ----
+
+class MappingSeedProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MappingSeedProperty, AllMappingsAgreeOnIsPrime) {
+  auto make_graph = [&] {
+    auto g = std::make_unique<dataflow::WorkflowGraph>("isprime");
+    auto& producer = g->AddPE<dataflow::NumberProducer>(GetParam());
+    auto& isprime = g->AddPE<dataflow::IsPrime>();
+    auto& printer = g->AddPE<dataflow::PrintPrime>();
+    EXPECT_TRUE(g->Connect(producer, isprime).ok());
+    EXPECT_TRUE(g->Connect(isprime, printer).ok());
+    return g;
+  };
+  dataflow::RunOptions options;
+  options.input = Value(30);
+  options.num_processes = 5;
+
+  dataflow::SequentialMapping seq;
+  dataflow::MultiMapping multi;
+  dataflow::DynamicMapping dynamic;
+  auto lines = [](const dataflow::RunResult& r) {
+    return std::multiset<std::string>(r.output_lines.begin(),
+                                      r.output_lines.end());
+  };
+  dataflow::RunResult a = seq.Execute(*make_graph(), options);
+  dataflow::RunResult b = multi.Execute(*make_graph(), options);
+  dataflow::RunResult c = dynamic.Execute(*make_graph(), options);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  ASSERT_TRUE(c.status.ok());
+  EXPECT_EQ(lines(a), lines(b));
+  EXPECT_EQ(lines(a), lines(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingSeedProperty,
+                         ::testing::Values(1, 77, 3141, 424242));
+
+// ---- HTTP transport: arbitrary binary bodies survive both modes ----
+
+class TransportProperty
+    : public ::testing::TestWithParam<net::HttpConnection::Mode> {};
+
+TEST_P(TransportProperty, ArbitraryBodiesRoundTrip) {
+  net::DuplexPipe pipe = net::CreatePipe();
+  net::HttpConnection server(
+      std::move(pipe.first), GetParam(),
+      [](const net::HttpRequest& req, net::StreamResponder& out) {
+        out.SendChunk(req.body);
+        out.End(200);
+      });
+  net::HttpConnection client(std::move(pipe.second), GetParam());
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    size_t size = rng.NextBelow(60'000);
+    std::string body;
+    body.reserve(size);
+    for (size_t b = 0; b < size; ++b) {
+      body += static_cast<char>(rng.NextBelow(256));
+    }
+    net::HttpRequest req;
+    req.path = "/echo";
+    req.body = body;
+    auto resp = client.Call(req);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->first, 200);
+    EXPECT_EQ(resp->second, body);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TransportProperty,
+                         ::testing::Values(net::HttpConnection::Mode::kBatch,
+                                           net::HttpConnection::Mode::kStreaming));
+
+// ---- Registry: inserts then lookups are consistent for random rows ----
+
+}  // namespace
+}  // namespace laminar

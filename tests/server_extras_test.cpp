@@ -1,0 +1,128 @@
+// Tests for the server's operational endpoints: /stats, /registry/save,
+// /registry/load, plus error-path behaviour of the protocol layer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "client/connect.hpp"
+#include "client/demo_workflows.hpp"
+
+namespace laminar::client {
+namespace {
+
+server::ServerConfig FastServer() {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  return config;
+}
+
+TEST(ServerExtras, StatsReflectActivity) {
+  InProcessLaminar laminar = ConnectInProcess(FastServer());
+  const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+  Result<WorkflowInfo> wf = laminar.client->RegisterWorkflow(
+      demo->name, demo->spec, demo->pes, demo->code);
+  ASSERT_TRUE(wf.ok());
+  (void)laminar.client->RunDynamic(wf->id, Value(10));
+
+  Result<Value> stats = laminar.client->GetStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->GetInt("pes"), 3);
+  EXPECT_EQ(stats->GetInt("workflows"), 1);
+  // The dynamic run went through the engine's broker.
+  EXPECT_GT(stats->at("broker").GetInt("pushes"), 0);
+  EXPECT_GT(stats->at("engine").GetInt("warmInstances"), 0);
+}
+
+TEST(ServerExtras, SaveAndLoadRoundTrip) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "laminar_server_snapshot.json").string();
+
+  {
+    InProcessLaminar laminar = ConnectInProcess(FastServer());
+    const DemoWorkflow* demo = FindDemoWorkflow("anomaly_wf");
+    ASSERT_TRUE(laminar.client
+                    ->RegisterWorkflow(demo->name, demo->spec, demo->pes,
+                                       demo->code)
+                    .ok());
+    ASSERT_TRUE(laminar.client->SaveRegistry(path).ok());
+  }
+  {
+    InProcessLaminar laminar = ConnectInProcess(FastServer());
+    ASSERT_TRUE(laminar.client->LoadRegistry(path).ok());
+    // Registry content restored...
+    Result<WorkflowInfo> wf = laminar.client->GetWorkflowByName("anomaly_wf");
+    ASSERT_TRUE(wf.ok());
+    // ...search reindexed...
+    auto hits = laminar.client->SearchRegistrySemantic(
+        "a pe that is able to detect anomalies", "pe", 3);
+    ASSERT_TRUE(hits.ok());
+    ASSERT_FALSE(hits->empty());
+    EXPECT_NE(hits->front().name.find("Anomaly"), std::string::npos);
+    // ...and the restored workflow still runs.
+    RunOutcome outcome = laminar.client->Run(wf->id, Value(50));
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServerExtras, SaveRequiresPath) {
+  InProcessLaminar laminar = ConnectInProcess(FastServer());
+  EXPECT_FALSE(laminar.client->SaveRegistry("").ok());
+}
+
+TEST(ServerExtras, LoadMissingFileFails) {
+  InProcessLaminar laminar = ConnectInProcess(FastServer());
+  Status st = laminar.client->LoadRegistry("/definitely/not/here.json");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(ServerExtras, UnknownEndpointIs404) {
+  InProcessLaminar laminar = ConnectInProcess(FastServer());
+  net::HttpRequest req;
+  req.path = "/no/such/endpoint";
+  auto resp = laminar.client_side->Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->first, 404);
+}
+
+TEST(ServerExtras, MalformedJsonBodyIs400) {
+  InProcessLaminar laminar = ConnectInProcess(FastServer());
+  net::HttpRequest req;
+  req.path = "/pes/get";
+  req.body = "{not json";
+  auto resp = laminar.client_side->Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->first, 400);
+}
+
+TEST(ServerExtras, HealthEndpoint) {
+  InProcessLaminar laminar = ConnectInProcess(FastServer());
+  net::HttpRequest req;
+  req.path = "/health";
+  auto resp = laminar.client_side->Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->first, 200);
+  EXPECT_NE(resp->second.find("ok"), std::string::npos);
+}
+
+TEST(ServerExtras, ExecuteRejectsGarbageResourcesField) {
+  InProcessLaminar laminar = ConnectInProcess(FastServer());
+  const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+  net::HttpRequest req;
+  req.path = "/execute";
+  Value body = Value::MakeObject();
+  body["spec"] = demo->spec;
+  body["mapping"] = "simple";
+  body["input"] = 2;
+  body["resources"] = "not an array";  // tolerated: treated as empty
+  req.body = body.ToJson();
+  auto resp = laminar.client_side->Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->first, 200);
+}
+
+}  // namespace
+}  // namespace laminar::client

@@ -1,0 +1,153 @@
+// Concurrency stress: many clients doing mixed registry mutations, searches
+// and executions against one server simultaneously. Guards the server's
+// locking discipline (registry mutations serialized; execution outside the
+// lock; per-connection multiplexing).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "client/connect.hpp"
+#include "client/demo_workflows.hpp"
+
+namespace laminar::client {
+namespace {
+
+TEST(ServerStress, ParallelClientsMixedWorkload) {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  config.engine.max_concurrent = 4;
+  InProcessLaminar laminar = ConnectInProcess(config);
+
+  // Seed one workflow everyone can run.
+  const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+  Result<WorkflowInfo> wf = laminar.client->RegisterWorkflow(
+      demo->name, demo->spec, demo->pes, demo->code);
+  ASSERT_TRUE(wf.ok());
+  int64_t wf_id = wf->id;
+
+  constexpr int kClients = 4;
+  constexpr int kOpsPerClient = 12;
+  std::vector<ExtraClient> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(AttachClient(*laminar.server));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      LaminarClient& cli = *clients[static_cast<size_t>(c)].client;
+      for (int op = 0; op < kOpsPerClient; ++op) {
+        switch ((c + op) % 4) {
+          case 0: {
+            // Register a unique PE.
+            std::string name =
+                "StressPe" + std::to_string(c) + "_" + std::to_string(op);
+            std::string code = "class " + name +
+                               "(IterativePE):\n"
+                               "    def _process(self, x):\n"
+                               "        return x + " +
+                               std::to_string(c * 100 + op) + "\n";
+            if (!cli.RegisterPe(code, name).ok()) failures.fetch_add(1);
+            break;
+          }
+          case 1: {
+            if (!cli.SearchRegistrySemantic("prime numbers", "pe", 3).ok()) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          case 2: {
+            RunOutcome outcome = cli.Run(wf_id, Value(3));
+            if (!outcome.status.ok()) failures.fetch_add(1);
+            break;
+          }
+          default: {
+            if (!cli.GetRegistry().ok()) failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Registry ended consistent: all unique PEs present exactly once.
+  auto registry = laminar.client->GetRegistry();
+  ASSERT_TRUE(registry.ok());
+  size_t stress_pes = 0;
+  for (const PeInfo& pe : registry->first) {
+    if (pe.name.rfind("StressPe", 0) == 0) ++stress_pes;
+  }
+  // Exact count: ops where (c+op)%4==0.
+  size_t expected = 0;
+  for (int c = 0; c < kClients; ++c) {
+    for (int op = 0; op < kOpsPerClient; ++op) {
+      if ((c + op) % 4 == 0) ++expected;
+    }
+  }
+  EXPECT_EQ(stress_pes, expected);
+}
+
+TEST(ServerStress, ConcurrentStreamingRuns) {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 10;
+  config.engine.max_concurrent = 3;
+  InProcessLaminar laminar = ConnectInProcess(config);
+  const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+  Result<WorkflowInfo> wf = laminar.client->RegisterWorkflow(
+      demo->name, demo->spec, demo->pes, demo->code);
+  ASSERT_TRUE(wf.ok());
+
+  // Fire several runs over ONE multiplexed connection simultaneously.
+  std::atomic<int> ok_runs{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&] {
+      RunOutcome outcome = laminar.client->Run(wf->id, Value(10));
+      if (outcome.status.ok() && !outcome.lines.empty()) ok_runs.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_runs.load(), 6);
+}
+
+TEST(ServerStress, InterleavedRemoveAndSearch) {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  InProcessLaminar laminar = ConnectInProcess(config);
+  // Register 40 PEs.
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 40; ++i) {
+    std::string name = "Churn" + std::to_string(i);
+    Result<PeInfo> pe = laminar.client->RegisterPe(
+        "class " + name + "(IterativePE):\n    def _process(self, x):\n"
+        "        return x\n",
+        name);
+    ASSERT_TRUE(pe.ok());
+    ids.push_back(pe->id);
+  }
+  ExtraClient remover = AttachClient(*laminar.server);
+  std::thread removal([&] {
+    for (int64_t id : ids) {
+      (void)remover.client->RemovePe(id);
+    }
+  });
+  // Searches during removal must never fail (results may shrink).
+  for (int i = 0; i < 30; ++i) {
+    auto hits = laminar.client->SearchRegistryLiteral("Churn", "pe", 10);
+    EXPECT_TRUE(hits.ok());
+  }
+  removal.join();
+  auto registry = laminar.client->GetRegistry();
+  ASSERT_TRUE(registry.ok());
+  for (const PeInfo& pe : registry->first) {
+    EXPECT_EQ(pe.name.rfind("Churn", 0), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace laminar::client

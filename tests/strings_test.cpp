@@ -1,0 +1,123 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laminar::strings {
+namespace {
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\n c  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(SplitLines, NoTrailingEmptyLine) {
+  EXPECT_EQ(SplitLines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitLines("a\nb"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitLines("a\n\nb"), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(SplitLines, StripsCarriageReturns) {
+  EXPECT_EQ(SplitLines("a\r\nb\r\n"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(Trim, RemovesBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nhi"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(ToLower("HeLLo123"), "hello123");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("workflow.py", "workflow"));
+  EXPECT_FALSE(StartsWith("wf", "workflow"));
+  EXPECT_TRUE(EndsWith("workflow.py", ".py"));
+  EXPECT_FALSE(EndsWith("py", "workflow.py"));
+}
+
+TEST(ContainsIgnoreCase, MatchesAnyCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("AnomalyDetectionPE", "anomaly"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abcd"));
+  EXPECT_TRUE(ContainsIgnoreCase("xyzWORDSabc", "words"));
+}
+
+TEST(ReplaceAll, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("$A + $A", "$A", "x"), "x + x");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(SplitIdentifier, SnakeCase) {
+  EXPECT_EQ(SplitIdentifier("num_workers"),
+            (std::vector<std::string>{"num", "workers"}));
+}
+
+TEST(SplitIdentifier, CamelAndPascal) {
+  EXPECT_EQ(SplitIdentifier("readHttpResponse"),
+            (std::vector<std::string>{"read", "http", "response"}));
+  EXPECT_EQ(SplitIdentifier("IsPrime"),
+            (std::vector<std::string>{"is", "prime"}));
+}
+
+TEST(SplitIdentifier, AcronymRuns) {
+  EXPECT_EQ(SplitIdentifier("readHTTPResponse2"),
+            (std::vector<std::string>{"read", "http", "response", "2"}));
+}
+
+TEST(SplitIdentifier, Digits) {
+  EXPECT_EQ(SplitIdentifier("v2Counter"),
+            (std::vector<std::string>{"v", "2", "counter"}));
+}
+
+TEST(WordTokens, LowercasesAndDropsPunctuation) {
+  EXPECT_EQ(WordTokens("A PE that checks primes!"),
+            (std::vector<std::string>{"a", "pe", "that", "checks", "primes"}));
+  EXPECT_TRUE(WordTokens("!!! ...").empty());
+}
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(Format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(Format("%.2f", 1.005), "1.00");
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1234567), "1,234,567");
+  EXPECT_EQ(WithCommas(-1234), "-1,234");
+}
+
+TEST(IsIdentifier, Rules) {
+  EXPECT_TRUE(IsIdentifier("_private"));
+  EXPECT_TRUE(IsIdentifier("x1"));
+  EXPECT_FALSE(IsIdentifier("1x"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("has space"));
+  EXPECT_FALSE(IsIdentifier("has-dash"));
+}
+
+}  // namespace
+}  // namespace laminar::strings

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "common/value.hpp"
+
+namespace laminar {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToJson(), "null");
+}
+
+TEST(Value, ScalarAccessors) {
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(Value, CrossTypeCoercions) {
+  EXPECT_EQ(Value(2.9).as_int(), 2);       // double -> int truncates
+  EXPECT_DOUBLE_EQ(Value(3).as_double(), 3.0);
+  EXPECT_TRUE(Value(1).as_bool());
+  EXPECT_EQ(Value("nope").as_int(7), 7);   // fallback on mismatch
+  EXPECT_EQ(Value(5).as_string(), "");     // strings never coerce
+}
+
+TEST(Value, ObjectInsertionOrderPreserved) {
+  Value obj = Value::MakeObject();
+  obj["zeta"] = 1;
+  obj["alpha"] = 2;
+  obj["mid"] = 3;
+  EXPECT_EQ(obj.ToJson(), R"({"zeta":1,"alpha":2,"mid":3})");
+}
+
+TEST(Value, ObjectFieldHelpers) {
+  Value obj = Value::MakeObject();
+  obj["name"] = "laminar";
+  obj["count"] = 5;
+  obj["ratio"] = 0.5;
+  obj["on"] = true;
+  EXPECT_EQ(obj.GetString("name"), "laminar");
+  EXPECT_EQ(obj.GetInt("count"), 5);
+  EXPECT_DOUBLE_EQ(obj.GetDouble("ratio"), 0.5);
+  EXPECT_TRUE(obj.GetBool("on"));
+  EXPECT_EQ(obj.GetString("missing", "fb"), "fb");
+  EXPECT_EQ(obj.GetInt("name", -1), -1);  // wrong type -> fallback
+  EXPECT_TRUE(obj.at("missing").is_null());
+}
+
+TEST(Value, ArrayOps) {
+  Value arr = Value::MakeArray();
+  arr.push_back(1);
+  arr.push_back("two");
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.as_array()[0].as_int(), 1);
+  EXPECT_EQ(arr.ToJson(), R"([1,"two"])");
+}
+
+TEST(Value, NestedBuildAndEquality) {
+  Value a = Value::MakeObject();
+  a["list"].push_back(Value(1));
+  a["list"].push_back(Value(2));
+  a["obj"]["inner"] = "x";
+  Value b = Value::MakeObject();
+  b["list"].push_back(Value(1));
+  b["list"].push_back(Value(2));
+  b["obj"]["inner"] = "x";
+  EXPECT_EQ(a, b);
+  b["obj"]["inner"] = "y";
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Value, EraseField) {
+  Value obj = Value::MakeObject();
+  obj["a"] = 1;
+  obj["b"] = 2;
+  obj.mutable_object().erase("a");
+  EXPECT_FALSE(obj.contains("a"));
+  EXPECT_TRUE(obj.contains("b"));
+}
+
+TEST(JsonSerialize, EscapesSpecialCharacters) {
+  Value v("line\n\"quote\"\t\\end");
+  EXPECT_EQ(v.ToJson(), R"("line\n\"quote\"\t\\end")");
+}
+
+TEST(JsonSerialize, ControlCharactersAsUnicode) {
+  Value v(std::string("\x01", 1));
+  EXPECT_EQ(v.ToJson(), "\"\\u0001\"");
+}
+
+TEST(JsonSerialize, DoublesRoundTrip) {
+  for (double d : {0.1, 1e-9, 12345.6789, -2.5e17, 3.0}) {
+    Value v(d);
+    Result<Value> back = json::Parse(v.ToJson());
+    ASSERT_TRUE(back.ok()) << v.ToJson();
+    EXPECT_DOUBLE_EQ(back->as_double(), d);
+  }
+}
+
+TEST(JsonSerialize, NonFiniteBecomesNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).ToJson(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).ToJson(), "null");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json::Parse("null")->is_null());
+  EXPECT_EQ(json::Parse("true")->as_bool(), true);
+  EXPECT_EQ(json::Parse("-17")->as_int(), -17);
+  EXPECT_DOUBLE_EQ(json::Parse("2.5e2")->as_double(), 250.0);
+  EXPECT_EQ(json::Parse(R"("s")")->as_string(), "s");
+}
+
+TEST(JsonParse, BigIntegerFallsBackToDouble) {
+  Result<Value> v = json::Parse("99999999999999999999999999");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_double());
+}
+
+TEST(JsonParse, NestedDocument) {
+  Result<Value> v = json::Parse(R"({"a":[1,{"b":null},"x"],"c":{"d":false}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->at("a").as_array()[2].as_string(), "x");
+  EXPECT_TRUE(v->at("a").as_array()[1].at("b").is_null());
+  EXPECT_FALSE(v->at("c").GetBool("d", true));
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  Result<Value> v = json::Parse(R"("Aé")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, SurrogatePairs) {
+  Result<Value> v = json::Parse(R"("😀")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"unterminated",
+        "[1] trailing", "{\"a\":1,}", "\"\\q\"", "nan", "[1 2]"}) {
+    EXPECT_FALSE(json::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsLoneSurrogate) {
+  EXPECT_FALSE(json::Parse(R"("\ud800")").ok());
+  EXPECT_FALSE(json::Parse(R"("\udc00")").ok());
+}
+
+TEST(JsonParse, RejectsRawControlInString) {
+  std::string bad = "\"a\x01b\"";
+  EXPECT_FALSE(json::Parse(bad).ok());
+}
+
+TEST(JsonParse, DeepNestingBounded) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(json::Parse(deep).ok());
+}
+
+TEST(JsonRoundTrip, ComplexDocument) {
+  Value doc = Value::MakeObject();
+  doc["pes"] = Value::MakeArray();
+  Value pe = Value::MakeObject();
+  pe["name"] = "IsPrime";
+  pe["params"]["seed"] = 42;
+  doc["pes"].push_back(std::move(pe));
+  doc["nested"]["arr"].push_back(Value(1.5));
+  Result<Value> back = json::Parse(doc.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), doc);
+  // Pretty form parses back to the same value too.
+  Result<Value> pretty = json::Parse(doc.ToJsonPretty());
+  ASSERT_TRUE(pretty.ok());
+  EXPECT_EQ(pretty.value(), doc);
+}
+
+}  // namespace
+}  // namespace laminar
