@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_aroma_ablation"
+  "../bench/bench_aroma_ablation.pdb"
+  "CMakeFiles/bench_aroma_ablation.dir/bench_aroma_ablation.cpp.o"
+  "CMakeFiles/bench_aroma_ablation.dir/bench_aroma_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aroma_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

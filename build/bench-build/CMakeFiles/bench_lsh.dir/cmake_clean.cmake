@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lsh"
+  "../bench/bench_lsh.pdb"
+  "CMakeFiles/bench_lsh.dir/bench_lsh.cpp.o"
+  "CMakeFiles/bench_lsh.dir/bench_lsh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mappings"
+  "../bench/bench_mappings.pdb"
+  "CMakeFiles/bench_mappings.dir/bench_mappings.cpp.o"
+  "CMakeFiles/bench_mappings.dir/bench_mappings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_registry"
+  "../bench/bench_registry.pdb"
+  "CMakeFiles/bench_registry.dir/bench_registry.cpp.o"
+  "CMakeFiles/bench_registry.dir/bench_registry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_descriptions"
+  "../bench/fig10_descriptions.pdb"
+  "CMakeFiles/fig10_descriptions.dir/fig10_descriptions.cpp.o"
+  "CMakeFiles/fig10_descriptions.dir/fig10_descriptions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_descriptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

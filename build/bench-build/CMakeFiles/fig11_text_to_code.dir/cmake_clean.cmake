@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_text_to_code"
+  "../bench/fig11_text_to_code.pdb"
+  "CMakeFiles/fig11_text_to_code.dir/fig11_text_to_code.cpp.o"
+  "CMakeFiles/fig11_text_to_code.dir/fig11_text_to_code.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_text_to_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

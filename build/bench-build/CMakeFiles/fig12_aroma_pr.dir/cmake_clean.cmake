@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_aroma_pr"
+  "../bench/fig12_aroma_pr.pdb"
+  "CMakeFiles/fig12_aroma_pr.dir/fig12_aroma_pr.cpp.o"
+  "CMakeFiles/fig12_aroma_pr.dir/fig12_aroma_pr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_aroma_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_reacc_pr"
+  "../bench/fig13_reacc_pr.pdb"
+  "CMakeFiles/fig13_reacc_pr.dir/fig13_reacc_pr.cpp.o"
+  "CMakeFiles/fig13_reacc_pr.dir/fig13_reacc_pr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_reacc_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

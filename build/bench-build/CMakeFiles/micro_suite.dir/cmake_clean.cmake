@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_suite"
+  "../bench/micro_suite.pdb"
+  "CMakeFiles/micro_suite.dir/micro_suite.cpp.o"
+  "CMakeFiles/micro_suite.dir/micro_suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

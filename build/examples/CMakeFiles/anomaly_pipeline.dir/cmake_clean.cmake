@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_pipeline.dir/anomaly_pipeline.cpp.o"
+  "CMakeFiles/anomaly_pipeline.dir/anomaly_pipeline.cpp.o.d"
+  "anomaly_pipeline"
+  "anomaly_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/code_search_demo.cpp" "examples/CMakeFiles/code_search_demo.dir/code_search_demo.cpp.o" "gcc" "examples/CMakeFiles/code_search_demo.dir/code_search_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/laminar_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/laminar_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/laminar_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/laminar_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/laminar_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/laminar_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/laminar_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/spt/CMakeFiles/laminar_spt.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/laminar_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/laminar_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/pycode/CMakeFiles/laminar_pycode.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/laminar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_search_demo.dir/code_search_demo.cpp.o"
+  "CMakeFiles/code_search_demo.dir/code_search_demo.cpp.o.d"
+  "code_search_demo"
+  "code_search_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_search_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

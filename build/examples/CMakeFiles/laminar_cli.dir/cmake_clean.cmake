@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_cli.dir/laminar_cli.cpp.o"
+  "CMakeFiles/laminar_cli.dir/laminar_cli.cpp.o.d"
+  "laminar_cli"
+  "laminar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_stream.dir/wordcount_stream.cpp.o"
+  "CMakeFiles/wordcount_stream.dir/wordcount_stream.cpp.o.d"
+  "wordcount_stream"
+  "wordcount_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

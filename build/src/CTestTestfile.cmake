@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("pycode")
+subdirs("spt")
+subdirs("embed")
+subdirs("broker")
+subdirs("dataflow")
+subdirs("registry")
+subdirs("net")
+subdirs("engine")
+subdirs("search")
+subdirs("dataset")
+subdirs("server")
+subdirs("client")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_broker.dir/broker.cpp.o"
+  "CMakeFiles/laminar_broker.dir/broker.cpp.o.d"
+  "liblaminar_broker.a"
+  "liblaminar_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_client.dir/cli.cpp.o"
+  "CMakeFiles/laminar_client.dir/cli.cpp.o.d"
+  "CMakeFiles/laminar_client.dir/client.cpp.o"
+  "CMakeFiles/laminar_client.dir/client.cpp.o.d"
+  "CMakeFiles/laminar_client.dir/connect.cpp.o"
+  "CMakeFiles/laminar_client.dir/connect.cpp.o.d"
+  "CMakeFiles/laminar_client.dir/demo_workflows.cpp.o"
+  "CMakeFiles/laminar_client.dir/demo_workflows.cpp.o.d"
+  "liblaminar_client.a"
+  "liblaminar_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

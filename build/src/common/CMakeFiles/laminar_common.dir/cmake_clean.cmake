@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_common.dir/json.cpp.o"
+  "CMakeFiles/laminar_common.dir/json.cpp.o.d"
+  "CMakeFiles/laminar_common.dir/log.cpp.o"
+  "CMakeFiles/laminar_common.dir/log.cpp.o.d"
+  "CMakeFiles/laminar_common.dir/status.cpp.o"
+  "CMakeFiles/laminar_common.dir/status.cpp.o.d"
+  "CMakeFiles/laminar_common.dir/strings.cpp.o"
+  "CMakeFiles/laminar_common.dir/strings.cpp.o.d"
+  "CMakeFiles/laminar_common.dir/value.cpp.o"
+  "CMakeFiles/laminar_common.dir/value.cpp.o.d"
+  "liblaminar_common.a"
+  "liblaminar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/dynamic_mapping.cpp" "src/dataflow/CMakeFiles/laminar_dataflow.dir/dynamic_mapping.cpp.o" "gcc" "src/dataflow/CMakeFiles/laminar_dataflow.dir/dynamic_mapping.cpp.o.d"
+  "/root/repo/src/dataflow/graph.cpp" "src/dataflow/CMakeFiles/laminar_dataflow.dir/graph.cpp.o" "gcc" "src/dataflow/CMakeFiles/laminar_dataflow.dir/graph.cpp.o.d"
+  "/root/repo/src/dataflow/mapping.cpp" "src/dataflow/CMakeFiles/laminar_dataflow.dir/mapping.cpp.o" "gcc" "src/dataflow/CMakeFiles/laminar_dataflow.dir/mapping.cpp.o.d"
+  "/root/repo/src/dataflow/multi_mapping.cpp" "src/dataflow/CMakeFiles/laminar_dataflow.dir/multi_mapping.cpp.o" "gcc" "src/dataflow/CMakeFiles/laminar_dataflow.dir/multi_mapping.cpp.o.d"
+  "/root/repo/src/dataflow/pe.cpp" "src/dataflow/CMakeFiles/laminar_dataflow.dir/pe.cpp.o" "gcc" "src/dataflow/CMakeFiles/laminar_dataflow.dir/pe.cpp.o.d"
+  "/root/repo/src/dataflow/pe_library.cpp" "src/dataflow/CMakeFiles/laminar_dataflow.dir/pe_library.cpp.o" "gcc" "src/dataflow/CMakeFiles/laminar_dataflow.dir/pe_library.cpp.o.d"
+  "/root/repo/src/dataflow/sequential_mapping.cpp" "src/dataflow/CMakeFiles/laminar_dataflow.dir/sequential_mapping.cpp.o" "gcc" "src/dataflow/CMakeFiles/laminar_dataflow.dir/sequential_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/laminar_broker.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

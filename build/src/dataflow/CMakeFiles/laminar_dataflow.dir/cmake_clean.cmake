@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_dataflow.dir/dynamic_mapping.cpp.o"
+  "CMakeFiles/laminar_dataflow.dir/dynamic_mapping.cpp.o.d"
+  "CMakeFiles/laminar_dataflow.dir/graph.cpp.o"
+  "CMakeFiles/laminar_dataflow.dir/graph.cpp.o.d"
+  "CMakeFiles/laminar_dataflow.dir/mapping.cpp.o"
+  "CMakeFiles/laminar_dataflow.dir/mapping.cpp.o.d"
+  "CMakeFiles/laminar_dataflow.dir/multi_mapping.cpp.o"
+  "CMakeFiles/laminar_dataflow.dir/multi_mapping.cpp.o.d"
+  "CMakeFiles/laminar_dataflow.dir/pe.cpp.o"
+  "CMakeFiles/laminar_dataflow.dir/pe.cpp.o.d"
+  "CMakeFiles/laminar_dataflow.dir/pe_library.cpp.o"
+  "CMakeFiles/laminar_dataflow.dir/pe_library.cpp.o.d"
+  "CMakeFiles/laminar_dataflow.dir/sequential_mapping.cpp.o"
+  "CMakeFiles/laminar_dataflow.dir/sequential_mapping.cpp.o.d"
+  "liblaminar_dataflow.a"
+  "liblaminar_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

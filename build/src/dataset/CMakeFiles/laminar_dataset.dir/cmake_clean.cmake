@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_dataset.dir/families.cpp.o"
+  "CMakeFiles/laminar_dataset.dir/families.cpp.o.d"
+  "CMakeFiles/laminar_dataset.dir/generator.cpp.o"
+  "CMakeFiles/laminar_dataset.dir/generator.cpp.o.d"
+  "liblaminar_dataset.a"
+  "liblaminar_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/codet5_sim.cpp" "src/embed/CMakeFiles/laminar_embed.dir/codet5_sim.cpp.o" "gcc" "src/embed/CMakeFiles/laminar_embed.dir/codet5_sim.cpp.o.d"
+  "/root/repo/src/embed/embedding.cpp" "src/embed/CMakeFiles/laminar_embed.dir/embedding.cpp.o" "gcc" "src/embed/CMakeFiles/laminar_embed.dir/embedding.cpp.o.d"
+  "/root/repo/src/embed/hashed_encoder.cpp" "src/embed/CMakeFiles/laminar_embed.dir/hashed_encoder.cpp.o" "gcc" "src/embed/CMakeFiles/laminar_embed.dir/hashed_encoder.cpp.o.d"
+  "/root/repo/src/embed/reacc_sim.cpp" "src/embed/CMakeFiles/laminar_embed.dir/reacc_sim.cpp.o" "gcc" "src/embed/CMakeFiles/laminar_embed.dir/reacc_sim.cpp.o.d"
+  "/root/repo/src/embed/unixcoder_sim.cpp" "src/embed/CMakeFiles/laminar_embed.dir/unixcoder_sim.cpp.o" "gcc" "src/embed/CMakeFiles/laminar_embed.dir/unixcoder_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pycode/CMakeFiles/laminar_pycode.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_embed.dir/codet5_sim.cpp.o"
+  "CMakeFiles/laminar_embed.dir/codet5_sim.cpp.o.d"
+  "CMakeFiles/laminar_embed.dir/embedding.cpp.o"
+  "CMakeFiles/laminar_embed.dir/embedding.cpp.o.d"
+  "CMakeFiles/laminar_embed.dir/hashed_encoder.cpp.o"
+  "CMakeFiles/laminar_embed.dir/hashed_encoder.cpp.o.d"
+  "CMakeFiles/laminar_embed.dir/reacc_sim.cpp.o"
+  "CMakeFiles/laminar_embed.dir/reacc_sim.cpp.o.d"
+  "CMakeFiles/laminar_embed.dir/unixcoder_sim.cpp.o"
+  "CMakeFiles/laminar_embed.dir/unixcoder_sim.cpp.o.d"
+  "liblaminar_embed.a"
+  "liblaminar_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/autoimport.cpp" "src/engine/CMakeFiles/laminar_engine.dir/autoimport.cpp.o" "gcc" "src/engine/CMakeFiles/laminar_engine.dir/autoimport.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/laminar_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/laminar_engine.dir/engine.cpp.o.d"
+  "/root/repo/src/engine/resource_cache.cpp" "src/engine/CMakeFiles/laminar_engine.dir/resource_cache.cpp.o" "gcc" "src/engine/CMakeFiles/laminar_engine.dir/resource_cache.cpp.o.d"
+  "/root/repo/src/engine/workflow_spec.cpp" "src/engine/CMakeFiles/laminar_engine.dir/workflow_spec.cpp.o" "gcc" "src/engine/CMakeFiles/laminar_engine.dir/workflow_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/laminar_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pycode/CMakeFiles/laminar_pycode.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/laminar_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

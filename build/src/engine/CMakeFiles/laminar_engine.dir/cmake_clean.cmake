@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_engine.dir/autoimport.cpp.o"
+  "CMakeFiles/laminar_engine.dir/autoimport.cpp.o.d"
+  "CMakeFiles/laminar_engine.dir/engine.cpp.o"
+  "CMakeFiles/laminar_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/laminar_engine.dir/resource_cache.cpp.o"
+  "CMakeFiles/laminar_engine.dir/resource_cache.cpp.o.d"
+  "CMakeFiles/laminar_engine.dir/workflow_spec.cpp.o"
+  "CMakeFiles/laminar_engine.dir/workflow_spec.cpp.o.d"
+  "liblaminar_engine.a"
+  "liblaminar_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

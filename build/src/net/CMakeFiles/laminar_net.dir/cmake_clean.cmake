@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_net.dir/bytestream.cpp.o"
+  "CMakeFiles/laminar_net.dir/bytestream.cpp.o.d"
+  "CMakeFiles/laminar_net.dir/http.cpp.o"
+  "CMakeFiles/laminar_net.dir/http.cpp.o.d"
+  "CMakeFiles/laminar_net.dir/multipart.cpp.o"
+  "CMakeFiles/laminar_net.dir/multipart.cpp.o.d"
+  "liblaminar_net.a"
+  "liblaminar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pycode/ast.cpp" "src/pycode/CMakeFiles/laminar_pycode.dir/ast.cpp.o" "gcc" "src/pycode/CMakeFiles/laminar_pycode.dir/ast.cpp.o.d"
+  "/root/repo/src/pycode/lexer.cpp" "src/pycode/CMakeFiles/laminar_pycode.dir/lexer.cpp.o" "gcc" "src/pycode/CMakeFiles/laminar_pycode.dir/lexer.cpp.o.d"
+  "/root/repo/src/pycode/parser.cpp" "src/pycode/CMakeFiles/laminar_pycode.dir/parser.cpp.o" "gcc" "src/pycode/CMakeFiles/laminar_pycode.dir/parser.cpp.o.d"
+  "/root/repo/src/pycode/token.cpp" "src/pycode/CMakeFiles/laminar_pycode.dir/token.cpp.o" "gcc" "src/pycode/CMakeFiles/laminar_pycode.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

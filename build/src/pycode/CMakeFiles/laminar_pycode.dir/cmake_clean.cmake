@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_pycode.dir/ast.cpp.o"
+  "CMakeFiles/laminar_pycode.dir/ast.cpp.o.d"
+  "CMakeFiles/laminar_pycode.dir/lexer.cpp.o"
+  "CMakeFiles/laminar_pycode.dir/lexer.cpp.o.d"
+  "CMakeFiles/laminar_pycode.dir/parser.cpp.o"
+  "CMakeFiles/laminar_pycode.dir/parser.cpp.o.d"
+  "CMakeFiles/laminar_pycode.dir/token.cpp.o"
+  "CMakeFiles/laminar_pycode.dir/token.cpp.o.d"
+  "liblaminar_pycode.a"
+  "liblaminar_pycode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_pycode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/registry/database.cpp" "src/registry/CMakeFiles/laminar_registry.dir/database.cpp.o" "gcc" "src/registry/CMakeFiles/laminar_registry.dir/database.cpp.o.d"
+  "/root/repo/src/registry/repository.cpp" "src/registry/CMakeFiles/laminar_registry.dir/repository.cpp.o" "gcc" "src/registry/CMakeFiles/laminar_registry.dir/repository.cpp.o.d"
+  "/root/repo/src/registry/schema.cpp" "src/registry/CMakeFiles/laminar_registry.dir/schema.cpp.o" "gcc" "src/registry/CMakeFiles/laminar_registry.dir/schema.cpp.o.d"
+  "/root/repo/src/registry/table.cpp" "src/registry/CMakeFiles/laminar_registry.dir/table.cpp.o" "gcc" "src/registry/CMakeFiles/laminar_registry.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

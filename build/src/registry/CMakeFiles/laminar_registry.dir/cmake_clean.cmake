@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_registry.dir/database.cpp.o"
+  "CMakeFiles/laminar_registry.dir/database.cpp.o.d"
+  "CMakeFiles/laminar_registry.dir/repository.cpp.o"
+  "CMakeFiles/laminar_registry.dir/repository.cpp.o.d"
+  "CMakeFiles/laminar_registry.dir/schema.cpp.o"
+  "CMakeFiles/laminar_registry.dir/schema.cpp.o.d"
+  "CMakeFiles/laminar_registry.dir/table.cpp.o"
+  "CMakeFiles/laminar_registry.dir/table.cpp.o.d"
+  "liblaminar_registry.a"
+  "liblaminar_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

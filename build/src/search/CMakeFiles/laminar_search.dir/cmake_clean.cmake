@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_search.dir/metrics.cpp.o"
+  "CMakeFiles/laminar_search.dir/metrics.cpp.o.d"
+  "CMakeFiles/laminar_search.dir/search_service.cpp.o"
+  "CMakeFiles/laminar_search.dir/search_service.cpp.o.d"
+  "liblaminar_search.a"
+  "liblaminar_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

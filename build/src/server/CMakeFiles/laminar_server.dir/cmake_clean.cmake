@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_server.dir/server.cpp.o"
+  "CMakeFiles/laminar_server.dir/server.cpp.o.d"
+  "liblaminar_server.a"
+  "liblaminar_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spt/cluster.cpp" "src/spt/CMakeFiles/laminar_spt.dir/cluster.cpp.o" "gcc" "src/spt/CMakeFiles/laminar_spt.dir/cluster.cpp.o.d"
+  "/root/repo/src/spt/features.cpp" "src/spt/CMakeFiles/laminar_spt.dir/features.cpp.o" "gcc" "src/spt/CMakeFiles/laminar_spt.dir/features.cpp.o.d"
+  "/root/repo/src/spt/index.cpp" "src/spt/CMakeFiles/laminar_spt.dir/index.cpp.o" "gcc" "src/spt/CMakeFiles/laminar_spt.dir/index.cpp.o.d"
+  "/root/repo/src/spt/lsh_index.cpp" "src/spt/CMakeFiles/laminar_spt.dir/lsh_index.cpp.o" "gcc" "src/spt/CMakeFiles/laminar_spt.dir/lsh_index.cpp.o.d"
+  "/root/repo/src/spt/recommend.cpp" "src/spt/CMakeFiles/laminar_spt.dir/recommend.cpp.o" "gcc" "src/spt/CMakeFiles/laminar_spt.dir/recommend.cpp.o.d"
+  "/root/repo/src/spt/rerank.cpp" "src/spt/CMakeFiles/laminar_spt.dir/rerank.cpp.o" "gcc" "src/spt/CMakeFiles/laminar_spt.dir/rerank.cpp.o.d"
+  "/root/repo/src/spt/spt.cpp" "src/spt/CMakeFiles/laminar_spt.dir/spt.cpp.o" "gcc" "src/spt/CMakeFiles/laminar_spt.dir/spt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pycode/CMakeFiles/laminar_pycode.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/laminar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_spt.dir/cluster.cpp.o"
+  "CMakeFiles/laminar_spt.dir/cluster.cpp.o.d"
+  "CMakeFiles/laminar_spt.dir/features.cpp.o"
+  "CMakeFiles/laminar_spt.dir/features.cpp.o.d"
+  "CMakeFiles/laminar_spt.dir/index.cpp.o"
+  "CMakeFiles/laminar_spt.dir/index.cpp.o.d"
+  "CMakeFiles/laminar_spt.dir/lsh_index.cpp.o"
+  "CMakeFiles/laminar_spt.dir/lsh_index.cpp.o.d"
+  "CMakeFiles/laminar_spt.dir/recommend.cpp.o"
+  "CMakeFiles/laminar_spt.dir/recommend.cpp.o.d"
+  "CMakeFiles/laminar_spt.dir/rerank.cpp.o"
+  "CMakeFiles/laminar_spt.dir/rerank.cpp.o.d"
+  "CMakeFiles/laminar_spt.dir/spt.cpp.o"
+  "CMakeFiles/laminar_spt.dir/spt.cpp.o.d"
+  "liblaminar_spt.a"
+  "liblaminar_spt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_spt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_test.dir/aroma_test.cpp.o"
+  "CMakeFiles/aroma_test.dir/aroma_test.cpp.o.d"
+  "aroma_test"
+  "aroma_test.pdb"
+  "aroma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

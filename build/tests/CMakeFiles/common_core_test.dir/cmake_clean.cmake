@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_core_test.dir/common_core_test.cpp.o"
+  "CMakeFiles/common_core_test.dir/common_core_test.cpp.o.d"
+  "common_core_test"
+  "common_core_test.pdb"
+  "common_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_clock_test.dir/log_clock_test.cpp.o"
+  "CMakeFiles/log_clock_test.dir/log_clock_test.cpp.o.d"
+  "log_clock_test"
+  "log_clock_test.pdb"
+  "log_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mappings_test.dir/mappings_test.cpp.o"
+  "CMakeFiles/mappings_test.dir/mappings_test.cpp.o.d"
+  "mappings_test"
+  "mappings_test.pdb"
+  "mappings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mappings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiport_test.dir/multiport_test.cpp.o"
+  "CMakeFiles/multiport_test.dir/multiport_test.cpp.o.d"
+  "multiport_test"
+  "multiport_test.pdb"
+  "multiport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_extras_test.dir/server_extras_test.cpp.o"
+  "CMakeFiles/server_extras_test.dir/server_extras_test.cpp.o.d"
+  "server_extras_test"
+  "server_extras_test.pdb"
+  "server_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

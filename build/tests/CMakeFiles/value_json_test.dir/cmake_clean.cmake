@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_json_test.dir/value_json_test.cpp.o"
+  "CMakeFiles/value_json_test.dir/value_json_test.cpp.o.d"
+  "value_json_test"
+  "value_json_test.pdb"
+  "value_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
