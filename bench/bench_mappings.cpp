@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_util.hpp"
 #include "common/clock.hpp"
 #include "dataflow/dynamic_mapping.hpp"
 #include "dataflow/multi_mapping.hpp"
@@ -111,5 +112,11 @@ int main() {
         "static partition, and the autoscaler grows the pool from 1 toward "
         "the saturation point on its own.\n");
   }
+  std::printf("\n");
+  bench::PrintHistogramSummary(
+      "telemetry: per-mapping enactment percentiles",
+      {{"laminar_dataflow_enact_ms", "mapping=\"simple\""},
+       {"laminar_dataflow_enact_ms", "mapping=\"multi\""},
+       {"laminar_dataflow_enact_ms", "mapping=\"dynamic\""}});
   return 0;
 }

@@ -8,6 +8,7 @@
 // cold cache, and (c) the 2.0 negotiation with a warm cache.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "client/connect.hpp"
 #include "client/demo_workflows.hpp"
 #include "common/clock.hpp"
@@ -91,7 +92,13 @@ int main() {
               static_cast<double>(stats.bytes_stored) / (1 << 20));
   std::printf(
       "\nexpected shape: the warm-cache row transfers ~zero payload bytes "
-      "per run; the 1.0 row pays the full %.2f MB every run.\n",
+      "per run; the 1.0 row pays the full %.2f MB every run.\n\n",
       static_cast<double>(payload_bytes) / (1 << 20));
+  bench::PrintHistogramSummary(
+      "telemetry: server-side latency percentiles",
+      {{"laminar_server_request_ms", "path=\"/execute\""},
+       {"laminar_server_request_ms", "path=\"/resources/upload\""},
+       {"laminar_engine_run_ms", ""},
+       {"laminar_engine_cold_start_ms", ""}});
   return 0;
 }

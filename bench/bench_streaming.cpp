@@ -7,6 +7,7 @@
 // is produced. The headline metric is time-to-first-output.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "client/connect.hpp"
 #include "common/json.hpp"
 
@@ -82,6 +83,11 @@ int main() {
   std::printf(
       "\nexpected shape: batch first-line ~= total runtime; streaming "
       "first-line ~= one tuple's work. The gap widens linearly with "
-      "workflow length.\n");
+      "workflow length.\n\n");
+  bench::PrintHistogramSummary(
+      "telemetry: server-side latency percentiles",
+      {{"laminar_server_request_ms", "path=\"/execute\""},
+       {"laminar_engine_run_ms", ""},
+       {"laminar_dataflow_enact_ms", "mapping=\"simple\""}});
   return 0;
 }

@@ -5,13 +5,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <initializer_list>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "dataset/generator.hpp"
 #include "search/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::bench {
 
@@ -55,6 +58,38 @@ inline void PrintPrCurve(const char* title,
   }
   search::PrPoint best = search::BestF1(curve);
   std::printf("  best F1 = %.4f at k = %zu\n\n", best.f1, best.k);
+}
+
+/// Prints one summary line (count/mean/p50/p95/p99, milliseconds) for a
+/// histogram in the global telemetry registry. Silent when the series was
+/// never recorded or has no samples, so benches can request histograms for
+/// code paths they may not have exercised.
+inline void PrintHistogramLine(const char* name, const char* labels = "") {
+  const telemetry::Histogram* h =
+      telemetry::MetricsRegistry::Global().FindHistogram(name, labels);
+  if (h == nullptr) return;
+  telemetry::Histogram::Snapshot s = h->snapshot();
+  if (s.count == 0) return;
+  std::string series = name;
+  if (labels[0] != '\0') {
+    series += '{';
+    series += labels;
+    series += '}';
+  }
+  std::printf("  %-44s n=%-7llu mean=%-9.3f p50=%-9.3f p95=%-9.3f p99=%.3f\n",
+              series.c_str(), static_cast<unsigned long long>(s.count),
+              s.Mean(), s.Percentile(0.50), s.Percentile(0.95),
+              s.Percentile(0.99));
+}
+
+/// Titled block of PrintHistogramLine calls — the standard way a bench
+/// reports telemetry-sourced latency percentiles after its main table.
+inline void PrintHistogramSummary(
+    const char* title,
+    std::initializer_list<std::pair<const char*, const char*>> series) {
+  std::printf("%s (ms)\n", title);
+  for (const auto& [name, labels] : series) PrintHistogramLine(name, labels);
+  std::printf("\n");
 }
 
 }  // namespace laminar::bench

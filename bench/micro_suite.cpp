@@ -11,6 +11,7 @@
 #include "pycode/lexer.hpp"
 #include "pycode/parser.hpp"
 #include "spt/recommend.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar {
 namespace {
@@ -128,6 +129,51 @@ void BM_SptIndexTopK(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SptIndexTopK);
+
+// The budget for instrumenting hot paths: one counter increment must stay
+// under 100ns even with every core incrementing the same counter (the
+// sharded design keeps the contended case close to the single-thread case).
+void BM_TelemetryCounterInc(benchmark::State& state) {
+  static telemetry::Counter counter;
+  for (auto _ : state) {
+    counter.Inc();
+  }
+  if (state.thread_index() == 0) {
+    benchmark::DoNotOptimize(counter.Value());
+  }
+}
+BENCHMARK(BM_TelemetryCounterInc)->ThreadRange(1, 8);
+
+void BM_TelemetryHistogramObserve(benchmark::State& state) {
+  static telemetry::Histogram histogram;
+  double v = 0.0;
+  for (auto _ : state) {
+    histogram.Observe(v);
+    v += 0.125;
+    if (v > 5000.0) v = 0.0;
+  }
+}
+BENCHMARK(BM_TelemetryHistogramObserve)->ThreadRange(1, 4);
+
+void BM_TelemetryScopedSpan(benchmark::State& state) {
+  static telemetry::Histogram histogram;
+  static telemetry::TraceBuffer buffer(256);
+  for (auto _ : state) {
+    telemetry::ScopedSpan span("bench.span", &histogram, &buffer);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TelemetryScopedSpan);
+
+void BM_TelemetryRegistryLookup(benchmark::State& state) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  for (auto _ : state) {
+    telemetry::Counter& c =
+        reg.GetCounter("laminar_bench_lookup_total", "op=\"bench\"");
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_TelemetryRegistryLookup);
 
 void BM_DatasetGenerate(benchmark::State& state) {
   for (auto _ : state) {

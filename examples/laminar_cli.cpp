@@ -11,6 +11,11 @@
 // Non-interactive use: pipe commands on stdin, e.g.
 //   printf 'register_workflow isprime_wf.py\nrun isprime_wf -i 10\nquit\n' \
 //     | ./laminar_cli
+//
+// With --metrics, the Prometheus exposition of everything the session did
+// is dumped to stdout after the command loop exits (scripting-friendly:
+// pipe commands in, scrape the counters out).
+#include <cstring>
 #include <iostream>
 
 #include "client/cli.hpp"
@@ -18,12 +23,26 @@
 
 using namespace laminar;
 
-int main() {
+int main(int argc, char** argv) {
+  bool dump_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else {
+      std::cerr << "usage: laminar_cli [--metrics]\n"
+                << "  --metrics  print a Prometheus /metrics scrape on exit\n";
+      return 2;
+    }
+  }
   server::ServerConfig config;
   config.engine.cold_start_ms = 0;
   client::InProcessLaminar laminar = client::ConnectInProcess(config);
   client::LaminarCli cli(*laminar.client);
   cli.RunLoop(std::cin, std::cout);
+  if (dump_metrics) {
+    auto metrics = laminar.client->GetMetrics();
+    if (metrics.ok()) std::cout << "\n" << metrics.value();
+  }
   std::cout << "bye\n";
   return 0;
 }

@@ -3,16 +3,34 @@
 #include <algorithm>
 
 namespace laminar::broker {
+namespace {
+
+telemetry::Counter& OpCounter(const char* op) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "laminar_broker_ops_total", std::string("op=\"") + op + "\"");
+}
+
+}  // namespace
+
+Broker::Broker()
+    : c_gets_(OpCounter("get")),
+      c_sets_(OpCounter("set")),
+      c_pushes_(OpCounter("push")),
+      c_pops_(OpCounter("pop")),
+      c_blocked_pops_(OpCounter("blocked_pop")),
+      c_publishes_(OpCounter("publish")) {}
 
 void Broker::Set(const std::string& key, std::string value) {
   std::scoped_lock lock(mu_);
   strings_[key] = std::move(value);
   ++stats_.sets;
+  c_sets_.Inc();
 }
 
 std::optional<std::string> Broker::Get(const std::string& key) const {
   std::scoped_lock lock(mu_);
   ++stats_.gets;
+  c_gets_.Inc();
   auto it = strings_.find(key);
   if (it == strings_.end()) return std::nullopt;
   return it->second;
@@ -39,6 +57,7 @@ int64_t Broker::Incr(const std::string& key, int64_t delta) {
   value += delta;
   strings_[key] = std::to_string(value);
   ++stats_.sets;
+  c_sets_.Inc();
   return value;
 }
 
@@ -47,12 +66,14 @@ void Broker::HSet(const std::string& key, const std::string& field,
   std::scoped_lock lock(mu_);
   hashes_[key][field] = std::move(value);
   ++stats_.sets;
+  c_sets_.Inc();
 }
 
 std::optional<std::string> Broker::HGet(const std::string& key,
                                         const std::string& field) const {
   std::scoped_lock lock(mu_);
   ++stats_.gets;
+  c_gets_.Inc();
   auto it = hashes_.find(key);
   if (it == hashes_.end()) return std::nullopt;
   auto fit = it->second.find(field);
@@ -64,6 +85,7 @@ std::unordered_map<std::string, std::string> Broker::HGetAll(
     const std::string& key) const {
   std::scoped_lock lock(mu_);
   ++stats_.gets;
+  c_gets_.Inc();
   auto it = hashes_.find(key);
   return it == hashes_.end()
              ? std::unordered_map<std::string, std::string>{}
@@ -85,6 +107,7 @@ size_t Broker::RPush(const std::string& key, std::string value) {
     list.push_back(std::move(value));
     len = list.size();
     ++stats_.pushes;
+    c_pushes_.Inc();
   }
   list_cv_.notify_all();
   return len;
@@ -97,6 +120,7 @@ std::optional<std::string> Broker::LPop(const std::string& key) {
   std::string value = std::move(it->second.front());
   it->second.pop_front();
   ++stats_.pops;
+  c_pops_.Inc();
   return value;
 }
 
@@ -110,6 +134,7 @@ std::optional<std::pair<std::string, std::string>> Broker::BLPop(
         std::string value = std::move(it->second.front());
         it->second.pop_front();
         ++stats_.pops;
+        c_pops_.Inc();
         return std::make_pair(key, std::move(value));
       }
     }
@@ -118,6 +143,7 @@ std::optional<std::pair<std::string, std::string>> Broker::BLPop(
 
   if (auto hit = try_pop()) return hit;
   ++stats_.blocked_pops;
+  c_blocked_pops_.Inc();
   auto ready = [&] {
     if (shutdown_) return true;
     for (const std::string& key : keys) {
@@ -174,6 +200,7 @@ size_t Broker::Publish(const std::string& channel, const std::string& message) {
   {
     std::scoped_lock lock(mu_);
     ++stats_.publishes;
+    c_publishes_.Inc();
     for (const Subscriber& s : subscribers_) {
       if (s.channel == channel) targets.push_back(s.callback);
     }

@@ -21,9 +21,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace laminar::broker {
 
-/// Counters for the broker-ops micro bench and the autoscaler.
+/// Counters for the broker-ops micro bench and the autoscaler. Kept as a
+/// cheap per-instance snapshot; the same increments are mirrored into the
+/// process telemetry registry (laminar_broker_ops_total{op=...}).
 struct BrokerStats {
   uint64_t gets = 0;
   uint64_t sets = 0;
@@ -35,7 +39,7 @@ struct BrokerStats {
 
 class Broker {
  public:
-  Broker() = default;
+  Broker();
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
 
@@ -106,6 +110,15 @@ class Broker {
   uint64_t next_subscription_id_ = 1;
   bool shutdown_ = false;
   mutable BrokerStats stats_;
+
+  /// Process-wide op counters (shared across broker instances); resolved
+  /// once at construction so increments are a single relaxed atomic add.
+  telemetry::Counter& c_gets_;
+  telemetry::Counter& c_sets_;
+  telemetry::Counter& c_pushes_;
+  telemetry::Counter& c_pops_;
+  telemetry::Counter& c_blocked_pops_;
+  telemetry::Counter& c_publishes_;
 };
 
 }  // namespace laminar::broker

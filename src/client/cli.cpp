@@ -126,6 +126,13 @@ bool LaminarCli::ExecuteLine(const std::string& line, std::ostream& out) {
     } else {
       out << stats->ToJsonPretty() << "\n";
     }
+  } else if (cmd == "metrics") {
+    auto metrics = client_->GetMetrics();
+    if (!metrics.ok()) {
+      out << metrics.status().ToString() << "\n";
+    } else {
+      out << metrics.value();
+    }
   } else if (cmd == "save_registry") {
     if (args.empty()) {
       out << "usage: save_registry <file>\n";
@@ -183,7 +190,8 @@ void LaminarCli::CmdHelp(const std::vector<std::string>& args,
         << "help                 register_workflow  remove_workflow\n"
         << "list                 remove_all         run\n"
         << "literal_search       remove_pe          stats\n"
-        << "code_completion      save_registry      load_registry\n";
+        << "code_completion      save_registry      load_registry\n"
+        << "history              metrics\n";
     return;
   }
   const std::string& topic = args[0];

@@ -12,6 +12,8 @@
 //   run <id|name> [-i N] [-v] [--multi [P]] [--dynamic] [--rawinput]
 //   update_pe_description <id> <text...>
 //   remove_pe <id> | remove_workflow <id> | remove_all
+//   stats                    server statistics incl. telemetry JSON
+//   metrics                  Prometheus text scrape of GET /metrics
 //   quit
 //
 // The interpreter is a library class (no stdin coupling) so tests can drive

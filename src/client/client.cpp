@@ -307,6 +307,19 @@ Result<Value> LaminarClient::GetStats() {
   return CallJson("/stats", Value::MakeObject());
 }
 
+Result<std::string> LaminarClient::GetMetrics() {
+  net::HttpRequest req;
+  req.path = "/metrics";
+  if (!token_.empty()) req.headers["authorization"] = token_;
+  Result<std::pair<int, std::string>> resp = conn_->Call(req);
+  if (!resp.ok()) return resp.status();
+  if (resp->first != 200) {
+    return Status::Internal("metrics scrape failed: HTTP " +
+                            std::to_string(resp->first));
+  }
+  return resp->second;
+}
+
 Status LaminarClient::UploadResources(const std::vector<Resource>& resources) {
   std::vector<net::FilePart> parts;
   parts.reserve(resources.size());

@@ -136,8 +136,11 @@ class LaminarClient {
   Status SaveRegistry(const std::string& path);
   /// Restores the registry from a server-side file and reindexes search.
   Status LoadRegistry(const std::string& path);
-  /// Engine/cache/broker statistics (the /stats endpoint).
+  /// Engine/cache/broker statistics (the /stats endpoint), including the
+  /// telemetry view ("totals", "metrics", "trace").
   Result<Value> GetStats();
+  /// Prometheus text exposition (the GET /metrics endpoint).
+  Result<std::string> GetMetrics();
 
   // ---- execution (Table I: run / run_multiprocess / run_dynamic) ----
   RunOutcome Run(int64_t workflow_id, const Value& input,

@@ -7,6 +7,7 @@
 
 #include "common/clock.hpp"
 #include "common/json.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::dataflow {
 namespace {
@@ -150,6 +151,18 @@ DynamicMapping::DynamicMapping(broker::Broker* shared_broker)
 RunResult DynamicMapping::Execute(const WorkflowGraph& graph,
                                   const RunOptions& options,
                                   const LineSink& sink) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  static telemetry::Counter& enactments = registry.GetCounter(
+      "laminar_dataflow_enactments_total", "mapping=\"dynamic\"");
+  static telemetry::Counter& tuples_total = registry.GetCounter(
+      "laminar_dataflow_tuples_total", "mapping=\"dynamic\"");
+  static telemetry::Histogram& enact_ms = registry.GetHistogram(
+      "laminar_dataflow_enact_ms", "mapping=\"dynamic\"");
+  static telemetry::Gauge& workers_gauge =
+      registry.GetGauge("laminar_dataflow_peak_workers");
+  enactments.Inc();
+  telemetry::ScopedSpan enact_span("mapping.dynamic", &enact_ms);
+
   RunResult result;
   Stopwatch watch;
   result.status = graph.Validate();
@@ -283,6 +296,8 @@ RunResult DynamicMapping::Execute(const WorkflowGraph& graph,
   }
   result.peak_workers = peak;
   result.elapsed_ms = watch.ElapsedMillis();
+  tuples_total.Inc(result.tuples_processed);
+  workers_gauge.Set(result.peak_workers);
   return result;
 }
 

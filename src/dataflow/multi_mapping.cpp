@@ -7,6 +7,7 @@
 #include "common/clock.hpp"
 #include "common/concurrent_queue.hpp"
 #include "common/strings.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::dataflow {
 namespace {
@@ -149,6 +150,16 @@ std::vector<std::pair<int, int>> PartitionRanks(const WorkflowGraph& graph,
 RunResult MultiMapping::Execute(const WorkflowGraph& graph,
                                 const RunOptions& options,
                                 const LineSink& sink) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  static telemetry::Counter& enactments = registry.GetCounter(
+      "laminar_dataflow_enactments_total", "mapping=\"multi\"");
+  static telemetry::Counter& tuples_total = registry.GetCounter(
+      "laminar_dataflow_tuples_total", "mapping=\"multi\"");
+  static telemetry::Histogram& enact_ms = registry.GetHistogram(
+      "laminar_dataflow_enact_ms", "mapping=\"multi\"");
+  enactments.Inc();
+  telemetry::ScopedSpan enact_span("mapping.multi", &enact_ms);
+
   RunResult result;
   Stopwatch watch;
   result.status = graph.Validate();
@@ -260,6 +271,7 @@ RunResult MultiMapping::Execute(const WorkflowGraph& graph,
         "execution exceeded " + std::to_string(options.deadline_ms) + " ms");
   }
   result.elapsed_ms = watch.ElapsedMillis();
+  tuples_total.Inc(result.tuples_processed);
   return result;
 }
 

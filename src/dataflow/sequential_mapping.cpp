@@ -1,8 +1,10 @@
 #include "dataflow/sequential_mapping.hpp"
 
 #include <deque>
+#include <optional>
 
 #include "common/clock.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::dataflow {
 namespace {
@@ -51,6 +53,16 @@ class SequentialEmitter final : public Emitter {
 RunResult SequentialMapping::Execute(const WorkflowGraph& graph,
                                      const RunOptions& options,
                                      const LineSink& sink) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  static telemetry::Counter& enactments = registry.GetCounter(
+      "laminar_dataflow_enactments_total", "mapping=\"simple\"");
+  static telemetry::Counter& tuples_total = registry.GetCounter(
+      "laminar_dataflow_tuples_total", "mapping=\"simple\"");
+  static telemetry::Histogram& enact_ms = registry.GetHistogram(
+      "laminar_dataflow_enact_ms", "mapping=\"simple\"");
+  enactments.Inc();
+  telemetry::ScopedSpan enact_span("mapping.simple", &enact_ms);
+
   RunResult result;
   Stopwatch watch;
   result.status = graph.Validate();
@@ -84,7 +96,12 @@ RunResult SequentialMapping::Execute(const WorkflowGraph& graph,
       PendingTuple t = std::move(queue.front());
       queue.pop_front();
       emitter.set_pe(t.pe);
+      // Trace 1-in-64 PE process calls: enough for the span view to show
+      // enact -> pe.process nesting without per-tuple ring churn.
+      std::optional<telemetry::ScopedSpan> pe_span;
+      if ((result.tuples_processed & 63) == 0) pe_span.emplace("pe.process");
       instances[t.pe]->Process(t.port, t.value, emitter);
+      pe_span.reset();
       ++result.tuples_processed;
     }
   };
@@ -122,6 +139,7 @@ RunResult SequentialMapping::Execute(const WorkflowGraph& graph,
         "execution exceeded " + std::to_string(options.deadline_ms) + " ms");
   }
   result.elapsed_ms = watch.ElapsedMillis();
+  tuples_total.Inc(result.tuples_processed);
   return result;
 }
 

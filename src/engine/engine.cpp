@@ -7,8 +7,67 @@
 #include "dataflow/dynamic_mapping.hpp"
 #include "dataflow/multi_mapping.hpp"
 #include "dataflow/sequential_mapping.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::engine {
+namespace {
+
+/// Registry handles for every engine metric, resolved once per process.
+/// Counters/gauges are process-wide: multiple engines (tests, benches)
+/// aggregate into the same series, exactly like multiple function instances
+/// reporting to one scrape endpoint.
+struct EngineMetrics {
+  telemetry::Counter& exec_ok;
+  telemetry::Counter& exec_error;
+  telemetry::Counter& cold_starts;
+  telemetry::Counter& tuples;
+  telemetry::Counter& lines;
+  telemetry::Histogram& cold_start_ms;
+  telemetry::Histogram& run_ms;
+  telemetry::Gauge& warm;
+  telemetry::Gauge& running;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics* metrics = [] {
+      auto& reg = telemetry::MetricsRegistry::Global();
+      return new EngineMetrics{
+          reg.GetCounter("laminar_engine_executions_total", "result=\"ok\""),
+          reg.GetCounter("laminar_engine_executions_total",
+                         "result=\"error\""),
+          reg.GetCounter("laminar_engine_cold_starts_total"),
+          reg.GetCounter("laminar_engine_tuples_total"),
+          reg.GetCounter("laminar_engine_output_lines_total"),
+          reg.GetHistogram("laminar_engine_cold_start_ms"),
+          reg.GetHistogram("laminar_engine_run_ms"),
+          reg.GetGauge("laminar_engine_warm_instances"),
+          reg.GetGauge("laminar_engine_running_executions")};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+Value ExecutionTotalsJson() {
+  EngineMetrics& em = EngineMetrics::Get();
+  const uint64_t ok = em.exec_ok.Value();
+  const uint64_t error = em.exec_error.Value();
+  Value v = Value::MakeObject();
+  v["executionsTotal"] = static_cast<int64_t>(ok + error);
+  v["executionsOk"] = static_cast<int64_t>(ok);
+  v["executionsError"] = static_cast<int64_t>(error);
+  v["coldStartsTotal"] = static_cast<int64_t>(em.cold_starts.Value());
+  v["tuplesTotal"] = static_cast<int64_t>(em.tuples.Value());
+  v["linesTotal"] = static_cast<int64_t>(em.lines.Value());
+  const telemetry::Histogram::Snapshot run = em.run_ms.snapshot();
+  v["runMsP50"] = run.Percentile(0.50);
+  v["runMsP95"] = run.Percentile(0.95);
+  v["runMsP99"] = run.Percentile(0.99);
+  const telemetry::Histogram::Snapshot cold = em.cold_start_ms.snapshot();
+  v["coldStartSamples"] = static_cast<int64_t>(cold.count);
+  v["coldStartMsP95"] = cold.Percentile(0.95);
+  return v;
+}
 
 ExecutionEngine::ExecutionEngine(EngineConfig config)
     : config_(config), cache_(config.resource_cache_bytes) {}
@@ -29,8 +88,10 @@ bool ExecutionEngine::AcquireInstance() {
   std::unique_lock lock(pool_mu_);
   pool_cv_.wait(lock, [&] { return running_ < config_.max_concurrent; });
   ++running_;
+  EngineMetrics::Get().running.Add(1);
   if (warm_ > 0) {
     --warm_;
+    EngineMetrics::Get().warm.Add(-1);
     return false;  // reused a warm instance
   }
   return true;  // cold start
@@ -40,7 +101,11 @@ void ExecutionEngine::ReleaseInstance() {
   {
     std::scoped_lock lock(pool_mu_);
     --running_;
-    if (warm_ < config_.max_warm_instances) ++warm_;
+    EngineMetrics::Get().running.Add(-1);
+    if (warm_ < config_.max_warm_instances) {
+      ++warm_;
+      EngineMetrics::Get().warm.Add(1);
+    }
   }
   pool_cv_.notify_one();
 }
@@ -53,6 +118,16 @@ int ExecutionEngine::warm_instances() const {
 Result<dataflow::RunResult> ExecutionEngine::Execute(
     const ExecuteRequest& request, const dataflow::LineSink& sink,
     ExecuteStats* stats) {
+  EngineMetrics& em = EngineMetrics::Get();
+  telemetry::ScopedSpan exec_span("engine.execute");
+  // Every exit increments exactly one result-labelled execution counter.
+  bool succeeded = false;
+  struct CountResult {
+    EngineMetrics& em;
+    bool* succeeded;
+    ~CountResult() { (*succeeded ? em.exec_ok : em.exec_error).Inc(); }
+  } count_result{em, &succeeded};
+
   // Resource gate (§IV-F): refuse with the missing list encoded in the
   // message; the server layer turns this into a "resources" response.
   std::vector<ResourceRef> missing = MissingResources(request.resources);
@@ -75,9 +150,13 @@ Result<dataflow::RunResult> ExecutionEngine::Execute(
     ~Release() { engine->ReleaseInstance(); }
   } release{this};
 
-  if (cold && config_.cold_start_ms > 0) {
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-        config_.cold_start_ms));
+  if (cold) {
+    em.cold_starts.Inc();
+    telemetry::ScopedSpan cold_span("engine.cold_start", &em.cold_start_ms);
+    if (config_.cold_start_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config_.cold_start_ms));
+    }
   }
 
   dataflow::RunOptions run_options = request.run_options;
@@ -113,12 +192,19 @@ Result<dataflow::RunResult> ExecutionEngine::Execute(
   }
 
   Stopwatch watch;
-  dataflow::RunResult result = mapping->Execute(
-      graph.value(), run_options, sink ? queue_sink : nullptr);
+  dataflow::RunResult result;
+  {
+    telemetry::ScopedSpan enact_span("engine.mapping_enact", &em.run_ms);
+    result = mapping->Execute(graph.value(), run_options,
+                              sink ? queue_sink : nullptr);
+  }
   double run_ms = watch.ElapsedMillis();
 
   stdout_queue.Close();
   if (drainer.joinable()) drainer.join();
+
+  em.tuples.Inc(result.tuples_processed);
+  em.lines.Inc(result.output_lines.size());
 
   if (stats != nullptr) {
     stats->cold_start = cold;
@@ -129,6 +215,7 @@ Result<dataflow::RunResult> ExecutionEngine::Execute(
     stats->peak_workers = result.peak_workers;
   }
   if (!result.status.ok()) return result.status;
+  succeeded = true;
   return result;
 }
 

@@ -57,6 +57,12 @@ struct ExecuteStats {
   int peak_workers = 0;
 };
 
+/// Process-wide cumulative execution numbers read straight from the
+/// telemetry registry (laminar_engine_*). Both the /execute ##END## stats
+/// chunk and the /stats endpoint render this same object, so streamed stats
+/// and polled stats can never disagree.
+Value ExecutionTotalsJson();
+
 class ExecutionEngine {
  public:
   explicit ExecutionEngine(EngineConfig config = {});

@@ -2,8 +2,15 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace laminar::registry {
 namespace {
+
+telemetry::Counter& OpCounter(const char* op) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "laminar_registry_ops_total", std::string("op=\"") + op + "\"");
+}
 
 bool TypeMatches(ColumnType type, const Value& v) {
   switch (type) {
@@ -122,6 +129,8 @@ Result<int64_t> Table::Insert(Row row) {
   if (!st.ok()) return st;
   st = CheckUnique(row, /*ignore_id=*/-1);
   if (!st.ok()) return st;
+  static telemetry::Counter& inserts = OpCounter("insert");
+  inserts.Inc();
   int64_t id = next_id_++;
   row[schema_.primary_key] = id;
   IndexRow(id, row);
@@ -130,6 +139,8 @@ Result<int64_t> Table::Insert(Row row) {
 }
 
 Result<Row> Table::Get(int64_t id) const {
+  static telemetry::Counter& gets = OpCounter("get");
+  gets.Inc();
   auto it = rows_.find(id);
   if (it == rows_.end()) {
     return Status::NotFound("no row " + std::to_string(id) + " in table " +
@@ -153,6 +164,8 @@ Status Table::Update(int64_t id, const Row& fields) {
   }
   st = CheckUnique(merged, id);
   if (!st.ok()) return st;
+  static telemetry::Counter& updates = OpCounter("update");
+  updates.Inc();
   DeindexRow(id, it->second);
   it->second = std::move(merged);
   IndexRow(id, it->second);
@@ -162,6 +175,8 @@ Status Table::Update(int64_t id, const Row& fields) {
 bool Table::Erase(int64_t id) {
   auto it = rows_.find(id);
   if (it == rows_.end()) return false;
+  static telemetry::Counter& erases = OpCounter("erase");
+  erases.Inc();
   DeindexRow(id, it->second);
   rows_.erase(it);
   return true;
@@ -169,10 +184,13 @@ bool Table::Erase(int64_t id) {
 
 std::vector<Row> Table::FindBy(const std::string& column,
                                const Value& value) const {
+  static telemetry::Counter& index_lookups = OpCounter("find_indexed");
+  static telemetry::Counter& scans = OpCounter("find_scan");
   std::vector<Row> out;
   auto idx = indexes_.find(column);
   if (idx != indexes_.end()) {
     ++stats_.index_lookups;
+    index_lookups.Inc();
     auto it = idx->second.find(IndexKey(value));
     if (it != idx->second.end()) {
       std::vector<int64_t> ids = it->second;
@@ -182,6 +200,7 @@ std::vector<Row> Table::FindBy(const std::string& column,
     return out;
   }
   ++stats_.full_scans;
+  scans.Inc();
   for (const auto& [id, row] : rows_) {
     ++stats_.rows_scanned;
     if (row.at(column) == value) out.push_back(row);
@@ -190,6 +209,8 @@ std::vector<Row> Table::FindBy(const std::string& column,
 }
 
 std::vector<Row> Table::Scan(const std::function<bool(const Row&)>& pred) const {
+  static telemetry::Counter& scans = OpCounter("scan");
+  scans.Inc();
   ++stats_.full_scans;
   std::vector<Row> out;
   for (const auto& [id, row] : rows_) {

@@ -4,8 +4,32 @@
 #include <map>
 
 #include "common/strings.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::search {
+namespace {
+
+/// Query-kind instrumentation: laminar_search_queries_total{kind=...} and a
+/// latency histogram laminar_search_query_ms{kind=...}, plus a trace span.
+struct QueryMetrics {
+  telemetry::Counter& queries;
+  telemetry::Histogram& latency_ms;
+
+  static QueryMetrics For(const char* kind) {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    const std::string label = std::string("kind=\"") + kind + "\"";
+    return QueryMetrics{
+        reg.GetCounter("laminar_search_queries_total", label),
+        reg.GetHistogram("laminar_search_query_ms", label)};
+  }
+};
+
+telemetry::Counter& EncodeCounter(const char* model) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "laminar_embed_encodes_total", std::string("model=\"") + model + "\"");
+}
+
+}  // namespace
 
 SearchService::SearchService(registry::Repository& repo, SearchConfig config)
     : repo_(&repo),
@@ -26,6 +50,7 @@ Status SearchService::AddPe(int64_t pe_id) {
   if (doc.text_embedding.empty()) {
     doc.text_embedding = unixcoder_.EncodeText(pe->description);
   }
+  EncodeCounter("reacc").Inc();
   doc.code_embedding = reacc_.EncodeCode(pe->code);
   pe_docs_[pe_id] = std::move(doc);
   // The Aroma index ignores snippets with no extractable features (e.g.
@@ -83,6 +108,9 @@ Status SearchService::ReindexAll() {
 std::vector<SearchHit> SearchService::LiteralSearch(const std::string& term,
                                                     SearchTarget target,
                                                     size_t limit) const {
+  static QueryMetrics qm = QueryMetrics::For("literal");
+  qm.queries.Inc();
+  telemetry::ScopedSpan span("search.literal", &qm.latency_ms);
   if (limit == 0) limit = config_.default_limit;
   const auto& docs = target == SearchTarget::kPe ? pe_docs_ : workflow_docs_;
   std::vector<SearchHit> hits;
@@ -132,7 +160,11 @@ std::vector<SearchHit> SearchService::RankByCosine(
 std::vector<SearchHit> SearchService::SemanticSearch(const std::string& query,
                                                      SearchTarget target,
                                                      size_t limit) const {
+  static QueryMetrics qm = QueryMetrics::For("semantic");
+  qm.queries.Inc();
+  telemetry::ScopedSpan span("search.semantic", &qm.latency_ms);
   if (limit == 0) limit = config_.default_limit;
+  EncodeCounter("unixcoder").Inc();
   embed::Vector q = unixcoder_.EncodeText(query);
   return RankByCosine(
       q, target == SearchTarget::kPe ? pe_docs_ : workflow_docs_,
@@ -142,7 +174,11 @@ std::vector<SearchHit> SearchService::SemanticSearch(const std::string& query,
 std::vector<SearchHit> SearchService::CodeSearchLlm(const std::string& code,
                                                     SearchTarget target,
                                                     size_t limit) const {
+  static QueryMetrics qm = QueryMetrics::For("llm");
+  qm.queries.Inc();
+  telemetry::ScopedSpan span("search.llm", &qm.latency_ms);
   if (limit == 0) limit = config_.default_limit;
+  EncodeCounter("reacc").Inc();
   embed::Vector q = reacc_.EncodeCode(code);
   return RankByCosine(
       q, target == SearchTarget::kPe ? pe_docs_ : workflow_docs_,
@@ -151,11 +187,17 @@ std::vector<SearchHit> SearchService::CodeSearchLlm(const std::string& code,
 
 Result<std::vector<spt::Completion>> SearchService::CodeCompletion(
     const std::string& partial_code, size_t limit) const {
+  static QueryMetrics qm = QueryMetrics::For("complete");
+  qm.queries.Inc();
+  telemetry::ScopedSpan span("search.complete", &qm.latency_ms);
   return aroma_.Complete(partial_code, limit);
 }
 
 Result<std::vector<RecommendationHit>> SearchService::CodeRecommendation(
     const std::string& code, SearchTarget target, size_t limit) const {
+  static QueryMetrics qm = QueryMetrics::For("recommend");
+  qm.queries.Inc();
+  telemetry::ScopedSpan span("search.recommend", &qm.latency_ms);
   if (limit == 0) limit = config_.default_limit;
   if (target == SearchTarget::kPe) {
     Result<std::vector<spt::Recommendation>> recs = aroma_.Recommend(code);

@@ -4,6 +4,7 @@
 #include "common/log.hpp"
 #include "net/multipart.hpp"
 #include "pycode/parser.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::server {
 namespace {
@@ -58,6 +59,26 @@ std::string ExtractClassName(const std::string& code) {
     }
   });
   return name;
+}
+
+/// Label value for per-endpoint metrics: the path itself for known
+/// endpoints, "other" for the rest so unknown paths cannot grow the label
+/// set without bound.
+std::string_view CanonicalPath(const std::string& path) {
+  static constexpr std::string_view kKnown[] = {
+      "/health", "/metrics", "/stats", "/execute", "/resources/upload",
+      "/users/register", "/users/login", "/pes/register", "/pes/get",
+      "/pes/describe", "/pes/update_description", "/pes/remove",
+      "/workflows/register", "/workflows/get", "/workflows/describe",
+      "/workflows/pes", "/workflows/executions",
+      "/workflows/update_description", "/workflows/remove",
+      "/registry/list", "/registry/remove_all", "/registry/save",
+      "/registry/load", "/search/literal", "/search/semantic",
+      "/search/code", "/search/complete"};
+  for (std::string_view known : kKnown) {
+    if (path == known) return known;
+  }
+  return "other";
 }
 
 }  // namespace
@@ -227,6 +248,9 @@ void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
       &stats);
 
   Value end = Value::MakeObject();
+  // Process-wide totals straight from the telemetry registry — the same
+  // numbers /stats serves, so the stream and the endpoint cannot diverge.
+  end["totals"] = engine::ExecutionTotalsJson();
   if (!result.ok()) {
     end["error"] = result.status().ToString();
     if (execution_id != 0) {
@@ -261,7 +285,26 @@ void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
 
 void LaminarServer::Handle(const net::HttpRequest& request,
                            net::StreamResponder& out) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  std::string label = "path=\"";
+  label += CanonicalPath(request.path);
+  label += '"';
+  reg.GetCounter("laminar_server_requests_total", label).Inc();
+  telemetry::ScopedSpan span(
+      "server.request", &reg.GetHistogram("laminar_server_request_ms", label));
+  HandleInternal(request, out);
+}
+
+void LaminarServer::HandleInternal(const net::HttpRequest& request,
+                                   net::StreamResponder& out) {
   const std::string& path = request.path;
+
+  // Prometheus text exposition (plain text, not a JSON reply).
+  if (path == "/metrics") {
+    out.SendChunk(telemetry::MetricsRegistry::Global().RenderPrometheus());
+    out.End(200);
+    return;
+  }
 
   // Multipart endpoint first (binary body, not JSON).
   if (path == "/resources/upload") {
@@ -644,6 +687,12 @@ void LaminarServer::Handle(const net::HttpRequest& request,
     resp["broker"]["pushes"] = static_cast<int64_t>(broker_stats.pushes);
     resp["broker"]["pops"] = static_cast<int64_t>(broker_stats.pops);
     resp["engine"]["warmInstances"] = engine_.warm_instances();
+    // Telemetry view: the same registry the /execute ##END## chunk reads,
+    // so streamed totals and /stats totals cannot disagree.
+    auto& reg = telemetry::MetricsRegistry::Global();
+    resp["totals"] = engine::ExecutionTotalsJson();
+    resp["metrics"] = reg.RenderJson();
+    resp["trace"] = reg.trace().ToJson();
     Reply(out, 200, resp);
     return;
   }

@@ -29,9 +29,18 @@
 //   /search/code     {target,code,embedding_type?,limit?} -> {hits}
 //   /resources/upload (multipart body)             -> {stored}
 //   /execute {workflowId|spec,mapping,input,processes,resources,verbose}
-//       -> streamed stdout lines, then "##END## {stats}" chunk
+//       -> streamed stdout lines, then "##END## {stats}" chunk whose
+//          "totals" object is read from the telemetry registry
 //          (HTTP 428 + {missing:[...]} when resources must be uploaded)
+//   /stats {}    -> registry counts + cache/broker/engine stats + telemetry
+//                   ("totals", "metrics", "trace") from the same registry
+//                   the ##END## chunk reads, so the two cannot disagree
+//   /metrics     -> Prometheus text exposition (GET; text/plain, not JSON)
 //   /health {}                                     -> {status:"ok"}
+//
+// Every request is counted into laminar_server_requests_total{path=...} and
+// timed into laminar_server_request_ms{path=...} (unknown paths collapse to
+// path="other" so the label set stays bounded).
 #pragma once
 
 #include <memory>
@@ -79,6 +88,10 @@ class LaminarServer {
   int64_t AuthUser(const net::HttpRequest& request);
 
   // Endpoint implementations (registry lock held by caller where needed).
+  // Handle() is a thin telemetry wrapper (request counter + latency span)
+  // around the actual dispatch in HandleInternal().
+  void HandleInternal(const net::HttpRequest& request,
+                      net::StreamResponder& out);
   void HandleExecute(const Value& body, int64_t user_id,
                      net::StreamResponder& out);
 

@@ -1,0 +1,331 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "common/clock.hpp"
+
+namespace laminar::telemetry {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// `name{labels}` or bare `name` when unlabelled.
+std::string MetricId(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+/// Label list for a histogram series with `le` appended.
+std::string BucketLabels(const std::string& labels, const std::string& le) {
+  if (labels.empty()) return "le=\"" + le + "\"";
+  return labels + ",le=\"" + le + "\"";
+}
+
+uint64_t CurrentThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double> kBuckets = {
+      0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0,
+      2.5,   5.0,    10.0,  25.0, 50.0,  100.0, 250.0, 500.0, 1000.0,
+      2500.0, 5000.0, 10000.0};
+  return kBuckets;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(upper_bounds.empty() ? DefaultLatencyBucketsMs()
+                                   : std::move(upper_bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.counts[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // +Inf bucket: the best point estimate is the last finite bound.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    if (in_bucket == 0) return upper;
+    const double fraction =
+        (target - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+// -------------------------------------------------------------- TraceBuffer
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::Record(SpanRecord record) {
+  std::scoped_lock lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::scoped_lock lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // `next_` is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::TotalRecorded() const {
+  std::scoped_lock lock(mu_);
+  return total_;
+}
+
+Value TraceBuffer::ToJson(size_t max_spans) const {
+  std::vector<SpanRecord> spans = Snapshot();
+  const size_t start = spans.size() > max_spans ? spans.size() - max_spans : 0;
+  Value arr = Value::MakeArray();
+  for (size_t i = start; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    Value v = Value::MakeObject();
+    v["name"] = s.name;
+    v["spanId"] = static_cast<int64_t>(s.span_id);
+    v["parentId"] = static_cast<int64_t>(s.parent_id);
+    v["depth"] = static_cast<int64_t>(s.depth);
+    v["startUs"] = s.start_us;
+    v["durationUs"] = s.duration_us;
+    arr.push_back(std::move(v));
+  }
+  return arr;
+}
+
+void TraceBuffer::Reset() {
+  std::scoped_lock lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+// --------------------------------------------------------------- ScopedSpan
+
+namespace {
+std::atomic<uint64_t> g_next_span_id{1};
+thread_local uint64_t tls_current_span = 0;
+thread_local uint32_t tls_span_depth = 0;
+}  // namespace
+
+ScopedSpan::ScopedSpan(std::string_view name, Histogram* latency_ms,
+                       TraceBuffer* buffer)
+    : name_(name),
+      latency_ms_(latency_ms),
+      buffer_(buffer != nullptr ? buffer : &MetricsRegistry::Global().trace()),
+      span_id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
+      parent_id_(tls_current_span),
+      depth_(tls_span_depth),
+      start_us_(NowMicros()) {
+  tls_current_span = span_id_;
+  ++tls_span_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  const int64_t duration_us = NowMicros() - start_us_;
+  tls_current_span = parent_id_;
+  --tls_span_depth;
+  if (latency_ms_ != nullptr) {
+    latency_ms_->Observe(static_cast<double>(duration_us) / 1000.0);
+  }
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.span_id = span_id_;
+  record.parent_id = parent_id_;
+  record.depth = depth_;
+  record.start_us = start_us_;
+  record.duration_us = duration_us;
+  record.thread_id = CurrentThreadId();
+  buffer_->Record(std::move(record));
+}
+
+double ScopedSpan::ElapsedMs() const {
+  return static_cast<double>(NowMicros() - start_us_) / 1000.0;
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels) {
+  std::scoped_lock lock(mu_);
+  auto& slot = counters_[{std::string(name), std::string(labels)}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels) {
+  std::scoped_lock lock(mu_);
+  auto& slot = gauges_[{std::string(name), std::string(labels)}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view labels,
+                                         std::vector<double> upper_bounds) {
+  std::scoped_lock lock(mu_);
+  auto& slot = histograms_[{std::string(name), std::string(labels)}];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name,
+                                            std::string_view labels) const {
+  std::scoped_lock lock(mu_);
+  auto it = counters_.find({std::string(name), std::string(labels)});
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name,
+                                                std::string_view labels) const {
+  std::scoped_lock lock(mu_);
+  auto it = histograms_.find({std::string(name), std::string(labels)});
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::scoped_lock lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  std::string last_family;
+
+  auto type_line = [&](const std::string& name, const char* type) {
+    if (name == last_family) return;
+    last_family = name;
+    out += "# TYPE " + name + " " + type + "\n";
+  };
+
+  for (const auto& [key, counter] : counters_) {
+    type_line(key.first, "counter");
+    out += MetricId(key.first, key.second) + " " +
+           std::to_string(counter->Value()) + "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, gauge] : gauges_) {
+    type_line(key.first, "gauge");
+    out += MetricId(key.first, key.second) + " " +
+           std::to_string(gauge->Value()) + "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, histogram] : histograms_) {
+    type_line(key.first, "histogram");
+    const Histogram::Snapshot snap = histogram->snapshot();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.bounds.size(); ++i) {
+      cumulative += snap.counts[i];
+      out += key.first + "_bucket{" +
+             BucketLabels(key.second, FormatDouble(snap.bounds[i])) + "} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += key.first + "_bucket{" + BucketLabels(key.second, "+Inf") + "} " +
+           std::to_string(snap.count) + "\n";
+    out += MetricId(key.first + "_sum", key.second) + " " +
+           FormatDouble(snap.sum) + "\n";
+    out += MetricId(key.first + "_count", key.second) + " " +
+           std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+Value MetricsRegistry::RenderJson() const {
+  std::scoped_lock lock(mu_);
+  Value root = Value::MakeObject();
+  Value counters = Value::MakeObject();
+  for (const auto& [key, counter] : counters_) {
+    counters[MetricId(key.first, key.second)] =
+        static_cast<int64_t>(counter->Value());
+  }
+  root["counters"] = std::move(counters);
+
+  Value gauges = Value::MakeObject();
+  for (const auto& [key, gauge] : gauges_) {
+    gauges[MetricId(key.first, key.second)] = gauge->Value();
+  }
+  root["gauges"] = std::move(gauges);
+
+  Value histograms = Value::MakeObject();
+  for (const auto& [key, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->snapshot();
+    Value h = Value::MakeObject();
+    h["count"] = static_cast<int64_t>(snap.count);
+    h["sum"] = snap.sum;
+    h["mean"] = snap.Mean();
+    h["p50"] = snap.Percentile(0.50);
+    h["p95"] = snap.Percentile(0.95);
+    h["p99"] = snap.Percentile(0.99);
+    histograms[MetricId(key.first, key.second)] = std::move(h);
+  }
+  root["histograms"] = std::move(histograms);
+  return root;
+}
+
+void MetricsRegistry::Reset() {
+  std::scoped_lock lock(mu_);
+  for (auto& [key, counter] : counters_) counter->Reset();
+  for (auto& [key, gauge] : gauges_) gauge->Reset();
+  for (auto& [key, histogram] : histograms_) histogram->Reset();
+  trace_.Reset();
+}
+
+}  // namespace laminar::telemetry

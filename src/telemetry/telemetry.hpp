@@ -1,0 +1,253 @@
+// Process-wide observability for the Laminar stack (ROADMAP: production
+// operation needs first-class metrics before any tuning is trustworthy).
+//
+// Three primitives, all cheap enough for hot paths:
+//
+//  * Counter    — monotonically increasing, sharded across cache lines so
+//                 concurrent increments never contend on one atomic.
+//  * Gauge      — a settable signed level (pool sizes, queue depths).
+//  * Histogram  — fixed upper-bound buckets of relaxed atomics; percentile
+//                 summaries (p50/p95/p99) are interpolated at scrape time,
+//                 never maintained on the record path.
+//
+// Handles are obtained from a MetricsRegistry (usually the process Global()
+// one) and stay valid for the registry's lifetime, so instrumented code
+// resolves the name->metric map once and then touches only atomics.
+//
+// ScopedSpan adds tracing: RAII timed spans that nest through a thread-local
+// stack (execute -> cold_start -> mapping enact -> pe process) and land in a
+// bounded ring buffer (TraceBuffer) for the /stats endpoint.
+//
+// Exposition: Prometheus text format (GET /metrics) and JSON (POST /stats).
+// Naming convention: laminar_<subsystem>_<name>{label="value"} with _total
+// suffixed counters and _ms suffixed latency histograms (see README).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/value.hpp"
+
+namespace laminar::telemetry {
+
+/// Adds `delta` to an atomic double (CAS loop: fetch_add on atomic<double>
+/// is C++20 but not universally lowered to hardware yet).
+inline void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotonic counter. Increments are relaxed fetch_adds on one of 16
+/// cacheline-aligned shards chosen per thread, so the hot path is a single
+/// uncontended atomic add (~5ns); reads sum the shards.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    shards_[ThreadShard()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+
+  /// Threads get a stable shard via a round-robin slot assigned on first use.
+  static size_t ThreadShard() {
+    static std::atomic<size_t> next_slot{0};
+    thread_local const size_t slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed);
+    return slot & (kShards - 1);
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Settable signed level.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Observe() is a short linear scan over the upper
+/// bounds plus one relaxed fetch_add — lock-free and allocation-free.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +Inf bucket is
+  /// appended. Defaults to DefaultLatencyBucketsMs() when empty.
+  explicit Histogram(std::vector<double> upper_bounds = {});
+
+  void Observe(double value) {
+    size_t i = 0;
+    const size_t n = bounds_.size();
+    while (i < n && value > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    AtomicAddDouble(sum_, value);
+  }
+
+  struct Snapshot {
+    std::vector<double> bounds;    ///< upper bounds (exclusive of +Inf)
+    std::vector<uint64_t> counts;  ///< per-bucket, bounds.size()+1 entries
+    uint64_t count = 0;
+    double sum = 0.0;
+
+    double Mean() const { return count == 0 ? 0.0 : sum / count; }
+    /// Quantile in [0,1], linearly interpolated inside the winning bucket.
+    /// Values in the +Inf bucket report the last finite bound.
+    double Percentile(double q) const;
+  };
+
+  Snapshot snapshot() const;
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency buckets in milliseconds: 1µs .. 10s, roughly 1-2.5-5 per
+/// decade — covers counter-grade ops through cold starts.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+/// One completed span as stored in the trace ring.
+struct SpanRecord {
+  std::string name;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root span
+  uint32_t depth = 0;      ///< 0 = root
+  int64_t start_us = 0;    ///< monotonic clock (common/clock.hpp epoch)
+  int64_t duration_us = 0;
+  uint64_t thread_id = 0;
+};
+
+/// Bounded ring of completed spans, oldest overwritten first. Recording is
+/// mutex-guarded (spans complete at call-site rate, not per-tuple rate).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 1024);
+
+  void Record(SpanRecord record);
+  /// Oldest-first copy of the retained spans.
+  std::vector<SpanRecord> Snapshot() const;
+  /// Total spans ever recorded (>= Snapshot().size()).
+  uint64_t TotalRecorded() const;
+  /// JSON array of the most recent `max_spans` spans, oldest first.
+  Value ToJson(size_t max_spans = 64) const;
+  void Reset();
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<SpanRecord> ring_;
+  size_t next_ = 0;       ///< write index once the ring is full
+  uint64_t total_ = 0;
+};
+
+/// RAII timed span. Nests via a thread-local span stack: a span started
+/// while another is alive on the same thread records it as parent. On
+/// destruction the record lands in `buffer` (default: the global registry's
+/// trace buffer) and, when given, the elapsed milliseconds are observed
+/// into `latency_ms`.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, Histogram* latency_ms = nullptr,
+                      TraceBuffer* buffer = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  double ElapsedMs() const;
+
+ private:
+  std::string name_;
+  Histogram* latency_ms_;
+  TraceBuffer* buffer_;
+  uint64_t span_id_;
+  uint64_t parent_id_;
+  uint32_t depth_;
+  int64_t start_us_;
+};
+
+/// Name -> metric map with stable handles, plus the process trace buffer.
+/// GetX calls are idempotent: the same (name, labels) pair always returns
+/// the same handle. `labels` is the rendered Prometheus label list without
+/// braces, e.g. `op="get"` — empty for unlabelled metrics.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem instruments into.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name, std::string_view labels = "");
+  Gauge& GetGauge(std::string_view name, std::string_view labels = "");
+  Histogram& GetHistogram(std::string_view name, std::string_view labels = "",
+                          std::vector<double> upper_bounds = {});
+
+  /// nullptr when the metric was never registered.
+  const Counter* FindCounter(std::string_view name,
+                             std::string_view labels = "") const;
+  const Histogram* FindHistogram(std::string_view name,
+                                 std::string_view labels = "") const;
+
+  /// Prometheus text exposition (one # TYPE line per family, histogram
+  /// _bucket/_sum/_count expansion, +Inf bucket included).
+  std::string RenderPrometheus() const;
+
+  /// JSON exposition: {counters:{}, gauges:{}, histograms:{name:{count,sum,
+  /// mean,p50,p95,p99}}} keyed by name{labels}.
+  Value RenderJson() const;
+
+  /// Zeroes every metric and clears the trace buffer; handles stay valid.
+  void Reset();
+
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+ private:
+  using MetricKey = std::pair<std::string, std::string>;  // (name, labels)
+
+  mutable std::mutex mu_;
+  std::map<MetricKey, std::unique_ptr<Counter>> counters_;
+  std::map<MetricKey, std::unique_ptr<Gauge>> gauges_;
+  std::map<MetricKey, std::unique_ptr<Histogram>> histograms_;
+  TraceBuffer trace_;
+};
+
+}  // namespace laminar::telemetry

@@ -1,0 +1,274 @@
+// Unit tests for the telemetry subsystem: counter/gauge/histogram
+// correctness (including under concurrency), span nesting through the
+// thread-local stack, trace-ring bounds, and both exposition formats.
+#include "telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace laminar::telemetry {
+namespace {
+
+TEST(Counter, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAddValue) {
+  Gauge g;
+  g.Set(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(5);
+  EXPECT_EQ(g.Value(), 12);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(Histogram, BucketsAndSnapshot) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (<= 1)
+  h.Observe(1.0);    // bucket 0 (le is inclusive)
+  h.Observe(5.0);    // bucket 1
+  h.Observe(50.0);   // bucket 2
+  h.Observe(500.0);  // +Inf bucket
+  Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 556.5);
+  EXPECT_DOUBLE_EQ(s.Mean(), 556.5 / 5);
+}
+
+TEST(Histogram, PercentilesInterpolate) {
+  Histogram h({10.0, 20.0, 30.0});
+  // 100 samples uniformly in the 0-10 bucket.
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);
+  Histogram::Snapshot s = h.snapshot();
+  // All mass in the first bucket: p50 interpolates to its midpoint.
+  EXPECT_NEAR(s.Percentile(0.5), 5.0, 0.11);
+  EXPECT_LE(s.Percentile(0.99), 10.0);
+
+  // Add 100 samples to the 10-20 bucket: p75 lands in the second bucket.
+  for (int i = 0; i < 100; ++i) h.Observe(15.0);
+  s = h.snapshot();
+  double p75 = s.Percentile(0.75);
+  EXPECT_GT(p75, 10.0);
+  EXPECT_LE(p75, 20.0);
+}
+
+TEST(Histogram, InfBucketReportsLastFiniteBound) {
+  Histogram h({1.0, 2.0});
+  h.Observe(100.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().Percentile(0.99), 2.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.snapshot().Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().Mean(), 0.0);
+}
+
+TEST(Histogram, DefaultBucketsUsedWhenEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.bounds(), DefaultLatencyBucketsMs());
+}
+
+TEST(Histogram, ConcurrentObservesAreLossless) {
+  Histogram h({0.5, 1.5, 2.5, 3.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>(t));  // thread t fills bucket t
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(s.counts[t], static_cast<uint64_t>(kPerThread)) << t;
+  }
+  EXPECT_NEAR(s.sum, (0 + 1 + 2 + 3) * double(kPerThread), 1e-6);
+}
+
+TEST(TraceBuffer, RingKeepsMostRecent) {
+  TraceBuffer buffer(4);
+  for (int i = 0; i < 10; ++i) {
+    SpanRecord r;
+    r.name = "span" + std::to_string(i);
+    r.span_id = static_cast<uint64_t>(i + 1);
+    buffer.Record(std::move(r));
+  }
+  EXPECT_EQ(buffer.TotalRecorded(), 10u);
+  std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first: spans 6..9 survive.
+  EXPECT_EQ(spans.front().name, "span6");
+  EXPECT_EQ(spans.back().name, "span9");
+}
+
+TEST(ScopedSpan, NestsThroughThreadLocalStack) {
+  TraceBuffer buffer(16);
+  {
+    ScopedSpan outer("outer", nullptr, &buffer);
+    {
+      ScopedSpan inner("inner", nullptr, &buffer);
+    }
+  }
+  std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner span completes (and records) first.
+  const SpanRecord& inner = spans[0];
+  const SpanRecord& outer = spans[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_GE(outer.duration_us, inner.duration_us);
+}
+
+TEST(ScopedSpan, SiblingSpansShareParent) {
+  TraceBuffer buffer(16);
+  {
+    ScopedSpan parent("parent", nullptr, &buffer);
+    { ScopedSpan a("a", nullptr, &buffer); }
+    { ScopedSpan b("b", nullptr, &buffer); }
+  }
+  std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].parent_id, spans[2].span_id);
+  EXPECT_EQ(spans[1].parent_id, spans[2].span_id);
+  EXPECT_NE(spans[0].span_id, spans[1].span_id);
+}
+
+TEST(ScopedSpan, ObservesHistogramOnDestruction) {
+  TraceBuffer buffer(4);
+  Histogram h;  // default latency buckets
+  {
+    ScopedSpan span("timed", &h, &buffer);
+  }
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("laminar_test_total", "op=\"x\"");
+  Counter& b = reg.GetCounter("laminar_test_total", "op=\"x\"");
+  Counter& c = reg.GetCounter("laminar_test_total", "op=\"y\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.Inc();
+  EXPECT_EQ(b.Value(), 1u);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(reg.FindCounter("laminar_test_total", "op=\"x\""), &a);
+  EXPECT_EQ(reg.FindCounter("laminar_missing_total"), nullptr);
+}
+
+TEST(MetricsRegistry, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("laminar_demo_ops_total", "op=\"get\"").Inc(3);
+  reg.GetGauge("laminar_demo_depth").Set(7);
+  Histogram& h = reg.GetHistogram("laminar_demo_ms", "", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+
+  std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE laminar_demo_ops_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("laminar_demo_ops_total{op=\"get\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE laminar_demo_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("laminar_demo_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE laminar_demo_ms histogram"), std::string::npos);
+  // Cumulative buckets: le="1" sees 1, le="10" sees 2, +Inf sees all 3.
+  EXPECT_NE(text.find("laminar_demo_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("laminar_demo_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("laminar_demo_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("laminar_demo_ms_sum 55.5"), std::string::npos);
+  EXPECT_NE(text.find("laminar_demo_ms_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusOneTypeLinePerFamily) {
+  MetricsRegistry reg;
+  reg.GetCounter("laminar_family_total", "op=\"a\"").Inc();
+  reg.GetCounter("laminar_family_total", "op=\"b\"").Inc();
+  std::string text = reg.RenderPrometheus();
+  size_t first = text.find("# TYPE laminar_family_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE laminar_family_total counter", first + 1),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("laminar_j_total").Inc(9);
+  reg.GetGauge("laminar_j_level").Set(-2);
+  Histogram& h = reg.GetHistogram("laminar_j_ms", "", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+
+  Value json = reg.RenderJson();
+  EXPECT_EQ(json.at("counters").GetInt("laminar_j_total"), 9);
+  EXPECT_EQ(json.at("gauges").GetInt("laminar_j_level"), -2);
+  const Value& hist = json.at("histograms").at("laminar_j_ms");
+  EXPECT_EQ(hist.GetInt("count"), 2);
+  EXPECT_DOUBLE_EQ(hist.GetDouble("sum"), 2.0);
+  EXPECT_GT(hist.GetDouble("p95"), 0.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesEverythingButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("laminar_r_total");
+  Histogram& h = reg.GetHistogram("laminar_r_ms", "", {1.0});
+  c.Inc(5);
+  h.Observe(0.5);
+  reg.trace().Record(SpanRecord{});
+  reg.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(reg.trace().TotalRecorded(), 0u);
+  c.Inc();  // handle still live after Reset
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace laminar::telemetry
