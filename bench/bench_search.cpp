@@ -1,0 +1,298 @@
+// bench_search — before/after measurement of the search query path rebuild
+// (ISSUE 2): legacy brute-force scan (unordered_map of embed::Vector rows,
+// per-pair embed::Cosine with both norms recomputed, full sort for top-k)
+// versus the flat SoA VectorIndex (normalize-at-insert, unrolled dot kernel,
+// bounded top-k heap, optional sharded scan), plus concurrent-reader scaling
+// in the shape of the server's shared-lock read path and a query-embedding
+// cache demonstration.
+//
+// Usage:
+//   bench_search [--docs N] [--dims N] [--queries N] [--threads N] [--k N]
+//                [--smoke]
+// --smoke shrinks everything to a sub-second corpus and asserts only
+// correctness (flat results == legacy results), never throughput, so the
+// tier-1 loop can compile- and run-check this binary without perf flakes.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "embed/embedding.hpp"
+#include "embed/unixcoder_sim.hpp"
+#include "search/query_cache.hpp"
+#include "search/vector_index.hpp"
+
+namespace laminar::bench {
+namespace {
+
+struct Args {
+  size_t docs = 10000;
+  size_t dims = 256;
+  size_t queries = 64;
+  size_t threads = 8;
+  size_t k = 10;
+  bool smoke = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](size_t fallback) -> size_t {
+      return i + 1 < argc ? static_cast<size_t>(std::atoll(argv[++i]))
+                          : fallback;
+    };
+    if (std::strcmp(argv[i], "--docs") == 0) args.docs = next(args.docs);
+    else if (std::strcmp(argv[i], "--dims") == 0) args.dims = next(args.dims);
+    else if (std::strcmp(argv[i], "--queries") == 0)
+      args.queries = next(args.queries);
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      args.threads = next(args.threads);
+    else if (std::strcmp(argv[i], "--k") == 0) args.k = next(args.k);
+    else if (std::strcmp(argv[i], "--smoke") == 0) args.smoke = true;
+  }
+  if (args.smoke) {
+    args.docs = 400;
+    args.dims = 64;
+    args.queries = 12;
+    args.threads = 2;
+    args.k = 5;
+  }
+  return args;
+}
+
+embed::Vector RandomVector(Rng& rng, size_t dims) {
+  embed::Vector v(dims);
+  for (float& x : v) {
+    x = static_cast<float>(rng.NextDouble() * 2.0 - 1.0);
+  }
+  return v;
+}
+
+struct ScoredRef {
+  int64_t id;
+  float score;
+};
+
+/// The retained legacy path, exactly as SearchService::RankByCosine ran
+/// before this rebuild: hash-map iteration, embed::Cosine per pair (both
+/// norms recomputed every time), full sort, truncate.
+std::vector<ScoredRef> LegacyBruteForce(
+    const std::unordered_map<int64_t, embed::Vector>& docs,
+    const embed::Vector& query, size_t k) {
+  std::vector<ScoredRef> hits;
+  hits.reserve(docs.size());
+  for (const auto& [id, vec] : docs) {
+    hits.push_back({id, embed::Cosine(query, vec)});
+  }
+  std::sort(hits.begin(), hits.end(), [](const ScoredRef& a, const ScoredRef& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+double Percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+int RunBench(const Args& args) {
+  std::printf("bench_search: docs=%zu dims=%zu queries=%zu threads=%zu k=%zu"
+              " hw_threads=%u%s\n\n",
+              args.docs, args.dims, args.queries, args.threads, args.k,
+              std::thread::hardware_concurrency(),
+              args.smoke ? " (smoke)" : "");
+
+  Rng rng(0xbe7c5ea7c4ULL);
+  std::unordered_map<int64_t, embed::Vector> legacy_docs;
+  search::VectorIndexOptions serial_opts;
+  serial_opts.parallel_threshold = static_cast<size_t>(-1);  // never shard
+  search::VectorIndex flat(args.dims, serial_opts);
+  search::VectorIndexOptions sharded_opts;
+  sharded_opts.parallel_threshold = 1;
+  sharded_opts.max_threads = args.threads;
+  search::VectorIndex sharded(args.dims, sharded_opts);
+  for (size_t i = 0; i < args.docs; ++i) {
+    embed::Vector v = RandomVector(rng, args.dims);
+    int64_t id = static_cast<int64_t>(i + 1);
+    flat.Upsert(id, v);
+    sharded.Upsert(id, v);
+    legacy_docs.emplace(id, std::move(v));
+  }
+  std::vector<embed::Vector> queries;
+  queries.reserve(args.queries);
+  for (size_t i = 0; i < args.queries; ++i) {
+    queries.push_back(RandomVector(rng, args.dims));
+  }
+
+  // Correctness gate first: the flat path must agree with the legacy path.
+  for (const embed::Vector& q : queries) {
+    std::vector<ScoredRef> want = LegacyBruteForce(legacy_docs, q, args.k);
+    std::vector<search::ScoredId> got = flat.TopK(q, args.k);
+    if (got.size() != want.size()) {
+      std::fprintf(stderr, "parity failure: size %zu != %zu\n", got.size(),
+                   want.size());
+      return 1;
+    }
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (got[i].id != want[i].id ||
+          std::abs(got[i].score - want[i].score) > 1e-4f) {
+        std::fprintf(stderr,
+                     "parity failure at rank %zu: got id=%lld score=%f, "
+                     "want id=%lld score=%f\n",
+                     i, static_cast<long long>(got[i].id), got[i].score,
+                     static_cast<long long>(want[i].id), want[i].score);
+        return 1;
+      }
+    }
+  }
+  std::printf("parity: flat top-k matches legacy brute force on all %zu "
+              "queries\n\n", queries.size());
+
+  double checksum = 0.0;  // defeats dead-code elimination
+
+  // --- single-thread QPS, legacy vs flat ---
+  Stopwatch legacy_watch;
+  for (const embed::Vector& q : queries) {
+    checksum += LegacyBruteForce(legacy_docs, q, args.k).front().score;
+  }
+  double legacy_s = legacy_watch.ElapsedSeconds();
+  double legacy_qps = static_cast<double>(queries.size()) / legacy_s;
+
+  const size_t flat_reps = args.smoke ? 2 : 10;
+  Stopwatch flat_watch;
+  for (size_t rep = 0; rep < flat_reps; ++rep) {
+    for (const embed::Vector& q : queries) {
+      checksum += flat.TopK(q, args.k).front().score;
+    }
+  }
+  double flat_s = flat_watch.ElapsedSeconds();
+  double flat_qps =
+      static_cast<double>(queries.size() * flat_reps) / flat_s;
+
+  Stopwatch sharded_watch;
+  for (size_t rep = 0; rep < flat_reps; ++rep) {
+    for (const embed::Vector& q : queries) {
+      checksum += sharded.TopK(q, args.k).front().score;
+    }
+  }
+  double sharded_s = sharded_watch.ElapsedSeconds();
+  double sharded_qps =
+      static_cast<double>(queries.size() * flat_reps) / sharded_s;
+
+  std::printf("single-thread QPS (top-%zu over %zu docs x %zu dims)\n",
+              args.k, args.docs, args.dims);
+  std::printf("  %-34s %10.1f qps  %8.3f ms/query\n",
+              "legacy map+Cosine+full-sort", legacy_qps,
+              1000.0 / legacy_qps);
+  std::printf("  %-34s %10.1f qps  %8.3f ms/query\n", "flat SoA index (1 thread)",
+              flat_qps, 1000.0 / flat_qps);
+  std::printf("  %-34s %10.1f qps  %8.3f ms/query\n", "flat SoA index (sharded)",
+              sharded_qps, 1000.0 / sharded_qps);
+  std::printf("  speedup (flat 1-thread / legacy): %.2fx\n\n",
+              flat_qps / legacy_qps);
+
+  // --- concurrent readers: shared lock (new server path) vs exclusive
+  // (old server path). Each reader runs the whole query set; per-query
+  // latency is recorded for p50/p95. ---
+  auto run_concurrent = [&](bool exclusive) {
+    std::shared_mutex smu;
+    std::mutex xmu;
+    std::vector<std::vector<double>> lat(args.threads);
+    const size_t reps = args.smoke ? 1 : 4;
+    Stopwatch watch;
+    std::vector<std::thread> readers;
+    readers.reserve(args.threads);
+    for (size_t t = 0; t < args.threads; ++t) {
+      readers.emplace_back([&, t] {
+        lat[t].reserve(reps * queries.size());
+        double local = 0.0;
+        for (size_t rep = 0; rep < reps; ++rep) {
+          for (const embed::Vector& q : queries) {
+            Stopwatch one;
+            if (exclusive) {
+              std::scoped_lock lock(xmu);
+              local += flat.TopK(q, args.k).front().score;
+            } else {
+              std::shared_lock lock(smu);
+              local += flat.TopK(q, args.k).front().score;
+            }
+            lat[t].push_back(one.ElapsedMillis());
+          }
+        }
+        static std::mutex sink_mu;
+        std::scoped_lock sink(sink_mu);
+        checksum += local;
+      });
+    }
+    for (std::thread& r : readers) r.join();
+    double wall_s = watch.ElapsedSeconds();
+    std::vector<double> all;
+    for (const auto& per_thread : lat) {
+      all.insert(all.end(), per_thread.begin(), per_thread.end());
+    }
+    std::sort(all.begin(), all.end());
+    struct Out { double qps, p50, p95; };
+    return Out{static_cast<double>(all.size()) / wall_s,
+               Percentile(all, 0.50), Percentile(all, 0.95)};
+  };
+
+  auto shared_out = run_concurrent(/*exclusive=*/false);
+  auto exclusive_out = run_concurrent(/*exclusive=*/true);
+  std::printf("%zu concurrent readers (flat index, per-query latency)\n",
+              args.threads);
+  std::printf("  %-34s %10.1f qps  p50=%.3f ms  p95=%.3f ms\n",
+              "shared_mutex (new read path)", shared_out.qps, shared_out.p50,
+              shared_out.p95);
+  std::printf("  %-34s %10.1f qps  p50=%.3f ms  p95=%.3f ms\n",
+              "exclusive mutex (old read path)", exclusive_out.qps,
+              exclusive_out.p50, exclusive_out.p95);
+  std::printf("  reader scaling vs single thread: %.2fx "
+              "(hardware limit: %u core(s))\n\n",
+              shared_out.qps / flat_qps, std::thread::hardware_concurrency());
+
+  // --- query-embedding cache: repeated interactive queries skip the
+  // encoder entirely. ---
+  embed::UnixcoderSim encoder;
+  search::QueryEmbeddingCache cache(64);
+  const std::string text = "stream of prime numbers from a kafka topic";
+  const size_t lookups = args.smoke ? 20 : 200;
+  Stopwatch encode_watch;
+  for (size_t i = 0; i < lookups; ++i) {
+    checksum += encoder.EncodeText(text)[0];
+  }
+  double encode_ms = encode_watch.ElapsedMillis();
+  Stopwatch cached_watch;
+  for (size_t i = 0; i < lookups; ++i) {
+    checksum += cache.GetOrCompute("unixcoder", text,
+                                   [&] { return encoder.EncodeText(text); })[0];
+  }
+  double cached_ms = cached_watch.ElapsedMillis();
+  auto cache_stats = cache.stats();
+  std::printf("query-embedding cache (%zu lookups of one query)\n", lookups);
+  std::printf("  %-34s %10.3f ms total\n", "encode every time", encode_ms);
+  std::printf("  %-34s %10.3f ms total  (hits=%llu misses=%llu)\n",
+              "LRU cache", cached_ms,
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses));
+
+  std::printf("\nchecksum %.6f\n", checksum);
+  return 0;
+}
+
+}  // namespace
+}  // namespace laminar::bench
+
+int main(int argc, char** argv) {
+  return laminar::bench::RunBench(laminar::bench::ParseArgs(argc, argv));
+}

@@ -8,9 +8,7 @@ namespace laminar::embed {
 
 float Dot(std::span<const float> a, std::span<const float> b) {
   if (a.size() != b.size()) return 0.0f;
-  float sum = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return DotUnrolled(a.data(), b.data(), a.size());
 }
 
 float Norm(std::span<const float> a) {
@@ -28,9 +26,21 @@ void L2Normalize(Vector& v) {
 float Cosine(std::span<const float> a, std::span<const float> b) {
   if (a.size() != b.size() || a.empty()) return 0.0f;
   float na = Norm(a);
+  if (na <= 0.0f) return 0.0f;
+  return CosineWithNorm(a, na, b);
+}
+
+float DotNormalized(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size() || a.empty()) return 0.0f;
+  return DotUnrolled(a.data(), b.data(), a.size());
+}
+
+float CosineWithNorm(std::span<const float> a, float norm_a,
+                     std::span<const float> b) {
+  if (a.size() != b.size() || a.empty() || norm_a <= 0.0f) return 0.0f;
   float nb = Norm(b);
-  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
-  return Dot(a, b) / (na * nb);
+  if (nb <= 0.0f) return 0.0f;
+  return DotUnrolled(a.data(), b.data(), a.size()) / (norm_a * nb);
 }
 
 std::string ToJson(const Vector& v) {

@@ -12,6 +12,23 @@ namespace laminar::embed {
 
 using Vector = std::vector<float>;
 
+/// 4x-unrolled dot-product kernel shared by Dot/DotNormalized and the
+/// search::VectorIndex scan loop. Four independent accumulators keep the
+/// FP pipeline busy without -ffast-math reassociation.
+inline float DotUnrolled(const float* a, const float* b, size_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  float s = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
 float Dot(std::span<const float> a, std::span<const float> b);
 float Norm(std::span<const float> a);
 
@@ -20,6 +37,17 @@ void L2Normalize(Vector& v);
 
 /// Cosine similarity in [-1, 1]; 0 if either vector is zero or sizes differ.
 float Cosine(std::span<const float> a, std::span<const float> b);
+
+/// Cosine for pre-normalized (unit-length) vectors: a single dot-product
+/// pass, no norm recomputation. 0 if sizes differ. Use wherever one query
+/// is compared against many stored targets.
+float DotNormalized(std::span<const float> a, std::span<const float> b);
+
+/// Cosine with a caller-precomputed norm for `a` — avoids recomputing the
+/// query norm once per target when only the targets vary. `norm_a` must be
+/// Norm(a); 0 if either norm is zero or sizes differ.
+float CosineWithNorm(std::span<const float> a, float norm_a,
+                     std::span<const float> b);
 
 /// Serializes to the JSON array Laminar stores in the registry's
 /// 'descriptionEmbedding' CLOB column.

@@ -189,7 +189,7 @@ std::vector<Row> Table::FindBy(const std::string& column,
   std::vector<Row> out;
   auto idx = indexes_.find(column);
   if (idx != indexes_.end()) {
-    ++stats_.index_lookups;
+    stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
     index_lookups.Inc();
     auto it = idx->second.find(IndexKey(value));
     if (it != idx->second.end()) {
@@ -199,24 +199,24 @@ std::vector<Row> Table::FindBy(const std::string& column,
     }
     return out;
   }
-  ++stats_.full_scans;
+  stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
   scans.Inc();
   for (const auto& [id, row] : rows_) {
-    ++stats_.rows_scanned;
     if (row.at(column) == value) out.push_back(row);
   }
+  stats_.rows_scanned.fetch_add(rows_.size(), std::memory_order_relaxed);
   return out;
 }
 
 std::vector<Row> Table::Scan(const std::function<bool(const Row&)>& pred) const {
   static telemetry::Counter& scans = OpCounter("scan");
   scans.Inc();
-  ++stats_.full_scans;
+  stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
   std::vector<Row> out;
   for (const auto& [id, row] : rows_) {
-    ++stats_.rows_scanned;
     if (pred(row)) out.push_back(row);
   }
+  stats_.rows_scanned.fetch_add(rows_.size(), std::memory_order_relaxed);
   return out;
 }
 

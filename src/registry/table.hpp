@@ -8,6 +8,7 @@
 // storage size" — bench_registry reproduces exactly that failure mode.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -62,6 +63,15 @@ struct TableStats {
   uint64_t rows_scanned = 0;
 };
 
+/// Internal counterpart of TableStats: the read path (FindBy/Scan) bumps
+/// these from const methods, and the server now runs read endpoints under a
+/// shared lock, so concurrent readers must not race on plain integers.
+struct AtomicTableStats {
+  std::atomic<uint64_t> index_lookups{0};
+  std::atomic<uint64_t> full_scans{0};
+  std::atomic<uint64_t> rows_scanned{0};
+};
+
 class Table {
  public:
   explicit Table(TableSchema schema);
@@ -90,7 +100,13 @@ class Table {
   std::vector<Row> All() const;
 
   void Clear();
-  TableStats stats() const { return stats_; }
+  TableStats stats() const {
+    TableStats out;
+    out.index_lookups = stats_.index_lookups.load(std::memory_order_relaxed);
+    out.full_scans = stats_.full_scans.load(std::memory_order_relaxed);
+    out.rows_scanned = stats_.rows_scanned.load(std::memory_order_relaxed);
+    return out;
+  }
 
   /// Persistence hooks used by Database.
   Value ToJson() const;
@@ -111,7 +127,7 @@ class Table {
   std::unordered_map<std::string,
                      std::unordered_map<std::string, std::vector<int64_t>>>
       indexes_;
-  mutable TableStats stats_;
+  mutable AtomicTableStats stats_;
 };
 
 }  // namespace laminar::registry

@@ -36,7 +36,22 @@ SearchService::SearchService(registry::Repository& repo, SearchConfig config)
       config_(config),
       unixcoder_(config.unixcoder),
       reacc_(config.reacc),
-      aroma_(config.aroma) {}
+      aroma_(config.aroma),
+      pe_text_index_(config.unixcoder.dims, config.vector_index),
+      pe_code_index_(config.reacc.dims, config.vector_index),
+      workflow_text_index_(config.unixcoder.dims, config.vector_index),
+      workflow_code_index_(config.reacc.dims, config.vector_index),
+      query_cache_(config.query_cache_capacity) {}
+
+embed::Vector SearchService::TextEmbeddingFor(
+    const std::string& stored_json, const std::string& description) const {
+  if (!stored_json.empty()) {
+    embed::Vector stored = embed::FromJson(stored_json);
+    if (!stored.empty()) return stored;
+  }
+  EncodeCounter("unixcoder").Inc();
+  return unixcoder_.EncodeText(description);
+}
 
 Status SearchService::AddPe(int64_t pe_id) {
   Result<registry::PeRecord> pe = repo_->GetPe(pe_id);
@@ -44,14 +59,11 @@ Status SearchService::AddPe(int64_t pe_id) {
   Doc doc;
   doc.name = pe->name;
   doc.description = pe->description;
-  doc.text_embedding = pe->description_embedding.empty()
-                           ? unixcoder_.EncodeText(pe->description)
-                           : embed::FromJson(pe->description_embedding);
-  if (doc.text_embedding.empty()) {
-    doc.text_embedding = unixcoder_.EncodeText(pe->description);
-  }
+  pe_text_index_.Upsert(pe_id,
+                        TextEmbeddingFor(pe->description_embedding,
+                                         pe->description));
   EncodeCounter("reacc").Inc();
-  doc.code_embedding = reacc_.EncodeCode(pe->code);
+  pe_code_index_.Upsert(pe_id, reacc_.EncodeCode(pe->code));
   pe_docs_[pe_id] = std::move(doc);
   // The Aroma index ignores snippets with no extractable features (e.g.
   // registration of an empty stub) rather than failing the registration.
@@ -65,29 +77,36 @@ Status SearchService::AddWorkflow(int64_t workflow_id) {
   Doc doc;
   doc.name = wf->name;
   doc.description = wf->description;
-  doc.text_embedding = wf->description_embedding.empty()
-                           ? unixcoder_.EncodeText(wf->description)
-                           : embed::FromJson(wf->description_embedding);
-  if (doc.text_embedding.empty()) {
-    doc.text_embedding = unixcoder_.EncodeText(wf->description);
-  }
-  doc.code_embedding = reacc_.EncodeCode(wf->code);
+  workflow_text_index_.Upsert(workflow_id,
+                              TextEmbeddingFor(wf->description_embedding,
+                                               wf->description));
+  EncodeCounter("reacc").Inc();
+  workflow_code_index_.Upsert(workflow_id, reacc_.EncodeCode(wf->code));
   workflow_docs_[workflow_id] = std::move(doc);
   return Status::Ok();
 }
 
 void SearchService::RemovePe(int64_t pe_id) {
   pe_docs_.erase(pe_id);
+  pe_text_index_.Remove(pe_id);
+  pe_code_index_.Remove(pe_id);
   aroma_.RemoveSnippet(pe_id);
 }
 
 void SearchService::RemoveWorkflow(int64_t workflow_id) {
   workflow_docs_.erase(workflow_id);
+  workflow_text_index_.Remove(workflow_id);
+  workflow_code_index_.Remove(workflow_id);
 }
 
 void SearchService::Clear() {
   pe_docs_.clear();
   workflow_docs_.clear();
+  pe_text_index_.Clear();
+  pe_code_index_.Clear();
+  workflow_text_index_.Clear();
+  workflow_code_index_.Clear();
+  query_cache_.Clear();
   // AromaEngine has no bulk clear; rebuild it.
   aroma_ = spt::AromaEngine(config_.aroma);
 }
@@ -125,35 +144,38 @@ std::vector<SearchHit> SearchService::LiteralSearch(const std::string& term,
     hit.score = name_match ? 2.0 : 1.0;  // name matches rank first
     hits.push_back(std::move(hit));
   }
-  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+  auto better = [](const SearchHit& a, const SearchHit& b) {
     if (a.score != b.score) return a.score > b.score;
     return a.id < b.id;
-  });
-  if (hits.size() > limit) hits.resize(limit);
+  };
+  // Bounded selection: O(n) partition to the winning `limit` instead of a
+  // full O(n log n) sort of every match.
+  if (hits.size() > limit) {
+    std::nth_element(hits.begin(),
+                     hits.begin() + static_cast<std::ptrdiff_t>(limit),
+                     hits.end(), better);
+    hits.resize(limit);
+  }
+  std::sort(hits.begin(), hits.end(), better);
   return hits;
 }
 
-std::vector<SearchHit> SearchService::RankByCosine(
-    const embed::Vector& query, const std::unordered_map<int64_t, Doc>& docs,
-    bool use_code_embedding, size_t limit) const {
+std::vector<SearchHit> SearchService::RankTopK(
+    const embed::Vector& query, const VectorIndex& index,
+    const std::unordered_map<int64_t, Doc>& docs, size_t limit) const {
   std::vector<SearchHit> hits;
-  hits.reserve(docs.size());
-  for (const auto& [id, doc] : docs) {
-    const embed::Vector& target =
-        use_code_embedding ? doc.code_embedding : doc.text_embedding;
-    double score = embed::Cosine(query, target);
+  hits.reserve(std::min(limit, index.size()));
+  for (const ScoredId& scored : index.TopK(query, limit)) {
     SearchHit hit;
-    hit.id = id;
-    hit.name = doc.name;
-    hit.description = doc.description;
-    hit.score = score;
+    hit.id = scored.id;
+    hit.score = scored.score;
+    auto doc = docs.find(scored.id);
+    if (doc != docs.end()) {
+      hit.name = doc->second.name;
+      hit.description = doc->second.description;
+    }
     hits.push_back(std::move(hit));
   }
-  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.id < b.id;
-  });
-  if (hits.size() > limit) hits.resize(limit);
   return hits;
 }
 
@@ -164,11 +186,13 @@ std::vector<SearchHit> SearchService::SemanticSearch(const std::string& query,
   qm.queries.Inc();
   telemetry::ScopedSpan span("search.semantic", &qm.latency_ms);
   if (limit == 0) limit = config_.default_limit;
-  EncodeCounter("unixcoder").Inc();
-  embed::Vector q = unixcoder_.EncodeText(query);
-  return RankByCosine(
-      q, target == SearchTarget::kPe ? pe_docs_ : workflow_docs_,
-      /*use_code_embedding=*/false, limit);
+  embed::Vector q = query_cache_.GetOrCompute("unixcoder", query, [&] {
+    EncodeCounter("unixcoder").Inc();
+    return unixcoder_.EncodeText(query);
+  });
+  return target == SearchTarget::kPe
+             ? RankTopK(q, pe_text_index_, pe_docs_, limit)
+             : RankTopK(q, workflow_text_index_, workflow_docs_, limit);
 }
 
 std::vector<SearchHit> SearchService::CodeSearchLlm(const std::string& code,
@@ -178,11 +202,13 @@ std::vector<SearchHit> SearchService::CodeSearchLlm(const std::string& code,
   qm.queries.Inc();
   telemetry::ScopedSpan span("search.llm", &qm.latency_ms);
   if (limit == 0) limit = config_.default_limit;
-  EncodeCounter("reacc").Inc();
-  embed::Vector q = reacc_.EncodeCode(code);
-  return RankByCosine(
-      q, target == SearchTarget::kPe ? pe_docs_ : workflow_docs_,
-      /*use_code_embedding=*/true, limit);
+  embed::Vector q = query_cache_.GetOrCompute("reacc", code, [&] {
+    EncodeCounter("reacc").Inc();
+    return reacc_.EncodeCode(code);
+  });
+  return target == SearchTarget::kPe
+             ? RankTopK(q, pe_code_index_, pe_docs_, limit)
+             : RankTopK(q, workflow_code_index_, workflow_docs_, limit);
 }
 
 Result<std::vector<spt::Completion>> SearchService::CodeCompletion(
@@ -251,15 +277,19 @@ Result<std::vector<RecommendationHit>> SearchService::CodeRecommendation(
   std::vector<RecommendationHit> out;
   out.reserve(by_workflow.size());
   for (auto& [id, hit] : by_workflow) out.push_back(std::move(hit));
-  std::sort(out.begin(), out.end(),
-            [](const RecommendationHit& a, const RecommendationHit& b) {
-              if (a.occurrences != b.occurrences) {
-                return a.occurrences > b.occurrences;
-              }
-              if (a.score != b.score) return a.score > b.score;
-              return a.id < b.id;
-            });
-  if (out.size() > limit) out.resize(limit);
+  auto better = [](const RecommendationHit& a, const RecommendationHit& b) {
+    if (a.occurrences != b.occurrences) return a.occurrences > b.occurrences;
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  // Bounded top-k selection, like the other ranked paths.
+  if (out.size() > limit) {
+    std::nth_element(out.begin(),
+                     out.begin() + static_cast<std::ptrdiff_t>(limit),
+                     out.end(), better);
+    out.resize(limit);
+  }
+  std::sort(out.begin(), out.end(), better);
   return out;
 }
 

@@ -3,10 +3,18 @@
 // embeddings, LLM code-to-code search (ReACC baseline), and SPT structural
 // code recommendation (Aroma).
 //
-// The service keeps in-memory indexes (dense embedding matrices + the Aroma
-// feature index) synchronized with the registry via Add/Remove hooks, just
-// as the paper's server precomputes and stores embeddings at registration
-// time (§V-B).
+// The service keeps in-memory indexes (flat SoA embedding indexes + the
+// Aroma feature index) synchronized with the registry via Add/Remove hooks,
+// just as the paper's server precomputes and stores embeddings at
+// registration time (§V-B). Embeddings are L2-normalized into VectorIndex
+// rows at registration, so every query is one contiguous dot-product scan
+// reduced by a bounded top-k heap (see vector_index.hpp).
+//
+// Concurrency contract: the query methods (LiteralSearch, SemanticSearch,
+// CodeSearchLlm, CodeCompletion, CodeRecommendation) are safe to call
+// concurrently with each other — the server runs them under a shared lock.
+// Index mutations (Add*/Remove*/Clear/ReindexAll) require external
+// exclusive locking, which the server's write path provides.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +26,8 @@
 #include "embed/reacc_sim.hpp"
 #include "embed/unixcoder_sim.hpp"
 #include "registry/repository.hpp"
+#include "search/query_cache.hpp"
+#include "search/vector_index.hpp"
 #include "spt/recommend.hpp"
 
 namespace laminar::search {
@@ -44,6 +54,11 @@ struct RecommendationHit {
 struct SearchConfig {
   size_t default_limit = 5;           ///< paper: top five results
   double recommend_min_score = 6.0;   ///< paper §VI-A default threshold
+  /// LRU capacity of the (model, query text) -> embedding cache; 0 disables
+  /// it. Hits/misses surface as laminar_search_query_cache_*_total.
+  size_t query_cache_capacity = 256;
+  /// Sharded-scan knobs for the flat embedding index (see VectorIndex).
+  VectorIndex::Options vector_index;
   embed::UnixcoderConfig unixcoder;
   embed::ReaccConfig reacc;
   spt::AromaConfig aroma;
@@ -97,17 +112,26 @@ class SearchService {
   const embed::ReaccSim& code_encoder() const { return reacc_; }
   const spt::AromaEngine& aroma() const { return aroma_; }
 
+  /// Cache hit/miss totals for the query-embedding LRU.
+  QueryEmbeddingCache::Stats query_cache_stats() const {
+    return query_cache_.stats();
+  }
+
  private:
   struct Doc {
     std::string name;
     std::string description;
-    embed::Vector text_embedding;
-    embed::Vector code_embedding;
   };
-  std::vector<SearchHit> RankByCosine(
-      const embed::Vector& query,
-      const std::unordered_map<int64_t, Doc>& docs,
-      bool use_code_embedding, size_t limit) const;
+  /// Scores `query` against `index` (flat SoA top-k scan) and joins the
+  /// winning ids with their metadata. Ranking order matches the legacy
+  /// full-sort path: score descending, ties by ascending id.
+  std::vector<SearchHit> RankTopK(
+      const embed::Vector& query, const VectorIndex& index,
+      const std::unordered_map<int64_t, Doc>& docs, size_t limit) const;
+  /// Shared AddPe/AddWorkflow embedding step: prefers the stored embedding,
+  /// encodes the description at most once otherwise (counted per model).
+  embed::Vector TextEmbeddingFor(const std::string& stored_json,
+                                 const std::string& description) const;
 
   registry::Repository* repo_;
   SearchConfig config_;
@@ -116,6 +140,12 @@ class SearchService {
   spt::AromaEngine aroma_;  ///< indexes PE snippets by pe id
   std::unordered_map<int64_t, Doc> pe_docs_;
   std::unordered_map<int64_t, Doc> workflow_docs_;
+  // Flat normalized-embedding indexes, one per (corpus, embedding kind).
+  VectorIndex pe_text_index_;
+  VectorIndex pe_code_index_;
+  VectorIndex workflow_text_index_;
+  VectorIndex workflow_code_index_;
+  mutable QueryEmbeddingCache query_cache_;
 };
 
 }  // namespace laminar::search

@@ -1,0 +1,164 @@
+#include "search/vector_index.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "embed/embedding.hpp"
+
+namespace laminar::search {
+namespace {
+
+/// The legacy ranking order: score descending, ties broken by ascending id.
+inline bool Better(const ScoredId& a, const ScoredId& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// Bounded min-heap insert: `heap` is a std::*_heap ordered by Better, so
+/// the front is the worst retained candidate. O(log k) per displacement,
+/// O(1) for the common no-op case of a candidate worse than the floor.
+inline void HeapPush(std::vector<ScoredId>& heap, size_t k, ScoredId cand) {
+  if (heap.size() < k) {
+    heap.push_back(cand);
+    std::push_heap(heap.begin(), heap.end(), Better);
+    return;
+  }
+  if (!Better(cand, heap.front())) return;
+  std::pop_heap(heap.begin(), heap.end(), Better);
+  heap.back() = cand;
+  std::push_heap(heap.begin(), heap.end(), Better);
+}
+
+}  // namespace
+
+VectorIndex::VectorIndex(size_t dims, Options options)
+    : dims_(dims), options_(options) {}
+
+void VectorIndex::Upsert(int64_t id, std::span<const float> embedding) {
+  size_t slot;
+  auto it = slot_of_.find(id);
+  if (it != slot_of_.end()) {
+    slot = it->second;
+  } else {
+    slot = ids_.size();
+    ids_.push_back(id);
+    data_.resize(data_.size() + dims_);
+    slot_of_.emplace(id, slot);
+  }
+  float* row = data_.data() + slot * dims_;
+  float norm =
+      embedding.size() == dims_ ? embed::Norm(embedding) : 0.0f;
+  if (norm > 0.0f) {
+    for (size_t i = 0; i < dims_; ++i) row[i] = embedding[i] / norm;
+  } else {
+    // Zero or size-mismatched input: an all-zero row scores 0 against every
+    // query, matching what embed::Cosine returned for such pairs.
+    std::fill(row, row + dims_, 0.0f);
+  }
+}
+
+bool VectorIndex::Remove(int64_t id) {
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  size_t slot = it->second;
+  size_t last = ids_.size() - 1;
+  if (slot != last) {
+    ids_[slot] = ids_[last];
+    std::copy(data_.begin() + last * dims_, data_.begin() + (last + 1) * dims_,
+              data_.begin() + slot * dims_);
+    slot_of_[ids_[slot]] = slot;
+  }
+  ids_.pop_back();
+  data_.resize(data_.size() - dims_);
+  slot_of_.erase(it);
+  return true;
+}
+
+void VectorIndex::Clear() {
+  data_.clear();
+  ids_.clear();
+  slot_of_.clear();
+}
+
+std::vector<float> VectorIndex::NormalizedQuery(
+    std::span<const float> query) const {
+  if (query.size() != dims_) return {};
+  float norm = embed::Norm(query);
+  if (norm <= 0.0f) return {};
+  std::vector<float> q(query.begin(), query.end());
+  for (float& x : q) x /= norm;
+  return q;
+}
+
+void VectorIndex::ScoreRange(const float* query, size_t begin, size_t end,
+                             size_t k, std::vector<ScoredId>& heap) const {
+  const float* row = data_.data() + begin * dims_;
+  for (size_t slot = begin; slot < end; ++slot, row += dims_) {
+    HeapPush(heap, k, {ids_[slot], embed::DotUnrolled(query, row, dims_)});
+  }
+}
+
+std::vector<ScoredId> VectorIndex::TopK(std::span<const float> query,
+                                        size_t k) const {
+  if (k == 0 || ids_.empty()) return {};
+  std::vector<float> q = NormalizedQuery(query);
+  if (q.empty()) {
+    // Zero or size-mismatched query: every row scores 0, so the legacy order
+    // is simply ascending id.
+    std::vector<ScoredId> out;
+    out.reserve(ids_.size());
+    for (int64_t id : ids_) out.push_back({id, 0.0f});
+    std::sort(out.begin(), out.end(), Better);
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+  const size_t n = ids_.size();
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  size_t threads = std::min(options_.max_threads, hw);
+  std::vector<ScoredId> heap;
+  if (n < options_.parallel_threshold || threads <= 1) {
+    heap.reserve(std::min(k, n));
+    ScoreRange(q.data(), 0, n, k, heap);
+  } else {
+    const size_t chunk = (n + threads - 1) / threads;
+    std::vector<std::vector<ScoredId>> local(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      size_t begin = t * chunk;
+      size_t end = std::min(begin + chunk, n);
+      if (begin >= end) break;
+      workers.emplace_back([this, &q, &local, t, begin, end, k] {
+        local[t].reserve(std::min(k, end - begin));
+        ScoreRange(q.data(), begin, end, k, local[t]);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (std::vector<ScoredId>& shard : local) {
+      for (ScoredId cand : shard) HeapPush(heap, k, cand);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), Better);
+  return heap;
+}
+
+std::vector<ScoredId> VectorIndex::BruteForceTopK(std::span<const float> query,
+                                                  size_t k) const {
+  if (k == 0 || ids_.empty()) return {};
+  std::vector<float> q = NormalizedQuery(query);
+  std::vector<ScoredId> out;
+  out.reserve(ids_.size());
+  for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    float score = q.empty() ? 0.0f
+                            : embed::DotUnrolled(
+                                  q.data(), data_.data() + slot * dims_, dims_);
+    out.push_back({ids_[slot], score});
+  }
+  std::sort(out.begin(), out.end(), Better);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace laminar::search

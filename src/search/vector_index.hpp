@@ -1,0 +1,87 @@
+// Read-optimized dense vector index for the search hot path (ROADMAP: the
+// query path must run as fast as the hardware allows under concurrent
+// traffic).
+//
+// Design, in the shape Serverless-Lucene-style read-optimized indexes take
+// (PAPERS.md): embeddings are L2-normalized once at insert time so cosine
+// similarity degenerates to a plain dot product, and rows live in one flat
+// structure-of-arrays float block (row-major, `dims` floats per row) with a
+// parallel id side-array. A query is then a single linear pass over
+// contiguous memory — no per-pair norm recomputation, no hash-map pointer
+// chasing — scored with a 4x-unrolled dot kernel and reduced with a bounded
+// top-k min-heap instead of a full sort. Corpora past `parallel_threshold`
+// rows are scanned in shards on std::thread workers, each keeping a local
+// heap, merged at the end.
+//
+// Concurrency contract: all const methods are safe to call concurrently
+// with each other (the server's shared-lock read path relies on this);
+// mutations (Upsert/Remove/Clear) require external exclusive locking, which
+// the server's write path provides.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace laminar::search {
+
+struct ScoredId {
+  int64_t id = 0;
+  float score = 0.0f;
+};
+
+struct VectorIndexOptions {
+  /// Row count above which TopK shards the scan across threads.
+  size_t parallel_threshold = 4096;
+  /// Upper bound on scan shards (also bounded by hardware_concurrency).
+  size_t max_threads = 8;
+};
+
+class VectorIndex {
+ public:
+  using Options = VectorIndexOptions;
+
+  explicit VectorIndex(size_t dims, Options options = {});
+
+  /// Inserts or replaces the row for `id`. The embedding is copied and
+  /// L2-normalized; a zero vector or a vector of the wrong dimensionality
+  /// is stored as an all-zero row, which scores 0 against every query —
+  /// the same result the legacy embed::Cosine path produced for zero or
+  /// size-mismatched pairs.
+  void Upsert(int64_t id, std::span<const float> embedding);
+
+  /// Removes the row (swap-and-pop; order is not preserved). Returns false
+  /// when the id was never inserted.
+  bool Remove(int64_t id);
+
+  void Clear();
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  size_t dims() const { return dims_; }
+
+  /// Top `k` rows by cosine similarity against `query` (which is normalized
+  /// internally; callers pass raw encoder output). Results are sorted by
+  /// score descending, ties broken by ascending id — the exact order the
+  /// legacy full-sort path produced. k >= size() returns every row.
+  std::vector<ScoredId> TopK(std::span<const float> query, size_t k) const;
+
+  /// Reference implementation retained for benches and parity tests: scores
+  /// every row, fully sorts, truncates. Same results as TopK, brute force.
+  std::vector<ScoredId> BruteForceTopK(std::span<const float> query,
+                                       size_t k) const;
+
+ private:
+  std::vector<float> NormalizedQuery(std::span<const float> query) const;
+  void ScoreRange(const float* query, size_t begin, size_t end, size_t k,
+                  std::vector<ScoredId>& heap) const;
+
+  size_t dims_;
+  Options options_;
+  std::vector<float> data_;  ///< size() * dims_, row-major, unit rows
+  std::vector<int64_t> ids_;
+  std::unordered_map<int64_t, size_t> slot_of_;
+};
+
+}  // namespace laminar::search

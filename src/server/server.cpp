@@ -1,5 +1,7 @@
 #include "server/server.hpp"
 
+#include <mutex>
+
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "net/multipart.hpp"
@@ -59,6 +61,23 @@ std::string ExtractClassName(const std::string& code) {
     }
   });
   return name;
+}
+
+/// Endpoints that only read registry/search state. These run under a shared
+/// lock so any number of them proceed concurrently; everything else takes
+/// the lock exclusively. /users/login is a mutation (it mints a token) and
+/// /registry/save is kept exclusive so snapshots are taken at a write
+/// boundary.
+bool IsReadOnlyEndpoint(const std::string& path) {
+  static constexpr std::string_view kReadOnly[] = {
+      "/pes/get", "/pes/describe", "/workflows/get", "/workflows/describe",
+      "/workflows/pes", "/workflows/executions", "/registry/list",
+      "/search/literal", "/search/semantic", "/search/code",
+      "/search/complete", "/stats"};
+  for (std::string_view ro : kReadOnly) {
+    if (path == ro) return true;
+  }
+  return false;
 }
 
 /// Label value for per-endpoint metrics: the path itself for known
@@ -176,7 +195,7 @@ void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
   engine::ExecuteRequest req;
   int64_t workflow_id = body.GetInt("workflowId", 0);
   {
-    std::scoped_lock lock(mu_);
+    std::shared_lock lock(mu_);  // only reads the workflow record
     if (workflow_id != 0) {
       Result<registry::WorkflowRecord> wf = repo_.GetWorkflow(workflow_id);
       if (!wf.ok()) {
@@ -345,14 +364,22 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
   if (path == "/execute") {
     int64_t user_id;
     {
-      std::scoped_lock lock(mu_);
+      std::shared_lock lock(mu_);
       user_id = AuthUser(request);
     }
     HandleExecute(body, user_id, out);
     return;
   }
 
-  std::scoped_lock lock(mu_);
+  // Read-only endpoints share the lock (searches run concurrently with each
+  // other); mutations serialize behind an exclusive hold.
+  std::shared_lock<std::shared_mutex> read_lock(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> write_lock(mu_, std::defer_lock);
+  if (IsReadOnlyEndpoint(path)) {
+    read_lock.lock();
+  } else {
+    write_lock.lock();
+  }
 
   if (path == "/users/register") {
     Result<int64_t> id = repo_.CreateUser(body.GetString("userName"),
@@ -687,6 +714,11 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     resp["broker"]["pushes"] = static_cast<int64_t>(broker_stats.pushes);
     resp["broker"]["pops"] = static_cast<int64_t>(broker_stats.pops);
     resp["engine"]["warmInstances"] = engine_.warm_instances();
+    auto query_cache = search_.query_cache_stats();
+    resp["queryCache"]["hits"] = static_cast<int64_t>(query_cache.hits);
+    resp["queryCache"]["misses"] = static_cast<int64_t>(query_cache.misses);
+    resp["queryCache"]["entries"] =
+        static_cast<int64_t>(query_cache.entries);
     // Telemetry view: the same registry the /execute ##END## chunk reads,
     // so streamed totals and /stats totals cannot disagree.
     auto& reg = telemetry::MetricsRegistry::Global();

@@ -5,8 +5,11 @@
 //
 // The server is transport-agnostic: Handle() implements the protocol and can
 // be bound as the handler of any number of HttpConnections (batch or
-// streaming). All registry mutations are serialized by one mutex; workflow
-// execution runs outside it.
+// streaming). Locking discipline: one std::shared_mutex guards the registry
+// tier — mutations take it exclusively, while read-only endpoints (search,
+// completion, recommendation, get/list, stats) take shared locks so
+// concurrent searches run in parallel and never queue behind each other or
+// behind registry writes. Workflow execution runs outside the lock.
 //
 // Endpoints (all POST, JSON bodies):
 //   /users/register {userName,password}            -> {userId}
@@ -44,7 +47,7 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "embed/codet5_sim.hpp"
@@ -102,7 +105,9 @@ class LaminarServer {
   engine::ExecutionEngine engine_;
   embed::CodeT5Sim codet5_;
   embed::UnixcoderSim unixcoder_;
-  std::mutex mu_;  ///< guards db_/repo_/search_/tokens_
+  /// Guards db_/repo_/search_/tokens_: shared for read-only endpoints,
+  /// exclusive for mutations (see IsReadOnlyEndpoint in server.cpp).
+  std::shared_mutex mu_;
   std::unordered_map<std::string, int64_t> tokens_;
   int64_t default_user_id_ = 0;
   uint64_t next_token_ = 1;

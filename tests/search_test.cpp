@@ -3,9 +3,16 @@
 #include "dataset/generator.hpp"
 #include "search/metrics.hpp"
 #include "search/search_service.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::search {
 namespace {
+
+uint64_t CounterValue(const char* name, const char* labels = "") {
+  const telemetry::Counter* c =
+      telemetry::MetricsRegistry::Global().FindCounter(name, labels);
+  return c == nullptr ? 0 : c->Value();
+}
 
 // ---- metrics ----
 
@@ -254,6 +261,58 @@ TEST_F(SearchServiceTest, StoredEmbeddingsPreferred) {
   ASSERT_FALSE(hits.empty());
   EXPECT_EQ(hits[0].id, id);
   EXPECT_GT(hits[0].score, 0.99);
+}
+
+TEST_F(SearchServiceTest, RepeatedSemanticQueryHitsEmbeddingCache) {
+  const char* hits_name = "laminar_search_query_cache_hits_total";
+  const char* miss_name = "laminar_search_query_cache_misses_total";
+  const char* enc_name = "laminar_embed_encodes_total";
+  const char* enc_label = "model=\"unixcoder\"";
+  uint64_t hits0 = CounterValue(hits_name);
+  uint64_t misses0 = CounterValue(miss_name);
+
+  auto first = service_.SemanticSearch("an entirely novel cache probe query",
+                                       SearchTarget::kPe, 3);
+  uint64_t encodes_after_first = CounterValue(enc_name, enc_label);
+  EXPECT_EQ(CounterValue(miss_name), misses0 + 1);
+
+  auto second = service_.SemanticSearch("an entirely novel cache probe query",
+                                        SearchTarget::kPe, 3);
+  EXPECT_EQ(CounterValue(hits_name), hits0 + 1);
+  // The cached hit skipped the encoder entirely.
+  EXPECT_EQ(CounterValue(enc_name, enc_label), encodes_after_first);
+  // And returns identical results.
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, second[i].id);
+    EXPECT_DOUBLE_EQ(first[i].score, second[i].score);
+  }
+}
+
+TEST_F(SearchServiceTest, AddPeEncodesDescriptionAtMostOnce) {
+  const char* enc_name = "laminar_embed_encodes_total";
+  const char* enc_label = "model=\"unixcoder\"";
+  // No stored embedding -> exactly one unixcoder encode.
+  registry::PeRecord pe;
+  pe.name = "EncodeOnce";
+  pe.code = "class EncodeOnce: pass";
+  pe.description = "counts unixcoder encodes at index time";
+  int64_t id = repo_.CreatePe(pe).value();
+  uint64_t before = CounterValue(enc_name, enc_label);
+  ASSERT_TRUE(service_.AddPe(id).ok());
+  EXPECT_EQ(CounterValue(enc_name, enc_label), before + 1);
+
+  // Stored embedding -> zero encodes.
+  embed::UnixcoderSim encoder;
+  registry::PeRecord stored;
+  stored.name = "EncodeNever";
+  stored.code = "class EncodeNever: pass";
+  stored.description = "precomputed";
+  stored.description_embedding = embed::ToJson(encoder.EncodeText("precomputed"));
+  int64_t stored_id = repo_.CreatePe(stored).value();
+  before = CounterValue(enc_name, enc_label);
+  ASSERT_TRUE(service_.AddPe(stored_id).ok());
+  EXPECT_EQ(CounterValue(enc_name, enc_label), before);
 }
 
 }  // namespace

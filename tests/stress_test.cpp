@@ -149,5 +149,92 @@ TEST(ServerStress, InterleavedRemoveAndSearch) {
   }
 }
 
+// Shared-lock read path (ISSUE 2): many reader threads hammer the search
+// endpoints (which now hold mu_ shared and mutate only the internally
+// locked query-embedding cache) while one writer churns registrations.
+// Run with -DLAMINAR_SANITIZE=thread to have TSan check the discipline:
+// concurrent shared-lock readers must not race with each other, and the
+// exclusive writer must not race with any reader.
+TEST(ServerStress, ConcurrentSearchReadersWithWriterChurn) {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  InProcessLaminar laminar = ConnectInProcess(config);
+
+  // Seed a searchable corpus.
+  for (int i = 0; i < 12; ++i) {
+    std::string name = "SeedPe" + std::to_string(i);
+    Result<PeInfo> pe = laminar.client->RegisterPe(
+        "class " + name + "(IterativePE):\n    def _process(self, x):\n"
+        "        return x * " + std::to_string(i + 2) + "\n",
+        name);
+    ASSERT_TRUE(pe.ok());
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kOpsPerReader = 25;
+  std::vector<ExtraClient> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.push_back(AttachClient(*laminar.server));
+  }
+  ExtraClient writer = AttachClient(*laminar.server);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      LaminarClient& cli = *readers[static_cast<size_t>(r)].client;
+      // A small rotating query set, so the embedding cache sees concurrent
+      // hits and misses for the same keys.
+      const char* queries[] = {"multiply numbers", "seed processing",
+                               "multiply numbers"};
+      for (int op = 0; op < kOpsPerReader; ++op) {
+        switch (op % 3) {
+          case 0:
+            if (!cli.SearchRegistrySemantic(queries[op % 3], "pe", 3).ok()) {
+              failures.fetch_add(1);
+            }
+            break;
+          case 1:
+            if (!cli.SearchRegistryLiteral("SeedPe", "pe", 5).ok()) {
+              failures.fetch_add(1);
+            }
+            break;
+          default:
+            if (!cli.GetRegistry().ok()) failures.fetch_add(1);
+            break;
+        }
+      }
+    });
+  }
+  std::thread churn([&] {
+    for (int i = 0; i < 15; ++i) {
+      std::string name = "ChurnPe" + std::to_string(i);
+      Result<PeInfo> pe = writer.client->RegisterPe(
+          "class " + name + "(IterativePE):\n    def _process(self, x):\n"
+          "        return x\n",
+          name);
+      if (!pe.ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      if (!writer.client->RemovePe(pe->id).ok()) failures.fetch_add(1);
+    }
+  });
+  for (auto& t : threads) t.join();
+  churn.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The churned PEs are gone; the seeds all survived.
+  auto registry = laminar.client->GetRegistry();
+  ASSERT_TRUE(registry.ok());
+  size_t seeds = 0;
+  for (const PeInfo& pe : registry->first) {
+    EXPECT_EQ(pe.name.rfind("ChurnPe", 0), std::string::npos);
+    if (pe.name.rfind("SeedPe", 0) == 0) ++seeds;
+  }
+  EXPECT_EQ(seeds, 12u);
+}
+
 }  // namespace
 }  // namespace laminar::client

@@ -175,5 +175,36 @@ TEST(TelemetryServer, SearchQueriesAreCounted) {
             1);
 }
 
+TEST(TelemetryServer, QueryCacheCountersExposedInMetrics) {
+  InProcessLaminar laminar = ConnectInProcess(FastServer());
+  ASSERT_TRUE(laminar.client
+                  ->RegisterPe(
+                      "class CacheProbe(IterativePE):\n"
+                      "    def _process(self, x):\n        return x\n",
+                      "CacheProbe")
+                  .ok());
+  Result<std::string> before = laminar.client->GetMetrics();
+  ASSERT_TRUE(before.ok());
+  // Both series exist in the scrape even before any query runs.
+  int64_t hits0 =
+      ScrapeValue(*before, "laminar_search_query_cache_hits_total");
+  int64_t misses0 =
+      ScrapeValue(*before, "laminar_search_query_cache_misses_total");
+  ASSERT_GE(hits0, 0);
+  ASSERT_GE(misses0, 0);
+
+  // Same query twice: one miss (first encode), then one hit.
+  ASSERT_TRUE(
+      laminar.client->SearchRegistrySemantic("probe the cache", "pe").ok());
+  ASSERT_TRUE(
+      laminar.client->SearchRegistrySemantic("probe the cache", "pe").ok());
+  Result<std::string> after = laminar.client->GetMetrics();
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(ScrapeValue(*after, "laminar_search_query_cache_misses_total"),
+            misses0 + 1);
+  EXPECT_GE(ScrapeValue(*after, "laminar_search_query_cache_hits_total"),
+            hits0 + 1);
+}
+
 }  // namespace
 }  // namespace laminar::client

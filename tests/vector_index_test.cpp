@@ -1,0 +1,267 @@
+// VectorIndex parity and property tests (ISSUE 2): the flat SoA top-k path
+// must return the same ids and scores (fp-tolerant) as the legacy
+// brute-force path — embed::Cosine per pair over a hash map, full sort,
+// truncate — across randomized corpora including ties, k > corpus, zero
+// vectors and dimension mismatches. Plus LRU query-cache behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "embed/embedding.hpp"
+#include "search/query_cache.hpp"
+#include "search/vector_index.hpp"
+
+namespace laminar::search {
+namespace {
+
+constexpr float kTol = 1e-4f;
+
+embed::Vector RandomVector(Rng& rng, size_t dims) {
+  embed::Vector v(dims);
+  for (float& x : v) x = static_cast<float>(rng.NextDouble() * 2.0 - 1.0);
+  return v;
+}
+
+/// The pre-rebuild ranking, verbatim: cosine against every stored vector
+/// (norms recomputed per pair), full sort by (score desc, id asc), truncate.
+std::vector<ScoredId> LegacyTopK(
+    const std::unordered_map<int64_t, embed::Vector>& docs,
+    const embed::Vector& query, size_t k) {
+  std::vector<ScoredId> hits;
+  hits.reserve(docs.size());
+  for (const auto& [id, vec] : docs) {
+    hits.push_back({id, embed::Cosine(query, vec)});
+  }
+  std::sort(hits.begin(), hits.end(), [](const ScoredId& a, const ScoredId& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+/// Order-sensitive comparison that tolerates fp noise between the two
+/// score formulas: scores must match elementwise within kTol, and ids must
+/// match exactly except inside runs of near-equal scores, where the two
+/// paths may legitimately order differently — there the id sets must match.
+void ExpectParity(const std::vector<ScoredId>& got,
+                  const std::vector<ScoredId>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].score, want[i].score, kTol) << "rank " << i;
+  }
+  size_t i = 0;
+  while (i < want.size()) {
+    // Extend the tie window while adjacent reference scores are within tol.
+    size_t j = i + 1;
+    while (j < want.size() &&
+           std::abs(want[j].score - want[j - 1].score) <= kTol) {
+      ++j;
+    }
+    std::multiset<int64_t> got_ids, want_ids;
+    for (size_t r = i; r < j; ++r) {
+      got_ids.insert(got[r].id);
+      want_ids.insert(want[r].id);
+    }
+    EXPECT_EQ(got_ids, want_ids) << "tie window [" << i << "," << j << ")";
+    i = j;
+  }
+}
+
+TEST(VectorIndexParity, RandomizedCorporaMatchLegacyBruteForce) {
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    Rng rng(seed);
+    const size_t dims = static_cast<size_t>(rng.NextInt(4, 96));
+    const size_t docs = static_cast<size_t>(rng.NextInt(1, 180));
+    VectorIndex index(dims);
+    std::unordered_map<int64_t, embed::Vector> legacy;
+    embed::Vector dup;  // reused verbatim to force exact score ties
+    for (size_t i = 0; i < docs; ++i) {
+      int64_t id = static_cast<int64_t>(i + 1);
+      embed::Vector v;
+      double kind = rng.NextDouble();
+      if (kind < 0.08) {
+        v.assign(dims, 0.0f);  // zero vector
+      } else if (kind < 0.16 && !dup.empty()) {
+        v = dup;  // exact duplicate -> guaranteed tie
+      } else if (kind < 0.22) {
+        v = RandomVector(rng, dims + 3);  // dimension mismatch
+      } else {
+        v = RandomVector(rng, dims);
+        if (dup.empty()) dup = v;
+      }
+      index.Upsert(id, v);
+      legacy.emplace(id, std::move(v));
+    }
+    for (size_t k : {size_t{1}, size_t{5}, docs / 2 + 1, docs, docs + 7}) {
+      if (k == 0) continue;
+      embed::Vector q = RandomVector(rng, dims);
+      ExpectParity(index.TopK(q, k), LegacyTopK(legacy, q, k));
+      // The retained brute-force reference path must agree too.
+      ExpectParity(index.BruteForceTopK(q, k), LegacyTopK(legacy, q, k));
+    }
+    // Zero query: legacy scores everything 0 -> ascending-id order.
+    embed::Vector zero(dims, 0.0f);
+    ExpectParity(index.TopK(zero, docs), LegacyTopK(legacy, zero, docs));
+  }
+}
+
+TEST(VectorIndexParity, ShardedScanMatchesSerialScan) {
+  Rng rng(99);
+  const size_t dims = 32;
+  VectorIndexOptions serial;
+  serial.parallel_threshold = static_cast<size_t>(-1);
+  VectorIndexOptions sharded;
+  sharded.parallel_threshold = 1;  // force the threaded path
+  sharded.max_threads = 4;
+  VectorIndex a(dims, serial);
+  VectorIndex b(dims, sharded);
+  for (int64_t id = 1; id <= 500; ++id) {
+    embed::Vector v = RandomVector(rng, dims);
+    a.Upsert(id, v);
+    b.Upsert(id, v);
+  }
+  for (int trial = 0; trial < 8; ++trial) {
+    embed::Vector q = RandomVector(rng, dims);
+    std::vector<ScoredId> want = a.TopK(q, 17);
+    std::vector<ScoredId> got = b.TopK(q, 17);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+      EXPECT_FLOAT_EQ(got[i].score, want[i].score);
+    }
+  }
+}
+
+TEST(VectorIndex, KLargerThanCorpusReturnsEveryRow) {
+  Rng rng(7);
+  VectorIndex index(8);
+  for (int64_t id = 1; id <= 5; ++id) index.Upsert(id, RandomVector(rng, 8));
+  EXPECT_EQ(index.TopK(RandomVector(rng, 8), 50).size(), 5u);
+}
+
+TEST(VectorIndex, EmptyIndexAndZeroK) {
+  VectorIndex index(8);
+  embed::Vector q(8, 1.0f);
+  EXPECT_TRUE(index.TopK(q, 3).empty());
+  index.Upsert(1, q);
+  EXPECT_TRUE(index.TopK(q, 0).empty());
+}
+
+TEST(VectorIndex, UpsertReplacesInPlace) {
+  VectorIndex index(4);
+  embed::Vector a = {1.0f, 0.0f, 0.0f, 0.0f};
+  embed::Vector b = {0.0f, 1.0f, 0.0f, 0.0f};
+  index.Upsert(1, a);
+  index.Upsert(2, b);
+  ASSERT_EQ(index.size(), 2u);
+  index.Upsert(1, b);  // replace, not insert
+  EXPECT_EQ(index.size(), 2u);
+  std::vector<ScoredId> hits = index.TopK(b, 2);
+  EXPECT_NEAR(hits[0].score, 1.0f, kTol);
+  EXPECT_NEAR(hits[1].score, 1.0f, kTol);
+  EXPECT_EQ(hits[0].id, 1);  // tie broken by ascending id
+}
+
+TEST(VectorIndex, RemoveSwapAndPopKeepsRemainingRows) {
+  Rng rng(21);
+  VectorIndex index(16);
+  std::unordered_map<int64_t, embed::Vector> legacy;
+  for (int64_t id = 1; id <= 30; ++id) {
+    embed::Vector v = RandomVector(rng, 16);
+    index.Upsert(id, v);
+    legacy.emplace(id, std::move(v));
+  }
+  for (int64_t id : {3, 30, 1, 17}) {
+    EXPECT_TRUE(index.Remove(id));
+    legacy.erase(id);
+  }
+  EXPECT_FALSE(index.Remove(3));  // already gone
+  EXPECT_EQ(index.size(), legacy.size());
+  embed::Vector q = RandomVector(rng, 16);
+  ExpectParity(index.TopK(q, 30), LegacyTopK(legacy, q, 30));
+}
+
+TEST(VectorIndex, NormalizesAtInsertSoCosineIsDot) {
+  VectorIndex index(3);
+  embed::Vector big = {10.0f, 0.0f, 0.0f};  // large magnitude, same direction
+  embed::Vector small = {0.0f, 0.1f, 0.0f};
+  index.Upsert(1, big);
+  index.Upsert(2, small);
+  embed::Vector q = {2.0f, 0.0f, 0.0f};
+  std::vector<ScoredId> hits = index.TopK(q, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1);
+  EXPECT_NEAR(hits[0].score, 1.0f, kTol);   // cosine, not raw dot
+  EXPECT_NEAR(hits[1].score, 0.0f, kTol);
+}
+
+// ---- query-embedding cache ----
+
+TEST(QueryEmbeddingCache, HitsAndMissesAreCounted) {
+  QueryEmbeddingCache cache(4);
+  int encodes = 0;
+  auto encode = [&] {
+    ++encodes;
+    return embed::Vector{1.0f, 2.0f};
+  };
+  embed::Vector first = cache.GetOrCompute("m", "query", encode);
+  embed::Vector second = cache.GetOrCompute("m", "query", encode);
+  EXPECT_EQ(encodes, 1);
+  EXPECT_EQ(first, second);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QueryEmbeddingCache, KeyIncludesModel) {
+  QueryEmbeddingCache cache(4);
+  int encodes = 0;
+  auto encode = [&] {
+    ++encodes;
+    return embed::Vector{1.0f};
+  };
+  cache.GetOrCompute("unixcoder", "q", encode);
+  cache.GetOrCompute("reacc", "q", encode);
+  EXPECT_EQ(encodes, 2);  // same text, different model -> distinct entries
+}
+
+TEST(QueryEmbeddingCache, EvictsLeastRecentlyUsed) {
+  QueryEmbeddingCache cache(2);
+  int encodes = 0;
+  auto encode = [&] {
+    ++encodes;
+    return embed::Vector{1.0f};
+  };
+  cache.GetOrCompute("m", "a", encode);
+  cache.GetOrCompute("m", "b", encode);
+  cache.GetOrCompute("m", "a", encode);  // refresh a
+  cache.GetOrCompute("m", "c", encode);  // evicts b
+  EXPECT_EQ(encodes, 3);
+  cache.GetOrCompute("m", "a", encode);  // still cached
+  EXPECT_EQ(encodes, 3);
+  cache.GetOrCompute("m", "b", encode);  // was evicted -> re-encoded
+  EXPECT_EQ(encodes, 4);
+}
+
+TEST(QueryEmbeddingCache, ZeroCapacityDisablesCaching) {
+  QueryEmbeddingCache cache(0);
+  int encodes = 0;
+  auto encode = [&] {
+    ++encodes;
+    return embed::Vector{1.0f};
+  };
+  cache.GetOrCompute("m", "q", encode);
+  cache.GetOrCompute("m", "q", encode);
+  EXPECT_EQ(encodes, 2);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace laminar::search
