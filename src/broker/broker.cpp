@@ -41,6 +41,37 @@ bool Broker::Del(const std::string& key) {
   return strings_.erase(key) + hashes_.erase(key) + lists_.erase(key) > 0;
 }
 
+size_t Broker::DelPrefix(const std::string& prefix) {
+  std::scoped_lock lock(mu_);
+  auto erase_matching = [&](auto& map) {
+    size_t n = 0;
+    for (auto it = map.begin(); it != map.end();) {
+      if (it->first.starts_with(prefix)) {
+        it = map.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    return n;
+  };
+  return erase_matching(strings_) + erase_matching(hashes_) +
+         erase_matching(lists_);
+}
+
+size_t Broker::KeyCount(const std::string& prefix) const {
+  std::scoped_lock lock(mu_);
+  auto count_matching = [&](const auto& map) {
+    size_t n = 0;
+    for (const auto& [key, unused] : map) {
+      if (key.starts_with(prefix)) ++n;
+    }
+    return n;
+  };
+  return count_matching(strings_) + count_matching(hashes_) +
+         count_matching(lists_);
+}
+
 bool Broker::Exists(const std::string& key) const {
   std::scoped_lock lock(mu_);
   return strings_.contains(key) || hashes_.contains(key) ||
@@ -152,15 +183,20 @@ std::optional<std::pair<std::string, std::string>> Broker::BLPop(
     }
     return false;
   };
+  // The deadline is absolute, computed once: losing a pop race to another
+  // consumer must never re-arm the full timeout, so a 20 ms pop stays a
+  // 20 ms pop no matter how contended the queue is.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   while (true) {
     if (timeout.count() == 0) {
       list_cv_.wait(lock, ready);
-    } else if (!list_cv_.wait_for(lock, timeout, ready)) {
+    } else if (!list_cv_.wait_until(lock, deadline, ready)) {
       return std::nullopt;  // timed out
     }
     if (auto hit = try_pop()) return hit;
     if (shutdown_) return std::nullopt;
-    // Spurious wake or another consumer won the race; keep waiting.
+    // Spurious wake or another consumer won the race; keep waiting
+    // against the same deadline.
   }
 }
 

@@ -47,7 +47,15 @@ class Broker {
   void Set(const std::string& key, std::string value);
   std::optional<std::string> Get(const std::string& key) const;
   bool Del(const std::string& key);
+  /// Deletes every key (string, hash or list) starting with `prefix`;
+  /// returns the number of keys removed. Run-scoped cleanup: a dynamic-
+  /// mapping run deletes all its `wf:N:` keys with one call, including
+  /// undrained queues after a deadline expiry.
+  size_t DelPrefix(const std::string& prefix);
   bool Exists(const std::string& key) const;
+  /// Number of live keys (any kind) starting with `prefix`;
+  /// leak checks assert this returns to its pre-run value.
+  size_t KeyCount(const std::string& prefix) const;
   /// Atomic increment; missing keys start at 0.
   int64_t Incr(const std::string& key, int64_t delta = 1);
 

@@ -489,4 +489,10 @@ RunOutcome LaminarClient::RunSpec(const Value& spec, const std::string& mapping,
   return RunInternal(std::move(body), on_line, resources);
 }
 
+RunOutcome LaminarClient::RunRaw(Value request_body,
+                                 const LineCallback& on_line,
+                                 const std::vector<Resource>& resources) {
+  return RunInternal(std::move(request_body), on_line, resources);
+}
+
 }  // namespace laminar::client

@@ -162,6 +162,11 @@ class LaminarClient {
                      const LineCallback& on_line = nullptr,
                      const std::vector<Resource>& resources = {},
                      bool verbose = false);
+  /// Runs with a caller-built /execute request body ("spec"/"workflowId",
+  /// "mapping", "input", and any run option the wire format accepts — e.g.
+  /// "max_retries"/"retry_backoff_ms" for the fault-containment policy).
+  RunOutcome RunRaw(Value request_body, const LineCallback& on_line = nullptr,
+                    const std::vector<Resource>& resources = {});
 
   /// Uploads resources explicitly (normally automatic inside Run*).
   Status UploadResources(const std::vector<Resource>& resources);

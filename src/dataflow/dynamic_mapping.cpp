@@ -1,6 +1,7 @@
 #include "dataflow/dynamic_mapping.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -31,6 +32,14 @@ bool DecodeItem(const std::string& text, std::string& port, Value& value) {
   return true;
 }
 
+/// Dead-letter record: the quarantined work item plus why it failed.
+std::string EncodeDlqItem(const std::string& item, const std::string& error) {
+  Value obj = Value::MakeObject();
+  obj["item"] = item;
+  obj["error"] = error;
+  return obj.ToJson();
+}
+
 class SharedOutput {
  public:
   SharedOutput(RunResult& result, const LineSink& sink)
@@ -52,15 +61,28 @@ struct RunState {
   int64_t deadline_us = 0;  ///< 0 = no limit
   std::atomic<bool> expired{false};
   broker::Broker* broker = nullptr;
-  std::string prefix;
+  std::string prefix;        ///< run scope on the shared broker ("wf:N:")
+  std::string queue_prefix;  ///< work queues ("wf:N:q:"; autoscaler probe)
+  std::string dlq_key;       ///< dead-letter list ("wf:N:dlq")
   std::vector<std::string> queue_keys;  // per PE
   std::atomic<int64_t> pending{0};
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> tuples{0};
   SharedOutput* output = nullptr;
+  FaultContext* faults = nullptr;
   /// Shared single instances for stateful PEs (+ the finish pass).
   std::vector<std::unique_ptr<ProcessingElement>> shared_instances;
   std::vector<std::unique_ptr<std::mutex>> pe_mutexes;
+
+  /// Wakes the drain waiter and the autoscaler the moment the run stops,
+  /// instead of letting them sleep out their polling ticks.
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  void RequestStop() {
+    stop.store(true, std::memory_order_release);
+    std::scoped_lock lock(stop_mu);
+    stop_cv.notify_all();
+  }
 };
 
 /// Emits by enqueueing downstream work items on the broker.
@@ -88,18 +110,28 @@ class QueueEmitter final : public Emitter {
 };
 
 /// Processes one tuple on the right instance (shared for stateful PEs,
-/// caller-local clone otherwise).
+/// caller-local clone otherwise). A Process throw is retried under the
+/// run's policy; once exhausted the raw item is quarantined on the DLQ.
 void ProcessItem(RunState& state,
                  std::vector<std::unique_ptr<ProcessingElement>>& local,
-                 size_t pe, const std::string& port, const Value& value) {
+                 size_t pe, const std::string& port, const Value& value,
+                 const std::string& raw_item) {
   QueueEmitter emitter(state, pe);
-  if (state.graph->Node(pe).stateful()) {
-    std::scoped_lock lock(*state.pe_mutexes[pe]);
-    state.shared_instances[pe]->Process(port, value, emitter);
+  auto attempt = [&] {
+    if (state.graph->Node(pe).stateful()) {
+      std::scoped_lock lock(*state.pe_mutexes[pe]);
+      state.shared_instances[pe]->Process(port, value, emitter);
+    } else {
+      local[pe]->Process(port, value, emitter);
+    }
+  };
+  const std::string context =
+      state.graph->Node(pe).name() + "[" + port + "]";
+  if (state.faults->InvokeWithRetries(attempt, context)) {
+    state.tuples.fetch_add(1, std::memory_order_relaxed);
   } else {
-    local[pe]->Process(port, value, emitter);
+    state.broker->RPush(state.dlq_key, EncodeDlqItem(raw_item, context));
   }
-  state.tuples.fetch_add(1, std::memory_order_relaxed);
 }
 
 void WorkerLoop(RunState& state) {
@@ -113,7 +145,7 @@ void WorkerLoop(RunState& state) {
   while (!state.stop.load(std::memory_order_acquire)) {
     if (state.deadline_us != 0 && NowMicros() > state.deadline_us) {
       state.expired.store(true, std::memory_order_release);
-      state.stop.store(true, std::memory_order_release);
+      state.RequestStop();
       break;
     }
     auto item = state.broker->BLPop(state.queue_keys,
@@ -129,12 +161,21 @@ void WorkerLoop(RunState& state) {
     }
     std::string port;
     Value value;
-    if (pe < state.graph->NodeCount() &&
-        DecodeItem(item->second, port, value)) {
-      ProcessItem(state, local, pe, port, value);
+    if (pe >= state.graph->NodeCount()) {
+      // Never dropped silently: quarantine with the reason attached.
+      std::string error = "unroutable queue key '" + item->first + "'";
+      state.faults->RecordDecodeFailure(error);
+      state.broker->RPush(state.dlq_key, EncodeDlqItem(item->second, error));
+    } else if (!DecodeItem(item->second, port, value)) {
+      std::string error =
+          "undecodable work item on '" + item->first + "'";
+      state.faults->RecordDecodeFailure(error);
+      state.broker->RPush(state.dlq_key, EncodeDlqItem(item->second, error));
+    } else {
+      ProcessItem(state, local, pe, port, value, item->second);
     }
     if (state.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      state.stop.store(true, std::memory_order_release);
+      state.RequestStop();
     }
   }
 }
@@ -169,18 +210,29 @@ RunResult DynamicMapping::Execute(const WorkflowGraph& graph,
   if (!result.status.ok()) return result;
 
   SharedOutput output(result, sink);
+  FaultContext faults("dynamic", options);
   RunState state;
   state.graph = &graph;
   state.broker = broker_;
   state.output = &output;
-  state.prefix =
-      "wf:" + std::to_string(g_run_counter.fetch_add(1)) + ":q:";
+  state.faults = &faults;
+  state.prefix = "wf:" + std::to_string(g_run_counter.fetch_add(1)) + ":";
+  state.queue_prefix = state.prefix + "q:";
+  state.dlq_key = state.prefix + "dlq";
+  // Run-scoped broker cleanup: every exit path — success, partial failure,
+  // deadline expiry — deletes this run's queue and DLQ keys, so the
+  // engine's long-lived shared broker never accumulates dead lists.
+  struct BrokerCleanup {
+    broker::Broker* broker;
+    const std::string& prefix;
+    ~BrokerCleanup() { broker->DelPrefix(prefix); }
+  } broker_cleanup{broker_, state.prefix};
   state.deadline_us =
       options.deadline_ms > 0
           ? NowMicros() + static_cast<int64_t>(options.deadline_ms * 1000)
           : 0;
   for (size_t i = 0; i < graph.NodeCount(); ++i) {
-    state.queue_keys.push_back(state.prefix + std::to_string(i));
+    state.queue_keys.push_back(state.queue_prefix + std::to_string(i));
     state.shared_instances.push_back(graph.Node(i).Clone());
     state.shared_instances.back()->Setup(0, 1);
     state.pe_mutexes.push_back(std::make_unique<std::mutex>());
@@ -198,7 +250,7 @@ RunResult DynamicMapping::Execute(const WorkflowGraph& graph,
   }
   if (state.pending.load() == 0) {
     // Nothing to do; still run the finish pass below.
-    state.stop.store(true);
+    state.RequestStop();
   }
 
   // Worker pool + autoscaler.
@@ -216,29 +268,35 @@ RunResult DynamicMapping::Execute(const WorkflowGraph& graph,
   if (options.autoscale) {
     autoscaler = std::thread([&] {
       while (!state.stop.load(std::memory_order_acquire)) {
-        size_t queued = state.broker->TotalQueued(state.prefix);
-        size_t current;
+        size_t queued = state.broker->TotalQueued(state.queue_prefix);
         {
           std::scoped_lock lock(workers_mu);
-          current = workers.size();
+          // Re-check stop under workers_mu: a worker can flip it between
+          // the probe and here, and emplacing then would burn a thread
+          // spawn per run tail.
+          if (!state.stop.load(std::memory_order_acquire) &&
+              workers.size() < static_cast<size_t>(max_workers) &&
+              queued > workers.size() *
+                           static_cast<size_t>(std::max(
+                               options.autoscale_queue_per_worker, 1))) {
+            workers.emplace_back([&state] { WorkerLoop(state); });
+            peak = std::max(peak, static_cast<int>(workers.size()));
+          }
         }
-        if (current < static_cast<size_t>(max_workers) &&
-            queued > current * static_cast<size_t>(std::max(
-                          options.autoscale_queue_per_worker, 1))) {
-          std::scoped_lock lock(workers_mu);
-          workers.emplace_back([&state] { WorkerLoop(state); });
-          peak = std::max(peak, static_cast<int>(workers.size()));
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        // Tick every 5 ms, but wake immediately on stop.
+        std::unique_lock lock(state.stop_mu);
+        state.stop_cv.wait_for(lock, std::chrono::milliseconds(5), [&] {
+          return state.stop.load(std::memory_order_acquire);
+        });
       }
     });
   }
 
   {
-    // Wait for the drain (workers flip `stop` when pending hits zero).
-    while (!state.stop.load(std::memory_order_acquire)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
+    // Wait for the drain (workers request stop when pending hits zero).
+    std::unique_lock lock(state.stop_mu);
+    state.stop_cv.wait(
+        lock, [&] { return state.stop.load(std::memory_order_acquire); });
   }
   if (autoscaler.joinable()) autoscaler.join();
   for (std::thread& w : workers) w.join();
@@ -272,15 +330,32 @@ RunResult DynamicMapping::Execute(const WorkflowGraph& graph,
         local_queue.pop_front();
         std::string port;
         Value value;
-        if (!DecodeItem(text, port, value)) continue;
+        if (!DecodeItem(text, port, value)) {
+          std::string error = "undecodable finish-pass item for '" +
+                              graph.Node(pe).name() + "'";
+          faults.RecordDecodeFailure(error);
+          state.broker->RPush(state.dlq_key, EncodeDlqItem(text, error));
+          continue;
+        }
         FinishEmitter emitter(state, pe, local_queue, graph);
-        state.shared_instances[pe]->Process(port, value, emitter);
-        state.tuples.fetch_add(1, std::memory_order_relaxed);
+        const std::string context =
+            graph.Node(pe).name() + "[" + port + "]";
+        if (faults.InvokeWithRetries(
+                [&] {
+                  state.shared_instances[pe]->Process(port, value, emitter);
+                },
+                context)) {
+          state.tuples.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          state.broker->RPush(state.dlq_key, EncodeDlqItem(text, context));
+        }
       }
     };
     for (size_t pe : topo.value()) {
       FinishEmitter emitter(state, pe, local_queue, graph);
-      state.shared_instances[pe]->Finish(emitter);
+      faults.InvokeWithRetries(
+          [&] { state.shared_instances[pe]->Finish(emitter); },
+          graph.Node(pe).name() + "[finish]");
       drain();
     }
   }
@@ -294,6 +369,7 @@ RunResult DynamicMapping::Execute(const WorkflowGraph& graph,
     result.status = Status::DeadlineExceeded(
         "execution exceeded " + std::to_string(options.deadline_ms) + " ms");
   }
+  faults.Finalize(result);
   result.peak_workers = peak;
   result.elapsed_ms = watch.ElapsedMillis();
   tuples_total.Inc(result.tuples_processed);

@@ -1,8 +1,102 @@
 #include "dataflow/mapping.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
 #include "common/hashing.hpp"
 
 namespace laminar::dataflow {
+namespace {
+
+/// Bound on per-attempt backoff sleeps so a misconfigured policy cannot
+/// stall a worker thread for seconds per tuple.
+constexpr double kMaxBackoffMs = 250.0;
+/// Error samples kept per run (the rest are counted, not stored).
+constexpr size_t kMaxErrorSamples = 5;
+
+telemetry::Counter& MappingCounter(const char* name,
+                                   std::string_view mapping) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      name, "mapping=\"" + std::string(mapping) + "\"");
+}
+
+}  // namespace
+
+FaultContext::FaultContext(std::string_view mapping,
+                           const RunOptions& options)
+    : max_retries_(std::max(options.max_retries, 0)),
+      backoff_ms_(std::max(options.retry_backoff_ms, 0.0)),
+      c_failures_(
+          MappingCounter("laminar_dataflow_tuple_failures_total", mapping)),
+      c_retries_(MappingCounter("laminar_dataflow_retries_total", mapping)),
+      c_dlq_(MappingCounter("laminar_dataflow_dlq_total", mapping)),
+      c_decode_failures_(
+          MappingCounter("laminar_dataflow_decode_failures_total", mapping)) {}
+
+bool FaultContext::InvokeWithRetries(const std::function<void()>& attempt,
+                                     const std::string& context) {
+  std::string last_error;
+  for (int try_no = 0; try_no <= max_retries_; ++try_no) {
+    if (try_no > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      c_retries_.Inc();
+      if (backoff_ms_ > 0) {
+        double sleep_ms = std::min(
+            backoff_ms_ * static_cast<double>(1 << (try_no - 1)),
+            kMaxBackoffMs);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+    }
+    try {
+      attempt();
+      return true;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    } catch (...) {
+      last_error = "non-standard exception";
+    }
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  dlq_.fetch_add(1, std::memory_order_relaxed);
+  c_failures_.Inc();
+  c_dlq_.Inc();
+  RecordSample(context + ": " + last_error);
+  return false;
+}
+
+void FaultContext::RecordDecodeFailure(const std::string& error) {
+  decode_failures_.fetch_add(1, std::memory_order_relaxed);
+  dlq_.fetch_add(1, std::memory_order_relaxed);
+  c_decode_failures_.Inc();
+  c_dlq_.Inc();
+  RecordSample(error);
+}
+
+void FaultContext::RecordSample(const std::string& error) {
+  std::scoped_lock lock(samples_mu_);
+  if (samples_.size() < kMaxErrorSamples) samples_.push_back(error);
+}
+
+void FaultContext::Finalize(RunResult& result) const {
+  result.failed_tuples = failures();
+  result.retries = retries();
+  result.dlq_depth = dlq_items();
+  {
+    std::scoped_lock lock(samples_mu_);
+    result.error_samples = samples_;
+  }
+  if (result.dlq_depth == 0 || !result.status.ok()) return;
+  std::string summary = std::to_string(result.dlq_depth) +
+                        " tuple(s) quarantined after " +
+                        std::to_string(result.retries) + " retries";
+  if (!result.error_samples.empty()) {
+    summary += "; first error: " + result.error_samples.front();
+  }
+  result.status = Status::Internal(std::move(summary));
+}
 
 std::vector<Value> ProducerIterations(const Value& input) {
   std::vector<Value> iterations;

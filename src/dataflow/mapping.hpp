@@ -4,9 +4,11 @@
 // worker pool with autoscaling — dispel4py's Redis mapping).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "common/status.hpp"
 #include "common/value.hpp"
 #include "dataflow/graph.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::dataflow {
 
@@ -42,6 +45,13 @@ struct RunOptions {
   /// exceeds it stops processing further tuples and reports
   /// kDeadlineExceeded; output produced before the cutoff is kept.
   double deadline_ms = 0.0;
+  /// Fault containment: a tuple whose Process throws is retried up to
+  /// max_retries times (exponential backoff: retry_backoff_ms doubling per
+  /// attempt, capped at 250 ms) before it is quarantined on the run's
+  /// dead-letter queue. Retries re-run Process on the same instance, so
+  /// emissions from failed attempts may duplicate (at-least-once).
+  int max_retries = 0;
+  double retry_backoff_ms = 0.0;
 };
 
 struct RunResult {
@@ -56,6 +66,19 @@ struct RunResult {
   std::map<std::string, std::pair<int, int>> partition;
   /// Dynamic mapping: peak concurrent workers.
   int peak_workers = 0;
+  /// Fault containment: tuples that permanently failed after exhausting the
+  /// retry policy (a partial failure downgrades an otherwise-OK status to
+  /// kInternal with a summary; tuples_processed counts successes only).
+  uint64_t failed_tuples = 0;
+  /// Retry attempts spent across all tuples.
+  uint64_t retries = 0;
+  /// Items quarantined on the run's dead-letter queue: permanent Process
+  /// failures plus undecodable/unroutable work items. Under the dynamic
+  /// mapping these are mirrored onto the broker's `wf:N:dlq` list for the
+  /// run's lifetime (deleted with the run's other keys on exit).
+  uint64_t dlq_depth = 0;
+  /// First few failure messages ("pe[port]: what()"), for diagnostics.
+  std::vector<std::string> error_samples;
 };
 
 class Mapping {
@@ -67,6 +90,56 @@ class Mapping {
                             const RunOptions& options,
                             const LineSink& sink = nullptr) = 0;
   virtual std::string_view name() const = 0;
+};
+
+/// Per-run fault-containment context shared by the three mappings
+/// (thread-safe). Converts PE throws into recorded per-tuple failures
+/// instead of process death, applying the run's bounded
+/// retry-with-exponential-backoff policy, and mirrors totals into the
+/// process telemetry counters (laminar_dataflow_tuple_failures_total,
+/// laminar_dataflow_retries_total, laminar_dataflow_dlq_total,
+/// laminar_dataflow_decode_failures_total; all labelled mapping="...").
+class FaultContext {
+ public:
+  FaultContext(std::string_view mapping, const RunOptions& options);
+
+  /// Runs one tuple through `attempt` under the retry policy. Returns true
+  /// on success; on exhaustion records the failure (context + the throw's
+  /// what()) and returns false — the caller quarantines the tuple.
+  bool InvokeWithRetries(const std::function<void()>& attempt,
+                         const std::string& context);
+
+  /// Records a work item that cannot even reach a PE (undecodable payload,
+  /// unroutable queue key). Counted as a decode failure and a DLQ item,
+  /// not as a retryable tuple failure.
+  void RecordDecodeFailure(const std::string& error);
+
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t dlq_items() const { return dlq_.load(std::memory_order_relaxed); }
+
+  /// Copies totals into the result and, if any item failed while the run
+  /// status is otherwise OK, downgrades it to kInternal with a failure
+  /// summary (deadline/validation errors keep precedence).
+  void Finalize(RunResult& result) const;
+
+ private:
+  void RecordSample(const std::string& error);
+
+  const int max_retries_;
+  const double backoff_ms_;
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> dlq_{0};
+  std::atomic<uint64_t> decode_failures_{0};
+  mutable std::mutex samples_mu_;
+  std::vector<std::string> samples_;
+  telemetry::Counter& c_failures_;
+  telemetry::Counter& c_retries_;
+  telemetry::Counter& c_dlq_;
+  telemetry::Counter& c_decode_failures_;
 };
 
 /// Expands RunOptions::input into the per-iteration payloads fed to each

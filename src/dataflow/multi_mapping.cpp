@@ -216,6 +216,7 @@ RunResult MultiMapping::Execute(const WorkflowGraph& graph,
     return false;
   };
   std::vector<Value> iterations = ProducerIterations(options.input);
+  FaultContext faults("multi", options);
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(total_ranks));
@@ -232,8 +233,11 @@ RunResult MultiMapping::Execute(const WorkflowGraph& graph,
         if (graph.Node(pe).IsProducer()) {
           for (const Value& payload : iterations) {
             if (past_deadline()) break;
-            instance->Process("iteration", payload, emitter);
-            ++processed;
+            if (faults.InvokeWithRetries(
+                    [&] { instance->Process("iteration", payload, emitter); },
+                    instance->name() + "[iteration]")) {
+              ++processed;
+            }
           }
         } else {
           int eos_remaining = expected_eos[pe];
@@ -246,11 +250,15 @@ RunResult MultiMapping::Execute(const WorkflowGraph& graph,
               continue;
             }
             if (past_deadline()) continue;  // drop tuples, still await EOS
-            instance->Process(msg->port, msg->value, emitter);
-            ++processed;
+            if (faults.InvokeWithRetries(
+                    [&] { instance->Process(msg->port, msg->value, emitter); },
+                    instance->name() + "[" + msg->port + "]")) {
+              ++processed;
+            }
           }
         }
-        instance->Finish(emitter);
+        faults.InvokeWithRetries([&] { instance->Finish(emitter); },
+                                 instance->name() + "[finish]");
         emitter.Broadcast_Eos();
         tuples.fetch_add(processed, std::memory_order_relaxed);
         if (options.verbose) {
@@ -270,6 +278,7 @@ RunResult MultiMapping::Execute(const WorkflowGraph& graph,
     result.status = Status::DeadlineExceeded(
         "execution exceeded " + std::to_string(options.deadline_ms) + " ms");
   }
+  faults.Finalize(result);
   result.elapsed_ms = watch.ElapsedMillis();
   tuples_total.Inc(result.tuples_processed);
   return result;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/clock.hpp"
+#include "common/hashing.hpp"
 #include "common/strings.hpp"
 
 namespace laminar::dataflow {
@@ -276,6 +278,36 @@ void ThresholdSplitter::Process(std::string_view, const Value& value,
                                 Emitter& out) {
   double x = value.is_object() ? value.GetDouble(field_) : value.as_double();
   out.Emit(x > threshold_ ? "high" : "low", value);
+}
+
+// ---- FaultInjector ----
+
+FaultInjector::FaultInjector(int64_t every_n, int64_t heal_after)
+    : every_n_(std::max<int64_t>(every_n, 1)),
+      heal_after_(std::max<int64_t>(heal_after, 0)) {
+  set_name("FaultInjector");
+}
+
+std::optional<Value> FaultInjector::ProcessItem(const Value& value,
+                                                Emitter&) {
+  std::string key = value.ToJson();
+  int64_t n = value.is_int()
+                  ? value.as_int()
+                  : static_cast<int64_t>(hashing::Fnv1a64(key) >> 1);
+  if (n % every_n_ != 0) return value;
+  if (heal_after_ > 0 && key == last_failed_key_ &&
+      consecutive_failures_ >= heal_after_) {
+    last_failed_key_.clear();
+    consecutive_failures_ = 0;
+    return value;  // transient fault healed; the retry succeeds
+  }
+  if (key == last_failed_key_) {
+    ++consecutive_failures_;
+  } else {
+    last_failed_key_ = key;
+    consecutive_failures_ = 1;
+  }
+  throw std::runtime_error("injected fault on tuple " + key);
 }
 
 // ---- EchoSink ----

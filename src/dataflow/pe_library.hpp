@@ -166,6 +166,26 @@ class ThresholdSplitter final
   double threshold_;
 };
 
+/// Forwards its input, but throws std::runtime_error on every Nth tuple:
+/// an integer tuple (or the hash of a non-integer one) divisible by
+/// `every_n` fails (every_n <= 1 fails every tuple). Keying the decision on
+/// the tuple value keeps it stable across retries. `heal_after` > 0 models
+/// a transient fault: after that many consecutive failures of the same
+/// tuple the next attempt succeeds, so a retry policy of >= heal_after
+/// absorbs it (0 = failures are permanent). Used by the fault-containment
+/// tests and the failure-semantics acceptance workflow.
+class FaultInjector final : public Clonable<FaultInjector, IterativePE> {
+ public:
+  explicit FaultInjector(int64_t every_n = 2, int64_t heal_after = 0);
+  std::optional<Value> ProcessItem(const Value& value, Emitter& out) override;
+
+ private:
+  int64_t every_n_;
+  int64_t heal_after_;
+  std::string last_failed_key_;
+  int64_t consecutive_failures_ = 0;
+};
+
 /// Logs every received tuple as one line (the line-per-tuple sink the
 /// streaming benches use to model real-time workflow output).
 class EchoSink final : public Clonable<EchoSink, ConsumerBase> {

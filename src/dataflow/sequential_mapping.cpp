@@ -79,6 +79,7 @@ RunResult SequentialMapping::Execute(const WorkflowGraph& graph,
 
   std::deque<PendingTuple> queue;
   SequentialEmitter emitter(graph, 0, queue, result, sink);
+  FaultContext faults("simple", options);
 
   // Serverless duration limit (§II-B "limited execution duration").
   int64_t deadline_us =
@@ -100,9 +101,12 @@ RunResult SequentialMapping::Execute(const WorkflowGraph& graph,
       // enact -> pe.process nesting without per-tuple ring churn.
       std::optional<telemetry::ScopedSpan> pe_span;
       if ((result.tuples_processed & 63) == 0) pe_span.emplace("pe.process");
-      instances[t.pe]->Process(t.port, t.value, emitter);
+      if (faults.InvokeWithRetries(
+              [&] { instances[t.pe]->Process(t.port, t.value, emitter); },
+              graph.Node(t.pe).name() + "[" + t.port + "]")) {
+        ++result.tuples_processed;
+      }
       pe_span.reset();
-      ++result.tuples_processed;
     }
   };
 
@@ -112,8 +116,13 @@ RunResult SequentialMapping::Execute(const WorkflowGraph& graph,
     for (const Value& payload : iterations) {
       if (past_deadline()) break;
       emitter.set_pe(producer);
-      instances[producer]->Process("iteration", payload, emitter);
-      ++result.tuples_processed;
+      if (faults.InvokeWithRetries(
+              [&] {
+                instances[producer]->Process("iteration", payload, emitter);
+              },
+              graph.Node(producer).name() + "[iteration]")) {
+        ++result.tuples_processed;
+      }
       drain();
     }
   }
@@ -123,7 +132,8 @@ RunResult SequentialMapping::Execute(const WorkflowGraph& graph,
   if (topo.ok()) {
     for (size_t pe : topo.value()) {
       emitter.set_pe(pe);
-      instances[pe]->Finish(emitter);
+      faults.InvokeWithRetries([&] { instances[pe]->Finish(emitter); },
+                               graph.Node(pe).name() + "[finish]");
       drain();
     }
   }
@@ -138,6 +148,7 @@ RunResult SequentialMapping::Execute(const WorkflowGraph& graph,
     result.status = Status::DeadlineExceeded(
         "execution exceeded " + std::to_string(options.deadline_ms) + " ms");
   }
+  faults.Finalize(result);
   result.elapsed_ms = watch.ElapsedMillis();
   tuples_total.Inc(result.tuples_processed);
   return result;

@@ -213,6 +213,10 @@ Result<dataflow::RunResult> ExecutionEngine::Execute(
     stats->tuples = result.tuples_processed;
     stats->lines = result.output_lines.size();
     stats->peak_workers = result.peak_workers;
+    stats->failed_tuples = result.failed_tuples;
+    stats->retries = result.retries;
+    stats->dlq_depth = result.dlq_depth;
+    stats->error_samples = result.error_samples;
   }
   if (!result.status.ok()) return result.status;
   succeeded = true;

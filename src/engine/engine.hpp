@@ -55,6 +55,13 @@ struct ExecuteStats {
   uint64_t tuples = 0;
   uint64_t lines = 0;
   int peak_workers = 0;
+  /// Fault containment (see RunResult): populated even when Execute
+  /// returns an error status, so the transport layer can report a
+  /// structured partial-failure summary instead of dropping the run.
+  uint64_t failed_tuples = 0;
+  uint64_t retries = 0;
+  uint64_t dlq_depth = 0;
+  std::vector<std::string> error_samples;
 };
 
 /// Process-wide cumulative execution numbers read straight from the

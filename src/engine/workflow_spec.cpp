@@ -54,6 +54,9 @@ Result<std::unique_ptr<ProcessingElement>> CreatePe(const std::string& type,
     pe = std::make_unique<dataflow::ThresholdSplitter>(
         params.GetString("field", "value"),
         params.GetDouble("threshold", 0.0));
+  } else if (type == "FaultInjector") {
+    pe = std::make_unique<dataflow::FaultInjector>(
+        params.GetInt("every_n", 2), params.GetInt("heal_after", 0));
   } else if (type == "EchoSink") {
     pe = std::make_unique<dataflow::EchoSink>();
   } else if (type == "NullSink") {
@@ -68,7 +71,8 @@ std::vector<std::string> KnownPeTypes() {
   return {"NumberProducer", "IsPrime",       "PrintPrime",   "LineProducer",
           "Tokenizer",      "WordCounter",   "CountPrinter", "SensorProducer",
           "NormalizeData",  "AnomalyDetector", "Alerter",    "AggregateData",
-          "CpuBurn",        "NullSink",       "EchoSink",     "ThresholdSplitter"};
+          "CpuBurn",        "NullSink",       "EchoSink",     "ThresholdSplitter",
+          "FaultInjector"};
 }
 
 Result<dataflow::Grouping> ParseGrouping(const Value& edge) {

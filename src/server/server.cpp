@@ -227,6 +227,9 @@ void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
   req.run_options.max_workers =
       static_cast<int>(body.GetInt("max_workers", 8));
   req.run_options.deadline_ms = body.GetDouble("deadline_ms", 0.0);
+  req.run_options.max_retries =
+      static_cast<int>(body.GetInt("max_retries", 0));
+  req.run_options.retry_backoff_ms = body.GetDouble("retry_backoff_ms", 0.0);
   for (const Value& r : body.at("resources").as_array()) {
     engine::ResourceRef ref;
     ref.name = r.GetString("name");
@@ -270,8 +273,19 @@ void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
   // Process-wide totals straight from the telemetry registry — the same
   // numbers /stats serves, so the stream and the endpoint cannot diverge.
   end["totals"] = engine::ExecutionTotalsJson();
+  // Fault-containment summary: present on success and failure alike, so a
+  // partial failure reaches the client as structured data (counts + sample
+  // errors) rather than a dropped connection.
+  end["failedTuples"] = static_cast<int64_t>(stats.failed_tuples);
+  end["retries"] = static_cast<int64_t>(stats.retries);
+  end["dlqDepth"] = static_cast<int64_t>(stats.dlq_depth);
+  Value samples = Value::MakeArray();
+  for (const std::string& e : stats.error_samples) samples.push_back(e);
+  end["errorSamples"] = std::move(samples);
   if (!result.ok()) {
     end["error"] = result.status().ToString();
+    end["tuples"] = static_cast<int64_t>(stats.tuples);
+    end["runMs"] = stats.run_ms;
     if (execution_id != 0) {
       std::scoped_lock lock(mu_);
       (void)repo_.FinishExecution(execution_id, "failed",

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
+#include <vector>
 
 #include "broker/broker.hpp"
 
@@ -173,6 +175,98 @@ TEST(Broker, StatsCountOperations) {
   EXPECT_EQ(s.pushes, 1u);
   EXPECT_EQ(s.pops, 1u);
   EXPECT_EQ(s.publishes, 1u);
+}
+
+TEST(Broker, DelPrefixRemovesAllKeyKinds) {
+  Broker b;
+  b.Set("wf:1:meta", "x");
+  b.HSet("wf:1:h", "f", "v");
+  b.RPush("wf:1:q:0", "a");
+  b.RPush("wf:1:q:1", "b");
+  b.RPush("wf:2:q:0", "other-run");
+  b.Set("unrelated", "y");
+  EXPECT_EQ(b.KeyCount("wf:1:"), 4u);
+  EXPECT_EQ(b.DelPrefix("wf:1:"), 4u);
+  EXPECT_EQ(b.KeyCount("wf:1:"), 0u);
+  EXPECT_EQ(b.TotalQueued("wf:1:"), 0u);
+  // Other runs and unrelated keys are untouched.
+  EXPECT_EQ(b.KeyCount("wf:2:"), 1u);
+  EXPECT_EQ(b.LLen("wf:2:q:0"), 1u);
+  EXPECT_TRUE(b.Exists("unrelated"));
+}
+
+// Losing a pop race to another consumer must not re-arm the full timeout:
+// the deadline is absolute, so every BLPop returns within timeout + small
+// scheduling slack even when other consumers keep winning.
+TEST(Broker, BLPopTimeoutBoundedUnderContention) {
+  Broker b;
+  constexpr auto kTimeout = std::chrono::milliseconds(60);
+  std::atomic<bool> stop{false};
+
+  // A rival consumer on the same key wins every race: it blocks with no
+  // timeout and is notified by the same pushes.
+  std::vector<std::pair<std::string, std::string>> rival_got;
+  std::thread rival([&] {
+    while (auto item = b.BLPop({"contested"})) {
+      rival_got.push_back(*item);
+    }
+  });
+  // A pusher feeds items steadily so the waiters keep waking up.
+  std::thread pusher([&] {
+    while (!stop.load()) {
+      b.RPush("contested", "item");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // The measured consumer asks for a 60 ms pop. Under the old re-arming
+  // loop, every lost race restarted the clock and this could block for the
+  // whole contention window; with an absolute deadline it returns (with or
+  // without an item) within the timeout plus scheduling slack.
+  auto start = std::chrono::steady_clock::now();
+  (void)b.BLPop({"contested"}, kTimeout);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, kTimeout + std::chrono::milliseconds(500));
+
+  stop.store(true);
+  b.Shutdown();
+  rival.join();
+  pusher.join();
+}
+
+// With many short-timeout consumers racing for a trickle of items, every
+// call completes within its own deadline bound.
+TEST(Broker, BLPopManyConsumersAllReturnWithinBound) {
+  Broker b;
+  constexpr auto kTimeout = std::chrono::milliseconds(50);
+  constexpr int kConsumers = 4;
+  std::atomic<int> items_won{0};
+  std::vector<std::thread> consumers;
+  std::atomic<int64_t> worst_ms{0};
+  for (int i = 0; i < kConsumers; ++i) {
+    consumers.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        auto start = std::chrono::steady_clock::now();
+        auto item = b.BLPop({"drip"}, kTimeout);
+        auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+        int64_t prev = worst_ms.load();
+        while (ms > prev && !worst_ms.compare_exchange_weak(prev, ms)) {
+        }
+        if (item) items_won.fetch_add(1);
+      }
+    });
+  }
+  // One item per timeout window: most BLPop calls lose and must time out
+  // on their own schedule.
+  for (int i = 0; i < 3; ++i) {
+    b.RPush("drip", std::to_string(i));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(items_won.load(), 3);
+  EXPECT_LT(worst_ms.load(), 50 + 500);
 }
 
 }  // namespace

@@ -1,0 +1,334 @@
+// Failure-semantics tests for the fault-containment layer: a PE that
+// throws never takes the process down under any mapping; throws are
+// retried per RunOptions{max_retries, retry_backoff_ms} and then
+// quarantined on the run's dead-letter queue; every dynamic run deletes
+// its broker keys on exit (success, partial failure, or deadline expiry);
+// and the server surfaces partial failures as structured data.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "client/connect.hpp"
+#include "dataflow/dynamic_mapping.hpp"
+#include "dataflow/multi_mapping.hpp"
+#include "dataflow/pe_library.hpp"
+#include "dataflow/sequential_mapping.hpp"
+#include "engine/engine.hpp"
+
+namespace laminar::dataflow {
+namespace {
+
+/// Producer that forwards the iteration payload verbatim, so downstream
+/// PEs see the deterministic sequence 0..N-1.
+class IndexProducer final : public Clonable<IndexProducer, ProducerBase> {
+ public:
+  IndexProducer() { set_name("IndexProducer"); }
+  void Process(std::string_view, const Value& value, Emitter& out) override {
+    out.Emit(kDefaultOutput, value);
+  }
+};
+
+std::unique_ptr<WorkflowGraph> FaultyGraph(int64_t every_n,
+                                           int64_t heal_after) {
+  auto g = std::make_unique<WorkflowGraph>("faulty_wf");
+  auto& producer = g->AddPE<IndexProducer>();
+  auto& injector = g->AddPE<FaultInjector>(every_n, heal_after);
+  auto& sink = g->AddPE<NullSink>();
+  EXPECT_TRUE(g->Connect(producer, injector).ok());
+  EXPECT_TRUE(g->Connect(injector, sink).ok());
+  return g;
+}
+
+std::unique_ptr<Mapping> MakeMapping(const std::string& name) {
+  if (name == "simple") return std::make_unique<SequentialMapping>();
+  if (name == "multi") return std::make_unique<MultiMapping>();
+  return std::make_unique<DynamicMapping>();
+}
+
+/// Total tuples the NullSink ranks reported (multi logs one line per rank).
+uint64_t SinkTotal(const std::vector<std::string>& lines) {
+  constexpr std::string_view kPrefix = "NullSink received ";
+  uint64_t total = 0;
+  for (const std::string& line : lines) {
+    if (line.starts_with(kPrefix)) {
+      total += std::stoull(line.substr(kPrefix.size()));
+    }
+  }
+  return total;
+}
+
+class FaultContainment : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, FaultContainment,
+                         ::testing::Values("simple", "multi", "dynamic"));
+
+// A PE that throws on some tuples must not crash the run: the process
+// survives, successes flow through, and the run reports kInternal with the
+// exact failed-tuple count.
+TEST_P(FaultContainment, ThrowingPeIsIsolatedPerTuple) {
+  auto g = FaultyGraph(/*every_n=*/3, /*heal_after=*/0);
+  std::unique_ptr<Mapping> mapping = MakeMapping(GetParam());
+  RunOptions options;
+  options.input = Value(12);  // values 0..11; 0,3,6,9 fail permanently
+  RunResult result = mapping->Execute(*g, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+  EXPECT_NE(result.status.message().find("quarantined"), std::string::npos);
+  EXPECT_EQ(result.failed_tuples, 4u);
+  EXPECT_EQ(result.dlq_depth, 4u);
+  EXPECT_EQ(result.retries, 0u);  // no retry policy configured
+  ASSERT_FALSE(result.error_samples.empty());
+  EXPECT_NE(result.error_samples.front().find("injected fault"),
+            std::string::npos);
+  // The 8 surviving values reached the sink.
+  EXPECT_EQ(SinkTotal(result.output_lines), 8u);
+}
+
+// Transient faults (each tuple fails twice, then heals) are fully absorbed
+// by max_retries=2: the run succeeds and the retry count matches the
+// policy exactly — two retries per tuple, no quarantined items.
+TEST_P(FaultContainment, RetryPolicyAbsorbsTransientFaults) {
+  auto g = FaultyGraph(/*every_n=*/1, /*heal_after=*/2);
+  std::unique_ptr<Mapping> mapping = MakeMapping(GetParam());
+  RunOptions options;
+  options.input = Value(5);
+  options.max_retries = 2;
+  RunResult result = mapping->Execute(*g, options);
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.failed_tuples, 0u);
+  EXPECT_EQ(result.dlq_depth, 0u);
+  EXPECT_EQ(result.retries, 10u);  // 2 per tuple, 5 tuples
+  EXPECT_EQ(SinkTotal(result.output_lines), 5u);
+}
+
+// Permanent faults exhaust the whole retry budget before quarantine:
+// retries == failed_tuples * max_retries.
+TEST_P(FaultContainment, ExhaustedRetriesMatchPolicy) {
+  auto g = FaultyGraph(/*every_n=*/1, /*heal_after=*/0);
+  std::unique_ptr<Mapping> mapping = MakeMapping(GetParam());
+  RunOptions options;
+  options.input = Value(4);
+  options.max_retries = 3;
+  RunResult result = mapping->Execute(*g, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(result.failed_tuples, 4u);
+  EXPECT_EQ(result.retries, 12u);  // 3 retries per permanently failing tuple
+  EXPECT_EQ(result.dlq_depth, 4u);
+}
+
+// FaultContext accounting: decode failures are DLQ'd but not counted as
+// retryable tuple failures, and Finalize leaves non-OK statuses alone.
+TEST(FaultContextTest, DecodeFailuresAndStatusPrecedence) {
+  RunOptions options;
+  FaultContext faults("simple", options);
+  faults.RecordDecodeFailure("undecodable work item");
+  EXPECT_EQ(faults.failures(), 0u);
+  EXPECT_EQ(faults.dlq_items(), 1u);
+
+  RunResult result;
+  faults.Finalize(result);
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(result.dlq_depth, 1u);
+
+  // A deadline error keeps precedence over the partial-failure downgrade.
+  RunResult expired;
+  expired.status = Status::DeadlineExceeded("expired");
+  faults.Finalize(expired);
+  EXPECT_EQ(expired.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.dlq_depth, 1u);
+}
+
+TEST(FaultContextTest, InvokeWithRetriesStopsOnFirstSuccess) {
+  RunOptions options;
+  options.max_retries = 5;
+  FaultContext faults("simple", options);
+  int calls = 0;
+  bool ok = faults.InvokeWithRetries(
+      [&] {
+        if (++calls < 3) throw std::runtime_error("flaky");
+      },
+      "test[pe]");
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(faults.retries(), 2u);
+  EXPECT_EQ(faults.failures(), 0u);
+}
+
+}  // namespace
+}  // namespace laminar::dataflow
+
+namespace laminar::engine {
+namespace {
+
+Value FaultySpec(int64_t every_n, const std::string& producer_type = "") {
+  Value spec = Value::MakeObject();
+  spec["name"] = std::string("faulty_wf");
+  Value pes = Value::MakeArray();
+  auto add_pe = [&](const std::string& name, const std::string& type,
+                    Value params) {
+    Value pe = Value::MakeObject();
+    pe["name"] = name;
+    pe["type"] = type;
+    pe["params"] = std::move(params);
+    pes.push_back(std::move(pe));
+  };
+  Value producer_params = Value::MakeObject();
+  if (producer_type.empty() || producer_type == "NumberProducer") {
+    producer_params["lo"] = static_cast<int64_t>(1);
+    producer_params["hi"] = static_cast<int64_t>(1000);
+    add_pe("src", "NumberProducer", std::move(producer_params));
+  } else {
+    add_pe("src", producer_type, std::move(producer_params));
+  }
+  Value injector_params = Value::MakeObject();
+  injector_params["every_n"] = every_n;
+  add_pe("faulty", "FaultInjector", std::move(injector_params));
+  add_pe("sink", "NullSink", Value::MakeObject());
+  spec["pes"] = std::move(pes);
+  Value edges = Value::MakeArray();
+  auto add_edge = [&](const std::string& from, const std::string& to) {
+    Value e = Value::MakeObject();
+    e["from"] = from;
+    e["to"] = to;
+    edges.push_back(std::move(e));
+  };
+  add_edge("src", "faulty");
+  add_edge("faulty", "sink");
+  spec["edges"] = std::move(edges);
+  return spec;
+}
+
+ExecuteRequest DynamicRequest(Value spec, Value input) {
+  ExecuteRequest req;
+  req.workflow_spec = std::move(spec);
+  req.mapping = "dynamic";
+  req.run_options.input = std::move(input);
+  return req;
+}
+
+// The engine's long-lived shared broker must return to its pre-run key and
+// queue baselines after every dynamic run: success, partial failure, and
+// deadline expiry (whose undrained queues used to leak forever).
+TEST(BrokerLeak, DynamicRunsLeaveNoKeysBehind) {
+  EngineConfig config;
+  config.cold_start_ms = 0;
+  ExecutionEngine engine(config);
+  const size_t baseline_keys = engine.broker().KeyCount("wf:");
+  const size_t baseline_queued = engine.broker().TotalQueued("wf:");
+
+  // Success: IsPrime pipeline, no faults.
+  {
+    ExecuteRequest req = DynamicRequest(FaultySpec(/*every_n=*/1000000000),
+                                        Value(20));
+    Result<dataflow::RunResult> result = engine.Execute(req);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(engine.broker().KeyCount("wf:"), baseline_keys);
+    EXPECT_EQ(engine.broker().TotalQueued("wf:"), baseline_queued);
+  }
+
+  // Partial failure: roughly half the tuples throw; keys still cleaned.
+  {
+    ExecuteRequest req = DynamicRequest(FaultySpec(/*every_n=*/2), Value(20));
+    Result<dataflow::RunResult> result = engine.Execute(req);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+    EXPECT_EQ(engine.broker().KeyCount("wf:"), baseline_keys);
+    EXPECT_EQ(engine.broker().TotalQueued("wf:"), baseline_queued);
+  }
+
+  // Deadline expiry: a CPU-heavy run killed mid-flight leaves undrained
+  // queue items — exactly the case the RAII cleanup must cover.
+  {
+    Value spec = Value::MakeObject();
+    spec["name"] = std::string("burn_wf");
+    Value pes = Value::MakeArray();
+    Value src = Value::MakeObject();
+    src["name"] = std::string("src");
+    src["type"] = std::string("NumberProducer");
+    src["params"] = Value::MakeObject();
+    pes.push_back(std::move(src));
+    Value burn = Value::MakeObject();
+    burn["name"] = std::string("burn");
+    burn["type"] = std::string("CpuBurn");
+    Value burn_params = Value::MakeObject();
+    burn_params["iters"] = static_cast<int64_t>(2'000'000);
+    burn["params"] = std::move(burn_params);
+    pes.push_back(std::move(burn));
+    Value sink = Value::MakeObject();
+    sink["name"] = std::string("sink");
+    sink["type"] = std::string("NullSink");
+    sink["params"] = Value::MakeObject();
+    pes.push_back(std::move(sink));
+    spec["pes"] = std::move(pes);
+    Value edges = Value::MakeArray();
+    Value e1 = Value::MakeObject();
+    e1["from"] = std::string("src");
+    e1["to"] = std::string("burn");
+    edges.push_back(std::move(e1));
+    Value e2 = Value::MakeObject();
+    e2["from"] = std::string("burn");
+    e2["to"] = std::string("sink");
+    edges.push_back(std::move(e2));
+    spec["edges"] = std::move(edges);
+
+    ExecuteRequest req;
+    req.workflow_spec = std::move(spec);
+    req.mapping = "dynamic";
+    req.run_options.input = Value(500);
+    req.run_options.deadline_ms = 5.0;
+    Result<dataflow::RunResult> result = engine.Execute(req);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(engine.broker().KeyCount("wf:"), baseline_keys);
+    EXPECT_EQ(engine.broker().TotalQueued("wf:"), baseline_queued);
+  }
+}
+
+}  // namespace
+}  // namespace laminar::engine
+
+namespace laminar::client {
+namespace {
+
+// End-to-end acceptance: a workflow whose PE throws on every other tuple
+// completes without crashing the server; the client sees a structured
+// kInternal error with the failure summary, the retry/DLQ counters appear
+// in GET /metrics, and the engine broker holds no leftover wf:* keys.
+TEST(FaultServer, PartialFailureIsStructuredNotFatal) {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  InProcessLaminar laminar = ConnectInProcess(config);
+
+  Value body = Value::MakeObject();
+  body["spec"] = engine::FaultySpec(/*every_n=*/2);
+  body["mapping"] = std::string("dynamic");
+  body["input"] = Value(30);
+  body["max_retries"] = static_cast<int64_t>(1);
+  body["resources"] = Value::MakeArray();
+
+  RunOutcome outcome = laminar.client->RunRaw(std::move(body));
+  EXPECT_EQ(outcome.status.code(), StatusCode::kInternal);
+  EXPECT_NE(outcome.status.message().find("quarantined"), std::string::npos);
+  ASSERT_TRUE(outcome.stats.is_object());
+  EXPECT_GT(outcome.stats.GetInt("failedTuples"), 0);
+  EXPECT_GT(outcome.stats.GetInt("dlqDepth"), 0);
+  // max_retries=1 and permanent faults: one retry per failed tuple.
+  EXPECT_EQ(outcome.stats.GetInt("retries"),
+            outcome.stats.GetInt("failedTuples"));
+  ASSERT_TRUE(outcome.stats.contains("errorSamples"));
+  ASSERT_FALSE(outcome.stats.at("errorSamples").as_array().empty());
+
+  Result<std::string> metrics = laminar.client->GetMetrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("laminar_dataflow_tuple_failures_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("laminar_dataflow_dlq_total"), std::string::npos);
+  EXPECT_NE(metrics->find("laminar_dataflow_retries_total"),
+            std::string::npos);
+
+  // Run-scoped cleanup held across the wire path too.
+  EXPECT_EQ(laminar.server->engine().broker().KeyCount("wf:"), 0u);
+}
+
+}  // namespace
+}  // namespace laminar::client
