@@ -106,6 +106,16 @@ int main() {
       dataset::CodeSearchNetPeDataset::Generate(bench::DefaultCorpusConfig());
   std::printf("corpus: %zu PEs, queries with 50%% of code dropped\n\n",
               ds.size());
+  bench::BenchReport report("aroma_ablation");
+  report.Set("corpus_size", static_cast<int64_t>(ds.size()));
+  auto record = [&report](const char* section, const char* config_name,
+                          const Outcome& o) {
+    Value& row = report.AddRow();
+    row["section"] = section;
+    row["config"] = config_name;
+    row["quality"] = o.family_precision_at5;
+    row["ms_per_query"] = o.ms_per_query;
+  };
 
   // 1. Scoring path ablation.
   std::printf("scoring path (raw ranked retrieval, family precision@5):\n");
@@ -117,6 +127,7 @@ int main() {
     Outcome o = Evaluate(ds, full, 0.5);
     std::printf("  %-40s %-14.4f %-12.3f\n", "overlap scoring (Aroma stage 2)",
                 o.family_precision_at5, o.ms_per_query);
+    record("scoring", "overlap", o);
   }
   {
     spt::AromaConfig simplified;
@@ -126,6 +137,7 @@ int main() {
     std::printf("  %-40s %-14.4f %-12.3f\n",
                 "cosine scoring (Laminar 2.0 default)",
                 o.family_precision_at5, o.ms_per_query);
+    record("scoring", "cosine", o);
   }
 
   // 2. End-to-end recommendation: full pipeline vs simplified.
@@ -139,6 +151,7 @@ int main() {
     std::printf("  %-40s %-14.4f %-12.3f\n",
                 "full Aroma (prune+rerank+cluster)", o.family_precision_at5,
                 o.ms_per_query);
+    record("recommend", "full_pipeline", o);
   }
   {
     spt::AromaConfig simplified;
@@ -146,6 +159,7 @@ int main() {
     Outcome o = EvaluateRecommend(ds, simplified, 0.5);
     std::printf("  %-40s %-14.4f %-12.3f\n", "simplified (cosine only)",
                 o.family_precision_at5, o.ms_per_query);
+    record("recommend", "simplified", o);
   }
 
   // 3. Variable generalization ablation.
@@ -160,10 +174,12 @@ int main() {
                 generalize ? "generalized (#VAR, Aroma behaviour)"
                            : "verbatim identifiers (ablated)",
                 o.family_precision_at5, o.ms_per_query);
+    record("var_generalization", generalize ? "generalized" : "verbatim", o);
   }
   std::printf(
       "\nexpected shape: cosine tracks overlap closely at lower cost; the "
       "full pipeline wins on top-1 via pruning; disabling #VAR collapses "
       "precision on renamed variants.\n");
+  report.Write();
   return 0;
 }

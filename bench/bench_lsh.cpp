@@ -16,6 +16,7 @@ int main() {
   std::printf("%-10s %-16s %-16s %-14s %-12s\n", "corpus", "exact ms/query",
               "lsh ms/query", "candidates", "recall@5");
 
+  bench::BenchReport report("lsh");
   for (size_t variants : {10u, 40u, 120u}) {
     dataset::DatasetConfig config;
     config.families = 0;
@@ -71,18 +72,25 @@ int main() {
     double lsh_ms =
         lsh_watch.ElapsedMillis() / static_cast<double>(queries.size());
 
+    double avg_candidates = static_cast<double>(candidates_total) /
+                            static_cast<double>(queries.size());
+    double recall = expected > 0 ? static_cast<double>(recalled) /
+                                       static_cast<double>(expected)
+                                 : 0.0;
     std::printf("%-10zu %-16.3f %-16.3f %-14.1f %-12.3f\n", ds.size(),
-                exact_ms, lsh_ms,
-                static_cast<double>(candidates_total) /
-                    static_cast<double>(queries.size()),
-                expected > 0 ? static_cast<double>(recalled) /
-                                   static_cast<double>(expected)
-                             : 0.0);
+                exact_ms, lsh_ms, avg_candidates, recall);
+    Value& row = report.AddRow();
+    row["corpus"] = static_cast<int64_t>(ds.size());
+    row["exact_ms_per_query"] = exact_ms;
+    row["lsh_ms_per_query"] = lsh_ms;
+    row["avg_candidates"] = avg_candidates;
+    row["recall_at_5"] = recall;
   }
   std::printf(
       "\nexpected shape: the exact index's cost grows with corpus size "
       "(every shared-feature posting is scored); LSH scores only the "
       "candidate set, trading a small recall loss for sub-linear growth — "
       "the Senatus argument for scaling Aroma to large registries.\n");
+  report.Write();
   return 0;
 }

@@ -22,6 +22,9 @@ int main() {
   dataset::CodeSearchNetPeDataset ds =
       dataset::CodeSearchNetPeDataset::Generate(corpus_config);
   std::printf("corpus: %zu PEs\n\n", ds.size());
+  bench::BenchReport report("registry");
+  report.Set("corpus_size", static_cast<int64_t>(ds.size()));
+  size_t capacity_v1 = 0, capacity_v2 = 0;
 
   // (a) Capacity: how many PEs fit in each schema?
   {
@@ -46,6 +49,8 @@ int main() {
       pe.description = ex.description;
       if (repo.CreatePe(pe).ok()) ++fit2;
     }
+    capacity_v1 = fit;
+    capacity_v2 = fit2;
     std::printf("capacity (PE code storage):\n");
     std::printf("  1.0 String field (VARCHAR 255): %zu/%zu PEs stored "
                 "(%.0f%% rejected as too large)\n",
@@ -93,6 +98,10 @@ int main() {
     double index_us = static_cast<double>(index_watch.ElapsedMicros());
     std::printf("  %-10zu %-18.0f %-18.0f %-9.1fx\n", rows, scan_us, index_us,
                 index_us > 0 ? scan_us / index_us : 0.0);
+    Value& row = report.AddRow();
+    row["rows"] = static_cast<int64_t>(rows);
+    row["scan_us"] = scan_us;
+    row["index_us"] = index_us;
   }
 
   // (c) Normalized link table: PEs-of-workflow via indexed workflowId.
@@ -126,13 +135,18 @@ int main() {
     for (int round = 0; round < 100; ++round) {
       for (int64_t wid : wf_ids) total += repo.PesOfWorkflow(wid).size();
     }
+    double link_ms = watch.ElapsedMillis();
     std::printf("\nlink-table membership queries: 10k queries over 100 "
-                "workflows x 6 PEs in %.1f ms (%zu rows touched)\n",
-                watch.ElapsedMillis(), total);
+                "workflows x 6 PEs in %.1f ms (%zu rows touched)\n", link_ms,
+                total);
+    report.Set("link_queries_ms", link_ms);
   }
   std::printf("\nexpected shape: the 1.0 schema rejects most real PEs "
               "outright and its lookups degrade linearly with registry "
               "size; the 2.0 schema stores everything with ~constant-time "
               "indexed lookups.\n");
+  report.Set("v1_schema_capacity", static_cast<int64_t>(capacity_v1));
+  report.Set("v2_schema_capacity", static_cast<int64_t>(capacity_v2));
+  report.Write();
   return 0;
 }

@@ -45,6 +45,8 @@ int main() {
   std::printf("%-34s %-10s %-14s %-12s\n", "mode", "runs",
               "bytes/run (MB)", "ms/run");
 
+  bench::BenchReport report("resources");
+  report.Set("payload_mb", static_cast<double>(payload_bytes) / (1 << 20));
   auto measure = [&](const char* label, bool clear_cache_each_run,
                      bool always_upload, bool prime_cache = false) {
     laminar.server->engine().resource_cache().Clear();
@@ -76,6 +78,10 @@ int main() {
     double ms_per_run = watch.ElapsedMillis() / kRuns;
     std::printf("%-34s %-10d %-14.2f %-12.2f\n", label, kRuns, mb_per_run,
                 ms_per_run);
+    Value& row = report.AddRow();
+    row["mode"] = label;
+    row["mb_per_run"] = mb_per_run;
+    row["ms_per_run"] = ms_per_run;
   };
 
   measure("1.0: serialize dir every request", /*clear=*/false,
@@ -100,5 +106,12 @@ int main() {
        {"laminar_server_request_ms", "path=\"/resources/upload\""},
        {"laminar_engine_run_ms", ""},
        {"laminar_engine_cold_start_ms", ""}});
+  report.Set("cache_hits", static_cast<int64_t>(stats.hits));
+  report.Set("cache_misses", static_cast<int64_t>(stats.misses));
+  report.AddHistogram("laminar_server_request_ms", "path=\"/execute\"");
+  report.AddHistogram("laminar_server_request_ms",
+                      "path=\"/resources/upload\"");
+  report.AddHistogram("laminar_engine_run_ms");
+  report.Write();
   return 0;
 }

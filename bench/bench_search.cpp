@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "embed/embedding.hpp"
@@ -107,6 +108,7 @@ double Percentile(std::vector<double>& sorted_ms, double q) {
 }
 
 int RunBench(const Args& args) {
+  BenchReport report("search");
   std::printf("bench_search: docs=%zu dims=%zu queries=%zu threads=%zu k=%zu"
               " hw_threads=%u%s\n\n",
               args.docs, args.dims, args.queries, args.threads, args.k,
@@ -287,6 +289,23 @@ int RunBench(const Args& args) {
               static_cast<unsigned long long>(cache_stats.misses));
 
   std::printf("\nchecksum %.6f\n", checksum);
+
+  report.Set("docs", static_cast<int64_t>(args.docs));
+  report.Set("dims", static_cast<int64_t>(args.dims));
+  report.Set("threads", static_cast<int64_t>(args.threads));
+  report.Set("legacy_qps", legacy_qps);
+  report.Set("flat_qps", flat_qps);
+  report.Set("sharded_qps", sharded_qps);
+  report.Set("flat_vs_legacy_speedup", flat_qps / legacy_qps);
+  report.Set("shared_lock_qps", shared_out.qps);
+  report.Set("shared_lock_p50_ms", shared_out.p50);
+  report.Set("shared_lock_p95_ms", shared_out.p95);
+  report.Set("exclusive_lock_qps", exclusive_out.qps);
+  report.Set("exclusive_lock_p50_ms", exclusive_out.p50);
+  report.Set("exclusive_lock_p95_ms", exclusive_out.p95);
+  report.Set("encode_every_time_ms", encode_ms);
+  report.Set("lru_cache_ms", cached_ms);
+  report.Write();
   return 0;
 }
 

@@ -68,6 +68,8 @@ int main() {
   std::printf("%-8s %-10s %-16s %-16s %-14s %-12s\n", "tuples", "mode",
               "first-line (ms)", "total (ms)", "lines", "ttfb gain");
 
+  bench::BenchReport report("streaming");
+  double max_gain = 0.0;
   for (int tuples : {20, 50, 100, 200}) {
     Sample batch = RunOnce(net::HttpConnection::Mode::kBatch, tuples, kBurn);
     Sample stream =
@@ -75,11 +77,20 @@ int main() {
     double gain = stream.first_line_ms > 0
                       ? batch.first_line_ms / stream.first_line_ms
                       : 0.0;
+    max_gain = std::max(max_gain, gain);
     std::printf("%-8d %-10s %-16.2f %-16.2f %-14zu\n", tuples, "batch",
                 batch.first_line_ms, batch.total_ms, batch.lines);
     std::printf("%-8s %-10s %-16.2f %-16.2f %-14zu %-10.1fx\n", "", "stream",
                 stream.first_line_ms, stream.total_ms, stream.lines, gain);
+    Value& row = report.AddRow();
+    row["tuples"] = static_cast<int64_t>(tuples);
+    row["batch_first_line_ms"] = batch.first_line_ms;
+    row["stream_first_line_ms"] = stream.first_line_ms;
+    row["batch_total_ms"] = batch.total_ms;
+    row["stream_total_ms"] = stream.total_ms;
+    row["ttfb_gain"] = gain;
   }
+  report.Set("max_ttfb_gain", max_gain);
   std::printf(
       "\nexpected shape: batch first-line ~= total runtime; streaming "
       "first-line ~= one tuple's work. The gap widens linearly with "
@@ -89,5 +100,9 @@ int main() {
       {{"laminar_server_request_ms", "path=\"/execute\""},
        {"laminar_engine_run_ms", ""},
        {"laminar_dataflow_enact_ms", "mapping=\"simple\""}});
+  report.AddHistogram("laminar_server_request_ms", "path=\"/execute\"");
+  report.AddHistogram("laminar_engine_run_ms");
+  report.AddHistogram("laminar_dataflow_enact_ms", "mapping=\"simple\"");
+  report.Write();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <initializer_list>
 #include <string>
 #include <unordered_map>
@@ -12,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.hpp"
+#include "common/value.hpp"
 #include "dataset/generator.hpp"
 #include "search/metrics.hpp"
 #include "telemetry/telemetry.hpp"
@@ -90,6 +93,102 @@ inline void PrintHistogramSummary(
   std::printf("%s (ms)\n", title);
   for (const auto& [name, labels] : series) PrintHistogramLine(name, labels);
   std::printf("\n");
+}
+
+/// Machine-readable companion to the human tables: every bench fills one
+/// BenchReport and writes `BENCH_<name>.json` into the working directory,
+/// so successive runs form a perf trajectory that scripts can diff. The
+/// shape is deliberately simple:
+///   { "bench": ..., "wall_ms": ...,        // whole-binary wall time
+///     "metrics": { flat scalars/strings }, // headline numbers
+///     "rows": [ {...}, ... ],              // one object per table row
+///     "histograms": { series -> {n, mean_ms, p50_ms, p95_ms, p99_ms} } }
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)),
+        metrics_(Value::MakeObject()),
+        rows_(Value::MakeArray()),
+        histograms_(Value::MakeObject()) {}
+
+  void Set(const std::string& key, double value) { metrics_[key] = value; }
+  void Set(const std::string& key, int64_t value) { metrics_[key] = value; }
+  void Set(const std::string& key, const std::string& value) {
+    metrics_[key] = value;
+  }
+
+  /// Appends one row object (e.g. a printed table line) and returns it for
+  /// the caller to fill: report.AddRow()["mapping"] = "dynamic"; ...
+  Value& AddRow() {
+    rows_.push_back(Value::MakeObject());
+    return rows_.mutable_array().back();
+  }
+
+  /// Records a telemetry histogram's count/mean/p50/p95/p99 (milliseconds)
+  /// under "histograms"; silently skipped when the series has no samples,
+  /// mirroring PrintHistogramLine.
+  void AddHistogram(const char* name, const char* labels = "") {
+    const telemetry::Histogram* h =
+        telemetry::MetricsRegistry::Global().FindHistogram(name, labels);
+    if (h == nullptr) return;
+    telemetry::Histogram::Snapshot s = h->snapshot();
+    if (s.count == 0) return;
+    std::string series = name;
+    if (labels[0] != '\0') {
+      series += '{';
+      series += labels;
+      series += '}';
+    }
+    Value entry = Value::MakeObject();
+    entry["n"] = static_cast<int64_t>(s.count);
+    entry["mean_ms"] = s.Mean();
+    entry["p50_ms"] = s.Percentile(0.50);
+    entry["p95_ms"] = s.Percentile(0.95);
+    entry["p99_ms"] = s.Percentile(0.99);
+    histograms_[series] = std::move(entry);
+  }
+
+  /// Writes BENCH_<name>.json (returns false and warns on I/O failure —
+  /// benches keep their exit status for correctness, not reporting).
+  bool Write() const {
+    Value doc = Value::MakeObject();
+    doc["bench"] = name_;
+    doc["wall_ms"] = watch_.ElapsedMillis();
+    doc["metrics"] = metrics_;
+    doc["rows"] = rows_;
+    doc["histograms"] = histograms_;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    out << doc.ToJsonPretty() << "\n";
+    std::printf("machine-readable report: %s\n", path.c_str());
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string name_;
+  Stopwatch watch_;
+  Value metrics_;
+  Value rows_;
+  Value histograms_;
+};
+
+/// Records a PR curve in a report: one row per k (tagged with `slug`) plus
+/// a `<slug>_best_f1` headline metric — the JSON twin of PrintPrCurve.
+inline void ReportPrCurve(BenchReport& report, const std::string& slug,
+                          const std::vector<search::PrPoint>& curve) {
+  for (const search::PrPoint& p : curve) {
+    Value& row = report.AddRow();
+    row["curve"] = slug;
+    row["k"] = static_cast<int64_t>(p.k);
+    row["precision"] = p.precision;
+    row["recall"] = p.recall;
+    row["f1"] = p.f1;
+  }
+  report.Set(slug + "_best_f1", search::BestF1(curve).f1);
 }
 
 }  // namespace laminar::bench

@@ -72,6 +72,7 @@ double SearchMrr(const dataset::CodeSearchNetPeDataset& ds,
 
 int main() {
   std::printf("== Fig. 10: description generation from different code contexts ==\n\n");
+  bench::BenchReport report("fig10_descriptions");
   dataset::CodeSearchNetPeDataset ds =
       dataset::CodeSearchNetPeDataset::Generate(bench::DefaultCorpusConfig());
   embed::CodeT5Sim codet5;
@@ -102,6 +103,13 @@ int main() {
   double mrr_full = SearchMrr(ds, embed::DescriptionContext::kFullClass);
   std::printf("  %-36s %.4f\n", "_process() only:", mrr_process);
   std::printf("  %-36s %.4f\n", "full PE class:", mrr_full);
+
+  report.Set("corpus_size", static_cast<int64_t>(ds.size()));
+  report.Set("token_f1_process_only", f1_process);
+  report.Set("token_f1_full_class", f1_full);
+  report.Set("mrr_process_only", mrr_process);
+  report.Set("mrr_full_class", mrr_full);
+  report.Write();
 
   // Show the paper's qualitative contrast on the IsPrime example.
   const char* isprime =

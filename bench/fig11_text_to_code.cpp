@@ -16,6 +16,7 @@ using namespace laminar;
 
 int main() {
   std::printf("== Fig. 11: precision-recall for text-to-code search ==\n\n");
+  bench::BenchReport report("fig11_text_to_code");
   dataset::CodeSearchNetPeDataset ds =
       dataset::CodeSearchNetPeDataset::Generate(bench::DefaultCorpusConfig());
   std::printf("corpus: %zu PEs across %zu semantic groups\n\n", ds.size(),
@@ -61,5 +62,9 @@ int main() {
   bench::PrintPrCurve("text-to-code (UniXcoder embeddings of CodeT5 descriptions)",
                       curve);
   std::printf("paper reference: best F1 = 0.61\n");
+
+  report.Set("corpus_size", static_cast<int64_t>(ds.size()));
+  bench::ReportPrCurve(report, "text_to_code", curve);
+  report.Write();
   return 0;
 }

@@ -32,6 +32,8 @@ int main() {
       bench::GroupRelevance(ds);
   constexpr size_t kMaxK = 15;
   double best_overall = 0.0;
+  bench::BenchReport report("fig13_reacc_pr");
+  report.Set("corpus_size", static_cast<int64_t>(ds.size()));
 
   for (double drop : {0.0, 0.5, 0.75, 0.9}) {
     std::vector<std::vector<int64_t>> ranked;
@@ -65,8 +67,13 @@ int main() {
                   per_query_ms);
     bench::PrintPrCurve(title, curve);
     best_overall = std::max(best_overall, search::BestF1(curve).f1);
+    char slug[32];
+    std::snprintf(slug, sizeof slug, "drop_%d", static_cast<int>(drop * 100));
+    bench::ReportPrCurve(report, slug, curve);
   }
   std::printf("max F1 across drop levels = %.4f (paper reference: 0.24)\n",
               best_overall);
+  report.Set("best_f1", best_overall);
+  report.Write();
   return 0;
 }

@@ -2,12 +2,19 @@
 
 #include <algorithm>
 
+#include "common/hashing.hpp"
+
 namespace laminar::broker {
 namespace {
 
 telemetry::Counter& OpCounter(const char* op) {
   return telemetry::MetricsRegistry::Global().GetCounter(
       "laminar_broker_ops_total", std::string("op=\"") + op + "\"");
+}
+
+telemetry::Counter& BatchCounter(const char* name, const char* op) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      name, std::string("op=\"") + op + "\"");
 }
 
 }  // namespace
@@ -18,95 +25,156 @@ Broker::Broker()
       c_pushes_(OpCounter("push")),
       c_pops_(OpCounter("pop")),
       c_blocked_pops_(OpCounter("blocked_pop")),
-      c_publishes_(OpCounter("publish")) {}
+      c_publishes_(OpCounter("publish")),
+      c_batch_push_ops_(
+          BatchCounter("laminar_broker_batch_ops_total", "push_multi")),
+      c_batch_push_items_(
+          BatchCounter("laminar_broker_batch_items_total", "push_multi")),
+      c_batch_pop_ops_(
+          BatchCounter("laminar_broker_batch_ops_total", "pop_up_to")),
+      c_batch_pop_items_(
+          BatchCounter("laminar_broker_batch_items_total", "pop_up_to")),
+      c_scan_keys_(telemetry::MetricsRegistry::Global().GetCounter(
+          "laminar_broker_scan_keys_total")) {}
+
+size_t Broker::ShardIndex(const std::string& key) {
+  // splitmix finalizer decorrelates the structured "wf:N:q:i" key families
+  // the dynamic mapping generates, so one run's queues spread over shards.
+  return hashing::SplitMix64(hashing::Fnv1a64(key)) & (kShards - 1);
+}
+
+void Broker::SignalWatchersLocked(Shard& shard, const std::string& key,
+                                  size_t max_waiters) {
+  size_t signaled = 0;
+  for (auto& [waiter, watched] : shard.waiters) {
+    if (signaled >= max_waiters) break;
+    bool watches = std::any_of(
+        watched.begin(), watched.end(),
+        [&](const std::string* k) { return *k == key; });
+    if (!watches) continue;
+    std::scoped_lock waiter_lock(waiter->mu);
+    if (waiter->signaled) continue;  // already owes a wake; skip, keep count
+    waiter->signaled = true;
+    waiter->cv.notify_one();
+    ++signaled;
+  }
+}
 
 void Broker::Set(const std::string& key, std::string value) {
-  std::scoped_lock lock(mu_);
-  strings_[key] = std::move(value);
-  ++stats_.sets;
+  Shard& shard = ShardFor(key);
+  {
+    std::scoped_lock lock(shard.mu);
+    shard.strings[key] = std::move(value);
+  }
+  stats_.sets.fetch_add(1, std::memory_order_relaxed);
   c_sets_.Inc();
 }
 
 std::optional<std::string> Broker::Get(const std::string& key) const {
-  std::scoped_lock lock(mu_);
-  ++stats_.gets;
+  const Shard& shard = ShardFor(key);
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   c_gets_.Inc();
-  auto it = strings_.find(key);
-  if (it == strings_.end()) return std::nullopt;
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.strings.find(key);
+  if (it == shard.strings.end()) return std::nullopt;
   return it->second;
 }
 
 bool Broker::Del(const std::string& key) {
-  std::scoped_lock lock(mu_);
-  return strings_.erase(key) + hashes_.erase(key) + lists_.erase(key) > 0;
+  Shard& shard = ShardFor(key);
+  std::scoped_lock lock(shard.mu);
+  return shard.strings.erase(key) + shard.hashes.erase(key) +
+             shard.lists.erase(key) >
+         0;
 }
 
 size_t Broker::DelPrefix(const std::string& prefix) {
-  std::scoped_lock lock(mu_);
-  auto erase_matching = [&](auto& map) {
-    size_t n = 0;
-    for (auto it = map.begin(); it != map.end();) {
-      if (it->first.starts_with(prefix)) {
+  size_t removed = 0;
+  uint64_t scanned = 0;
+  for (Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    auto erase_prefix = [&](auto& map) {
+      auto it = map.lower_bound(prefix);
+      while (it != map.end()) {
+        ++scanned;
+        if (!it->first.starts_with(prefix)) break;  // sorted: no more matches
         it = map.erase(it);
-        ++n;
-      } else {
-        ++it;
+        ++removed;
       }
-    }
-    return n;
-  };
-  return erase_matching(strings_) + erase_matching(hashes_) +
-         erase_matching(lists_);
+    };
+    erase_prefix(shard.strings);
+    erase_prefix(shard.hashes);
+    erase_prefix(shard.lists);
+  }
+  stats_.keys_scanned.fetch_add(scanned, std::memory_order_relaxed);
+  c_scan_keys_.Inc(scanned);
+  return removed;
 }
 
 size_t Broker::KeyCount(const std::string& prefix) const {
-  std::scoped_lock lock(mu_);
-  auto count_matching = [&](const auto& map) {
-    size_t n = 0;
-    for (const auto& [key, unused] : map) {
-      if (key.starts_with(prefix)) ++n;
-    }
-    return n;
-  };
-  return count_matching(strings_) + count_matching(hashes_) +
-         count_matching(lists_);
+  size_t count = 0;
+  uint64_t scanned = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    auto count_prefix = [&](const auto& map) {
+      for (auto it = map.lower_bound(prefix); it != map.end(); ++it) {
+        ++scanned;
+        if (!it->first.starts_with(prefix)) break;
+        ++count;
+      }
+    };
+    count_prefix(shard.strings);
+    count_prefix(shard.hashes);
+    count_prefix(shard.lists);
+  }
+  stats_.keys_scanned.fetch_add(scanned, std::memory_order_relaxed);
+  c_scan_keys_.Inc(scanned);
+  return count;
 }
 
 bool Broker::Exists(const std::string& key) const {
-  std::scoped_lock lock(mu_);
-  return strings_.contains(key) || hashes_.contains(key) ||
-         lists_.contains(key);
+  const Shard& shard = ShardFor(key);
+  std::scoped_lock lock(shard.mu);
+  return shard.strings.contains(key) || shard.hashes.contains(key) ||
+         shard.lists.contains(key);
 }
 
 int64_t Broker::Incr(const std::string& key, int64_t delta) {
-  std::scoped_lock lock(mu_);
-  auto it = strings_.find(key);
+  Shard& shard = ShardFor(key);
   int64_t value = 0;
-  if (it != strings_.end()) {
-    value = std::strtoll(it->second.c_str(), nullptr, 10);
+  {
+    std::scoped_lock lock(shard.mu);
+    auto it = shard.strings.find(key);
+    if (it != shard.strings.end()) {
+      value = std::strtoll(it->second.c_str(), nullptr, 10);
+    }
+    value += delta;
+    shard.strings[key] = std::to_string(value);
   }
-  value += delta;
-  strings_[key] = std::to_string(value);
-  ++stats_.sets;
+  stats_.sets.fetch_add(1, std::memory_order_relaxed);
   c_sets_.Inc();
   return value;
 }
 
 void Broker::HSet(const std::string& key, const std::string& field,
                   std::string value) {
-  std::scoped_lock lock(mu_);
-  hashes_[key][field] = std::move(value);
-  ++stats_.sets;
+  Shard& shard = ShardFor(key);
+  {
+    std::scoped_lock lock(shard.mu);
+    shard.hashes[key][field] = std::move(value);
+  }
+  stats_.sets.fetch_add(1, std::memory_order_relaxed);
   c_sets_.Inc();
 }
 
 std::optional<std::string> Broker::HGet(const std::string& key,
                                         const std::string& field) const {
-  std::scoped_lock lock(mu_);
-  ++stats_.gets;
+  const Shard& shard = ShardFor(key);
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   c_gets_.Inc();
-  auto it = hashes_.find(key);
-  if (it == hashes_.end()) return std::nullopt;
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.hashes.find(key);
+  if (it == shard.hashes.end()) return std::nullopt;
   auto fit = it->second.find(field);
   if (fit == it->second.end()) return std::nullopt;
   return fit->second;
@@ -114,117 +182,230 @@ std::optional<std::string> Broker::HGet(const std::string& key,
 
 std::unordered_map<std::string, std::string> Broker::HGetAll(
     const std::string& key) const {
-  std::scoped_lock lock(mu_);
-  ++stats_.gets;
+  const Shard& shard = ShardFor(key);
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   c_gets_.Inc();
-  auto it = hashes_.find(key);
-  return it == hashes_.end()
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.hashes.find(key);
+  return it == shard.hashes.end()
              ? std::unordered_map<std::string, std::string>{}
              : it->second;
 }
 
 bool Broker::HDel(const std::string& key, const std::string& field) {
-  std::scoped_lock lock(mu_);
-  auto it = hashes_.find(key);
-  if (it == hashes_.end()) return false;
+  Shard& shard = ShardFor(key);
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.hashes.find(key);
+  if (it == shard.hashes.end()) return false;
   return it->second.erase(field) > 0;
 }
 
-size_t Broker::RPush(const std::string& key, std::string value) {
+size_t Broker::RPush(const std::string& key, std::string&& value) {
+  Shard& shard = ShardFor(key);
   size_t len;
   {
-    std::scoped_lock lock(mu_);
-    auto& list = lists_[key];
+    std::scoped_lock lock(shard.mu);
+    auto& list = shard.lists[key];
     list.push_back(std::move(value));
     len = list.size();
-    ++stats_.pushes;
-    c_pushes_.Inc();
+    SignalWatchersLocked(shard, key, 1);
   }
-  list_cv_.notify_all();
+  stats_.pushes.fetch_add(1, std::memory_order_relaxed);
+  c_pushes_.Inc();
+  return len;
+}
+
+size_t Broker::RPush(const std::string& key, const std::string& value) {
+  return RPush(key, std::string(value));
+}
+
+size_t Broker::RPushMulti(const std::string& key,
+                          std::vector<std::string>&& values) {
+  if (values.empty()) return LLen(key);
+  const size_t n = values.size();
+  Shard& shard = ShardFor(key);
+  size_t len;
+  {
+    std::scoped_lock lock(shard.mu);
+    auto& list = shard.lists[key];
+    for (std::string& value : values) list.push_back(std::move(value));
+    len = list.size();
+    // One item can wake one consumer: signal at most n waiters.
+    SignalWatchersLocked(shard, key, n);
+  }
+  values.clear();  // consumed; capacity retained for buffer reuse
+  stats_.pushes.fetch_add(n, std::memory_order_relaxed);
+  stats_.batch_pushes.fetch_add(1, std::memory_order_relaxed);
+  c_pushes_.Inc(n);
+  c_batch_push_ops_.Inc();
+  c_batch_push_items_.Inc(n);
   return len;
 }
 
 std::optional<std::string> Broker::LPop(const std::string& key) {
-  std::scoped_lock lock(mu_);
-  auto it = lists_.find(key);
-  if (it == lists_.end() || it->second.empty()) return std::nullopt;
+  Shard& shard = ShardFor(key);
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.lists.find(key);
+  if (it == shard.lists.end() || it->second.empty()) return std::nullopt;
   std::string value = std::move(it->second.front());
   it->second.pop_front();
-  ++stats_.pops;
+  stats_.pops.fetch_add(1, std::memory_order_relaxed);
   c_pops_.Inc();
   return value;
 }
 
-std::optional<std::pair<std::string, std::string>> Broker::BLPop(
-    const std::vector<std::string>& keys, std::chrono::milliseconds timeout) {
-  std::unique_lock lock(mu_);
-  auto try_pop = [&]() -> std::optional<std::pair<std::string, std::string>> {
-    for (const std::string& key : keys) {
-      auto it = lists_.find(key);
-      if (it != lists_.end() && !it->second.empty()) {
-        std::string value = std::move(it->second.front());
-        it->second.pop_front();
-        ++stats_.pops;
-        c_pops_.Inc();
-        return std::make_pair(key, std::move(value));
-      }
-    }
-    return std::nullopt;
-  };
-
+template <typename TryPop>
+auto Broker::BlockingPop(const std::vector<std::string>& keys,
+                         std::chrono::milliseconds timeout,
+                         const std::atomic<bool>* cancel, TryPop&& try_pop)
+    -> decltype(try_pop()) {
   if (auto hit = try_pop()) return hit;
-  ++stats_.blocked_pops;
+  if (shutdown_.load(std::memory_order_acquire)) return {};
+  if (cancel != nullptr && cancel->load(std::memory_order_acquire)) return {};
+  stats_.blocked_pops.fetch_add(1, std::memory_order_relaxed);
   c_blocked_pops_.Inc();
-  auto ready = [&] {
-    if (shutdown_) return true;
-    for (const std::string& key : keys) {
-      auto it = lists_.find(key);
-      if (it != lists_.end() && !it->second.empty()) return true;
-    }
-    return false;
-  };
+
+  // Register one waiter entry per shard that covers a watched key; pushes
+  // to those keys signal it. Ordering guarantee against lost wakeups: we
+  // register first, then re-run try_pop in the loop — a push before
+  // registration is found by that pop, a push after sets `signaled`.
+  Waiter waiter;
+  std::array<std::vector<const std::string*>, kShards> by_shard;
+  for (const std::string& key : keys) {
+    by_shard[ShardIndex(key)].push_back(&key);
+  }
+  std::array<bool, kShards> registered{};
+  for (size_t s = 0; s < kShards; ++s) {
+    if (by_shard[s].empty()) continue;
+    std::scoped_lock lock(shards_[s].mu);
+    shards_[s].waiters.emplace_back(&waiter, std::move(by_shard[s]));
+    registered[s] = true;
+  }
+
   // The deadline is absolute, computed once: losing a pop race to another
   // consumer must never re-arm the full timeout, so a 20 ms pop stays a
   // 20 ms pop no matter how contended the queue is.
   const auto deadline = std::chrono::steady_clock::now() + timeout;
+  decltype(try_pop()) result{};
   while (true) {
-    if (timeout.count() == 0) {
-      list_cv_.wait(lock, ready);
-    } else if (!list_cv_.wait_until(lock, deadline, ready)) {
-      return std::nullopt;  // timed out
+    if ((result = try_pop())) break;
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) break;
+    std::unique_lock wait_lock(waiter.mu);
+    if (!waiter.signaled) {
+      if (timeout.count() == 0) {
+        waiter.cv.wait(wait_lock, [&] { return waiter.signaled; });
+      } else if (!waiter.cv.wait_until(wait_lock, deadline,
+                                       [&] { return waiter.signaled; })) {
+        break;  // timed out
+      }
     }
-    if (auto hit = try_pop()) return hit;
-    if (shutdown_) return std::nullopt;
-    // Spurious wake or another consumer won the race; keep waiting
-    // against the same deadline.
+    waiter.signaled = false;
+    // Loop: re-try the pop (a rival may have won the race) against the
+    // same deadline.
   }
+
+  for (size_t s = 0; s < kShards; ++s) {
+    if (!registered[s]) continue;
+    std::scoped_lock lock(shards_[s].mu);
+    std::erase_if(shards_[s].waiters,
+                  [&](const auto& entry) { return entry.first == &waiter; });
+  }
+  if (!result) {
+    // A push may have handed its (single) wake to us in the instant we
+    // timed out; if its item is still unclaimed, take it rather than
+    // strand it until the next push.
+    result = try_pop();
+  }
+  return result;
+}
+
+std::optional<std::pair<std::string, std::string>> Broker::BLPop(
+    const std::vector<std::string>& keys, std::chrono::milliseconds timeout,
+    const std::atomic<bool>* cancel) {
+  auto try_pop = [&]() -> std::optional<std::pair<std::string, std::string>> {
+    for (const std::string& key : keys) {
+      Shard& shard = ShardFor(key);
+      std::scoped_lock lock(shard.mu);
+      auto it = shard.lists.find(key);
+      if (it == shard.lists.end() || it->second.empty()) continue;
+      std::string value = std::move(it->second.front());
+      it->second.pop_front();
+      stats_.pops.fetch_add(1, std::memory_order_relaxed);
+      c_pops_.Inc();
+      return std::make_pair(key, std::move(value));
+    }
+    return std::nullopt;
+  };
+  return BlockingPop(keys, timeout, cancel, try_pop);
+}
+
+std::optional<std::pair<std::string, std::vector<std::string>>>
+Broker::BLPopUpTo(const std::vector<std::string>& keys, size_t max_items,
+                  std::chrono::milliseconds timeout,
+                  const std::atomic<bool>* cancel) {
+  if (max_items == 0) max_items = 1;
+  auto try_pop =
+      [&]() -> std::optional<std::pair<std::string, std::vector<std::string>>> {
+    for (const std::string& key : keys) {
+      Shard& shard = ShardFor(key);
+      std::scoped_lock lock(shard.mu);
+      auto it = shard.lists.find(key);
+      if (it == shard.lists.end() || it->second.empty()) continue;
+      std::deque<std::string>& list = it->second;
+      const size_t n = std::min(max_items, list.size());
+      std::vector<std::string> items;
+      items.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        items.push_back(std::move(list.front()));
+        list.pop_front();
+      }
+      stats_.pops.fetch_add(n, std::memory_order_relaxed);
+      stats_.batch_pops.fetch_add(1, std::memory_order_relaxed);
+      c_pops_.Inc(n);
+      c_batch_pop_ops_.Inc();
+      c_batch_pop_items_.Inc(n);
+      return std::make_pair(key, std::move(items));
+    }
+    return std::nullopt;
+  };
+  return BlockingPop(keys, timeout, cancel, try_pop);
 }
 
 size_t Broker::LLen(const std::string& key) const {
-  std::scoped_lock lock(mu_);
-  auto it = lists_.find(key);
-  return it == lists_.end() ? 0 : it->second.size();
+  const Shard& shard = ShardFor(key);
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.lists.find(key);
+  return it == shard.lists.end() ? 0 : it->second.size();
 }
 
 size_t Broker::TotalQueued(const std::string& prefix) const {
-  std::scoped_lock lock(mu_);
   size_t total = 0;
-  for (const auto& [key, list] : lists_) {
-    if (key.starts_with(prefix)) total += list.size();
+  uint64_t scanned = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    for (auto it = shard.lists.lower_bound(prefix); it != shard.lists.end();
+         ++it) {
+      ++scanned;
+      if (!it->first.starts_with(prefix)) break;
+      total += it->second.size();
+    }
   }
+  stats_.keys_scanned.fetch_add(scanned, std::memory_order_relaxed);
+  c_scan_keys_.Inc(scanned);
   return total;
 }
 
 uint64_t Broker::Subscribe(const std::string& channel,
                            std::function<void(const std::string&)> callback) {
-  std::scoped_lock lock(mu_);
+  std::scoped_lock lock(pubsub_mu_);
   uint64_t id = next_subscription_id_++;
   subscribers_.push_back(Subscriber{id, channel, std::move(callback)});
   return id;
 }
 
 void Broker::Unsubscribe(uint64_t subscription_id) {
-  std::scoped_lock lock(mu_);
+  std::scoped_lock lock(pubsub_mu_);
   std::erase_if(subscribers_,
                 [&](const Subscriber& s) { return s.id == subscription_id; });
 }
@@ -234,40 +415,65 @@ size_t Broker::Publish(const std::string& channel, const std::string& message) {
   // (it may call back into the broker).
   std::vector<std::function<void(const std::string&)>> targets;
   {
-    std::scoped_lock lock(mu_);
-    ++stats_.publishes;
-    c_publishes_.Inc();
+    std::scoped_lock lock(pubsub_mu_);
     for (const Subscriber& s : subscribers_) {
       if (s.channel == channel) targets.push_back(s.callback);
     }
   }
+  stats_.publishes.fetch_add(1, std::memory_order_relaxed);
+  c_publishes_.Inc();
   for (auto& cb : targets) cb(message);
   return targets.size();
 }
 
 void Broker::Shutdown() {
-  {
-    std::scoped_lock lock(mu_);
-    shutdown_ = true;
+  shutdown_.store(true, std::memory_order_release);
+  for (Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    for (auto& [waiter, watched] : shard.waiters) {
+      std::scoped_lock waiter_lock(waiter->mu);
+      waiter->signaled = true;
+      waiter->cv.notify_one();
+    }
   }
-  list_cv_.notify_all();
+}
+
+void Broker::Notify() {
+  for (Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    for (auto& [waiter, watched] : shard.waiters) {
+      std::scoped_lock waiter_lock(waiter->mu);
+      waiter->signaled = true;
+      waiter->cv.notify_one();
+    }
+  }
 }
 
 bool Broker::shut_down() const {
-  std::scoped_lock lock(mu_);
-  return shutdown_;
+  return shutdown_.load(std::memory_order_acquire);
 }
 
 void Broker::FlushAll() {
-  std::scoped_lock lock(mu_);
-  strings_.clear();
-  hashes_.clear();
-  lists_.clear();
+  for (Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    shard.strings.clear();
+    shard.hashes.clear();
+    shard.lists.clear();
+  }
 }
 
 BrokerStats Broker::stats() const {
-  std::scoped_lock lock(mu_);
-  return stats_;
+  BrokerStats s;
+  s.gets = stats_.gets.load(std::memory_order_relaxed);
+  s.sets = stats_.sets.load(std::memory_order_relaxed);
+  s.pushes = stats_.pushes.load(std::memory_order_relaxed);
+  s.pops = stats_.pops.load(std::memory_order_relaxed);
+  s.blocked_pops = stats_.blocked_pops.load(std::memory_order_relaxed);
+  s.publishes = stats_.publishes.load(std::memory_order_relaxed);
+  s.batch_pushes = stats_.batch_pushes.load(std::memory_order_relaxed);
+  s.batch_pops = stats_.batch_pops.load(std::memory_order_relaxed);
+  s.keys_scanned = stats_.keys_scanned.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace laminar::broker

@@ -37,18 +37,27 @@ FaultContext::FaultContext(std::string_view mapping,
 
 bool FaultContext::InvokeWithRetries(const std::function<void()>& attempt,
                                      const std::string& context) {
-  std::string last_error;
-  for (int try_no = 0; try_no <= max_retries_; ++try_no) {
-    if (try_no > 0) {
-      retries_.fetch_add(1, std::memory_order_relaxed);
-      c_retries_.Inc();
-      if (backoff_ms_ > 0) {
-        double sleep_ms = std::min(
-            backoff_ms_ * static_cast<double>(1 << (try_no - 1)),
-            kMaxBackoffMs);
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(sleep_ms));
-      }
+  try {
+    attempt();
+    return true;
+  } catch (const std::exception& e) {
+    return RetryAfterFailure(attempt, context, e.what());
+  } catch (...) {
+    return RetryAfterFailure(attempt, context, "non-standard exception");
+  }
+}
+
+bool FaultContext::RetryAfterFailure(const std::function<void()>& attempt,
+                                     const std::string& context,
+                                     std::string last_error) {
+  for (int try_no = 1; try_no <= max_retries_; ++try_no) {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    c_retries_.Inc();
+    if (backoff_ms_ > 0) {
+      double sleep_ms = std::min(
+          backoff_ms_ * static_cast<double>(1 << (try_no - 1)), kMaxBackoffMs);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
     }
     try {
       attempt();

@@ -39,6 +39,17 @@ struct RunOptions {
   bool autoscale = true;
   /// Dynamic mapping: queue depth per worker that triggers scale-up.
   int autoscale_queue_per_worker = 4;
+  /// Dynamic mapping data plane: emitted tuples accumulate in
+  /// per-destination send buffers and are flushed to the broker with one
+  /// batched push when a buffer reaches send_batch_size items or its oldest
+  /// item exceeds send_batch_max_delay_ms, whichever comes first; workers
+  /// drain up to recv_batch_size items per blocking pop. Per-edge FIFO
+  /// order is preserved. 1/1 restores the per-tuple (unbatched) protocol.
+  /// Micro-batching trades up to send_batch_max_delay_ms of per-tuple
+  /// latency for a large cut in broker lock/wake traffic.
+  int send_batch_size = 32;
+  double send_batch_max_delay_ms = 1.0;
+  int recv_batch_size = 32;
   /// Print per-rank iteration summaries (the paper's -v output).
   bool verbose = false;
   /// Serverless duration limit in milliseconds (0 = none). A run that
@@ -108,6 +119,13 @@ class FaultContext {
   /// what()) and returns false — the caller quarantines the tuple.
   bool InvokeWithRetries(const std::function<void()>& attempt,
                          const std::string& context);
+
+  /// Continues the retry policy after the caller already ran — and caught —
+  /// the first attempt itself. Hot loops invoke the tuple inline (no
+  /// closure, no context string) and only pay for both here, on the cold
+  /// failure path. `first_error` is the what() of the caught throw.
+  bool RetryAfterFailure(const std::function<void()>& attempt,
+                         const std::string& context, std::string first_error);
 
   /// Records a work item that cannot even reach a PE (undecodable payload,
   /// unroutable queue key). Counted as a decode failure and a DLQ item,

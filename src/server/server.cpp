@@ -224,8 +224,19 @@ void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
   req.run_options.num_processes =
       static_cast<int>(body.GetInt("processes", 4));
   req.run_options.verbose = body.GetBool("verbose", false);
+  // Dynamic-mapping pool and data-plane knobs; defaults come from the
+  // RunOptions defaults so server and library cannot drift apart.
+  const dataflow::RunOptions defaults;
   req.run_options.max_workers =
       static_cast<int>(body.GetInt("max_workers", 8));
+  req.run_options.initial_workers = static_cast<int>(
+      body.GetInt("initial_workers", defaults.initial_workers));
+  req.run_options.send_batch_size = static_cast<int>(
+      body.GetInt("send_batch_size", defaults.send_batch_size));
+  req.run_options.recv_batch_size = static_cast<int>(
+      body.GetInt("recv_batch_size", defaults.recv_batch_size));
+  req.run_options.send_batch_max_delay_ms = body.GetDouble(
+      "send_batch_max_delay_ms", defaults.send_batch_max_delay_ms);
   req.run_options.deadline_ms = body.GetDouble("deadline_ms", 0.0);
   req.run_options.max_retries =
       static_cast<int>(body.GetInt("max_retries", 0));

@@ -1,0 +1,180 @@
+// Batched-vs-unbatched data-plane parity for the dynamic mapping: tuple
+// micro-batching (RunOptions::send_batch_size / recv_batch_size) is a pure
+// transport optimization and must be invisible to workflow semantics —
+// identical outputs, per-edge FIFO arrival order, and identical
+// fault-containment behaviour (retries, DLQ) under injected faults.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataflow/dynamic_mapping.hpp"
+#include "dataflow/pe_library.hpp"
+#include "dataflow/sequential_mapping.hpp"
+
+namespace laminar::dataflow {
+namespace {
+
+/// Producer that forwards the iteration payload verbatim, so downstream
+/// PEs see the deterministic sequence 0..N-1 (stateless: parallelizes).
+class IndexProducer final : public Clonable<IndexProducer, ProducerBase> {
+ public:
+  IndexProducer() { set_name("IndexProducer"); }
+  void Process(std::string_view, const Value& value, Emitter& out) override {
+    out.Emit(kDefaultOutput, value);
+  }
+};
+
+RunOptions Batched(Value input) {
+  RunOptions options;
+  options.input = std::move(input);
+  options.initial_workers = 4;
+  options.max_workers = 8;
+  options.send_batch_size = 32;
+  options.recv_batch_size = 32;
+  return options;
+}
+
+RunOptions Unbatched(Value input) {
+  RunOptions options = Batched(std::move(input));
+  // 1/1 restores the pre-batching per-tuple protocol.
+  options.send_batch_size = 1;
+  options.recv_batch_size = 1;
+  return options;
+}
+
+std::multiset<std::string> AsMultiset(const std::vector<std::string>& lines) {
+  return {lines.begin(), lines.end()};
+}
+
+std::unique_ptr<WorkflowGraph> PrimesGraph() {
+  auto g = std::make_unique<WorkflowGraph>("isprime_wf");
+  auto& producer = g->AddPE<IndexProducer>();
+  auto& filter = g->AddPE<IsPrime>();
+  auto& printer = g->AddPE<PrintPrime>();
+  EXPECT_TRUE(g->Connect(producer, filter).ok());
+  EXPECT_TRUE(g->Connect(filter, printer).ok());
+  return g;
+}
+
+TEST(BatchingParity, SameOutputsAsUnbatchedAndSequential) {
+  auto graph = PrimesGraph();
+  DynamicMapping batched_mapping;
+  RunResult batched = batched_mapping.Execute(*graph, Batched(Value(500)));
+  DynamicMapping unbatched_mapping;
+  RunResult unbatched =
+      unbatched_mapping.Execute(*graph, Unbatched(Value(500)));
+  SequentialMapping sequential;
+  RunResult reference = sequential.Execute(*graph, Batched(Value(500)));
+
+  ASSERT_TRUE(batched.status.ok()) << batched.status.ToString();
+  ASSERT_TRUE(unbatched.status.ok()) << unbatched.status.ToString();
+  EXPECT_EQ(batched.tuples_processed, unbatched.tuples_processed);
+  EXPECT_EQ(AsMultiset(batched.output_lines),
+            AsMultiset(unbatched.output_lines));
+  EXPECT_EQ(AsMultiset(batched.output_lines),
+            AsMultiset(reference.output_lines));
+  EXPECT_EQ(batched.failed_tuples, 0u);
+  EXPECT_EQ(batched.dlq_depth, 0u);
+}
+
+// With a single worker the whole pipeline is serial, so per-edge FIFO is
+// observable end to end: the sink must see tuples in exact emission order
+// under batching, as it does unbatched.
+TEST(BatchingParity, SingleWorkerPreservesPerEdgeFifoOrder) {
+  auto g = std::make_unique<WorkflowGraph>("fifo_wf");
+  auto& producer = g->AddPE<IndexProducer>();
+  auto& sink = g->AddPE<EchoSink>();
+  ASSERT_TRUE(g->Connect(producer, sink).ok());
+
+  constexpr int kTuples = 300;
+  for (bool batching : {false, true}) {
+    RunOptions options = batching ? Batched(Value(kTuples))
+                                  : Unbatched(Value(kTuples));
+    options.initial_workers = 1;
+    options.max_workers = 1;
+    options.autoscale = false;
+    DynamicMapping mapping;
+    RunResult result = mapping.Execute(*g, options);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    ASSERT_EQ(result.output_lines.size(), static_cast<size_t>(kTuples));
+    for (int i = 0; i < kTuples; ++i) {
+      EXPECT_EQ(result.output_lines[static_cast<size_t>(i)],
+                std::to_string(i))
+          << "tuple order diverged at " << i
+          << (batching ? " (batched)" : " (unbatched)");
+    }
+  }
+}
+
+std::unique_ptr<WorkflowGraph> FaultyGraph(int64_t every_n,
+                                           int64_t heal_after) {
+  auto g = std::make_unique<WorkflowGraph>("faulty_wf");
+  auto& producer = g->AddPE<IndexProducer>();
+  auto& injector = g->AddPE<FaultInjector>(every_n, heal_after);
+  auto& sink = g->AddPE<NullSink>();
+  EXPECT_TRUE(g->Connect(producer, injector).ok());
+  EXPECT_TRUE(g->Connect(injector, sink).ok());
+  return g;
+}
+
+// FaultInjector faults by tuple VALUE (every value divisible by every_n),
+// so the permanent-failure set is deterministic regardless of transport:
+// batching must quarantine exactly the same tuples.
+TEST(BatchingParity, SameDlqUnderPermanentFaults) {
+  constexpr int kTuples = 300;
+  constexpr int kEveryN = 3;
+  auto graph = FaultyGraph(kEveryN, /*heal_after=*/0);
+
+  DynamicMapping batched_mapping;
+  RunResult batched = batched_mapping.Execute(*graph, Batched(Value(kTuples)));
+  DynamicMapping unbatched_mapping;
+  RunResult unbatched =
+      unbatched_mapping.Execute(*graph, Unbatched(Value(kTuples)));
+
+  // 0, 3, 6, ... 297 fail permanently (max_retries = 0).
+  constexpr uint64_t kExpectedFailures = kTuples / kEveryN;
+  EXPECT_EQ(batched.failed_tuples, kExpectedFailures);
+  EXPECT_EQ(batched.failed_tuples, unbatched.failed_tuples);
+  EXPECT_EQ(batched.dlq_depth, unbatched.dlq_depth);
+  EXPECT_EQ(batched.tuples_processed, unbatched.tuples_processed);
+  EXPECT_EQ(batched.status.code(), unbatched.status.code());
+}
+
+// Transient faults healed by the retry policy: run serial (one worker) so
+// the injector's consecutive-failure bookkeeping is deterministic, and
+// require batched and unbatched runs to retry and recover identically.
+TEST(BatchingParity, RetriesHealTransientFaultsIdentically) {
+  constexpr int kTuples = 120;
+  constexpr int kEveryN = 4;
+  auto graph = FaultyGraph(kEveryN, /*heal_after=*/1);
+
+  RunResult results[2];
+  int idx = 0;
+  for (bool batching : {false, true}) {
+    RunOptions options = batching ? Batched(Value(kTuples))
+                                  : Unbatched(Value(kTuples));
+    options.initial_workers = 1;
+    options.max_workers = 1;
+    options.autoscale = false;
+    options.max_retries = 2;
+    DynamicMapping mapping;
+    results[idx++] = mapping.Execute(*graph, options);
+  }
+  const RunResult& unbatched = results[0];
+  const RunResult& batched = results[1];
+  ASSERT_TRUE(batched.status.ok()) << batched.status.ToString();
+  ASSERT_TRUE(unbatched.status.ok()) << unbatched.status.ToString();
+  EXPECT_EQ(batched.failed_tuples, 0u);
+  EXPECT_EQ(batched.dlq_depth, 0u);
+  // Every value divisible by kEveryN fails once then heals on retry.
+  constexpr uint64_t kExpectedRetries = kTuples / kEveryN;
+  EXPECT_EQ(batched.retries, kExpectedRetries);
+  EXPECT_EQ(unbatched.retries, kExpectedRetries);
+  EXPECT_EQ(batched.tuples_processed, unbatched.tuples_processed);
+}
+
+}  // namespace
+}  // namespace laminar::dataflow
