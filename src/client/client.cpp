@@ -141,6 +141,30 @@ Result<WorkflowInfo> LaminarClient::RegisterWorkflow(
   return wf;
 }
 
+Result<std::vector<int64_t>> LaminarClient::BulkRegisterPes(
+    const std::vector<PeSource>& pes) {
+  Value body = Value::MakeObject();
+  Value pe_arr = Value::MakeArray();
+  for (const PeSource& pe : pes) {
+    Value p = Value::MakeObject();
+    p["code"] = pe.code;
+    if (!pe.name.empty()) p["name"] = pe.name;
+    if (!pe.description.empty()) p["description"] = pe.description;
+    pe_arr.push_back(std::move(p));
+  }
+  body["pes"] = std::move(pe_arr);
+  Result<Value> resp = CallJson("/registry/bulk_register", body);
+  if (!resp.ok()) return resp.status();
+  std::vector<int64_t> ids;
+  for (const Value& id : resp->at("peIds").as_array()) {
+    ids.push_back(id.as_int());
+  }
+  if (ids.empty() && !pes.empty()) {
+    return Status::InvalidArgument("bulk registration rejected every PE");
+  }
+  return ids;
+}
+
 Result<PeInfo> LaminarClient::GetPe(int64_t id) {
   Value body = Value::MakeObject();
   body["id"] = id;

@@ -94,6 +94,13 @@ class LaminarClient {
                                         const std::vector<PeSource>& pes,
                                         const std::string& code = "",
                                         const std::string& description = "");
+  /// One-call batch registration (/registry/bulk_register): the server
+  /// prepares all PEs in parallel and commits them in a single exclusive
+  /// section. Returns the new PE ids in input order; items the server
+  /// rejected are skipped (their errors are reported in the response body,
+  /// and the call fails only if *no* PE registered).
+  Result<std::vector<int64_t>> BulkRegisterPes(
+      const std::vector<PeSource>& pes);
 
   // ---- retrieval ----
   Result<PeInfo> GetPe(int64_t id);

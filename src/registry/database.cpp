@@ -1,11 +1,134 @@
 #include "registry/database.hpp"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/json.hpp"
 
 namespace laminar::registry {
+namespace {
+
+/// Writes `text` to `<path>.tmp` and renames it over `path`. POSIX rename
+/// is atomic within a filesystem, so readers (and a crash at any point)
+/// observe either the old complete file or the new complete file — never a
+/// torn mix.
+Status WriteFileAtomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::Unavailable("cannot open '" + tmp + "' for write");
+    }
+    out << text;
+    out.flush();
+    if (!out.good()) {
+      return Status::Unavailable("write to '" + tmp + "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Unavailable("rename '" + tmp + "' -> '" + path +
+                               "' failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+/// Append-only mutation log. One JSON object per line:
+///   {"seq":N,"table":"...","op":"insert|update|erase|clear","id":N,
+///    "data":{...}}
+/// Appends are serialized by an internal mutex (registry mutations already
+/// hold the owner's exclusive lock; compaction runs off-lock concurrently
+/// with nothing but other persistence calls). `muted` suppresses logging
+/// while the database itself replays the log.
+class Database::WalWriter : public WalSink {
+ public:
+  explicit WalWriter(std::string path) : path_(std::move(path)) {}
+
+  Status Open() {
+    std::scoped_lock lock(mu_);
+    out_.open(path_, std::ios::app);
+    if (!out_) {
+      return Status::Unavailable("cannot open WAL '" + path_ +
+                                 "' for append");
+    }
+    return Status::Ok();
+  }
+
+  void Append(const std::string& table, std::string_view op, int64_t id,
+              const Value* payload) override {
+    std::scoped_lock lock(mu_);
+    if (muted_ || !out_.is_open()) return;
+    Value record = Value::MakeObject();
+    record["seq"] = static_cast<int64_t>(next_seq_++);
+    record["table"] = table;
+    record["op"] = std::string(op);
+    if (id != 0) record["id"] = id;
+    if (payload != nullptr) record["data"] = *payload;
+    out_ << record.ToJson() << '\n';
+    out_.flush();
+  }
+
+  /// Drops every record with seq <= `covered_seq` (they are contained in
+  /// the snapshot just written). Rewrites via tmp + rename like snapshots.
+  Status Compact(uint64_t covered_seq) {
+    std::scoped_lock lock(mu_);
+    if (out_.is_open()) {
+      out_.flush();
+      out_.close();
+    }
+    std::string kept;
+    {
+      std::ifstream in(path_);
+      std::string line;
+      while (in && std::getline(in, line)) {
+        if (line.empty()) continue;
+        Result<Value> record = json::Parse(line);
+        if (!record.ok()) break;  // torn tail: everything after is invalid
+        if (static_cast<uint64_t>(record->GetInt("seq", 0)) > covered_seq) {
+          kept += line;
+          kept += '\n';
+        }
+      }
+    }
+    Status st = WriteFileAtomic(path_, kept);
+    out_.open(path_, std::ios::app);
+    if (st.ok() && !out_) {
+      st = Status::Unavailable("cannot reopen WAL '" + path_ + "'");
+    }
+    return st;
+  }
+
+  void SetMuted(bool muted) {
+    std::scoped_lock lock(mu_);
+    muted_ = muted;
+  }
+
+  void EnsureSeqAbove(uint64_t seq) {
+    std::scoped_lock lock(mu_);
+    if (next_seq_ <= seq) next_seq_ = seq + 1;
+  }
+
+  uint64_t LastAssignedSeq() {
+    std::scoped_lock lock(mu_);
+    return next_seq_ - 1;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::ofstream out_;
+  bool muted_ = false;
+  uint64_t next_seq_ = 1;
+};
+
+Database::Database() = default;
+
+Database::~Database() = default;
 
 Status Database::CreateTable(TableSchema schema) {
   if (GetTable(schema.name) != nullptr) {
@@ -19,21 +142,19 @@ Status Database::CreateTable(TableSchema schema) {
   }
   std::string name = schema.name;
   tables_.emplace_back(name, std::make_unique<Table>(std::move(schema)));
+  table_slots_[name] = tables_.size() - 1;
+  if (wal_ != nullptr) tables_.back().second->SetWalSink(wal_.get());
   return Status::Ok();
 }
 
 Table* Database::GetTable(const std::string& name) {
-  for (auto& [n, t] : tables_) {
-    if (n == name) return t.get();
-  }
-  return nullptr;
+  auto it = table_slots_.find(name);
+  return it == table_slots_.end() ? nullptr : tables_[it->second].second.get();
 }
 
 const Table* Database::GetTable(const std::string& name) const {
-  for (const auto& [n, t] : tables_) {
-    if (n == name) return t.get();
-  }
-  return nullptr;
+  auto it = table_slots_.find(name);
+  return it == table_slots_.end() ? nullptr : tables_[it->second].second.get();
 }
 
 std::vector<std::string> Database::TableNames() const {
@@ -104,12 +225,58 @@ std::string Database::Dump() const {
   return root.ToJsonPretty();
 }
 
+Database::Snapshot Database::CaptureSnapshot() const {
+  Snapshot snapshot;
+  snapshot.tables.reserve(tables_.size());
+  if (wal_ != nullptr) snapshot.wal_seq = wal_->LastAssignedSeq();
+  std::scoped_lock lock(persist_mu_);
+  for (const auto& [name, table] : tables_) {
+    Snapshot::TableSnap snap;
+    snap.name = name;
+    snap.version = table->version();
+    auto cached = serialized_cache_.find(name);
+    if (cached != serialized_cache_.end() &&
+        cached->second.first == snap.version) {
+      snap.cached = true;
+      snap.text = cached->second.second;  // clean table: reuse, no row copy
+    } else {
+      snap.data = table->ToJson();  // dirty table: copy rows only
+    }
+    snapshot.tables.push_back(std::move(snap));
+  }
+  return snapshot;
+}
+
+Status Database::WriteSnapshot(Snapshot snapshot,
+                               const std::string& path) const {
+  // Serialize dirty tables outside any registry lock — this is the
+  // expensive part of a save and it touches only the captured copies.
+  for (Snapshot::TableSnap& snap : snapshot.tables) {
+    if (!snap.cached) snap.text = snap.data.ToJson();
+  }
+  std::string doc = "{\n\"__wal_seq\": " + std::to_string(snapshot.wal_seq);
+  for (const Snapshot::TableSnap& snap : snapshot.tables) {
+    doc += ",\n";
+    doc += Value(snap.name).ToJson();
+    doc += ": ";
+    doc += snap.text;
+  }
+  doc += "\n}\n";
+  Status st = WriteFileAtomic(path, doc);
+  if (!st.ok()) return st;
+  {
+    std::scoped_lock lock(persist_mu_);
+    for (Snapshot::TableSnap& snap : snapshot.tables) {
+      serialized_cache_[snap.name] = {snap.version, std::move(snap.text)};
+    }
+  }
+  // Everything up to wal_seq is now durable in the snapshot; shrink the log.
+  if (wal_ != nullptr) return wal_->Compact(snapshot.wal_seq);
+  return Status::Ok();
+}
+
 Status Database::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::Unavailable("cannot open '" + path + "' for write");
-  out << Dump();
-  return out.good() ? Status::Ok()
-                    : Status::Unavailable("write to '" + path + "' failed");
+  return WriteSnapshot(CaptureSnapshot(), path);
 }
 
 Status Database::LoadFromFile(const std::string& path) {
@@ -125,7 +292,100 @@ Status Database::LoadFromFile(const std::string& path) {
     Status st = table->LoadRows(table_obj);
     if (!st.ok()) return st;
   }
+  const uint64_t snapshot_seq =
+      static_cast<uint64_t>(parsed->GetInt("__wal_seq", 0));
+  if (wal_ != nullptr) {
+    wal_->EnsureSeqAbove(snapshot_seq);
+    return ReplayWal(wal_->path(), snapshot_seq);
+  }
   return Status::Ok();
+}
+
+Status Database::EnableWal(const std::string& path) {
+  if (wal_ != nullptr && wal_->path() == path) return Status::Ok();
+  auto writer = std::make_unique<WalWriter>(path);
+  Status st = writer->Open();
+  if (!st.ok()) return st;
+  wal_ = std::move(writer);
+  for (auto& [name, table] : tables_) table->SetWalSink(wal_.get());
+  return Status::Ok();
+}
+
+void Database::DisableWal() {
+  for (auto& [name, table] : tables_) table->SetWalSink(nullptr);
+  wal_.reset();
+}
+
+bool Database::wal_enabled() const { return wal_ != nullptr; }
+
+Status Database::Recover(const std::string& snapshot_path,
+                         const std::string& wal_path) {
+  uint64_t snapshot_seq = 0;
+  if (!snapshot_path.empty() && std::filesystem::exists(snapshot_path)) {
+    std::ifstream in(snapshot_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<Value> parsed = json::Parse(buffer.str());
+    if (!parsed.ok()) return parsed.status();
+    for (auto& [name, table] : tables_) {
+      const Value& table_obj = parsed->at(name);
+      if (table_obj.is_null()) continue;
+      Status st = table->LoadRows(table_obj);
+      if (!st.ok()) return st;
+    }
+    snapshot_seq = static_cast<uint64_t>(parsed->GetInt("__wal_seq", 0));
+  }
+  Status st = ReplayWal(wal_path, snapshot_seq);
+  if (!st.ok()) return st;
+  return EnableWal(wal_path);
+}
+
+Status Database::ReplayWal(const std::string& path, uint64_t min_seq) {
+  std::ifstream in(path);
+  if (!in) return Status::Ok();  // no log yet: nothing to replay
+  if (wal_ != nullptr) wal_->SetMuted(true);
+  uint64_t max_seq = min_seq;
+  Status st = Status::Ok();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Result<Value> record = json::Parse(line);
+    // A torn trailing line is the expected shape of a crash mid-append:
+    // stop replaying there, everything before it is intact.
+    if (!record.ok()) break;
+    const uint64_t seq = static_cast<uint64_t>(record->GetInt("seq", 0));
+    if (seq <= min_seq) continue;  // covered by the loaded snapshot
+    st = ApplyWalRecord(record.value());
+    if (!st.ok()) break;
+    if (seq > max_seq) max_seq = seq;
+  }
+  if (wal_ != nullptr) {
+    wal_->EnsureSeqAbove(max_seq);
+    wal_->SetMuted(false);
+  }
+  return st;
+}
+
+Status Database::ApplyWalRecord(const Value& record) {
+  const std::string table_name = record.GetString("table");
+  Table* table = GetTable(table_name);
+  if (table == nullptr) {
+    return Status::ParseError("WAL record references unknown table '" +
+                              table_name + "'");
+  }
+  const std::string op = record.GetString("op");
+  const int64_t id = record.GetInt("id", 0);
+  if (op == "insert") return table->RestoreRow(record.at("data"));
+  if (op == "update") return table->Update(id, record.at("data"));
+  if (op == "erase") {
+    (void)table->Erase(id);  // already-gone rows are not a replay failure
+    return Status::Ok();
+  }
+  if (op == "clear") {
+    table->Clear();
+    return Status::Ok();
+  }
+  return Status::ParseError("WAL record has unknown op '" + op + "'");
 }
 
 }  // namespace laminar::registry

@@ -1,10 +1,32 @@
 // Embedded relational database: named tables + foreign-key enforcement +
 // whole-database JSON persistence. Stands in for the MySQL instance behind
 // the Laminar registry (DESIGN.md substitution table).
+//
+// Persistence model (ISSUE 5):
+//  * Snapshots are two-phase. CaptureSnapshot() runs under the caller's
+//    *read* lock and only copies row data (or reuses cached serialized text
+//    for tables unchanged since the last snapshot — per-table dirty tracking
+//    via Table::version()). WriteSnapshot() then serializes and writes
+//    OUTSIDE any registry lock, to `<path>.tmp` + atomic rename, so a crash
+//    mid-save can never corrupt the previous snapshot and concurrent
+//    searches never wait on disk I/O.
+//  * An optional write-ahead log (EnableWal) appends every committed
+//    mutation as one JSON line tagged with a monotonic sequence number.
+//    Snapshots embed the sequence they cover ("__wal_seq"); LoadFromFile
+//    replays only the WAL suffix past that point, so a crash between
+//    snapshots loses nothing. WriteSnapshot compacts the log down to the
+//    un-snapshotted suffix.
+//
+// Locking contract: table reads/mutations are guarded by the owner's lock
+// (the server's shared_mutex). The persistence caches and the WAL stream
+// have their own internal mutex, so CaptureSnapshot/WriteSnapshot may run
+// from concurrent readers.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "registry/table.hpp"
@@ -13,6 +35,9 @@ namespace laminar::registry {
 
 class Database {
  public:
+  Database();
+  ~Database();
+
   Status CreateTable(TableSchema schema);
   Table* GetTable(const std::string& name);
   const Table* GetTable(const std::string& name) const;
@@ -28,14 +53,70 @@ class Database {
 
   /// Serializes every table (schema names + rows) to pretty JSON.
   std::string Dump() const;
+
+  /// Phase 1 of a save: copy-on-read capture of every table, cheap enough
+  /// to run under a shared lock. Tables unchanged since the last
+  /// WriteSnapshot reuse their cached serialized text instead of copying.
+  struct Snapshot {
+    struct TableSnap {
+      std::string name;
+      uint64_t version = 0;
+      bool cached = false;  ///< `text` reused from the serialization cache
+      std::string text;     ///< serialized table JSON (cached tables)
+      Value data;           ///< copied table JSON (dirty tables)
+    };
+    std::vector<TableSnap> tables;
+    uint64_t wal_seq = 0;  ///< last mutation sequence the snapshot covers
+  };
+  Snapshot CaptureSnapshot() const;
+
+  /// Phase 2: serializes dirty tables, assembles the document, writes
+  /// `<path>.tmp` and renames over `path`. Runs outside any registry lock;
+  /// refreshes the serialization cache and compacts the WAL on success.
+  Status WriteSnapshot(Snapshot snapshot, const std::string& path) const;
+
+  /// CaptureSnapshot + WriteSnapshot in one call (callers that do not split
+  /// phases across lock scopes). Atomic like WriteSnapshot.
   Status SaveToFile(const std::string& path) const;
-  /// Restores rows into the already-created tables of this database.
+
+  /// Restores rows into the already-created tables of this database, then
+  /// replays the enabled WAL's suffix (records newer than the snapshot).
   Status LoadFromFile(const std::string& path);
 
+  /// Opens `path` for appending one JSON line per committed mutation.
+  /// Does not replay — see Recover(). Idempotent per path.
+  Status EnableWal(const std::string& path);
+  void DisableWal();
+  bool wal_enabled() const;
+
+  /// Crash recovery in one call: loads `snapshot_path` when it exists (a
+  /// missing snapshot is not an error — first boot), replays the suffix of
+  /// `wal_path` past the snapshot's sequence, then enables the WAL for
+  /// subsequent mutations.
+  Status Recover(const std::string& snapshot_path, const std::string& wal_path);
+
  private:
+  class WalWriter;
+
   Status CheckForeignKeys(const Table& table, const Row& row) const;
+  /// Applies records with seq > min_seq; a torn trailing line (crash mid-
+  /// append) ends the replay without error.
+  Status ReplayWal(const std::string& path, uint64_t min_seq);
+  Status ApplyWalRecord(const Value& record);
 
   std::vector<std::pair<std::string, std::unique_ptr<Table>>> tables_;
+  /// name -> index into tables_; lookup is O(1), creation order (which
+  /// persistence and FK checks rely on) stays in the vector.
+  std::unordered_map<std::string, size_t> table_slots_;
+
+  /// Serialization cache: table name -> (version, serialized text). Guarded
+  /// by persist_mu_ (its own lock — snapshot writers run off the registry
+  /// lock and concurrent captures run under shared locks).
+  mutable std::mutex persist_mu_;
+  mutable std::unordered_map<std::string, std::pair<uint64_t, std::string>>
+      serialized_cache_;
+
+  std::unique_ptr<WalWriter> wal_;
 };
 
 }  // namespace laminar::registry

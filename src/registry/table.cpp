@@ -134,7 +134,9 @@ Result<int64_t> Table::Insert(Row row) {
   int64_t id = next_id_++;
   row[schema_.primary_key] = id;
   IndexRow(id, row);
-  rows_.emplace(id, std::move(row));
+  auto [it, unused] = rows_.emplace(id, std::move(row));
+  ++version_;
+  if (wal_ != nullptr) wal_->Append(schema_.name, "insert", id, &it->second);
   return id;
 }
 
@@ -169,6 +171,8 @@ Status Table::Update(int64_t id, const Row& fields) {
   DeindexRow(id, it->second);
   it->second = std::move(merged);
   IndexRow(id, it->second);
+  ++version_;
+  if (wal_ != nullptr) wal_->Append(schema_.name, "update", id, &fields);
   return Status::Ok();
 }
 
@@ -179,6 +183,8 @@ bool Table::Erase(int64_t id) {
   erases.Inc();
   DeindexRow(id, it->second);
   rows_.erase(it);
+  ++version_;
+  if (wal_ != nullptr) wal_->Append(schema_.name, "erase", id, nullptr);
   return true;
 }
 
@@ -228,9 +234,15 @@ std::vector<Row> Table::All() const {
 }
 
 void Table::Clear() {
+  ClearNoLog();
+  if (wal_ != nullptr) wal_->Append(schema_.name, "clear", 0, nullptr);
+}
+
+void Table::ClearNoLog() {
   rows_.clear();
   for (auto& [col, buckets] : indexes_) buckets.clear();
   next_id_ = 1;
+  ++version_;
 }
 
 Value Table::ToJson() const {
@@ -243,7 +255,7 @@ Value Table::ToJson() const {
 }
 
 Status Table::LoadRows(const Value& table_obj) {
-  Clear();
+  ClearNoLog();  // restoring a snapshot is not a logged mutation
   int64_t max_id = 0;
   for (const Value& row : table_obj.at("rows").as_array()) {
     if (!row.is_object()) {
@@ -257,6 +269,24 @@ Status Table::LoadRows(const Value& table_obj) {
   }
   int64_t stored_next = table_obj.GetInt("next_id", max_id + 1);
   next_id_ = std::max(stored_next, max_id + 1);
+  return Status::Ok();
+}
+
+Status Table::RestoreRow(Row row) {
+  if (!row.is_object()) {
+    return Status::ParseError("restored row is not an object");
+  }
+  int64_t id = row.GetInt(schema_.primary_key, -1);
+  if (id < 1) return Status::ParseError("restored row missing primary key");
+  auto it = rows_.find(id);
+  if (it != rows_.end()) {
+    DeindexRow(id, it->second);
+    rows_.erase(it);
+  }
+  IndexRow(id, row);
+  rows_.emplace(id, std::move(row));
+  next_id_ = std::max(next_id_, id + 1);
+  ++version_;
   return Status::Ok();
 }
 

@@ -56,6 +56,18 @@ struct TableSchema {
 /// Read/write row representation: a Value object keyed by column name.
 using Row = Value;
 
+/// Sink for the registry's append-only mutation log. Database installs one
+/// on every table when the WAL is enabled; each *committed* mutation (after
+/// validation) appends exactly one record. Ops: "insert" carries the full
+/// row (primary key included), "update" the partial field set, "erase" only
+/// the id, "clear" nothing. Restore paths (LoadRows/RestoreRow) never log.
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+  virtual void Append(const std::string& table, std::string_view op,
+                      int64_t id, const Value* payload) = 0;
+};
+
 /// Lookup statistics used by bench_registry to show index effect.
 struct TableStats {
   uint64_t index_lookups = 0;
@@ -112,7 +124,22 @@ class Table {
   Value ToJson() const;
   Status LoadRows(const Value& rows_array);
 
+  /// WAL-replay insert: the row already carries its primary key. Re-indexes,
+  /// advances next_id_ past the id, replaces any existing row. Not logged.
+  Status RestoreRow(Row row);
+
+  /// Monotonic mutation counter: bumped by every Insert/Update/Erase/Clear/
+  /// LoadRows/RestoreRow. Snapshots use it as a dirty marker — a table whose
+  /// version matches the last serialized one can reuse the cached text.
+  uint64_t version() const { return version_; }
+
+  /// Installs (or removes, with nullptr) the mutation-log sink.
+  void SetWalSink(WalSink* sink) { wal_ = sink; }
+
  private:
+  /// Clear without WAL logging — the restore paths (LoadRows) rebuild state
+  /// that is already durable elsewhere.
+  void ClearNoLog();
   const ColumnSpec* FindColumn(const std::string& name) const;
   Status ValidateTypes(const Row& row, bool partial) const;
   Status CheckUnique(const Row& row, int64_t ignore_id) const;
@@ -123,6 +150,8 @@ class Table {
   TableSchema schema_;
   std::map<int64_t, Row> rows_;  // ordered for deterministic scans
   int64_t next_id_ = 1;
+  uint64_t version_ = 0;
+  WalSink* wal_ = nullptr;
   /// column -> value-key -> row ids.
   std::unordered_map<std::string,
                      std::unordered_map<std::string, std::vector<int64_t>>>

@@ -1,6 +1,7 @@
 #include "search/search_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
 #include "common/strings.hpp"
@@ -53,36 +54,88 @@ embed::Vector SearchService::TextEmbeddingFor(
   return unixcoder_.EncodeText(description);
 }
 
+SearchService::PreparedPe SearchService::PreparePe(
+    std::string name, std::string description,
+    const std::string& stored_embedding_json, std::string code) const {
+  PreparedPe prepared;
+  prepared.name = std::move(name);
+  prepared.description = std::move(description);
+  prepared.code = std::move(code);
+  prepared.text_embedding =
+      TextEmbeddingFor(stored_embedding_json, prepared.description);
+  EncodeCounter("reacc").Inc();
+  prepared.code_embedding = reacc_.EncodeCode(prepared.code);
+  // Snippets with no extractable features (e.g. an empty stub) are simply
+  // not indexed for recommendation rather than failing the registration.
+  Result<spt::FeatureBag> bag = aroma_.Featurize(prepared.code);
+  if (bag.ok() && bag->total > 0) {
+    prepared.features = std::move(bag.value());
+    prepared.has_features = true;
+  }
+  return prepared;
+}
+
+SearchService::PreparedWorkflow SearchService::PrepareWorkflow(
+    std::string name, std::string description,
+    const std::string& stored_embedding_json, const std::string& code) const {
+  PreparedWorkflow prepared;
+  prepared.name = std::move(name);
+  prepared.description = std::move(description);
+  prepared.text_embedding =
+      TextEmbeddingFor(stored_embedding_json, prepared.description);
+  EncodeCounter("reacc").Inc();
+  prepared.code_embedding = reacc_.EncodeCode(code);
+  return prepared;
+}
+
+void SearchService::CommitPe(int64_t pe_id, PreparedPe prepared) {
+  pe_text_index_.Upsert(pe_id, prepared.text_embedding);
+  pe_code_index_.Upsert(pe_id, prepared.code_embedding);
+  if (prepared.has_features) {
+    (void)aroma_.AddSnippetWithFeatures(pe_id, prepared.code,
+                                        std::move(prepared.features));
+  }
+  pe_docs_[pe_id] =
+      Doc{std::move(prepared.name), std::move(prepared.description)};
+}
+
+void SearchService::CommitWorkflow(int64_t workflow_id,
+                                   PreparedWorkflow prepared) {
+  workflow_text_index_.Upsert(workflow_id, prepared.text_embedding);
+  workflow_code_index_.Upsert(workflow_id, prepared.code_embedding);
+  workflow_docs_[workflow_id] =
+      Doc{std::move(prepared.name), std::move(prepared.description)};
+}
+
+void SearchService::UpdatePeDescription(int64_t pe_id, std::string description,
+                                        embed::Vector text_embedding) {
+  pe_text_index_.Upsert(pe_id, text_embedding);
+  auto it = pe_docs_.find(pe_id);
+  if (it != pe_docs_.end()) it->second.description = std::move(description);
+}
+
+void SearchService::UpdateWorkflowDescription(int64_t workflow_id,
+                                              std::string description,
+                                              embed::Vector text_embedding) {
+  workflow_text_index_.Upsert(workflow_id, text_embedding);
+  auto it = workflow_docs_.find(workflow_id);
+  if (it != workflow_docs_.end()) it->second.description = std::move(description);
+}
+
 Status SearchService::AddPe(int64_t pe_id) {
   Result<registry::PeRecord> pe = repo_->GetPe(pe_id);
   if (!pe.ok()) return pe.status();
-  Doc doc;
-  doc.name = pe->name;
-  doc.description = pe->description;
-  pe_text_index_.Upsert(pe_id,
-                        TextEmbeddingFor(pe->description_embedding,
-                                         pe->description));
-  EncodeCounter("reacc").Inc();
-  pe_code_index_.Upsert(pe_id, reacc_.EncodeCode(pe->code));
-  pe_docs_[pe_id] = std::move(doc);
-  // The Aroma index ignores snippets with no extractable features (e.g.
-  // registration of an empty stub) rather than failing the registration.
-  (void)aroma_.AddSnippet(pe_id, pe->code);
+  CommitPe(pe_id, PreparePe(pe->name, pe->description,
+                            pe->description_embedding, pe->code));
   return Status::Ok();
 }
 
 Status SearchService::AddWorkflow(int64_t workflow_id) {
   Result<registry::WorkflowRecord> wf = repo_->GetWorkflow(workflow_id);
   if (!wf.ok()) return wf.status();
-  Doc doc;
-  doc.name = wf->name;
-  doc.description = wf->description;
-  workflow_text_index_.Upsert(workflow_id,
-                              TextEmbeddingFor(wf->description_embedding,
-                                               wf->description));
-  EncodeCounter("reacc").Inc();
-  workflow_code_index_.Upsert(workflow_id, reacc_.EncodeCode(wf->code));
-  workflow_docs_[workflow_id] = std::move(doc);
+  CommitWorkflow(workflow_id, PrepareWorkflow(wf->name, wf->description,
+                                              wf->description_embedding,
+                                              wf->code));
   return Status::Ok();
 }
 
@@ -111,16 +164,36 @@ void SearchService::Clear() {
   aroma_ = spt::AromaEngine(config_.aroma);
 }
 
-Status SearchService::ReindexAll() {
+Status SearchService::ReindexAll(ThreadPool* pool) {
+  const auto start = std::chrono::steady_clock::now();
   Clear();
-  for (const registry::PeRecord& pe : repo_->AllPes()) {
-    Status st = AddPe(pe.id);
-    if (!st.ok()) return st;
+  const std::vector<registry::PeRecord> pes = repo_->AllPes();
+  const std::vector<registry::WorkflowRecord> wfs = repo_->AllWorkflows();
+  // Prepare fans out (encodes + SPT featurization are const and
+  // thread-safe); commits run serially on this thread because index
+  // mutations rely on the caller's exclusive lock.
+  std::vector<PreparedPe> pe_prepared(pes.size());
+  ParallelFor(pool, pes.size(), [&](size_t i) {
+    pe_prepared[i] = PreparePe(pes[i].name, pes[i].description,
+                               pes[i].description_embedding, pes[i].code);
+  });
+  for (size_t i = 0; i < pes.size(); ++i) {
+    CommitPe(pes[i].id, std::move(pe_prepared[i]));
   }
-  for (const registry::WorkflowRecord& wf : repo_->AllWorkflows()) {
-    Status st = AddWorkflow(wf.id);
-    if (!st.ok()) return st;
+  std::vector<PreparedWorkflow> wf_prepared(wfs.size());
+  ParallelFor(pool, wfs.size(), [&](size_t i) {
+    wf_prepared[i] = PrepareWorkflow(wfs[i].name, wfs[i].description,
+                                     wfs[i].description_embedding,
+                                     wfs[i].code);
+  });
+  for (size_t i = 0; i < wfs.size(); ++i) {
+    CommitWorkflow(wfs[i].id, std::move(wf_prepared[i]));
   }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  telemetry::MetricsRegistry::Global()
+      .GetGauge("laminar_search_bulk_build_ms")
+      .Set(elapsed.count());
   return Status::Ok();
 }
 

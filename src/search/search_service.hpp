@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "embed/codet5_sim.hpp"
 #include "embed/reacc_sim.hpp"
 #include "embed/unixcoder_sim.hpp"
@@ -68,6 +69,48 @@ class SearchService {
  public:
   SearchService(registry::Repository& repo, SearchConfig config = {});
 
+  /// Two-phase registration (ISSUE 5). Prepare* runs every expensive step —
+  /// description/code encodes and the SPT parse+featurization — with no
+  /// locking requirement at all (the encoders are const and thread-safe), so
+  /// the server calls it on the request thread *outside* its registry lock.
+  /// Commit* then only upserts the precomputed rows, a few map/vector writes
+  /// short enough to sit in the exclusive section. The committed state is
+  /// identical to what AddPe/AddWorkflow build (same encoders, same feature
+  /// options), and the in-memory FeatureBag keeps the line occurrences that
+  /// a JSON round-trip through the sptEmbedding column would lose.
+  struct PreparedPe {
+    std::string name;
+    std::string description;
+    std::string code;
+    embed::Vector text_embedding;
+    embed::Vector code_embedding;
+    bool has_features = false;  ///< false: snippet yielded no SPT features
+    spt::FeatureBag features;
+  };
+  struct PreparedWorkflow {
+    std::string name;
+    std::string description;
+    embed::Vector text_embedding;
+    embed::Vector code_embedding;
+  };
+  PreparedPe PreparePe(std::string name, std::string description,
+                       const std::string& stored_embedding_json,
+                       std::string code) const;
+  PreparedWorkflow PrepareWorkflow(std::string name, std::string description,
+                                   const std::string& stored_embedding_json,
+                                   const std::string& code) const;
+  /// Require external exclusive locking, like every index mutation.
+  void CommitPe(int64_t pe_id, PreparedPe prepared);
+  void CommitWorkflow(int64_t workflow_id, PreparedWorkflow prepared);
+
+  /// Description-only re-index: replaces the stored doc text and the text
+  /// embedding (encoded off-lock by the caller) without touching the code
+  /// or SPT indexes — they depend only on the unchanged code.
+  void UpdatePeDescription(int64_t pe_id, std::string description,
+                           embed::Vector text_embedding);
+  void UpdateWorkflowDescription(int64_t workflow_id, std::string description,
+                                 embed::Vector text_embedding);
+
   /// Index maintenance — the server calls these on registration/removal.
   /// AddPe/AddWorkflow read the record back from the repository.
   Status AddPe(int64_t pe_id);
@@ -75,8 +118,12 @@ class SearchService {
   void RemovePe(int64_t pe_id);
   void RemoveWorkflow(int64_t workflow_id);
   void Clear();
-  /// Rebuilds everything from the repository.
-  Status ReindexAll();
+  /// Rebuilds everything from the repository. With a pool, the prepare
+  /// phase (encodes + SPT featurization) fans out across pool threads plus
+  /// the caller via ParallelFor; commits stay on the calling thread, so the
+  /// external-exclusive-locking contract is unchanged. Sets the
+  /// laminar_search_bulk_build_ms gauge.
+  Status ReindexAll(ThreadPool* pool = nullptr);
 
   /// §V-A literal search: case-insensitive term match on names and
   /// descriptions.

@@ -63,11 +63,28 @@ std::string ExtractClassName(const std::string& code) {
   return name;
 }
 
+/// Per-phase ingest instrumentation (ISSUE 5): encode = the off-lock
+/// prepare work (summaries, embeddings, SPT featurization), commit = the
+/// exclusive-lock row insert + index upsert.
+telemetry::Histogram& IngestHistogram(const char* phase) {
+  return telemetry::MetricsRegistry::Global().GetHistogram(
+      "laminar_server_ingest_ms",
+      std::string("phase=\"") + phase + "\"");
+}
+
+telemetry::Counter& IngestCounter(const char* phase) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "laminar_server_ingest_total",
+      std::string("phase=\"") + phase + "\"");
+}
+
 /// Endpoints that only read registry/search state. These run under a shared
 /// lock so any number of them proceed concurrently; everything else takes
-/// the lock exclusively. /users/login is a mutation (it mints a token) and
-/// /registry/save is kept exclusive so snapshots are taken at a write
-/// boundary.
+/// the lock exclusively. /users/login is a mutation (it mints a token).
+/// The ingest endpoints (/pes/register, /workflows/register,
+/// /registry/bulk_register, the update_description pair) and /registry/save
+/// never reach this routing: they manage their own two-phase locking in
+/// HandleInternal (prepare/serialize off-lock, short exclusive commit).
 bool IsReadOnlyEndpoint(const std::string& path) {
   static constexpr std::string_view kReadOnly[] = {
       "/pes/get", "/pes/describe", "/workflows/get", "/workflows/describe",
@@ -92,8 +109,8 @@ std::string_view CanonicalPath(const std::string& path) {
       "/workflows/pes", "/workflows/executions",
       "/workflows/update_description", "/workflows/remove",
       "/registry/list", "/registry/remove_all", "/registry/save",
-      "/registry/load", "/search/literal", "/search/semantic",
-      "/search/code", "/search/complete"};
+      "/registry/load", "/registry/bulk_register", "/search/literal",
+      "/search/semantic", "/search/code", "/search/complete"};
   for (std::string_view known : kKnown) {
     if (path == known) return known;
   }
@@ -106,14 +123,33 @@ LaminarServer::LaminarServer(ServerConfig config)
     : config_(std::move(config)),
       repo_(db_),
       search_(repo_, config_.search),
-      engine_(config_.engine),
-      unixcoder_(config_.search.unixcoder) {
+      engine_(config_.engine) {
+  if (config_.ingest_threads > 0) {
+    ingest_pool_ = std::make_unique<ThreadPool>(config_.ingest_threads);
+  }
   Status st = registry::CreateLaminarSchema(db_);
   if (!st.ok()) {
     log::Error("server", "schema creation failed: " + st.ToString());
   }
+  if (!config_.wal_path.empty()) {
+    Status rec = db_.Recover(config_.snapshot_path, config_.wal_path);
+    if (!rec.ok()) {
+      log::Error("server", "registry recovery failed: " + rec.ToString());
+    }
+    st = search_.ReindexAll(ingest_pool_.get());
+    if (!st.ok()) {
+      log::Error("server", "post-recovery reindex failed: " + st.ToString());
+    }
+  }
   Result<int64_t> uid = repo_.CreateUser(config_.default_user, "laminar");
-  default_user_id_ = uid.ok() ? uid.value() : 1;
+  if (uid.ok()) {
+    default_user_id_ = uid.value();
+  } else {
+    // Recovered registries already contain the default user.
+    Result<registry::UserRecord> user =
+        repo_.GetUserByName(config_.default_user);
+    default_user_id_ = user.ok() ? user->id : 1;
+  }
 }
 
 net::StreamHandler LaminarServer::HandlerFn() {
@@ -159,8 +195,10 @@ Value LaminarServer::WorkflowToJson(const registry::WorkflowRecord& wf,
   return v;
 }
 
-Result<int64_t> LaminarServer::RegisterPeLocked(const Value& pe_obj) {
-  registry::PeRecord pe;
+Result<LaminarServer::PreparedPeReg> LaminarServer::PreparePeRegistration(
+    const Value& pe_obj) const {
+  PreparedPeReg prepared;
+  registry::PeRecord& pe = prepared.record;
   pe.code = pe_obj.GetString("code");
   if (pe.code.empty()) {
     return Status::InvalidArgument("PE registration requires 'code'");
@@ -176,17 +214,23 @@ Result<int64_t> LaminarServer::RegisterPeLocked(const Value& pe_obj) {
     pe.description =
         codet5_.Summarize(pe.code, embed::DescriptionContext::kFullClass);
   }
-  pe.description_embedding =
-      embed::ToJson(unixcoder_.EncodeText(pe.description));
-  Result<spt::FeatureBag> features = search_.aroma().Featurize(pe.code);
-  if (features.ok()) {
-    pe.spt_embedding = spt::FeatureBagToJson(features.value());
-  }
   pe.type = pe_obj.GetString("type", "IterativePE");
-  Result<int64_t> id = repo_.CreatePe(pe);
+  // One encode + one SPT featurization, shared by the stored columns and
+  // the search indexes (the old path parsed the code twice: once for the
+  // column, once inside the index add).
+  prepared.index = search_.PreparePe(pe.name, pe.description,
+                                     /*stored_embedding_json=*/"", pe.code);
+  pe.description_embedding = embed::ToJson(prepared.index.text_embedding);
+  if (prepared.index.has_features) {
+    pe.spt_embedding = spt::FeatureBagToJson(prepared.index.features);
+  }
+  return prepared;
+}
+
+Result<int64_t> LaminarServer::CommitPeRegistration(PreparedPeReg prepared) {
+  Result<int64_t> id = repo_.CreatePe(prepared.record);
   if (!id.ok()) return id;
-  Status st = search_.AddPe(id.value());
-  if (!st.ok()) return st;
+  search_.CommitPe(id.value(), std::move(prepared.index));
   return id;
 }
 
@@ -396,6 +440,256 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     return;
   }
 
+  // ── Ingest endpoints: two-phase (ISSUE 5). The expensive phase — CodeT5
+  // summaries, UniXcoder/ReACC encodes, SPT parse+featurization — runs on
+  // this request thread with NO lock held, so concurrent registrations
+  // overlap their model inference and serialize only on the short exclusive
+  // commit (row insert + precomputed-vector upsert).
+
+  if (path == "/pes/register") {
+    Result<PreparedPeReg> prepared = [&] {
+      telemetry::ScopedSpan span("ingest.encode", &IngestHistogram("encode"));
+      IngestCounter("encode").Inc();
+      return PreparePeRegistration(body);
+    }();
+    if (!prepared.ok()) {
+      Reply(out, StatusToHttp(prepared.status()),
+            ErrorBody(prepared.status()));
+      return;
+    }
+    Result<int64_t> id = [&]() -> Result<int64_t> {
+      telemetry::ScopedSpan span("ingest.commit", &IngestHistogram("commit"));
+      IngestCounter("commit").Inc();
+      std::scoped_lock lock(mu_);
+      return CommitPeRegistration(std::move(prepared.value()));
+    }();
+    if (!id.ok()) {
+      Reply(out, StatusToHttp(id.status()), ErrorBody(id.status()));
+      return;
+    }
+    Value resp;
+    {
+      std::shared_lock lock(mu_);
+      Result<registry::PeRecord> pe = repo_.GetPe(id.value());
+      resp = PeToJson(pe.value(), /*with_code=*/false);
+    }
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/workflows/register") {
+    registry::WorkflowRecord wf;
+    {
+      std::shared_lock lock(mu_);
+      wf.user_id = AuthUser(request);
+    }
+    wf.name = body.GetString("name");
+    wf.code = body.GetString("code");
+    wf.entry_point = body.at("spec").is_object()
+                         ? body.at("spec").ToJson()
+                         : body.GetString("spec");
+    if (wf.name.empty()) {
+      Reply(out, 400,
+            ErrorBody(Status::InvalidArgument("workflow requires 'name'")));
+      return;
+    }
+    // Phase 1: prepare every member PE, synthesize the workflow description
+    // from the *prepared* PE descriptions (identical to what the commit
+    // will store), then encode/featurize the workflow itself.
+    std::vector<PreparedPeReg> member_pes;
+    std::vector<std::string> pe_descriptions;
+    search::SearchService::PreparedWorkflow wf_index;
+    {
+      telemetry::ScopedSpan span("ingest.encode", &IngestHistogram("encode"));
+      IngestCounter("encode").Inc();
+      for (const Value& pe_obj : body.at("pes").as_array()) {
+        Result<PreparedPeReg> prepared = PreparePeRegistration(pe_obj);
+        if (!prepared.ok()) {
+          Reply(out, StatusToHttp(prepared.status()),
+                ErrorBody(prepared.status()));
+          return;
+        }
+        pe_descriptions.push_back(prepared->record.description);
+        member_pes.push_back(std::move(prepared.value()));
+      }
+      wf.description = body.GetString("description");
+      if (wf.description.empty()) {
+        // §IV-C: workflow descriptions synthesized from their PEs.
+        wf.description = codet5_.SummarizeWorkflow(wf.name, pe_descriptions);
+      }
+      wf_index = search_.PrepareWorkflow(wf.name, wf.description,
+                                         /*stored_embedding_json=*/"",
+                                         wf.code);
+      wf.description_embedding = embed::ToJson(wf_index.text_embedding);
+      if (!wf.code.empty()) {
+        Result<spt::FeatureBag> features = search_.aroma().Featurize(wf.code);
+        if (features.ok()) {
+          wf.spt_embedding = spt::FeatureBagToJson(features.value());
+        }
+      }
+    }
+    // Phase 2: one exclusive section commits the PEs, the workflow row, the
+    // membership links and the precomputed workflow vectors.
+    Value resp = Value::MakeObject();
+    {
+      telemetry::ScopedSpan span("ingest.commit", &IngestHistogram("commit"));
+      IngestCounter("commit").Inc();
+      std::scoped_lock lock(mu_);
+      std::vector<int64_t> pe_ids;
+      pe_ids.reserve(member_pes.size());
+      for (PreparedPeReg& prepared : member_pes) {
+        Result<int64_t> pe_id = CommitPeRegistration(std::move(prepared));
+        if (!pe_id.ok()) {
+          Reply(out, StatusToHttp(pe_id.status()), ErrorBody(pe_id.status()));
+          return;
+        }
+        pe_ids.push_back(pe_id.value());
+      }
+      Result<int64_t> wf_id = repo_.CreateWorkflow(wf);
+      if (!wf_id.ok()) {
+        Reply(out, StatusToHttp(wf_id.status()), ErrorBody(wf_id.status()));
+        return;
+      }
+      for (int64_t pe_id : pe_ids) {
+        (void)repo_.LinkPe(wf_id.value(), pe_id);  // both rows just created
+      }
+      search_.CommitWorkflow(wf_id.value(), std::move(wf_index));
+      resp["workflowId"] = wf_id.value();
+      Value ids = Value::MakeArray();
+      for (int64_t pe_id : pe_ids) ids.push_back(pe_id);
+      resp["peIds"] = std::move(ids);
+    }
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/registry/bulk_register") {
+    if (!body.at("pes").is_array() || body.at("pes").size() == 0) {
+      Reply(out, 400,
+            ErrorBody(Status::InvalidArgument(
+                "bulk_register requires a non-empty 'pes' array")));
+      return;
+    }
+    const auto& pe_objs = body.at("pes").as_array();
+    const size_t n = pe_objs.size();
+    std::vector<std::unique_ptr<PreparedPeReg>> prepared(n);
+    std::vector<std::string> prepare_errors(n);
+    {
+      telemetry::ScopedSpan span("ingest.encode", &IngestHistogram("encode"));
+      IngestCounter("encode").Inc();
+      // Items are independent and prepare touches only const encoder state,
+      // so the fan-out needs no locking at all.
+      ParallelFor(ingest_pool_.get(), n, [&](size_t i) {
+        Result<PreparedPeReg> r = PreparePeRegistration(pe_objs[i]);
+        if (r.ok()) {
+          prepared[i] = std::make_unique<PreparedPeReg>(std::move(r.value()));
+        } else {
+          prepare_errors[i] = r.status().ToString();
+        }
+      });
+    }
+    Value ids = Value::MakeArray();
+    Value errors = Value::MakeArray();
+    int64_t registered = 0;
+    auto record_error = [&errors](size_t index, const std::string& message) {
+      Value e = Value::MakeObject();
+      e["index"] = static_cast<int64_t>(index);
+      e["error"] = message;
+      errors.push_back(std::move(e));
+    };
+    {
+      telemetry::ScopedSpan span("ingest.commit", &IngestHistogram("commit"));
+      IngestCounter("commit").Inc();
+      std::scoped_lock lock(mu_);
+      for (size_t i = 0; i < n; ++i) {
+        if (prepared[i] == nullptr) {
+          record_error(i, prepare_errors[i]);
+          continue;
+        }
+        Result<int64_t> id = CommitPeRegistration(std::move(*prepared[i]));
+        if (!id.ok()) {
+          record_error(i, id.status().ToString());
+          continue;
+        }
+        ids.push_back(id.value());
+        ++registered;
+      }
+    }
+    Value resp = Value::MakeObject();
+    resp["peIds"] = std::move(ids);
+    resp["registered"] = registered;
+    resp["errors"] = std::move(errors);
+    Reply(out, 200, resp);
+    return;
+  }
+
+  if (path == "/pes/update_description" ||
+      path == "/workflows/update_description") {
+    const int64_t id = body.GetInt("id");
+    std::string description = body.GetString("description");
+    // Phase 1: encode off-lock. The code and SPT indexes depend only on the
+    // unchanged code, so the commit is a row update plus one text upsert —
+    // no removal/re-add round trip.
+    embed::Vector embedding;
+    {
+      telemetry::ScopedSpan span("ingest.encode", &IngestHistogram("encode"));
+      IngestCounter("encode").Inc();
+      embedding = search_.text_encoder().EncodeText(description);
+    }
+    Value fields = Value::MakeObject();
+    fields["description"] = description;
+    fields["descriptionEmbedding"] = embed::ToJson(embedding);
+    Status st;
+    {
+      telemetry::ScopedSpan span("ingest.commit", &IngestHistogram("commit"));
+      IngestCounter("commit").Inc();
+      std::scoped_lock lock(mu_);
+      if (path == "/pes/update_description") {
+        st = repo_.UpdatePe(id, fields);
+        if (st.ok()) {
+          search_.UpdatePeDescription(id, std::move(description),
+                                      std::move(embedding));
+        }
+      } else {
+        st = repo_.UpdateWorkflow(id, fields);
+        if (st.ok()) {
+          search_.UpdateWorkflowDescription(id, std::move(description),
+                                            std::move(embedding));
+        }
+      }
+    }
+    if (!st.ok()) {
+      Reply(out, StatusToHttp(st), ErrorBody(st));
+      return;
+    }
+    Reply(out, 200, Value::MakeObject());
+    return;
+  }
+
+  if (path == "/registry/save") {
+    std::string file = body.GetString("path");
+    if (file.empty()) {
+      Reply(out, 400,
+            ErrorBody(Status::InvalidArgument("save requires 'path'")));
+      return;
+    }
+    // Capture under a shared lock (row copies, or cached text for tables
+    // unchanged since the last save), then serialize and write with no lock
+    // held: searches and registrations keep flowing while disk I/O runs.
+    registry::Database::Snapshot snapshot;
+    {
+      std::shared_lock lock(mu_);
+      snapshot = db_.CaptureSnapshot();
+    }
+    Status st = db_.WriteSnapshot(std::move(snapshot), file);
+    if (!st.ok()) {
+      Reply(out, StatusToHttp(st), ErrorBody(st));
+      return;
+    }
+    Reply(out, 200, Value::MakeObject());
+    return;
+  }
+
   // Read-only endpoints share the lock (searches run concurrently with each
   // other); mutations serialize behind an exclusive hold.
   std::shared_lock<std::shared_mutex> read_lock(mu_, std::defer_lock);
@@ -436,17 +730,6 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     return;
   }
 
-  if (path == "/pes/register") {
-    Result<int64_t> id = RegisterPeLocked(body);
-    if (!id.ok()) {
-      Reply(out, StatusToHttp(id.status()), ErrorBody(id.status()));
-      return;
-    }
-    Result<registry::PeRecord> pe = repo_.GetPe(id.value());
-    Reply(out, 200, PeToJson(pe.value(), /*with_code=*/false));
-    return;
-  }
-
   if (path == "/pes/get" || path == "/pes/describe") {
     Result<registry::PeRecord> pe =
         body.contains("id") ? repo_.GetPe(body.GetInt("id"))
@@ -459,24 +742,6 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     return;
   }
 
-  if (path == "/pes/update_description") {
-    int64_t id = body.GetInt("id");
-    Value fields = Value::MakeObject();
-    std::string description = body.GetString("description");
-    fields["description"] = description;
-    fields["descriptionEmbedding"] =
-        embed::ToJson(unixcoder_.EncodeText(description));
-    Status st = repo_.UpdatePe(id, fields);
-    if (!st.ok()) {
-      Reply(out, StatusToHttp(st), ErrorBody(st));
-      return;
-    }
-    search_.RemovePe(id);
-    (void)search_.AddPe(id);  // record exists; re-index cannot fail
-    Reply(out, 200, Value::MakeObject());
-    return;
-  }
-
   if (path == "/pes/remove") {
     int64_t id = body.GetInt("id");
     Status st = repo_.RemovePe(id);
@@ -486,63 +751,6 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     }
     search_.RemovePe(id);
     Reply(out, 200, Value::MakeObject());
-    return;
-  }
-
-  if (path == "/workflows/register") {
-    registry::WorkflowRecord wf;
-    wf.user_id = AuthUser(request);
-    wf.name = body.GetString("name");
-    wf.code = body.GetString("code");
-    wf.entry_point = body.at("spec").is_object()
-                         ? body.at("spec").ToJson()
-                         : body.GetString("spec");
-    if (wf.name.empty()) {
-      Reply(out, 400,
-            ErrorBody(Status::InvalidArgument("workflow requires 'name'")));
-      return;
-    }
-    // Register the member PEs first (they may already exist by name).
-    std::vector<int64_t> pe_ids;
-    std::vector<std::string> pe_descriptions;
-    for (const Value& pe_obj : body.at("pes").as_array()) {
-      Result<int64_t> pe_id = RegisterPeLocked(pe_obj);
-      if (!pe_id.ok()) {
-        Reply(out, StatusToHttp(pe_id.status()), ErrorBody(pe_id.status()));
-        return;
-      }
-      pe_ids.push_back(pe_id.value());
-      Result<registry::PeRecord> pe = repo_.GetPe(pe_id.value());
-      if (pe.ok()) pe_descriptions.push_back(pe->description);
-    }
-    wf.description = body.GetString("description");
-    if (wf.description.empty()) {
-      // §IV-C: workflow descriptions synthesized from their PEs.
-      wf.description = codet5_.SummarizeWorkflow(wf.name, pe_descriptions);
-    }
-    wf.description_embedding =
-        embed::ToJson(unixcoder_.EncodeText(wf.description));
-    if (!wf.code.empty()) {
-      Result<spt::FeatureBag> features = search_.aroma().Featurize(wf.code);
-      if (features.ok()) {
-        wf.spt_embedding = spt::FeatureBagToJson(features.value());
-      }
-    }
-    Result<int64_t> wf_id = repo_.CreateWorkflow(wf);
-    if (!wf_id.ok()) {
-      Reply(out, StatusToHttp(wf_id.status()), ErrorBody(wf_id.status()));
-      return;
-    }
-    for (int64_t pe_id : pe_ids) {
-      (void)repo_.LinkPe(wf_id.value(), pe_id);  // both rows just created
-    }
-    (void)search_.AddWorkflow(wf_id.value());
-    Value resp = Value::MakeObject();
-    resp["workflowId"] = wf_id.value();
-    Value ids = Value::MakeArray();
-    for (int64_t pe_id : pe_ids) ids.push_back(pe_id);
-    resp["peIds"] = std::move(ids);
-    Reply(out, 200, resp);
     return;
   }
 
@@ -586,24 +794,6 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     }
     resp["executions"] = std::move(arr);
     Reply(out, 200, resp);
-    return;
-  }
-
-  if (path == "/workflows/update_description") {
-    int64_t id = body.GetInt("id");
-    Value fields = Value::MakeObject();
-    std::string description = body.GetString("description");
-    fields["description"] = description;
-    fields["descriptionEmbedding"] =
-        embed::ToJson(unixcoder_.EncodeText(description));
-    Status st = repo_.UpdateWorkflow(id, fields);
-    if (!st.ok()) {
-      Reply(out, StatusToHttp(st), ErrorBody(st));
-      return;
-    }
-    search_.RemoveWorkflow(id);
-    (void)search_.AddWorkflow(id);
-    Reply(out, 200, Value::MakeObject());
     return;
   }
 
@@ -692,22 +882,6 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     return;
   }
 
-  if (path == "/registry/save") {
-    std::string file = body.GetString("path");
-    if (file.empty()) {
-      Reply(out, 400,
-            ErrorBody(Status::InvalidArgument("save requires 'path'")));
-      return;
-    }
-    Status st = db_.SaveToFile(file);
-    if (!st.ok()) {
-      Reply(out, StatusToHttp(st), ErrorBody(st));
-      return;
-    }
-    Reply(out, 200, Value::MakeObject());
-    return;
-  }
-
   if (path == "/registry/load") {
     std::string file = body.GetString("path");
     Status st = db_.LoadFromFile(file);
@@ -715,7 +889,7 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       Reply(out, StatusToHttp(st), ErrorBody(st));
       return;
     }
-    st = search_.ReindexAll();
+    st = search_.ReindexAll(ingest_pool_.get());
     if (!st.ok()) {
       Reply(out, StatusToHttp(st), ErrorBody(st));
       return;
@@ -747,7 +921,20 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     // Telemetry view: the same registry the /execute ##END## chunk reads,
     // so streamed totals and /stats totals cannot disagree.
     auto& reg = telemetry::MetricsRegistry::Global();
-    resp["totals"] = engine::ExecutionTotalsJson();
+    Value totals = engine::ExecutionTotalsJson();
+    // Ingest totals (ISSUE 5): per-phase op counts and mean latency, plus
+    // the duration of the last bulk index build.
+    const auto encode = IngestHistogram("encode").snapshot();
+    const auto commit = IngestHistogram("commit").snapshot();
+    totals["ingest"]["encodeOps"] =
+        static_cast<int64_t>(IngestCounter("encode").Value());
+    totals["ingest"]["commitOps"] =
+        static_cast<int64_t>(IngestCounter("commit").Value());
+    totals["ingest"]["encodeMsMean"] = encode.Mean();
+    totals["ingest"]["commitMsMean"] = commit.Mean();
+    totals["ingest"]["bulkBuildMs"] =
+        reg.GetGauge("laminar_search_bulk_build_ms").Value();
+    resp["totals"] = std::move(totals);
     resp["metrics"] = reg.RenderJson();
     resp["trace"] = reg.trace().ToJson();
     Reply(out, 200, resp);

@@ -15,6 +15,8 @@
 //   /users/register {userName,password}            -> {userId}
 //   /users/login    {userName,password}            -> {token,userId}
 //   /pes/register   {name?,code,description?}      -> {peId,name,description}
+//   /registry/bulk_register {pes:[{name?,code,description?},...]}
+//                                                  -> {peIds,registered,errors}
 //   /pes/get        {id|name}                      -> PE record
 //   /pes/describe   {id}                           -> {description,code}
 //   /pes/update_description {id,description}       -> {}
@@ -50,6 +52,7 @@
 #include <shared_mutex>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "embed/codet5_sim.hpp"
 #include "engine/engine.hpp"
 #include "net/http.hpp"
@@ -63,6 +66,16 @@ struct ServerConfig {
   search::SearchConfig search;
   /// Name of the implicit user owning unauthenticated registrations.
   std::string default_user = "laminar";
+  /// Helper threads for the ingest pool: /registry/bulk_register prepares
+  /// and bulk index rebuilds fan out across them (plus the calling thread).
+  /// 0 disables the pool — everything still works, just serially.
+  size_t ingest_threads = 4;
+  /// When non-empty, every committed registry mutation is appended to this
+  /// write-ahead log, and construction recovers snapshot_path + WAL suffix
+  /// (a missing snapshot/WAL is a normal first boot, not an error).
+  std::string wal_path;
+  /// Snapshot consulted by startup recovery when wal_path is set.
+  std::string snapshot_path;
 };
 
 class LaminarServer {
@@ -84,7 +97,21 @@ class LaminarServer {
 
  private:
   void Reply(net::StreamResponder& out, int status, const Value& body);
-  Result<int64_t> RegisterPeLocked(const Value& pe_obj);
+
+  /// Two-phase registration (ISSUE 5). Prepare* runs the expensive work —
+  /// CodeT5 summarization, UniXcoder/ReACC encodes, the SPT parse and
+  /// featurization — on the request thread with NO registry lock held;
+  /// Commit* inserts the row and upserts the precomputed vectors inside a
+  /// short exclusive section. Concurrent writers therefore serialize only
+  /// on the cheap commits instead of on each other's model inference.
+  struct PreparedPeReg {
+    registry::PeRecord record;
+    search::SearchService::PreparedPe index;
+  };
+  Result<PreparedPeReg> PreparePeRegistration(const Value& pe_obj) const;
+  /// Requires mu_ held exclusively.
+  Result<int64_t> CommitPeRegistration(PreparedPeReg prepared);
+
   Value PeToJson(const registry::PeRecord& pe, bool with_code) const;
   Value WorkflowToJson(const registry::WorkflowRecord& wf,
                        bool with_code) const;
@@ -104,7 +131,8 @@ class LaminarServer {
   search::SearchService search_;
   engine::ExecutionEngine engine_;
   embed::CodeT5Sim codet5_;
-  embed::UnixcoderSim unixcoder_;
+  /// Helpers for bulk-ingest prepare fan-out (null when ingest_threads=0).
+  std::unique_ptr<ThreadPool> ingest_pool_;
   /// Guards db_/repo_/search_/tokens_: shared for read-only endpoints,
   /// exclusive for mutations (see IsReadOnlyEndpoint in server.cpp).
   std::shared_mutex mu_;

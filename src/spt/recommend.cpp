@@ -40,6 +40,16 @@ Status AromaEngine::AddSnippet(int64_t id, std::string_view code) {
   return Status::Ok();
 }
 
+Status AromaEngine::AddSnippetWithFeatures(int64_t id, std::string_view code,
+                                           FeatureBag features) {
+  if (features.total == 0) {
+    return Status::InvalidArgument("snippet produced no features");
+  }
+  index_.Add(id, std::move(features));
+  sources_[id] = std::string(code);
+  return Status::Ok();
+}
+
 bool AromaEngine::RemoveSnippet(int64_t id) {
   sources_.erase(id);
   return index_.Remove(id);

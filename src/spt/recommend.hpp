@@ -56,6 +56,14 @@ class AromaEngine {
   /// Parses, featurizes and indexes a snippet. Fails only if the snippet
   /// yields no tokens at all.
   Status AddSnippet(int64_t id, std::string_view code);
+  /// Indexes a snippet whose features were already extracted (via
+  /// Featurize) — the two-phase registration path runs the parse off-lock
+  /// and hands the bag here, so committing never reparses. The bag must
+  /// come from Featurize on *this* engine's options: FeatureBagToJson drops
+  /// the per-feature line occurrences that prune/rerank need, so the
+  /// in-memory bag (not a JSON round-trip) is required.
+  Status AddSnippetWithFeatures(int64_t id, std::string_view code,
+                                FeatureBag features);
   bool RemoveSnippet(int64_t id);
   size_t size() const { return index_.size(); }
 

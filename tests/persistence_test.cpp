@@ -1,0 +1,273 @@
+// Persistence-layer tests for ISSUE 5: per-table dirty tracking, atomic
+// tmp+rename snapshots, the write-ahead log (append, replay, compaction),
+// and crash-shaped recovery (torn WAL tail, interrupted save).
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "registry/database.hpp"
+#include "registry/repository.hpp"
+#include "registry/schema.hpp"
+
+namespace laminar::registry {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TableSchema ItemsSchema() {
+  TableSchema schema;
+  schema.name = "items";
+  schema.columns = {{"name", ColumnType::kString, false},
+                    {"score", ColumnType::kInt, true}};
+  schema.indexed_columns = {"name"};
+  return schema;
+}
+
+Row MakeItem(const std::string& name, int64_t score) {
+  Row row = Value::MakeObject();
+  row["name"] = name;
+  row["score"] = score;
+  return row;
+}
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    snapshot_path_ = TempPath("laminar_persist_snap.json");
+    wal_path_ = TempPath("laminar_persist_wal.jsonl");
+    fs::remove(snapshot_path_);
+    fs::remove(snapshot_path_ + ".tmp");
+    fs::remove(wal_path_);
+    fs::remove(wal_path_ + ".tmp");
+  }
+
+  std::string snapshot_path_;
+  std::string wal_path_;
+};
+
+TEST_F(PersistenceTest, GetTablePreservesCreationOrderWithHashLookup) {
+  Database db;
+  for (const char* name : {"zeta", "alpha", "middle"}) {
+    TableSchema schema = ItemsSchema();
+    schema.name = name;
+    ASSERT_TRUE(db.CreateTable(std::move(schema)).ok());
+  }
+  EXPECT_EQ(db.TableNames(),
+            (std::vector<std::string>{"zeta", "alpha", "middle"}));
+  EXPECT_NE(db.GetTable("alpha"), nullptr);
+  EXPECT_EQ(db.GetTable("alpha")->schema().name, "alpha");
+  EXPECT_EQ(db.GetTable("missing"), nullptr);
+  // Duplicate creation is rejected (the slot map must stay consistent).
+  TableSchema dup = ItemsSchema();
+  dup.name = "alpha";
+  EXPECT_FALSE(db.CreateTable(std::move(dup)).ok());
+}
+
+TEST_F(PersistenceTest, AtomicSaveLeavesNoTempFile) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(db.Insert("items", MakeItem("a", 1)).ok());
+  ASSERT_TRUE(db.SaveToFile(snapshot_path_).ok());
+  EXPECT_TRUE(fs::exists(snapshot_path_));
+  EXPECT_FALSE(fs::exists(snapshot_path_ + ".tmp"));
+
+  Database loaded;
+  ASSERT_TRUE(loaded.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(loaded.LoadFromFile(snapshot_path_).ok());
+  std::vector<Row> rows = loaded.GetTable("items")->All();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].GetString("name"), "a");
+}
+
+TEST_F(PersistenceTest, DirtyTrackingKeepsRepeatedSavesCorrect) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(db.Insert("items", MakeItem("first", 1)).ok());
+  ASSERT_TRUE(db.SaveToFile(snapshot_path_).ok());
+
+  // Second save with no mutations: cached text must serialize identically.
+  const std::string first_doc = ReadAll(snapshot_path_);
+  ASSERT_TRUE(db.SaveToFile(snapshot_path_).ok());
+  EXPECT_EQ(ReadAll(snapshot_path_), first_doc);
+
+  // A mutation invalidates the cache: the new row must reach disk.
+  ASSERT_TRUE(db.Insert("items", MakeItem("second", 2)).ok());
+  ASSERT_TRUE(db.SaveToFile(snapshot_path_).ok());
+  Database loaded;
+  ASSERT_TRUE(loaded.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(loaded.LoadFromFile(snapshot_path_).ok());
+  EXPECT_EQ(loaded.GetTable("items")->size(), 2u);
+  EXPECT_EQ(loaded.GetTable("items")->FindBy("name", Value("second")).size(),
+            1u);
+}
+
+TEST_F(PersistenceTest, CaptureUnderSharedAccessThenWriteOffLock) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(db.Insert("items", MakeItem("captured", 1)).ok());
+  Database::Snapshot snapshot = db.CaptureSnapshot();
+  // Mutations after the capture are not part of the snapshot.
+  ASSERT_TRUE(db.Insert("items", MakeItem("later", 2)).ok());
+  ASSERT_TRUE(db.WriteSnapshot(std::move(snapshot), snapshot_path_).ok());
+
+  Database loaded;
+  ASSERT_TRUE(loaded.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(loaded.LoadFromFile(snapshot_path_).ok());
+  EXPECT_EQ(loaded.GetTable("items")->size(), 1u);
+}
+
+TEST_F(PersistenceTest, WalReplayRecoversWithoutSnapshot) {
+  {
+    Database db;
+    ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+    ASSERT_TRUE(db.EnableWal(wal_path_).ok());
+    ASSERT_TRUE(db.Insert("items", MakeItem("walled", 7)).ok());
+    Result<int64_t> gone = db.Insert("items", MakeItem("erased", 8));
+    ASSERT_TRUE(gone.ok());
+    ASSERT_TRUE(db.Erase("items", gone.value()).ok());
+    ASSERT_TRUE(db.Update("items", 1, MakeItem("walled", 9)).ok());
+  }
+  Database recovered;
+  ASSERT_TRUE(recovered.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(recovered.Recover(snapshot_path_, wal_path_).ok());
+  std::vector<Row> rows = recovered.GetTable("items")->All();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].GetString("name"), "walled");
+  EXPECT_EQ(rows[0].GetInt("score"), 9);
+  // Recovery re-enables the log; ids continue past the replayed ones.
+  Result<int64_t> next = recovered.Insert("items", MakeItem("fresh", 1));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 3);
+}
+
+TEST_F(PersistenceTest, SnapshotPlusWalSuffixRecoversBoth) {
+  {
+    Database db;
+    ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+    ASSERT_TRUE(db.EnableWal(wal_path_).ok());
+    ASSERT_TRUE(db.Insert("items", MakeItem("in_snapshot", 1)).ok());
+    ASSERT_TRUE(db.SaveToFile(snapshot_path_).ok());
+    // The save compacts the log down to the un-snapshotted suffix.
+    EXPECT_EQ(ReadAll(wal_path_), "");
+    ASSERT_TRUE(db.Insert("items", MakeItem("after_snapshot", 2)).ok());
+  }
+  Database recovered;
+  ASSERT_TRUE(recovered.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(recovered.Recover(snapshot_path_, wal_path_).ok());
+  Table* items = recovered.GetTable("items");
+  EXPECT_EQ(items->size(), 2u);
+  EXPECT_EQ(items->FindBy("name", Value("in_snapshot")).size(), 1u);
+  EXPECT_EQ(items->FindBy("name", Value("after_snapshot")).size(), 1u);
+}
+
+TEST_F(PersistenceTest, TornWalTailEndsReplayWithoutError) {
+  {
+    Database db;
+    ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+    ASSERT_TRUE(db.EnableWal(wal_path_).ok());
+    ASSERT_TRUE(db.Insert("items", MakeItem("intact", 1)).ok());
+  }
+  {
+    // A crash mid-append leaves a truncated trailing line.
+    std::ofstream out(wal_path_, std::ios::app);
+    out << "{\"seq\":2,\"table\":\"items\",\"op\":\"ins";
+  }
+  Database recovered;
+  ASSERT_TRUE(recovered.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(recovered.Recover(snapshot_path_, wal_path_).ok());
+  EXPECT_EQ(recovered.GetTable("items")->size(), 1u);
+}
+
+TEST_F(PersistenceTest, InterruptedSaveLeavesOldSnapshotLoadable) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(db.Insert("items", MakeItem("good", 1)).ok());
+  ASSERT_TRUE(db.SaveToFile(snapshot_path_).ok());
+  {
+    // A crash between tmp-write and rename leaves a torn .tmp behind; the
+    // published snapshot must be untouched by it.
+    std::ofstream out(snapshot_path_ + ".tmp");
+    out << "{\"items\": {\"next_id\": 99, \"rows\": [{\"id\"";
+  }
+  Database recovered;
+  ASSERT_TRUE(recovered.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(recovered.LoadFromFile(snapshot_path_).ok());
+  std::vector<Row> rows = recovered.GetTable("items")->All();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].GetString("name"), "good");
+  fs::remove(snapshot_path_ + ".tmp");
+}
+
+TEST_F(PersistenceTest, LoadsPreWalSnapshotsWithoutSeqKey) {
+  // Snapshots written before the WAL existed have no "__wal_seq" root key.
+  {
+    std::ofstream out(snapshot_path_);
+    out << "{\"items\": {\"next_id\": 3, \"rows\": "
+           "[{\"id\": 1, \"name\": \"legacy\", \"score\": 4}]}}";
+  }
+  Database db;
+  ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(db.LoadFromFile(snapshot_path_).ok());
+  std::vector<Row> rows = db.GetTable("items")->All();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].GetString("name"), "legacy");
+}
+
+TEST_F(PersistenceTest, ClearReplaysThroughWal) {
+  {
+    Database db;
+    ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+    ASSERT_TRUE(db.EnableWal(wal_path_).ok());
+    ASSERT_TRUE(db.Insert("items", MakeItem("doomed", 1)).ok());
+    db.GetTable("items")->Clear();
+    ASSERT_TRUE(db.Insert("items", MakeItem("survivor", 2)).ok());
+  }
+  Database recovered;
+  ASSERT_TRUE(recovered.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(recovered.Recover(snapshot_path_, wal_path_).ok());
+  std::vector<Row> rows = recovered.GetTable("items")->All();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].GetString("name"), "survivor");
+}
+
+TEST_F(PersistenceTest, FullLaminarSchemaRoundTripsThroughRecovery) {
+  {
+    Database db;
+    ASSERT_TRUE(CreateLaminarSchema(db).ok());
+    ASSERT_TRUE(db.EnableWal(wal_path_).ok());
+    Repository repo(db);
+    ASSERT_TRUE(repo.CreateUser("alice", "pw").ok());
+    PeRecord pe;
+    pe.name = "Walled";
+    pe.code = "class Walled:\n    pass\n";
+    pe.description = "a recovered PE";
+    ASSERT_TRUE(repo.CreatePe(pe).ok());
+    ASSERT_TRUE(db.SaveToFile(snapshot_path_).ok());
+    PeRecord pe2 = pe;
+    pe2.name = "Suffix";
+    ASSERT_TRUE(repo.CreatePe(pe2).ok());
+  }
+  Database db;
+  ASSERT_TRUE(CreateLaminarSchema(db).ok());
+  ASSERT_TRUE(db.Recover(snapshot_path_, wal_path_).ok());
+  Repository repo(db);
+  EXPECT_TRUE(repo.GetUserByName("alice").ok());
+  EXPECT_TRUE(repo.GetPeByName("Walled").ok());
+  EXPECT_TRUE(repo.GetPeByName("Suffix").ok());
+}
+
+}  // namespace
+}  // namespace laminar::registry
