@@ -1,5 +1,6 @@
 #include "registry/database.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -10,12 +11,18 @@
 namespace laminar::registry {
 namespace {
 
-/// Writes `text` to `<path>.tmp` and renames it over `path`. POSIX rename
-/// is atomic within a filesystem, so readers (and a crash at any point)
-/// observe either the old complete file or the new complete file — never a
-/// torn mix.
+/// Writes `text` to a uniquely named temp file next to `path` and renames
+/// it over `path`. POSIX rename is atomic within a filesystem, so readers
+/// (and a crash at any point) observe either the old complete file or the
+/// new complete file — never a torn mix. The temp name carries a
+/// process-wide counter: saves run off-lock, so two concurrent writers to
+/// the same destination must never share a temp file (one could otherwise
+/// rename the other's half-written bytes into place).
 Status WriteFileAtomic(const std::string& path, const std::string& text) {
-  const std::string tmp = path + ".tmp";
+  static std::atomic<uint64_t> tmp_counter{0};
+  const std::string tmp =
+      path + ".tmp." +
+      std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) {
@@ -24,10 +31,12 @@ Status WriteFileAtomic(const std::string& path, const std::string& text) {
     out << text;
     out.flush();
     if (!out.good()) {
+      std::remove(tmp.c_str());
       return Status::Unavailable("write to '" + tmp + "' failed");
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     return Status::Unavailable("rename '" + tmp + "' -> '" + path +
                                "' failed");
   }
@@ -270,8 +279,15 @@ Status Database::WriteSnapshot(Snapshot snapshot,
       serialized_cache_[snap.name] = {snap.version, std::move(snap.text)};
     }
   }
-  // Everything up to wal_seq is now durable in the snapshot; shrink the log.
-  if (wal_ != nullptr) return wal_->Compact(snapshot.wal_seq);
+  // Everything up to wal_seq is now durable — but only in THIS file.
+  // Compacting is safe only when the snapshot is the one Recover() will
+  // read at next boot; after a save to any other path, records between the
+  // recovery snapshot's sequence and wal_seq exist nowhere else, so the
+  // log must keep them.
+  if (wal_ != nullptr && !recovery_snapshot_path_.empty() &&
+      path == recovery_snapshot_path_) {
+    return wal_->Compact(snapshot.wal_seq);
+  }
   return Status::Ok();
 }
 
@@ -335,9 +351,18 @@ Status Database::Recover(const std::string& snapshot_path,
     }
     snapshot_seq = static_cast<uint64_t>(parsed->GetInt("__wal_seq", 0));
   }
-  Status st = ReplayWal(wal_path, snapshot_seq);
+  recovery_snapshot_path_ = snapshot_path;
+  // Enable the log BEFORE replaying, exactly like LoadFromFile: the replay
+  // then advances the live writer's sequence past the snapshot and every
+  // record it applies (the sink is muted during replay, so nothing is
+  // re-appended). Replaying first would leave the fresh writer at seq 1,
+  // and every post-recovery mutation would reuse sequence numbers the
+  // snapshot already covers — silently skipped by the next recovery's
+  // suffix filter, and compacted away as if durable.
+  Status st = EnableWal(wal_path);
   if (!st.ok()) return st;
-  return EnableWal(wal_path);
+  wal_->EnsureSeqAbove(snapshot_seq);
+  return ReplayWal(wal_path, snapshot_seq);
 }
 
 Status Database::ReplayWal(const std::string& path, uint64_t min_seq) {

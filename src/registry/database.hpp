@@ -7,9 +7,9 @@
 //    *read* lock and only copies row data (or reuses cached serialized text
 //    for tables unchanged since the last snapshot — per-table dirty tracking
 //    via Table::version()). WriteSnapshot() then serializes and writes
-//    OUTSIDE any registry lock, to `<path>.tmp` + atomic rename, so a crash
-//    mid-save can never corrupt the previous snapshot and concurrent
-//    searches never wait on disk I/O.
+//    OUTSIDE any registry lock, to a uniquely named temp file + atomic
+//    rename, so a crash mid-save can never corrupt the previous snapshot
+//    and concurrent searches never wait on disk I/O.
 //  * An optional write-ahead log (EnableWal) appends every committed
 //    mutation as one JSON line tagged with a monotonic sequence number.
 //    Snapshots embed the sequence they cover ("__wal_seq"); LoadFromFile
@@ -70,9 +70,12 @@ class Database {
   };
   Snapshot CaptureSnapshot() const;
 
-  /// Phase 2: serializes dirty tables, assembles the document, writes
-  /// `<path>.tmp` and renames over `path`. Runs outside any registry lock;
-  /// refreshes the serialization cache and compacts the WAL on success.
+  /// Phase 2: serializes dirty tables, assembles the document, writes a
+  /// unique temp file and renames it over `path`. Runs outside any registry
+  /// lock; refreshes the serialization cache on success. The WAL is
+  /// compacted only when `path` is the recovery snapshot path declared via
+  /// Recover() — a save anywhere else must leave the log intact, because
+  /// its records are the only durable copy the next Recover() can see.
   Status WriteSnapshot(Snapshot snapshot, const std::string& path) const;
 
   /// CaptureSnapshot + WriteSnapshot in one call (callers that do not split
@@ -90,9 +93,10 @@ class Database {
   bool wal_enabled() const;
 
   /// Crash recovery in one call: loads `snapshot_path` when it exists (a
-  /// missing snapshot is not an error — first boot), replays the suffix of
-  /// `wal_path` past the snapshot's sequence, then enables the WAL for
-  /// subsequent mutations.
+  /// missing snapshot is not an error — first boot), enables the WAL (seeded
+  /// past the snapshot's sequence), then replays the suffix of `wal_path`.
+  /// Also records `snapshot_path` as the recovery snapshot: only snapshots
+  /// written back to that path compact the WAL (see WriteSnapshot).
   Status Recover(const std::string& snapshot_path, const std::string& wal_path);
 
  private:
@@ -117,6 +121,9 @@ class Database {
       serialized_cache_;
 
   std::unique_ptr<WalWriter> wal_;
+  /// The snapshot path Recover() reads at boot. WriteSnapshot compacts the
+  /// WAL only when writing here (empty: never compact).
+  std::string recovery_snapshot_path_;
 };
 
 }  // namespace laminar::registry

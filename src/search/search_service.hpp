@@ -70,9 +70,12 @@ class SearchService {
   SearchService(registry::Repository& repo, SearchConfig config = {});
 
   /// Two-phase registration (ISSUE 5). Prepare* runs every expensive step —
-  /// description/code encodes and the SPT parse+featurization — with no
-  /// locking requirement at all (the encoders are const and thread-safe), so
-  /// the server calls it on the request thread *outside* its registry lock.
+  /// description/code encodes and the SPT parse+featurization — against
+  /// const, thread-safe encoder state, so the server calls it on the
+  /// request thread under only a *shared* lock: prepares overlap each other
+  /// and every read, and the shared hold keeps Clear()/ReindexAll() (which
+  /// replace the engines under the exclusive lock) from swapping state
+  /// mid-encode.
   /// Commit* then only upserts the precomputed rows, a few map/vector writes
   /// short enough to sit in the exclusive section. The committed state is
   /// identical to what AddPe/AddWorkflow build (same encoders, same feature

@@ -84,7 +84,8 @@ telemetry::Counter& IngestCounter(const char* phase) {
 /// The ingest endpoints (/pes/register, /workflows/register,
 /// /registry/bulk_register, the update_description pair) and /registry/save
 /// never reach this routing: they manage their own two-phase locking in
-/// HandleInternal (prepare/serialize off-lock, short exclusive commit).
+/// HandleInternal (prepare under a shared lock, disk writes off-lock,
+/// short exclusive commit).
 bool IsReadOnlyEndpoint(const std::string& path) {
   static constexpr std::string_view kReadOnly[] = {
       "/pes/get", "/pes/describe", "/workflows/get", "/workflows/describe",
@@ -442,14 +443,19 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
 
   // ── Ingest endpoints: two-phase (ISSUE 5). The expensive phase — CodeT5
   // summaries, UniXcoder/ReACC encodes, SPT parse+featurization — runs on
-  // this request thread with NO lock held, so concurrent registrations
-  // overlap their model inference and serialize only on the short exclusive
-  // commit (row insert + precomputed-vector upsert).
+  // this request thread under only a *shared* lock, so concurrent
+  // registrations overlap their model inference (and every search) and
+  // serialize only on the short exclusive commit (row insert +
+  // precomputed-vector upsert). The shared hold is still required: the
+  // encoders are const, but /registry/load and /registry/remove_all
+  // replace them via search_.Clear() under the exclusive lock, and the
+  // prepare must not overlap that swap.
 
   if (path == "/pes/register") {
     Result<PreparedPeReg> prepared = [&] {
       telemetry::ScopedSpan span("ingest.encode", &IngestHistogram("encode"));
       IngestCounter("encode").Inc();
+      std::shared_lock lock(mu_);
       return PreparePeRegistration(body);
     }();
     if (!prepared.ok()) {
@@ -457,6 +463,13 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
             ErrorBody(prepared.status()));
       return;
     }
+    // Response fields, captured before the commit consumes the record: the
+    // exclusive lock drops before the reply, so a repository read-back here
+    // could race a concurrent /pes/remove of the freshly minted id.
+    registry::PeRecord reply_record;
+    reply_record.name = prepared->record.name;
+    reply_record.description = prepared->record.description;
+    reply_record.type = prepared->record.type;
     Result<int64_t> id = [&]() -> Result<int64_t> {
       telemetry::ScopedSpan span("ingest.commit", &IngestHistogram("commit"));
       IngestCounter("commit").Inc();
@@ -467,13 +480,8 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       Reply(out, StatusToHttp(id.status()), ErrorBody(id.status()));
       return;
     }
-    Value resp;
-    {
-      std::shared_lock lock(mu_);
-      Result<registry::PeRecord> pe = repo_.GetPe(id.value());
-      resp = PeToJson(pe.value(), /*with_code=*/false);
-    }
-    Reply(out, 200, resp);
+    reply_record.id = id.value();
+    Reply(out, 200, PeToJson(reply_record, /*with_code=*/false));
     return;
   }
 
@@ -502,6 +510,7 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     {
       telemetry::ScopedSpan span("ingest.encode", &IngestHistogram("encode"));
       IngestCounter("encode").Inc();
+      std::shared_lock lock(mu_);  // excludes Clear()'s engine swap
       for (const Value& pe_obj : body.at("pes").as_array()) {
         Result<PreparedPeReg> prepared = PreparePeRegistration(pe_obj);
         if (!prepared.ok()) {
@@ -578,7 +587,12 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       telemetry::ScopedSpan span("ingest.encode", &IngestHistogram("encode"));
       IngestCounter("encode").Inc();
       // Items are independent and prepare touches only const encoder state,
-      // so the fan-out needs no locking at all.
+      // so the fan-out needs no per-item locking. The shared lock held here
+      // across the whole fan-out is what makes that safe: it keeps the
+      // exclusive-lock holders that replace the engines (search_.Clear()
+      // from /registry/load and /registry/remove_all) out until every pool
+      // worker is done reading them.
+      std::shared_lock lock(mu_);
       ParallelFor(ingest_pool_.get(), n, [&](size_t i) {
         Result<PreparedPeReg> r = PreparePeRegistration(pe_objs[i]);
         if (r.ok()) {
@@ -634,6 +648,7 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     {
       telemetry::ScopedSpan span("ingest.encode", &IngestHistogram("encode"));
       IngestCounter("encode").Inc();
+      std::shared_lock lock(mu_);  // excludes Clear()'s engine swap
       embedding = search_.text_encoder().EncodeText(description);
     }
     Value fields = Value::MakeObject();

@@ -82,7 +82,11 @@ TEST_F(PersistenceTest, AtomicSaveLeavesNoTempFile) {
   ASSERT_TRUE(db.Insert("items", MakeItem("a", 1)).ok());
   ASSERT_TRUE(db.SaveToFile(snapshot_path_).ok());
   EXPECT_TRUE(fs::exists(snapshot_path_));
-  EXPECT_FALSE(fs::exists(snapshot_path_ + ".tmp"));
+  // No temp droppings under any suffix (temp names are unique per write).
+  for (const auto& entry : fs::directory_iterator(fs::temp_directory_path())) {
+    EXPECT_NE(entry.path().string().rfind(snapshot_path_ + ".tmp", 0), 0u)
+        << "leftover temp file: " << entry.path();
+  }
 
   Database loaded;
   ASSERT_TRUE(loaded.CreateTable(ItemsSchema()).ok());
@@ -155,9 +159,11 @@ TEST_F(PersistenceTest, WalReplayRecoversWithoutSnapshot) {
 
 TEST_F(PersistenceTest, SnapshotPlusWalSuffixRecoversBoth) {
   {
+    // First boot: Recover on empty disk declares the recovery snapshot
+    // path, so saves back to it may compact the log.
     Database db;
     ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
-    ASSERT_TRUE(db.EnableWal(wal_path_).ok());
+    ASSERT_TRUE(db.Recover(snapshot_path_, wal_path_).ok());
     ASSERT_TRUE(db.Insert("items", MakeItem("in_snapshot", 1)).ok());
     ASSERT_TRUE(db.SaveToFile(snapshot_path_).ok());
     // The save compacts the log down to the un-snapshotted suffix.
@@ -241,6 +247,58 @@ TEST_F(PersistenceTest, ClearReplaysThroughWal) {
   std::vector<Row> rows = recovered.GetTable("items")->All();
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].GetString("name"), "survivor");
+}
+
+TEST_F(PersistenceTest, MutationsAfterRecoverySurviveTheNextRecovery) {
+  {
+    // First boot: nothing on disk yet.
+    Database db;
+    ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+    ASSERT_TRUE(db.Recover(snapshot_path_, wal_path_).ok());
+    ASSERT_TRUE(db.Insert("items", MakeItem("snapshotted", 1)).ok());
+    ASSERT_TRUE(db.SaveToFile(snapshot_path_).ok());  // covers seq 1
+    ASSERT_TRUE(db.Insert("items", MakeItem("suffix", 2)).ok());
+  }
+  {
+    // Second boot replays "suffix", then keeps mutating. The live WAL
+    // sequence must continue past both the snapshot's sequence and every
+    // replayed record; a writer restarting at seq 1 would log this insert
+    // with an already-covered number and the next recovery would skip it.
+    Database db;
+    ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+    ASSERT_TRUE(db.Recover(snapshot_path_, wal_path_).ok());
+    ASSERT_TRUE(db.Insert("items", MakeItem("post_recovery", 3)).ok());
+  }
+  Database recovered;
+  ASSERT_TRUE(recovered.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(recovered.Recover(snapshot_path_, wal_path_).ok());
+  Table* items = recovered.GetTable("items");
+  EXPECT_EQ(items->size(), 3u);
+  EXPECT_EQ(items->FindBy("name", Value("post_recovery")).size(), 1u);
+}
+
+TEST_F(PersistenceTest, SaveToAnotherPathLeavesWalIntact) {
+  const std::string side_path = TempPath("laminar_persist_side.json");
+  fs::remove(side_path);
+  {
+    Database db;
+    ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+    ASSERT_TRUE(db.Recover(snapshot_path_, wal_path_).ok());
+    ASSERT_TRUE(db.Insert("items", MakeItem("only_in_wal", 1)).ok());
+    // An ad-hoc save elsewhere must not compact: its copy of the row is
+    // not the one the next Recover() reads.
+    ASSERT_TRUE(db.SaveToFile(side_path).ok());
+    EXPECT_NE(ReadAll(wal_path_), "");
+  }
+  // Crash right after the side save: the row must still recover from the
+  // configured snapshot+WAL pair.
+  Database recovered;
+  ASSERT_TRUE(recovered.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(recovered.Recover(snapshot_path_, wal_path_).ok());
+  EXPECT_EQ(
+      recovered.GetTable("items")->FindBy("name", Value("only_in_wal")).size(),
+      1u);
+  fs::remove(side_path);
 }
 
 TEST_F(PersistenceTest, FullLaminarSchemaRoundTripsThroughRecovery) {
