@@ -6,16 +6,28 @@
 // in the shape of the server's shared-lock read path and a query-embedding
 // cache demonstration.
 //
+// The second half is the ISSUE 6 corpus sweep: stream-generate PEs with
+// dataset::PeStream (1M+ in the full run, never holding the corpus), give
+// each a family-clustered synthetic embedding (the family description's
+// encoded centroid plus per-PE deterministic noise), and grow a flat-scan
+// index and an HNSW index over identical vectors through 10k -> 100k -> 1M
+// rows, reporting QPS, recall@10 vs the exact scan, p50/p95 ANN latency and
+// index/graph memory per stage into BENCH_search.json.
+//
 // Usage:
 //   bench_search [--docs N] [--dims N] [--queries N] [--threads N] [--k N]
 //                [--smoke]
-// --smoke shrinks everything to a sub-second corpus and asserts only
-// correctness (flat results == legacy results), never throughput, so the
-// tier-1 loop can compile- and run-check this binary without perf flakes.
+// --smoke shrinks everything to a small corpus and asserts correctness
+// (flat results == legacy results) plus the ANN gates — recall@10 >= 0.95,
+// ANN scores bit-identical to the exact scan on returned ids, and >= 10x
+// ANN-over-flat QPS — with fixed seeds and a serial graph build, so the
+// gates are deterministic rather than perf-flaky.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -25,7 +37,11 @@
 
 #include "bench_util.hpp"
 #include "common/clock.hpp"
+#include "common/hashing.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "dataset/families.hpp"
+#include "dataset/generator.hpp"
 #include "embed/embedding.hpp"
 #include "embed/unixcoder_sim.hpp"
 #include "search/query_cache.hpp"
@@ -105,6 +121,216 @@ double Percentile(std::vector<double>& sorted_ms, double q) {
   if (sorted_ms.empty()) return 0.0;
   size_t idx = static_cast<size_t>(q * static_cast<double>(sorted_ms.size() - 1));
   return sorted_ms[idx];
+}
+
+/// A point of family `centroid` plus deterministic per-dimension noise of
+/// ~unit norm, derived only from `salt` — the PE-id-seeded synthetic
+/// embedding the corpus sweep uses. (Real per-PE encodes would collapse:
+/// every variant of a family shares one description, so 33k rows would tie
+/// exactly and recall@10 would be meaningless. The centroid+noise mixture
+/// keeps the family cluster structure while making per-row ranking
+/// well-posed.) Not normalized; VectorIndex normalizes at insert.
+embed::Vector ClusterPoint(const embed::Vector& centroid, uint64_t salt) {
+  Rng rng(hashing::SplitMix64(salt));
+  const size_t dims = centroid.size();
+  const float amp = std::sqrt(3.0f / static_cast<float>(dims));
+  embed::Vector v(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    v[i] = centroid[i] +
+           amp * static_cast<float>(rng.NextDouble() * 2.0 - 1.0);
+  }
+  return v;
+}
+
+/// ISSUE 6 corpus sweep: flat-scan vs HNSW over identical vectors at
+/// growing corpus sizes. Returns false when a --smoke gate fails.
+bool RunSweep(const Args& args, BenchReport& report) {
+  const size_t dims = 64;
+  const size_t k = 10;
+  const size_t nqueries = args.smoke ? 32 : 64;
+  const std::vector<size_t> sizes =
+      args.smoke ? std::vector<size_t>{100000}
+                 : std::vector<size_t>{10000, 100000, 1000000};
+
+  search::VectorIndexOptions flat_opts;
+  flat_opts.strategy = search::IndexStrategy::kFlat;
+  // Serial scan: the baseline is the single-thread exact path, so the
+  // QPS ratio is algorithmic, not a thread-count artifact.
+  flat_opts.parallel_threshold = static_cast<size_t>(-1);
+  search::VectorIndexOptions hnsw_opts;
+  hnsw_opts.strategy = search::IndexStrategy::kHnsw;
+  hnsw_opts.hnsw.M = 16;
+  hnsw_opts.hnsw.ef_construction = args.smoke ? 64 : 128;
+  // The full sweep's stream packs ~33k variants into each family cluster,
+  // so the true top-10 sit in a very dense neighborhood; ef_search=320
+  // holds recall@10 near 0.98 there (96 suffices at smoke density).
+  hnsw_opts.hnsw.ef_search = args.smoke ? 64 : 320;
+  hnsw_opts.recall_probe_interval = 0;  // the sweep measures recall itself
+  search::VectorIndex flat(dims, flat_opts);
+  search::VectorIndex hnsw(dims, hnsw_opts);
+
+  // Corpus stream: the full PE render pipeline, one example at a time.
+  dataset::DatasetConfig dcfg;
+  dcfg.seed = 0xc0de5eedULL;
+  const auto& families = dataset::Families();
+  dcfg.variants_per_family =
+      (sizes.back() + families.size() - 1) / families.size();
+  dataset::PeStream stream(dcfg);
+  embed::UnixcoderConfig ucfg;
+  ucfg.dims = dims;
+  embed::UnixcoderSim encoder(ucfg);
+  std::vector<embed::Vector> centroids;
+  centroids.reserve(families.size());
+  for (const dataset::FamilySpec& fam : families) {
+    centroids.push_back(encoder.EncodeText(fam.description));
+  }
+
+  // Graph-build helpers; smoke stays serial so the gates are deterministic.
+  std::unique_ptr<ThreadPool> pool;
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (!args.smoke && std::min(args.threads, hw) > 1) {
+    pool = std::make_unique<ThreadPool>(std::min(args.threads, hw) - 1);
+  }
+
+  std::printf("corpus sweep: HNSW (M=%zu efc=%zu efs=%zu) vs flat scan, "
+              "dims=%zu k=%zu\n",
+              hnsw_opts.hnsw.M, hnsw_opts.hnsw.ef_construction,
+              hnsw_opts.hnsw.ef_search, dims, k);
+  std::printf("  %-9s %10s %12s %12s %7s %10s %9s %9s %10s\n", "rows",
+              "build_ms", "flat_qps", "ann_qps", "ratio", "recall@10",
+              "p50_ms", "p95_ms", "graph_mb");
+
+  dataset::PeExample ex;
+  size_t inserted = 0;
+  bool gates_ok = true;
+  double last_recall = 0.0, last_ratio = 0.0;
+  bool parity_ok = true;
+  for (size_t target : sizes) {
+    flat.BeginBulk();
+    hnsw.BeginBulk();
+    while (inserted < target && stream.Next(&ex)) {
+      embed::Vector v =
+          ClusterPoint(centroids[static_cast<size_t>(ex.group)],
+                       0x9e5eedULL ^ static_cast<uint64_t>(ex.id));
+      flat.Upsert(ex.id, v);
+      hnsw.Upsert(ex.id, v);
+      ++inserted;
+    }
+    flat.EndBulk(nullptr);
+    Stopwatch build_watch;
+    hnsw.EndBulk(pool.get());
+    const double build_ms = build_watch.ElapsedMillis();
+
+    // Queries are fresh cluster samples from the families streamed so far
+    // (the stream is family-major, so early stages cover fewer families).
+    const size_t covered = std::min(
+        families.size(),
+        (inserted + dcfg.variants_per_family - 1) / dcfg.variants_per_family);
+    Rng qrng(0x5a5a0000ULL ^ inserted);
+    std::vector<embed::Vector> qs;
+    qs.reserve(nqueries);
+    for (size_t i = 0; i < nqueries; ++i) {
+      qs.push_back(
+          ClusterPoint(centroids[qrng.NextBelow(covered)], qrng.NextU64()));
+    }
+
+    // Exact ground truth doubles as the flat-QPS measurement.
+    std::vector<std::vector<search::ScoredId>> truth(nqueries);
+    Stopwatch flat_watch;
+    for (size_t i = 0; i < nqueries; ++i) truth[i] = flat.TopK(qs[i], k);
+    const double flat_qps =
+        static_cast<double>(nqueries) / flat_watch.ElapsedSeconds();
+
+    const size_t reps = args.smoke ? 3 : 8;
+    std::vector<std::vector<search::ScoredId>> got(nqueries);
+    std::vector<double> lat;
+    lat.reserve(reps * nqueries);
+    Stopwatch ann_watch;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      for (size_t i = 0; i < nqueries; ++i) {
+        Stopwatch one;
+        std::vector<search::ScoredId> res = hnsw.TopK(qs[i], k);
+        lat.push_back(one.ElapsedMillis());
+        if (rep == 0) got[i] = std::move(res);
+      }
+    }
+    const double ann_qps = static_cast<double>(reps * nqueries) /
+                           ann_watch.ElapsedSeconds();
+
+    // recall@10 + the exact-rerank parity gate: every id the ANN path
+    // returns that the exact top-k also contains must carry a bit-identical
+    // score (both paths run the same kernel over the same row).
+    double recall_sum = 0.0;
+    for (size_t i = 0; i < nqueries; ++i) {
+      std::unordered_map<int64_t, float> want;
+      want.reserve(truth[i].size());
+      for (const search::ScoredId& t : truth[i]) want.emplace(t.id, t.score);
+      size_t hits = 0;
+      for (const search::ScoredId& g : got[i]) {
+        auto it = want.find(g.id);
+        if (it == want.end()) continue;
+        ++hits;
+        if (std::memcmp(&it->second, &g.score, sizeof(float)) != 0) {
+          std::fprintf(stderr,
+                       "sweep parity failure: id=%lld ann score %.9g != "
+                       "exact score %.9g\n",
+                       static_cast<long long>(g.id), g.score, it->second);
+          parity_ok = false;
+        }
+      }
+      recall_sum += truth[i].empty()
+                        ? 1.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(truth[i].size());
+    }
+    const double recall = recall_sum / static_cast<double>(nqueries);
+    std::sort(lat.begin(), lat.end());
+    const double p50 = Percentile(lat, 0.50);
+    const double p95 = Percentile(lat, 0.95);
+    const auto hstats = hnsw.stats();
+    const auto fstats = flat.stats();
+    const double ratio = ann_qps / flat_qps;
+    last_recall = recall;
+    last_ratio = ratio;
+
+    std::printf("  %-9zu %10.1f %12.1f %12.1f %6.1fx %10.4f %9.4f %9.4f "
+                "%10.2f\n",
+                inserted, build_ms, flat_qps, ann_qps, ratio, recall, p50,
+                p95,
+                static_cast<double>(hstats.graph_bytes) / (1024.0 * 1024.0));
+
+    Value& row = report.AddRow();
+    row["corpus"] = static_cast<int64_t>(inserted);
+    row["dims"] = static_cast<int64_t>(dims);
+    row["graph_build_ms"] = build_ms;
+    row["flat_qps"] = flat_qps;
+    row["ann_qps"] = ann_qps;
+    row["ann_vs_flat_qps_ratio"] = ratio;
+    row["recall_at_10"] = recall;
+    row["ann_p50_ms"] = p50;
+    row["ann_p95_ms"] = p95;
+    row["graph_bytes"] = static_cast<int64_t>(hstats.graph_bytes);
+    row["rows_bytes"] = static_cast<int64_t>(fstats.bytes);
+  }
+  std::printf("\n");
+  report.Set("sweep_recall_at_10", last_recall);
+  report.Set("sweep_ann_vs_flat_qps_ratio", last_ratio);
+
+  if (args.smoke) {
+    if (!parity_ok) gates_ok = false;
+    if (last_recall < 0.95) {
+      std::fprintf(stderr, "sweep gate failure: recall@10 %.4f < 0.95\n",
+                   last_recall);
+      gates_ok = false;
+    }
+    if (last_ratio < 10.0) {
+      std::fprintf(stderr,
+                   "sweep gate failure: ann/flat QPS ratio %.2fx < 10x\n",
+                   last_ratio);
+      gates_ok = false;
+    }
+  }
+  return gates_ok;
 }
 
 int RunBench(const Args& args) {
@@ -288,7 +514,9 @@ int RunBench(const Args& args) {
               static_cast<unsigned long long>(cache_stats.hits),
               static_cast<unsigned long long>(cache_stats.misses));
 
-  std::printf("\nchecksum %.6f\n", checksum);
+  std::printf("\nchecksum %.6f\n\n", checksum);
+
+  const bool sweep_ok = RunSweep(args, report);
 
   report.Set("docs", static_cast<int64_t>(args.docs));
   report.Set("dims", static_cast<int64_t>(args.dims));
@@ -306,7 +534,7 @@ int RunBench(const Args& args) {
   report.Set("encode_every_time_ms", encode_ms);
   report.Set("lru_cache_ms", cached_ms);
   report.Write();
-  return 0;
+  return sweep_ok ? 0 : 1;
 }
 
 }  // namespace

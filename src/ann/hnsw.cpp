@@ -1,0 +1,410 @@
+#include "ann/hnsw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hashing.hpp"
+#include "common/thread_pool.hpp"
+#include "embed/embedding.hpp"
+
+namespace laminar::ann {
+namespace {
+
+constexpr size_t kStripes = 1024;  // power of two; see stripe index mask
+constexpr int kMaxLevel = 30;
+
+/// Ranking order shared with the exact scan: score descending, ties by
+/// ascending node. The node tiebreak makes serial builds and searches fully
+/// deterministic.
+inline bool BetterCand(const Candidate& a, const Candidate& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.node < b.node;
+}
+
+/// Comparator for the expansion frontier: a max-heap keyed on score only
+/// (front = most promising unexpanded candidate).
+inline bool FrontierLess(const Candidate& a, const Candidate& b) {
+  return a.score < b.score;
+}
+
+/// Epoch-stamped visited set. Thread-local so concurrent readers never
+/// share scratch state; the epoch bump makes reuse O(1) instead of a
+/// per-query memset.
+struct VisitedSet {
+  std::vector<uint32_t> stamp;
+  uint32_t epoch = 0;
+
+  void Begin(size_t n) {
+    if (stamp.size() < n) stamp.resize(n, 0);
+    if (++epoch == 0) {  // wrapped: stale stamps could collide, wipe them
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      epoch = 1;
+    }
+  }
+  bool TestAndSet(int32_t node) {
+    uint32_t& s = stamp[static_cast<size_t>(node)];
+    if (s == epoch) return true;
+    s = epoch;
+    return false;
+  }
+};
+
+thread_local VisitedSet tl_visited;
+thread_local std::vector<int32_t> tl_neighbors;
+
+}  // namespace
+
+HnswIndex::HnswIndex(size_t dims, HnswConfig config)
+    : dims_(dims), config_(config), stripes_(kStripes) {
+  if (config_.M < 2) config_.M = 2;
+  if (config_.ef_construction < config_.M) {
+    config_.ef_construction = config_.M;
+  }
+  m0_ = 2 * config_.M;
+}
+
+void HnswIndex::Clear() {
+  levels_.clear();
+  levels_.shrink_to_fit();
+  links0_.clear();
+  links0_.shrink_to_fit();
+  upper_.clear();
+  entry_.store(-1, std::memory_order_release);
+}
+
+int HnswIndex::RandomLevel(size_t node) const {
+  // Hash of (seed, node): the same node index always draws the same level,
+  // so rebuilds produce the same level structure in any build order.
+  uint64_t h = hashing::SplitMix64(
+      config_.seed ^ (0x9e3779b97f4a7c15ULL * (node + 1)));
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u < 1e-12) u = 1e-12;
+  const double ml = 1.0 / std::log(static_cast<double>(config_.M));
+  const int level = static_cast<int>(-std::log(u) * ml);
+  return std::min(level, kMaxLevel);
+}
+
+int32_t* HnswIndex::LinkBlock(int32_t node, int level) {
+  if (level == 0) {
+    return links0_.data() + static_cast<size_t>(node) * (m0_ + 1);
+  }
+  return upper_.find(node)->second.data() +
+         static_cast<size_t>(level - 1) * (config_.M + 1);
+}
+
+const int32_t* HnswIndex::LinkBlock(int32_t node, int level) const {
+  if (level == 0) {
+    return links0_.data() + static_cast<size_t>(node) * (m0_ + 1);
+  }
+  return upper_.find(node)->second.data() +
+         static_cast<size_t>(level - 1) * (config_.M + 1);
+}
+
+size_t HnswIndex::CopyLinks(int32_t node, int level, bool synchronized,
+                            int32_t* buf) const {
+  const int32_t* blk = LinkBlock(node, level);
+  if (!synchronized) {
+    const size_t n = static_cast<size_t>(blk[0]);
+    std::copy(blk + 1, blk + 1 + n, buf);
+    return n;
+  }
+  SpinLock& lock = stripes_[static_cast<size_t>(node) & (kStripes - 1)];
+  lock.lock();
+  const size_t n = static_cast<size_t>(blk[0]);
+  std::copy(blk + 1, blk + 1 + n, buf);
+  lock.unlock();
+  return n;
+}
+
+Candidate HnswIndex::GreedyStep(const float* rows, const float* query,
+                                Candidate start, int level,
+                                bool synchronized) const {
+  if (tl_neighbors.size() < m0_) tl_neighbors.resize(m0_);
+  int32_t* neigh = tl_neighbors.data();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const size_t n = CopyLinks(start.node, level, synchronized, neigh);
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t nb = neigh[i];
+      const float score = embed::DotUnrolled(
+          query, rows + static_cast<size_t>(nb) * dims_, dims_);
+      if (score > start.score) {
+        start = Candidate{nb, score};
+        improved = true;
+      }
+    }
+  }
+  return start;
+}
+
+void HnswIndex::SearchLayer(const float* rows, const float* query, int level,
+                            size_t ef, const uint8_t* dead, bool synchronized,
+                            std::vector<Candidate>& eps) const {
+  VisitedSet& visited = tl_visited;
+  visited.Begin(levels_.size());
+
+  // `frontier` is a max-heap of unexpanded candidates (front = best);
+  // `results` is bounded by ef and ordered by BetterCand with the *worst*
+  // retained candidate at the front, like the exact scan's top-k heap.
+  std::vector<Candidate> frontier;
+  std::vector<Candidate> results;
+  frontier.reserve(2 * ef);
+  results.reserve(ef + 1);
+  for (const Candidate& ep : eps) {
+    if (visited.TestAndSet(ep.node)) continue;
+    frontier.push_back(ep);
+    std::push_heap(frontier.begin(), frontier.end(), FrontierLess);
+    if (dead == nullptr || dead[ep.node] == 0) {
+      results.push_back(ep);
+      std::push_heap(results.begin(), results.end(), BetterCand);
+      if (results.size() > ef) {
+        std::pop_heap(results.begin(), results.end(), BetterCand);
+        results.pop_back();
+      }
+    }
+  }
+
+  std::vector<int32_t> neigh(m0_);
+  while (!frontier.empty()) {
+    const Candidate best = frontier.front();
+    if (results.size() >= ef && !BetterCand(best, results.front())) break;
+    std::pop_heap(frontier.begin(), frontier.end(), FrontierLess);
+    frontier.pop_back();
+
+    const size_t n = CopyLinks(best.node, level, synchronized, neigh.data());
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t nb = neigh[i];
+      if (visited.TestAndSet(nb)) continue;
+      const float score = embed::DotUnrolled(
+          query, rows + static_cast<size_t>(nb) * dims_, dims_);
+      const Candidate cand{nb, score};
+      if (results.size() >= ef && !BetterCand(cand, results.front())) {
+        continue;  // cannot enter the result set; not worth expanding
+      }
+      frontier.push_back(cand);
+      std::push_heap(frontier.begin(), frontier.end(), FrontierLess);
+      if (dead == nullptr || dead[nb] == 0) {
+        results.push_back(cand);
+        std::push_heap(results.begin(), results.end(), BetterCand);
+        if (results.size() > ef) {
+          std::pop_heap(results.begin(), results.end(), BetterCand);
+          results.pop_back();
+        }
+      }
+    }
+  }
+  std::sort(results.begin(), results.end(), BetterCand);
+  eps = std::move(results);
+}
+
+void HnswIndex::SelectNeighbors(const float* rows,
+                                std::vector<Candidate>& cands,
+                                size_t m) const {
+  if (cands.size() <= m) return;
+  // Diversity pruning (paper Algorithm 4): a candidate is kept only when it
+  // is closer to the base point than to every already-selected neighbor,
+  // which spreads links across directions instead of clustering them. Slots
+  // the pruning leaves empty are refilled from the pruned set in score
+  // order (keep-pruned-connections), preserving degree on clustered data.
+  std::vector<Candidate> selected;
+  std::vector<Candidate> pruned;
+  selected.reserve(m);
+  for (const Candidate& c : cands) {
+    if (selected.size() >= m) break;
+    const float* crow = rows + static_cast<size_t>(c.node) * dims_;
+    bool diverse = true;
+    for (const Candidate& s : selected) {
+      const float to_selected = embed::DotUnrolled(
+          crow, rows + static_cast<size_t>(s.node) * dims_, dims_);
+      if (to_selected > c.score) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      selected.push_back(c);
+    } else if (pruned.size() < m) {
+      pruned.push_back(c);
+    }
+  }
+  for (const Candidate& p : pruned) {
+    if (selected.size() >= m) break;
+    selected.push_back(p);
+  }
+  cands = std::move(selected);
+}
+
+void HnswIndex::AddBacklink(const float* rows, int32_t target, int32_t node,
+                            float score, int level, bool synchronized) {
+  if (target == node) return;
+  const size_t cap = level == 0 ? m0_ : config_.M;
+  auto link = [&] {
+    int32_t* blk = LinkBlock(target, level);
+    const int32_t cnt = blk[0];
+    for (int32_t i = 1; i <= cnt; ++i) {
+      if (blk[i] == node) return;  // parallel build raced the same pair
+    }
+    if (static_cast<size_t>(cnt) < cap) {
+      blk[cnt + 1] = node;
+      blk[0] = cnt + 1;
+      return;
+    }
+    // Full: re-select the target's neighbor set over existing + new.
+    const float* trow = rows + static_cast<size_t>(target) * dims_;
+    std::vector<Candidate> cands;
+    cands.reserve(static_cast<size_t>(cnt) + 1);
+    cands.push_back(Candidate{node, score});
+    for (int32_t i = 1; i <= cnt; ++i) {
+      cands.push_back(Candidate{
+          blk[i], embed::DotUnrolled(
+                      trow, rows + static_cast<size_t>(blk[i]) * dims_,
+                      dims_)});
+    }
+    std::sort(cands.begin(), cands.end(), BetterCand);
+    SelectNeighbors(rows, cands, cap);
+    blk[0] = static_cast<int32_t>(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i) {
+      blk[1 + i] = cands[i].node;
+    }
+  };
+  if (!synchronized) {
+    link();
+    return;
+  }
+  SpinLock& lock = stripes_[static_cast<size_t>(target) & (kStripes - 1)];
+  lock.lock();
+  link();
+  lock.unlock();
+}
+
+void HnswIndex::InsertNode(const float* rows, int32_t node,
+                           bool synchronized) {
+  const float* qrow = rows + static_cast<size_t>(node) * dims_;
+  const int level = levels_[static_cast<size_t>(node)];
+  const int32_t entry = entry_.load(std::memory_order_acquire);
+  const int top = levels_[static_cast<size_t>(entry)];
+  Candidate curr{entry,
+                 embed::DotUnrolled(
+                     qrow, rows + static_cast<size_t>(entry) * dims_, dims_)};
+  for (int l = top; l > level; --l) {
+    curr = GreedyStep(rows, qrow, curr, l, synchronized);
+  }
+  std::vector<Candidate> eps{curr};
+  for (int l = std::min(level, top); l >= 0; --l) {
+    SearchLayer(rows, qrow, l, config_.ef_construction, nullptr, synchronized,
+                eps);
+    std::vector<Candidate> selected = eps;
+    // A concurrent insert may already have linked back to this node, making
+    // it reachable from its own beam — never self-link.
+    selected.erase(std::remove_if(selected.begin(), selected.end(),
+                                  [node](const Candidate& c) {
+                                    return c.node == node;
+                                  }),
+                   selected.end());
+    SelectNeighbors(rows, selected, l == 0 ? m0_ : config_.M);
+    if (synchronized) {
+      SpinLock& lock = stripes_[static_cast<size_t>(node) & (kStripes - 1)];
+      lock.lock();
+      int32_t* blk = LinkBlock(node, l);
+      blk[0] = static_cast<int32_t>(selected.size());
+      for (size_t i = 0; i < selected.size(); ++i) blk[1 + i] = selected[i].node;
+      lock.unlock();
+    } else {
+      int32_t* blk = LinkBlock(node, l);
+      blk[0] = static_cast<int32_t>(selected.size());
+      for (size_t i = 0; i < selected.size(); ++i) blk[1 + i] = selected[i].node;
+    }
+    for (const Candidate& s : selected) {
+      AddBacklink(rows, s.node, node, s.score, l, synchronized);
+    }
+    if (eps.empty()) eps.push_back(curr);  // keep a seed for the next level
+  }
+  if (level > top) {
+    // This node out-leveled the current entry point: promote it. Checked
+    // again under the mutex because parallel builds race promotions.
+    std::scoped_lock lock(entry_mu_);
+    const int32_t e = entry_.load(std::memory_order_relaxed);
+    if (e < 0 || level > levels_[static_cast<size_t>(e)]) {
+      entry_.store(node, std::memory_order_release);
+    }
+  }
+}
+
+void HnswIndex::Add(const float* rows) {
+  const int32_t node = static_cast<int32_t>(levels_.size());
+  const int level = RandomLevel(static_cast<size_t>(node));
+  levels_.push_back(level);
+  links0_.resize(links0_.size() + m0_ + 1, 0);
+  if (level > 0) {
+    upper_.emplace(node, std::vector<int32_t>(
+                             static_cast<size_t>(level) * (config_.M + 1), 0));
+  }
+  if (entry_.load(std::memory_order_relaxed) < 0) {
+    entry_.store(node, std::memory_order_release);
+    return;
+  }
+  InsertNode(rows, node, /*synchronized=*/false);
+}
+
+void HnswIndex::Build(const float* rows, size_t n, ThreadPool* pool) {
+  Clear();
+  if (n == 0) return;
+  // Levels and the entry point are fixed before any link is written, so the
+  // parallel phase never grows a container (no rehash under concurrency —
+  // workers only fill pre-sized blocks behind striped locks).
+  levels_.resize(n);
+  size_t entry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    levels_[i] = RandomLevel(i);
+    if (levels_[i] > levels_[entry]) entry = i;
+  }
+  links0_.assign(n * (m0_ + 1), 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (levels_[i] > 0) {
+      upper_.emplace(static_cast<int32_t>(i),
+                     std::vector<int32_t>(
+                         static_cast<size_t>(levels_[i]) * (config_.M + 1),
+                         0));
+    }
+  }
+  entry_.store(static_cast<int32_t>(entry), std::memory_order_release);
+  const bool parallel = pool != nullptr && pool->size() > 0 && n > 2;
+  ParallelFor(pool, n, [&](size_t i) {
+    if (i == entry) return;  // the entry point is the seed node
+    InsertNode(rows, static_cast<int32_t>(i), parallel);
+  });
+}
+
+void HnswIndex::Search(const float* rows, const uint8_t* dead,
+                       const float* query, size_t ef,
+                       std::vector<Candidate>& out) const {
+  out.clear();
+  const int32_t entry = entry_.load(std::memory_order_acquire);
+  if (entry < 0 || ef == 0) return;
+  Candidate curr{entry,
+                 embed::DotUnrolled(
+                     query, rows + static_cast<size_t>(entry) * dims_,
+                     dims_)};
+  for (int l = levels_[static_cast<size_t>(entry)]; l > 0; --l) {
+    curr = GreedyStep(rows, query, curr, l, /*synchronized=*/false);
+  }
+  std::vector<Candidate> eps{curr};
+  SearchLayer(rows, query, /*level=*/0, ef, dead, /*synchronized=*/false,
+              eps);
+  out = std::move(eps);
+}
+
+size_t HnswIndex::memory_bytes() const {
+  size_t bytes = levels_.capacity() * sizeof(int32_t) +
+                 links0_.capacity() * sizeof(int32_t);
+  for (const auto& [node, block] : upper_) {
+    (void)node;
+    bytes += sizeof(int32_t) * block.capacity();
+  }
+  // Hash-map node overhead (bucket array + node headers), approximate.
+  bytes += upper_.size() * (sizeof(void*) * 4 + sizeof(int32_t));
+  return bytes;
+}
+
+}  // namespace laminar::ann

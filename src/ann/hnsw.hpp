@@ -1,0 +1,143 @@
+// Approximate-nearest-neighbor graph index (HNSW, Malkov & Yashunin 2018)
+// for the million-PE search tier (ROADMAP item 1; the paper's Senatus-citing
+// future work). This class owns only the *graph*: the L2-normalized rows
+// live in the caller's flat storage (search::VectorIndex `data_`), and every
+// distance evaluated here is the same embed::DotUnrolled kernel over the
+// same floats the exact scan uses — which is what makes the two-stage query
+// path (ANN candidate generation, exact dot-product rerank) return scores
+// bit-identical to the flat path.
+//
+// Layout: node ids are dense indexes into the caller's row storage. Level-0
+// links sit in one flat count-prefixed array (node-major blocks of
+// 2M+1 int32); the ~1/M fraction of nodes with upper levels keep their
+// per-level blocks in a side map. Levels are assigned by hashing the node
+// id with the config seed, so a rebuild assigns the same levels regardless
+// of build order or thread count.
+//
+// Concurrency contract: Search() and the other const methods are safe to
+// call concurrently with each other (no shared mutable state; the visited
+// set is a thread-local epoch-stamped scratch buffer). Mutations (Add,
+// Build, Clear) require external exclusive locking — the same contract as
+// VectorIndex. Build() itself fans the inserts out across a ThreadPool,
+// synchronizing link-list access internally with striped spinlocks, so a
+// bulk build exploits every core while staying within the external
+// exclusive section.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace laminar {
+class ThreadPool;
+}
+
+namespace laminar::ann {
+
+struct HnswConfig {
+  /// Max links per node on levels >= 1; level 0 keeps up to 2*M.
+  size_t M = 16;
+  /// Beam width while inserting: wider = better graph, slower build.
+  size_t ef_construction = 128;
+  /// Default beam width at query time (callers may widen per query to k).
+  size_t ef_search = 96;
+  /// Namespaces the per-node level hash so graph shape is reproducible.
+  uint64_t seed = 0xa117e57a7e5eedULL;
+};
+
+/// One scored graph node: `score` is the exact dot product between the
+/// query and the node's stored (unit-norm) row.
+struct Candidate {
+  int32_t node = -1;
+  float score = 0.0f;
+};
+
+class HnswIndex {
+ public:
+  explicit HnswIndex(size_t dims, HnswConfig config = {});
+
+  /// Appends node `node_count()` and links it into the graph (serial
+  /// incremental insert). `rows` is the base of the caller's row storage and
+  /// must already contain the new node's row; the pointer is taken fresh on
+  /// every call because the caller's vector may reallocate between inserts.
+  void Add(const float* rows);
+
+  /// Rebuilds the graph over rows [0, n) from scratch. Level assignment and
+  /// the entry point are fixed up front; the per-node link construction
+  /// then fans out over `pool` (plus the calling thread) via ParallelFor.
+  /// A null pool builds serially, which is also deterministic.
+  void Build(const float* rows, size_t n, ThreadPool* pool);
+
+  /// Beam search for up to `ef` live candidates near `query` (unit-norm,
+  /// `dims` floats). Tombstoned nodes (`dead[node] != 0`) still route the
+  /// traversal but are excluded from results; pass dead = nullptr when every
+  /// node is live. Results come back sorted by score descending, ties by
+  /// ascending node, each scored with the exact dot kernel.
+  void Search(const float* rows, const uint8_t* dead, const float* query,
+              size_t ef, std::vector<Candidate>& out) const;
+
+  void Clear();
+
+  size_t node_count() const { return levels_.size(); }
+  int entry_node() const { return entry_.load(std::memory_order_relaxed); }
+  int max_level() const {
+    int e = entry_.load(std::memory_order_relaxed);
+    return e < 0 ? -1 : levels_[static_cast<size_t>(e)];
+  }
+  size_t dims() const { return dims_; }
+  const HnswConfig& config() const { return config_; }
+
+  /// Heap footprint of the graph structure (links + levels), excluding the
+  /// caller-owned row storage.
+  size_t memory_bytes() const;
+
+ private:
+  struct alignas(64) SpinLock {
+    std::atomic_flag flag = ATOMIC_FLAG_INIT;
+    void lock() {
+      while (flag.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    void unlock() { flag.clear(std::memory_order_release); }
+  };
+
+  int RandomLevel(size_t node) const;
+  int32_t* LinkBlock(int32_t node, int level);
+  const int32_t* LinkBlock(int32_t node, int level) const;
+  /// Copies node's neighbor list at `level` into `buf` (sized >= 2M),
+  /// returning the count. Takes the node's stripe lock when `synchronized`.
+  size_t CopyLinks(int32_t node, int level, bool synchronized,
+                   int32_t* buf) const;
+  /// Greedy ef=1 descent step at `level` starting from `start`.
+  Candidate GreedyStep(const float* rows, const float* query, Candidate start,
+                       int level, bool synchronized) const;
+  /// Beam search at one level. `eps` seeds the beam; results (up to ef,
+  /// filtered by `dead`) replace it, sorted by score descending.
+  void SearchLayer(const float* rows, const float* query, int level,
+                   size_t ef, const uint8_t* dead, bool synchronized,
+                   std::vector<Candidate>& eps) const;
+  /// Algorithm-4 diversity pruning to at most `m` neighbors, refilling from
+  /// the pruned set when diversity leaves slots empty.
+  void SelectNeighbors(const float* rows, std::vector<Candidate>& cands,
+                       size_t m) const;
+  /// Links `node` into every level <= its own (the body of Add/Build).
+  void InsertNode(const float* rows, int32_t node, bool synchronized);
+  void AddBacklink(const float* rows, int32_t target, int32_t node,
+                   float score, int level, bool synchronized);
+
+  size_t dims_;
+  HnswConfig config_;
+  size_t m0_;                    ///< level-0 link capacity (2*M)
+  std::vector<int32_t> levels_;  ///< per-node top level
+  std::vector<int32_t> links0_;  ///< node-major [count, n0, n1, ...] blocks
+  /// Nodes with level >= 1: per-level [count, ...] blocks, concatenated.
+  std::unordered_map<int32_t, std::vector<int32_t>> upper_;
+  std::atomic<int32_t> entry_{-1};  ///< highest-level node; -1 = empty
+  std::mutex entry_mu_;             ///< guards entry_ promotion
+  /// Per-node striped locks for link lists during parallel Build.
+  mutable std::vector<SpinLock> stripes_;
+};
+
+}  // namespace laminar::ann

@@ -109,24 +109,37 @@ PeExample RenderVariant(const FamilySpec& family, int group, int64_t id,
 
 }  // namespace
 
+PeStream::PeStream(const DatasetConfig& config)
+    : config_(config), rng_(config.seed), family_rng_(0) {
+  const std::vector<FamilySpec>& table = Families();
+  families_ = config_.families == 0
+                  ? table.size()
+                  : std::min(config_.families, table.size());
+  if (config_.variants_per_family == 0) family_ = families_;  // empty stream
+}
+
+bool PeStream::Next(PeExample* out) {
+  if (family_ >= families_) return false;
+  if (variant_ == 0) family_rng_ = rng_.Fork(family_ + 1);
+  *out = RenderVariant(Families()[family_], static_cast<int>(family_),
+                       next_id_++, variant_, family_rng_, config_);
+  if (++variant_ >= config_.variants_per_family) {
+    variant_ = 0;
+    ++family_;
+  }
+  return true;
+}
+
 CodeSearchNetPeDataset CodeSearchNetPeDataset::Generate(
     const DatasetConfig& config) {
   CodeSearchNetPeDataset ds;
-  const std::vector<FamilySpec>& table = Families();
-  size_t families = config.families == 0
-                        ? table.size()
-                        : std::min(config.families, table.size());
-  ds.family_count_ = families;
-  Rng rng(config.seed);
-  int64_t next_id = 1;
-  for (size_t f = 0; f < families; ++f) {
-    Rng family_rng = rng.Fork(f + 1);
-    for (size_t v = 0; v < config.variants_per_family; ++v) {
-      PeExample ex = RenderVariant(table[f], static_cast<int>(f), next_id++,
-                                   v, family_rng, config);
-      ds.groups_[ex.group].push_back(ex.id);
-      ds.examples_.push_back(std::move(ex));
-    }
+  PeStream stream(config);
+  ds.family_count_ = stream.family_count();
+  ds.examples_.reserve(stream.total());
+  PeExample ex;
+  while (stream.Next(&ex)) {
+    ds.groups_[ex.group].push_back(ex.id);
+    ds.examples_.push_back(std::move(ex));
   }
   return ds;
 }

@@ -40,6 +40,34 @@ struct PeExample {
   std::string pe_code;          ///< full PE class source
 };
 
+/// Streaming variant renderer: yields the exact example sequence
+/// CodeSearchNetPeDataset::Generate materializes (same seed derivation,
+/// same ids), one PeExample at a time in O(1) memory. This is how the
+/// million-PE corpus sweeps (bench_search) generate 1M+ PEs without ever
+/// holding the corpus: families iterate outermost, each forking its own rng
+/// stream, so the f-th family's variants are identical whether or not the
+/// earlier families were consumed.
+class PeStream {
+ public:
+  explicit PeStream(const DatasetConfig& config = {});
+
+  /// Renders the next example into `*out`; false when exhausted.
+  bool Next(PeExample* out);
+
+  /// Total examples the stream will yield (families * variants_per_family).
+  size_t total() const { return families_ * config_.variants_per_family; }
+  size_t family_count() const { return families_; }
+
+ private:
+  DatasetConfig config_;
+  size_t families_ = 0;
+  Rng rng_;
+  Rng family_rng_;
+  size_t family_ = 0;   ///< current family index
+  size_t variant_ = 0;  ///< next variant within the current family
+  int64_t next_id_ = 1;
+};
+
 class CodeSearchNetPeDataset {
  public:
   static CodeSearchNetPeDataset Generate(const DatasetConfig& config = {});

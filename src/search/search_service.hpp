@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -58,7 +59,9 @@ struct SearchConfig {
   /// LRU capacity of the (model, query text) -> embedding cache; 0 disables
   /// it. Hits/misses surface as laminar_search_query_cache_*_total.
   size_t query_cache_capacity = 256;
-  /// Sharded-scan knobs for the flat embedding index (see VectorIndex).
+  /// Embedding-index knobs: sharded-scan thresholds plus the ANN strategy
+  /// (flat | hnsw | auto) and HNSW shape (see VectorIndexOptions). Applied
+  /// to all four indexes; /stats surfaces them under search.vectorIndex.
   VectorIndex::Options vector_index;
   embed::UnixcoderConfig unixcoder;
   embed::ReaccConfig reacc;
@@ -121,6 +124,14 @@ class SearchService {
   void RemovePe(int64_t pe_id);
   void RemoveWorkflow(int64_t workflow_id);
   void Clear();
+  /// Bulk-ingest fast path: between BeginBulkIndexing and EndBulkIndexing
+  /// the vector indexes skip per-Upsert ANN graph maintenance; EndBulk then
+  /// builds each graph once, fanning the level inserts out over `pool` via
+  /// ParallelFor, and records the wall time into the
+  /// laminar_search_bulk_build_ms gauge. No-ops while the indexes are flat.
+  /// Same external-exclusive-locking contract as every index mutation.
+  void BeginBulkIndexing();
+  void EndBulkIndexing(ThreadPool* pool);
   /// Rebuilds everything from the repository. With a pool, the prepare
   /// phase (encodes + SPT featurization) fans out across pool threads plus
   /// the caller via ParallelFor; commits stay on the calling thread, so the
@@ -166,6 +177,10 @@ class SearchService {
   QueryEmbeddingCache::Stats query_cache_stats() const {
     return query_cache_.stats();
   }
+
+  /// Per-vector-index footprint/strategy snapshots for /stats, keyed by the
+  /// index label ("peText", "peCode", "workflowText", "workflowCode").
+  std::vector<std::pair<std::string, VectorIndexStats>> IndexStats() const;
 
  private:
   struct Doc {

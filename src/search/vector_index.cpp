@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <thread>
+#include <unordered_set>
 
+#include "common/clock.hpp"
 #include "embed/embedding.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::search {
 namespace {
@@ -29,24 +32,48 @@ inline void HeapPush(std::vector<ScoredId>& heap, size_t k, ScoredId cand) {
   std::push_heap(heap.begin(), heap.end(), Better);
 }
 
+/// Flat-mode capacity shrink policy: once live rows drop to a quarter of
+/// the allocated capacity (and the allocation is big enough to matter),
+/// return the slack to the allocator so a million-row index that churns
+/// down to thousands doesn't pin the high-water mark forever.
+constexpr size_t kShrinkMinCapacity = 1024;
+
+/// hnsw mode never compacts below this many tombstones — rebuilding a tiny
+/// graph on every few removes would cost more than the dead rows do.
+constexpr size_t kCompactMinDead = 64;
+
 }  // namespace
 
-VectorIndex::VectorIndex(size_t dims, Options options)
-    : dims_(dims), options_(options) {}
-
-void VectorIndex::Upsert(int64_t id, std::span<const float> embedding) {
-  size_t slot;
-  auto it = slot_of_.find(id);
-  if (it != slot_of_.end()) {
-    slot = it->second;
-  } else {
-    slot = ids_.size();
-    ids_.push_back(id);
-    data_.resize(data_.size() + dims_);
-    slot_of_.emplace(id, slot);
+const char* ToString(IndexStrategy strategy) {
+  switch (strategy) {
+    case IndexStrategy::kFlat:
+      return "flat";
+    case IndexStrategy::kHnsw:
+      return "hnsw";
+    case IndexStrategy::kAuto:
+      break;
   }
-  float* row = data_.data() + slot * dims_;
-  float norm =
+  return "auto";
+}
+
+IndexStrategy ParseIndexStrategy(std::string_view name) {
+  if (name == "flat") return IndexStrategy::kFlat;
+  if (name == "hnsw") return IndexStrategy::kHnsw;
+  return IndexStrategy::kAuto;
+}
+
+VectorIndex::VectorIndex(size_t dims, Options options)
+    : dims_(dims), options_(std::move(options)) {
+  if (options_.strategy == IndexStrategy::kHnsw) {
+    ann_active_ = true;
+    hnsw_ = std::make_unique<ann::HnswIndex>(dims_, options_.hnsw);
+    EnsureAnnTelemetry();
+  }
+}
+
+void VectorIndex::WriteRow(float* row,
+                           std::span<const float> embedding) const {
+  const float norm =
       embedding.size() == dims_ ? embed::Norm(embedding) : 0.0f;
   if (norm > 0.0f) {
     for (size_t i = 0; i < dims_; ++i) row[i] = embedding[i] / norm;
@@ -57,11 +84,70 @@ void VectorIndex::Upsert(int64_t id, std::span<const float> embedding) {
   }
 }
 
+void VectorIndex::AppendRow(int64_t id, std::span<const float> embedding) {
+  ids_.push_back(id);
+  data_.resize(data_.size() + dims_);
+  dead_.push_back(0);
+  WriteRow(data_.data() + (ids_.size() - 1) * dims_, embedding);
+}
+
+void VectorIndex::Upsert(int64_t id, std::span<const float> embedding) {
+  if (!ann_active_) {
+    size_t slot;
+    auto it = slot_of_.find(id);
+    if (it != slot_of_.end()) {
+      slot = it->second;
+    } else {
+      slot = ids_.size();
+      ids_.push_back(id);
+      data_.resize(data_.size() + dims_);
+      slot_of_.emplace(id, slot);
+    }
+    WriteRow(data_.data() + slot * dims_, embedding);
+    if (options_.strategy == IndexStrategy::kAuto && !bulk_ &&
+        ids_.size() >= options_.ann_threshold) {
+      ActivateAnn(nullptr);
+    }
+    return;
+  }
+
+  // hnsw mode: rows are append-only (graph nodes keep their row binding), so
+  // a replace tombstones the old node and appends a fresh one for the id.
+  auto it = slot_of_.find(id);
+  if (it != slot_of_.end()) {
+    dead_[it->second] = 1;
+    ++dead_count_;
+    it->second = ids_.size();
+  } else {
+    slot_of_.emplace(id, ids_.size());
+  }
+  AppendRow(id, embedding);
+  if (!bulk_) {
+    // Incremental link-in; skipped when the graph is stale (mid-bulk inserts
+    // that never saw EndBulk) — queries fall back to the exact scan then.
+    if (hnsw_->node_count() + 1 == ids_.size()) {
+      hnsw_->Add(data_.data());
+      if (graph_bytes_gauge_ != nullptr) {
+        graph_bytes_gauge_->Set(
+            static_cast<int64_t>(hnsw_->memory_bytes()));
+      }
+    }
+    MaybeCompact(nullptr);
+  }
+}
+
 bool VectorIndex::Remove(int64_t id) {
   auto it = slot_of_.find(id);
   if (it == slot_of_.end()) return false;
-  size_t slot = it->second;
-  size_t last = ids_.size() - 1;
+  if (ann_active_) {
+    dead_[it->second] = 1;
+    ++dead_count_;
+    slot_of_.erase(it);
+    if (!bulk_) MaybeCompact(nullptr);
+    return true;
+  }
+  const size_t slot = it->second;
+  const size_t last = ids_.size() - 1;
   if (slot != last) {
     ids_[slot] = ids_[last];
     std::copy(data_.begin() + last * dims_, data_.begin() + (last + 1) * dims_,
@@ -71,6 +157,11 @@ bool VectorIndex::Remove(int64_t id) {
   ids_.pop_back();
   data_.resize(data_.size() - dims_);
   slot_of_.erase(it);
+  if (ids_.capacity() >= kShrinkMinCapacity &&
+      ids_.size() * 4 <= ids_.capacity()) {
+    data_.shrink_to_fit();
+    ids_.shrink_to_fit();
+  }
   return true;
 }
 
@@ -78,6 +169,119 @@ void VectorIndex::Clear() {
   data_.clear();
   ids_.clear();
   slot_of_.clear();
+  dead_.clear();
+  dead_count_ = 0;
+  bulk_ = false;
+  if (options_.strategy != IndexStrategy::kHnsw) ann_active_ = false;
+  if (hnsw_) hnsw_->Clear();
+  if (graph_bytes_gauge_ != nullptr) graph_bytes_gauge_->Set(0);
+}
+
+void VectorIndex::BeginBulk() { bulk_ = true; }
+
+void VectorIndex::EndBulk(ThreadPool* pool) {
+  bulk_ = false;
+  if (!ann_active_) {
+    if (options_.strategy == IndexStrategy::kAuto &&
+        ids_.size() >= options_.ann_threshold) {
+      ActivateAnn(pool);
+    }
+    return;
+  }
+  if (dead_count_ >= kCompactMinDead &&
+      static_cast<double>(dead_count_) >
+          options_.max_dead_fraction * static_cast<double>(ids_.size())) {
+    Compact(pool);  // re-densifies and rebuilds the graph in one pass
+    return;
+  }
+  if (hnsw_->node_count() != ids_.size()) BuildGraph(pool);
+}
+
+void VectorIndex::ActivateAnn(ThreadPool* pool) {
+  if (ann_active_) return;
+  ann_active_ = true;
+  if (!hnsw_) hnsw_ = std::make_unique<ann::HnswIndex>(dims_, options_.hnsw);
+  EnsureAnnTelemetry();
+  dead_.assign(ids_.size(), 0);
+  dead_count_ = 0;
+  BuildGraph(pool);
+}
+
+void VectorIndex::BuildGraph(ThreadPool* pool) {
+  Stopwatch timer;
+  hnsw_->Build(data_.data(), ids_.size(), pool);
+  ++graph_builds_;
+  if (build_ms_ != nullptr) build_ms_->Observe(timer.ElapsedMillis());
+  if (graph_bytes_gauge_ != nullptr) {
+    graph_bytes_gauge_->Set(static_cast<int64_t>(hnsw_->memory_bytes()));
+  }
+}
+
+void VectorIndex::Compact(ThreadPool* pool) {
+  std::vector<float> data;
+  std::vector<int64_t> ids;
+  data.reserve(size() * dims_);
+  ids.reserve(size());
+  for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    if (dead_[slot] != 0) continue;
+    ids.push_back(ids_[slot]);
+    data.insert(data.end(), data_.begin() + slot * dims_,
+                data_.begin() + (slot + 1) * dims_);
+  }
+  data_ = std::move(data);
+  ids_ = std::move(ids);
+  slot_of_.clear();
+  slot_of_.reserve(ids_.size());
+  for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    slot_of_.emplace(ids_[slot], slot);
+  }
+  dead_.assign(ids_.size(), 0);
+  dead_count_ = 0;
+  ++compactions_;
+  BuildGraph(pool);
+}
+
+void VectorIndex::MaybeCompact(ThreadPool* pool) {
+  if (!ann_active_ || ids_.empty()) return;
+  if (dead_count_ < kCompactMinDead) return;
+  if (static_cast<double>(dead_count_) <=
+      options_.max_dead_fraction * static_cast<double>(ids_.size())) {
+    return;
+  }
+  Compact(pool);
+}
+
+void VectorIndex::EnsureAnnTelemetry() {
+  if (search_ms_ != nullptr) return;
+  const std::string labels =
+      options_.label.empty() ? std::string()
+                             : "index=\"" + options_.label + "\"";
+  auto& registry = telemetry::MetricsRegistry::Global();
+  build_ms_ = &registry.GetHistogram("laminar_ann_build_ms", labels);
+  search_ms_ = &registry.GetHistogram("laminar_ann_search_ms", labels);
+  graph_bytes_gauge_ = &registry.GetGauge("laminar_ann_graph_bytes", labels);
+  probes_total_ =
+      &registry.GetCounter("laminar_ann_recall_probes_total", labels);
+  probe_hits_ =
+      &registry.GetCounter("laminar_ann_recall_probe_hits_total", labels);
+  probe_expected_ =
+      &registry.GetCounter("laminar_ann_recall_probe_expected_total", labels);
+}
+
+VectorIndexStats VectorIndex::stats() const {
+  VectorIndexStats s;
+  s.rows = size();
+  s.nodes = ids_.size();
+  s.dims = dims_;
+  s.bytes = data_.capacity() * sizeof(float) +
+            ids_.capacity() * sizeof(int64_t) + dead_.capacity() +
+            slot_of_.size() *
+                (sizeof(int64_t) + sizeof(size_t) + sizeof(void*));
+  s.graph_bytes = (ann_active_ && hnsw_) ? hnsw_->memory_bytes() : 0;
+  s.ann = ann_active_;
+  s.compactions = compactions_;
+  s.graph_builds = graph_builds_;
+  return s;
 }
 
 std::vector<float> VectorIndex::NormalizedQuery(
@@ -92,27 +296,31 @@ std::vector<float> VectorIndex::NormalizedQuery(
 
 void VectorIndex::ScoreRange(const float* query, size_t begin, size_t end,
                              size_t k, std::vector<ScoredId>& heap) const {
+  const uint8_t* dead = dead_.empty() ? nullptr : dead_.data();
   const float* row = data_.data() + begin * dims_;
   for (size_t slot = begin; slot < end; ++slot, row += dims_) {
+    if (dead != nullptr && dead[slot] != 0) continue;
     HeapPush(heap, k, {ids_[slot], embed::DotUnrolled(query, row, dims_)});
   }
 }
 
-std::vector<ScoredId> VectorIndex::TopK(std::span<const float> query,
-                                        size_t k) const {
-  if (k == 0 || ids_.empty()) return {};
-  std::vector<float> q = NormalizedQuery(query);
-  if (q.empty()) {
-    // Zero or size-mismatched query: every row scores 0, so the legacy order
-    // is simply ascending id.
-    std::vector<ScoredId> out;
-    out.reserve(ids_.size());
-    for (int64_t id : ids_) out.push_back({id, 0.0f});
-    std::sort(out.begin(), out.end(), Better);
-    if (out.size() > k) out.resize(k);
-    return out;
+std::vector<ScoredId> VectorIndex::ZeroQueryTopK(size_t k) const {
+  // Zero or size-mismatched query: every row scores 0, so the legacy order
+  // is simply ascending id.
+  std::vector<ScoredId> out;
+  out.reserve(size());
+  const uint8_t* dead = dead_.empty() ? nullptr : dead_.data();
+  for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    if (dead != nullptr && dead[slot] != 0) continue;
+    out.push_back({ids_[slot], 0.0f});
   }
+  std::sort(out.begin(), out.end(), Better);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
 
+std::vector<ScoredId> VectorIndex::ExactTopK(const std::vector<float>& q,
+                                             size_t k) const {
   const size_t n = ids_.size();
   size_t hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
@@ -144,13 +352,71 @@ std::vector<ScoredId> VectorIndex::TopK(std::span<const float> query,
   return heap;
 }
 
+std::vector<ScoredId> VectorIndex::AnnTopK(std::span<const float> raw_query,
+                                           const std::vector<float>& q,
+                                           size_t k) const {
+  Stopwatch timer;
+  const size_t ef = std::max(options_.hnsw.ef_search, k);
+  std::vector<ann::Candidate> cands;
+  hnsw_->Search(data_.data(), dead_.empty() ? nullptr : dead_.data(),
+                q.data(), ef, cands);
+  // Exact rerank: the graph only *proposes* ids — every returned score is
+  // recomputed right here with the same kernel over the same rows the flat
+  // scan reads, so (id, score) pairs are bit-identical to the exact path.
+  std::vector<ScoredId> out;
+  out.reserve(cands.size());
+  for (const ann::Candidate& c : cands) {
+    const float* row = data_.data() + static_cast<size_t>(c.node) * dims_;
+    out.push_back({ids_[static_cast<size_t>(c.node)],
+                   embed::DotUnrolled(q.data(), row, dims_)});
+  }
+  std::sort(out.begin(), out.end(), Better);
+  if (out.size() > k) out.resize(k);
+  if (search_ms_ != nullptr) search_ms_->Observe(timer.ElapsedMillis());
+
+  const size_t interval = options_.recall_probe_interval;
+  if (interval > 0 && probes_total_ != nullptr &&
+      probe_tick_.fetch_add(1, std::memory_order_relaxed) % interval ==
+          interval - 1) {
+    // Recall probe: run the exact scan for the same query and count how many
+    // of its ids the ANN result contains. Scraped as hits/expected, this is
+    // a live recall@k estimate with ~1/interval overhead.
+    std::vector<ScoredId> want = BruteForceTopK(raw_query, k);
+    std::unordered_set<int64_t> want_ids;
+    want_ids.reserve(want.size());
+    for (const ScoredId& w : want) want_ids.insert(w.id);
+    uint64_t hits = 0;
+    for (const ScoredId& g : out) hits += want_ids.count(g.id);
+    probes_total_->Inc();
+    probe_expected_->Inc(want.size());
+    probe_hits_->Inc(hits);
+  }
+  return out;
+}
+
+std::vector<ScoredId> VectorIndex::TopK(std::span<const float> query,
+                                        size_t k) const {
+  if (k == 0 || size() == 0) return {};
+  std::vector<float> q = NormalizedQuery(query);
+  if (q.empty()) return ZeroQueryTopK(k);
+  // The ANN path needs a current graph (bulk ingest leaves it stale until
+  // EndBulk) and only pays off below full retrieval; otherwise scan.
+  if (ann_active_ && hnsw_ != nullptr &&
+      hnsw_->node_count() == ids_.size() && k < size()) {
+    return AnnTopK(query, q, k);
+  }
+  return ExactTopK(q, k);
+}
+
 std::vector<ScoredId> VectorIndex::BruteForceTopK(std::span<const float> query,
                                                   size_t k) const {
-  if (k == 0 || ids_.empty()) return {};
+  if (k == 0 || size() == 0) return {};
   std::vector<float> q = NormalizedQuery(query);
   std::vector<ScoredId> out;
-  out.reserve(ids_.size());
+  out.reserve(size());
+  const uint8_t* dead = dead_.empty() ? nullptr : dead_.data();
   for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    if (dead != nullptr && dead[slot] != 0) continue;
     float score = q.empty() ? 0.0f
                             : embed::DotUnrolled(
                                   q.data(), data_.data() + slot * dims_, dims_);

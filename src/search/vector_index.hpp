@@ -13,16 +13,46 @@
 // rows are scanned in shards on std::thread workers, each keeping a local
 // heap, merged at the end.
 //
+// Past `ann_threshold` rows the exact scan stops scaling (O(N·d) per query
+// cannot carry a million-PE corpus), so the index also carries a pluggable
+// strategy: `flat` keeps the dense exact scan, `hnsw` routes TopK through a
+// laminar::ann::HnswIndex graph over the *same* row storage, and `auto`
+// (default) starts flat and switches to hnsw once the row count crosses the
+// threshold (one-way: once a graph is built it stays, so the policy never
+// thrashes around the boundary). The ANN path is two-stage — graph beam
+// search for candidates, then an exact dot-product rerank through the same
+// unrolled kernel — so every returned score is bit-identical to what the
+// flat scan computes for that id, and ties break identically. In hnsw mode
+// rows are append-only with tombstoned removals (graph nodes must keep
+// their row binding); compaction rebuilds dense storage and the graph once
+// tombstones exceed `max_dead_fraction`.
+//
 // Concurrency contract: all const methods are safe to call concurrently
 // with each other (the server's shared-lock read path relies on this);
-// mutations (Upsert/Remove/Clear) require external exclusive locking, which
-// the server's write path provides.
+// mutations (Upsert/Remove/Clear/Begin+EndBulk) require external exclusive
+// locking, which the server's write path provides.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "ann/hnsw.hpp"
+
+namespace laminar {
+class ThreadPool;
+}
+
+namespace laminar::telemetry {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace laminar::telemetry
 
 namespace laminar::search {
 
@@ -31,11 +61,48 @@ struct ScoredId {
   float score = 0.0f;
 };
 
+/// Which top-k engine a VectorIndex runs queries through.
+enum class IndexStrategy {
+  kFlat,  ///< exact scan only, regardless of corpus size
+  kHnsw,  ///< ANN graph from the first row
+  kAuto,  ///< flat until `ann_threshold` rows, then hnsw (one-way switch)
+};
+
+const char* ToString(IndexStrategy strategy);
+/// Parses "flat" | "hnsw" | "auto" (anything else -> kAuto).
+IndexStrategy ParseIndexStrategy(std::string_view name);
+
 struct VectorIndexOptions {
-  /// Row count above which TopK shards the scan across threads.
+  /// Row count above which the exact TopK shards the scan across threads.
   size_t parallel_threshold = 4096;
   /// Upper bound on scan shards (also bounded by hardware_concurrency).
   size_t max_threads = 8;
+  /// flat | hnsw | auto (see IndexStrategy).
+  IndexStrategy strategy = IndexStrategy::kAuto;
+  /// Live-row count at which kAuto builds the ANN graph.
+  size_t ann_threshold = 32768;
+  /// HNSW graph shape (M / ef_construction / ef_search / seed).
+  ann::HnswConfig hnsw;
+  /// Tombstone fraction that triggers compaction in hnsw mode.
+  double max_dead_fraction = 0.25;
+  /// Every Nth ANN query also runs the exact scan and records the id
+  /// overlap into laminar_ann_recall_probe_* counters (0 disables probes).
+  size_t recall_probe_interval = 1024;
+  /// Telemetry label (`index="<label>"`) for laminar_ann_* metrics; empty
+  /// leaves the metrics unlabelled (standalone/test indexes).
+  std::string label;
+};
+
+/// Point-in-time footprint/shape snapshot for /stats.
+struct VectorIndexStats {
+  size_t rows = 0;         ///< live rows (excludes tombstones)
+  size_t nodes = 0;        ///< stored rows including tombstones
+  size_t dims = 0;
+  size_t bytes = 0;        ///< row + id + tombstone storage (capacity)
+  size_t graph_bytes = 0;  ///< HNSW graph footprint (0 while flat)
+  bool ann = false;        ///< true once queries route through the graph
+  uint64_t compactions = 0;
+  uint64_t graph_builds = 0;
 };
 
 class VectorIndex {
@@ -48,27 +115,46 @@ class VectorIndex {
   /// L2-normalized; a zero vector or a vector of the wrong dimensionality
   /// is stored as an all-zero row, which scores 0 against every query —
   /// the same result the legacy embed::Cosine path produced for zero or
-  /// size-mismatched pairs.
+  /// size-mismatched pairs. In hnsw mode a replace tombstones the old row
+  /// and appends a fresh one (graph nodes are immutable bindings).
   void Upsert(int64_t id, std::span<const float> embedding);
 
-  /// Removes the row (swap-and-pop; order is not preserved). Returns false
-  /// when the id was never inserted.
+  /// Removes the row. Flat mode swap-and-pops (order is not preserved) and
+  /// returns capacity to the allocator after large churn; hnsw mode
+  /// tombstones the node and compacts once `max_dead_fraction` of stored
+  /// rows are dead. Returns false when the id was never inserted.
   bool Remove(int64_t id);
 
   void Clear();
 
-  size_t size() const { return ids_.size(); }
-  bool empty() const { return ids_.empty(); }
+  /// Suspends per-Upsert graph maintenance (bulk ingest fast path). Between
+  /// BeginBulk and EndBulk, Upsert/Remove only touch row storage; EndBulk
+  /// then builds the ANN graph once, fanned out over `pool` via
+  /// ParallelFor. Safe to call in flat mode (EndBulk is then a no-op).
+  void BeginBulk();
+  void EndBulk(ThreadPool* pool);
+
+  size_t size() const { return ids_.size() - dead_count_; }
+  bool empty() const { return size() == 0; }
   size_t dims() const { return dims_; }
+  const Options& options() const { return options_; }
+  /// True once queries route through the ANN graph.
+  bool ann_active() const { return ann_active_; }
+
+  VectorIndexStats stats() const;
 
   /// Top `k` rows by cosine similarity against `query` (which is normalized
   /// internally; callers pass raw encoder output). Results are sorted by
   /// score descending, ties broken by ascending id — the exact order the
-  /// legacy full-sort path produced. k >= size() returns every row.
+  /// legacy full-sort path produced. k >= size() returns every row. In hnsw
+  /// mode the graph proposes candidates and the exact kernel reranks, so
+  /// returned (id, score) pairs are bit-identical to the flat scan's values
+  /// for those ids; k >= size() falls back to the exact scan outright.
   std::vector<ScoredId> TopK(std::span<const float> query, size_t k) const;
 
-  /// Reference implementation retained for benches and parity tests: scores
-  /// every row, fully sorts, truncates. Same results as TopK, brute force.
+  /// Reference implementation retained for benches, parity tests and recall
+  /// probes: scores every live row, fully sorts, truncates. Exact in every
+  /// mode.
   std::vector<ScoredId> BruteForceTopK(std::span<const float> query,
                                        size_t k) const;
 
@@ -76,12 +162,44 @@ class VectorIndex {
   std::vector<float> NormalizedQuery(std::span<const float> query) const;
   void ScoreRange(const float* query, size_t begin, size_t end, size_t k,
                   std::vector<ScoredId>& heap) const;
+  std::vector<ScoredId> ExactTopK(const std::vector<float>& q,
+                                  size_t k) const;
+  std::vector<ScoredId> AnnTopK(std::span<const float> raw_query,
+                                const std::vector<float>& q, size_t k) const;
+  /// All live rows at score 0 in ascending-id order (zero/mismatched query).
+  std::vector<ScoredId> ZeroQueryTopK(size_t k) const;
+  void AppendRow(int64_t id, std::span<const float> embedding);
+  void WriteRow(float* row, std::span<const float> embedding) const;
+  /// Switches an auto-strategy index onto the graph path (builds it).
+  void ActivateAnn(ThreadPool* pool);
+  /// Full graph (re)build over current rows; records build telemetry.
+  void BuildGraph(ThreadPool* pool);
+  /// Drops tombstoned rows, re-densifies storage, rebuilds the graph.
+  void Compact(ThreadPool* pool);
+  void MaybeCompact(ThreadPool* pool);
+  void EnsureAnnTelemetry();
 
   size_t dims_;
   Options options_;
-  std::vector<float> data_;  ///< size() * dims_, row-major, unit rows
+  std::vector<float> data_;  ///< node_count * dims_, row-major, unit rows
   std::vector<int64_t> ids_;
-  std::unordered_map<int64_t, size_t> slot_of_;
+  std::unordered_map<int64_t, size_t> slot_of_;  ///< id -> live slot/node
+  std::vector<uint8_t> dead_;  ///< hnsw mode: 1 = tombstoned node
+  size_t dead_count_ = 0;
+  bool ann_active_ = false;
+  bool bulk_ = false;
+  uint64_t compactions_ = 0;
+  uint64_t graph_builds_ = 0;
+  std::unique_ptr<ann::HnswIndex> hnsw_;
+  /// Rolling ANN-query tick driving the every-Nth recall probe.
+  mutable std::atomic<uint64_t> probe_tick_{0};
+  // laminar_ann_* handles, resolved once at graph activation.
+  telemetry::Histogram* build_ms_ = nullptr;
+  telemetry::Histogram* search_ms_ = nullptr;
+  telemetry::Gauge* graph_bytes_gauge_ = nullptr;
+  telemetry::Counter* probes_total_ = nullptr;
+  telemetry::Counter* probe_hits_ = nullptr;
+  telemetry::Counter* probe_expected_ = nullptr;
 };
 
 }  // namespace laminar::search

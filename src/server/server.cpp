@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "common/clock.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "net/multipart.hpp"
@@ -615,6 +616,10 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       telemetry::ScopedSpan span("ingest.commit", &IngestHistogram("commit"));
       IngestCounter("commit").Inc();
       std::scoped_lock lock(mu_);
+      // Bulk mode: the vector indexes defer per-Upsert ANN graph
+      // maintenance across the commit loop; EndBulkIndexing then builds
+      // each graph once, fanning the level inserts over the ingest pool.
+      search_.BeginBulkIndexing();
       for (size_t i = 0; i < n; ++i) {
         if (prepared[i] == nullptr) {
           record_error(i, prepare_errors[i]);
@@ -628,6 +633,12 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
         ids.push_back(id.value());
         ++registered;
       }
+      Stopwatch build_watch;
+      search_.EndBulkIndexing(ingest_pool_.get());
+      // Same gauge ReindexAll sets: the latest bulk index-build duration.
+      telemetry::MetricsRegistry::Global()
+          .GetGauge("laminar_search_bulk_build_ms")
+          .Set(static_cast<int64_t>(build_watch.ElapsedMillis()));
     }
     Value resp = Value::MakeObject();
     resp["peIds"] = std::move(ids);
@@ -933,6 +944,37 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     resp["queryCache"]["misses"] = static_cast<int64_t>(query_cache.misses);
     resp["queryCache"]["entries"] =
         static_cast<int64_t>(query_cache.entries);
+    // Vector-index tier (ISSUE 6): the configured scan/ANN knobs plus a
+    // per-index footprint snapshot, so operators can see which indexes have
+    // switched onto the ANN graph path and what it costs in memory.
+    const auto& vopts = search_.config().vector_index;
+    Value vi = Value::MakeObject();
+    vi["parallelThreshold"] =
+        static_cast<int64_t>(vopts.parallel_threshold);
+    vi["maxThreads"] = static_cast<int64_t>(vopts.max_threads);
+    vi["strategy"] = std::string(search::ToString(vopts.strategy));
+    vi["annThreshold"] = static_cast<int64_t>(vopts.ann_threshold);
+    vi["hnswM"] = static_cast<int64_t>(vopts.hnsw.M);
+    vi["hnswEfConstruction"] =
+        static_cast<int64_t>(vopts.hnsw.ef_construction);
+    vi["hnswEfSearch"] = static_cast<int64_t>(vopts.hnsw.ef_search);
+    vi["recallProbeInterval"] =
+        static_cast<int64_t>(vopts.recall_probe_interval);
+    resp["search"]["vectorIndex"] = std::move(vi);
+    Value indexes = Value::MakeObject();
+    for (const auto& [name, istats] : search_.IndexStats()) {
+      Value one = Value::MakeObject();
+      one["rows"] = static_cast<int64_t>(istats.rows);
+      one["nodes"] = static_cast<int64_t>(istats.nodes);
+      one["dims"] = static_cast<int64_t>(istats.dims);
+      one["bytes"] = static_cast<int64_t>(istats.bytes);
+      one["graphBytes"] = static_cast<int64_t>(istats.graph_bytes);
+      one["ann"] = istats.ann;
+      one["compactions"] = static_cast<int64_t>(istats.compactions);
+      one["graphBuilds"] = static_cast<int64_t>(istats.graph_builds);
+      indexes[name] = std::move(one);
+    }
+    resp["search"]["indexes"] = std::move(indexes);
     // Telemetry view: the same registry the /execute ##END## chunk reads,
     // so streamed totals and /stats totals cannot disagree.
     auto& reg = telemetry::MetricsRegistry::Global();

@@ -63,6 +63,9 @@ namespace laminar::server {
 
 struct ServerConfig {
   engine::EngineConfig engine;
+  /// Search tier, including the vector-index knobs (`search.vector_index`:
+  /// parallel_threshold, max_threads, strategy flat|hnsw|auto, HNSW shape).
+  /// The chosen values are surfaced under /stats "search.vectorIndex".
   search::SearchConfig search;
   /// Name of the implicit user owning unauthenticated registrations.
   std::string default_user = "laminar";

@@ -186,6 +186,36 @@ TEST(VectorIndex, RemoveSwapAndPopKeepsRemainingRows) {
   ExpectParity(index.TopK(q, 30), LegacyTopK(legacy, q, 30));
 }
 
+TEST(VectorIndex, ChurnReturnsCapacityToTheAllocator) {
+  Rng rng(55);
+  const size_t dims = 32;
+  VectorIndexOptions opts;
+  opts.strategy = IndexStrategy::kFlat;
+  VectorIndex index(dims, opts);
+  for (int64_t id = 1; id <= 6000; ++id) {
+    index.Upsert(id, RandomVector(rng, dims));
+  }
+  const size_t peak = index.stats().bytes;
+  for (int64_t id = 1; id <= 5900; ++id) {
+    ASSERT_TRUE(index.Remove(id));
+  }
+  ASSERT_EQ(index.size(), 100u);
+  const size_t after = index.stats().bytes;
+  // The index must not pin its high-water allocation after heavy churn.
+  // The shrink policy stops once capacity drops under its 1024-slot floor
+  // (shrinking tiny blocks buys nothing), so the bound is that floor's
+  // footprint — still an order of magnitude under the 6000-row peak.
+  const size_t floor_bytes =
+      1024 * (dims * sizeof(float) + sizeof(int64_t));
+  EXPECT_LT(after, floor_bytes) << "capacity pinned after churn";
+  EXPECT_LT(after * 10, peak);
+  // The survivors still rank correctly after the shrink.
+  embed::Vector q = RandomVector(rng, dims);
+  std::vector<ScoredId> hits = index.TopK(q, 100);
+  EXPECT_EQ(hits.size(), 100u);
+  for (const ScoredId& s : hits) EXPECT_GT(s.id, 5900);
+}
+
 TEST(VectorIndex, NormalizesAtInsertSoCosineIsDot) {
   VectorIndex index(3);
   embed::Vector big = {10.0f, 0.0f, 0.0f};  // large magnitude, same direction
