@@ -27,4 +27,35 @@ ExtraClient AttachClient(server::LaminarServer& server,
   return out;
 }
 
+Result<TcpLaminarServer> ServeTcp(server::ServerConfig config,
+                                  net::TcpListenerConfig listener) {
+  TcpLaminarServer out;
+  out.server = std::make_unique<server::LaminarServer>(std::move(config));
+  out.listener = std::make_unique<net::TcpListener>(std::move(listener),
+                                                    out.server->HandlerFn());
+  Status st = out.listener->Start();
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<TcpClient> ConnectTcp(const std::string& host, uint16_t port,
+                             net::HttpConnection::Mode mode) {
+  Result<std::unique_ptr<net::ByteStream>> stream =
+      net::TcpConnect(host, port);
+  if (!stream.ok()) return stream.status();
+  TcpClient out;
+  out.connection = std::make_shared<net::HttpConnection>(
+      std::move(stream.value()), mode);
+  out.client = std::make_unique<LaminarClient>(out.connection);
+  return out;
+}
+
+Result<TcpClient> ConnectTcp(const std::string& host_port,
+                             net::HttpConnection::Mode mode) {
+  Result<std::pair<std::string, uint16_t>> parsed =
+      net::ParseHostPort(host_port);
+  if (!parsed.ok()) return parsed.status();
+  return ConnectTcp(parsed->first, parsed->second, mode);
+}
+
 }  // namespace laminar::client

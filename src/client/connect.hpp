@@ -1,11 +1,14 @@
 // Wiring helpers: stand up a LaminarServer and a LaminarClient over an
 // in-memory duplex pipe in one call — the standard harness for examples,
-// tests and benches.
+// tests and benches — plus the TCP equivalents (ServeTcp / ConnectTcp) that
+// run the same protocol over real sockets and across processes.
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "client/client.hpp"
+#include "net/tcp.hpp"
 #include "server/server.hpp"
 
 namespace laminar::client {
@@ -34,6 +37,36 @@ struct ExtraClient {
 };
 ExtraClient AttachClient(
     server::LaminarServer& server,
+    net::HttpConnection::Mode mode = net::HttpConnection::Mode::kStreaming);
+
+/// A LaminarServer listening on a real TCP port (the laminar_serve harness
+/// and the TCP side of the transport-parity tests).
+struct TcpLaminarServer {
+  std::unique_ptr<server::LaminarServer> server;
+  std::unique_ptr<net::TcpListener> listener;
+  uint16_t port() const { return listener->port(); }
+};
+
+/// Stands the server up behind an epoll TCP listener. `listener.port = 0`
+/// binds an ephemeral port (read it back from the result).
+Result<TcpLaminarServer> ServeTcp(server::ServerConfig config = {},
+                                  net::TcpListenerConfig listener = {});
+
+/// A client connected to a (possibly remote) server over TCP.
+struct TcpClient {
+  std::shared_ptr<net::HttpConnection> connection;
+  std::unique_ptr<LaminarClient> client;
+};
+
+/// Dials host:port and wraps the socket in a client connection. `mode`
+/// selects the client-side transport behaviour exactly as ConnectInProcess.
+Result<TcpClient> ConnectTcp(
+    const std::string& host, uint16_t port,
+    net::HttpConnection::Mode mode = net::HttpConnection::Mode::kStreaming);
+
+/// Convenience overload for "host:port" connection strings.
+Result<TcpClient> ConnectTcp(
+    const std::string& host_port,
     net::HttpConnection::Mode mode = net::HttpConnection::Mode::kStreaming);
 
 }  // namespace laminar::client

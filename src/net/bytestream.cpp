@@ -10,21 +10,35 @@ namespace {
 
 std::atomic<uint64_t> g_bytes_written{0};
 
-/// One direction of a pipe: a byte FIFO with close semantics.
+/// One direction of a pipe: a byte FIFO with close semantics. A non-zero
+/// capacity bounds the buffer: writers block until the reader drains,
+/// mirroring kernel socket-buffer backpressure.
 struct Channel {
+  explicit Channel(size_t capacity) : capacity(capacity) {}
+
   std::mutex mu;
-  std::condition_variable cv;
+  std::condition_variable cv;        ///< readers wait here
+  std::condition_variable not_full;  ///< bounded-mode writers wait here
   std::string buffer;
+  const size_t capacity;  ///< 0 = unbounded
   bool closed = false;
 
   bool Write(std::string_view data) {
-    {
-      std::scoped_lock lock(mu);
+    size_t total = data.size();
+    std::unique_lock lock(mu);
+    while (!data.empty()) {
+      not_full.wait(lock, [&] {
+        return closed || capacity == 0 || buffer.size() < capacity;
+      });
       if (closed) return false;
-      buffer.append(data.data(), data.size());
+      size_t n = capacity == 0
+                     ? data.size()
+                     : std::min(data.size(), capacity - buffer.size());
+      buffer.append(data.data(), n);
+      data.remove_prefix(n);
+      cv.notify_all();
     }
-    g_bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
-    cv.notify_all();
+    g_bytes_written.fetch_add(total, std::memory_order_relaxed);
     return true;
   }
 
@@ -35,6 +49,7 @@ struct Channel {
     size_t n = std::min(max, buffer.size());
     std::memcpy(out, buffer.data(), n);
     buffer.erase(0, n);
+    not_full.notify_all();
     return n;
   }
 
@@ -44,6 +59,7 @@ struct Channel {
       closed = true;
     }
     cv.notify_all();
+    not_full.notify_all();
   }
 };
 
@@ -78,9 +94,9 @@ bool ByteStream::ReadExact(char* buf, size_t n) {
   return true;
 }
 
-DuplexPipe CreatePipe() {
-  auto ab = std::make_shared<Channel>();
-  auto ba = std::make_shared<Channel>();
+DuplexPipe CreatePipe(size_t capacity) {
+  auto ab = std::make_shared<Channel>(capacity);
+  auto ba = std::make_shared<Channel>(capacity);
   DuplexPipe pipe;
   pipe.first = std::make_unique<PipeEnd>(ab, ba);
   pipe.second = std::make_unique<PipeEnd>(ba, ab);

@@ -40,9 +40,12 @@ struct DuplexPipe {
 };
 
 /// Creates a connected pair. Writes on one endpoint become reads on the
-/// other. Unbounded buffering (the benches measure protocol behaviour, not
-/// kernel backpressure).
-DuplexPipe CreatePipe();
+/// other. `capacity` bounds the per-direction buffer in bytes: a slow
+/// reader blocks the writer once the buffer fills, matching real-socket
+/// backpressure (kernel send/receive buffers). The default 0 keeps the
+/// historical unbounded behaviour for benches that measure protocol
+/// behaviour, not backpressure.
+DuplexPipe CreatePipe(size_t capacity = 0);
 
 /// Bytes moved through pipes since process start (resource-transfer bench).
 struct PipeCounters {

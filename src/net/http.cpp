@@ -2,6 +2,7 @@
 
 #include "common/byte_buffer.hpp"
 #include "common/json.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::net {
 namespace {
@@ -88,22 +89,64 @@ class HttpConnection::Responder final : public StreamResponder {
 };
 
 HttpConnection::HttpConnection(std::unique_ptr<ByteStream> stream, Mode mode,
-                               StreamHandler handler)
-    : stream_(std::move(stream)), mode_(mode), handler_(std::move(handler)) {
+                               StreamHandler handler,
+                               size_t max_handler_threads)
+    : stream_(std::move(stream)),
+      mode_(mode),
+      handler_(std::move(handler)),
+      max_handler_threads_(std::max<size_t>(1, max_handler_threads)) {
   reader_ = std::thread([this] { ReaderLoop(); });
 }
 
 HttpConnection::~HttpConnection() {
   Close();
   if (reader_.joinable()) reader_.join();
+  handler_tasks_.Close();  // workers drain queued requests, then exit
   std::vector<std::thread> workers;
   {
-    std::scoped_lock lock(handler_threads_mu_);
-    workers.swap(handler_threads_);
+    std::scoped_lock lock(handler_workers_mu_);
+    workers.swap(handler_workers_);
   }
   for (std::thread& t : workers) {
     if (t.joinable()) t.join();
   }
+}
+
+size_t HttpConnection::handler_threads() const {
+  std::scoped_lock lock(handler_workers_mu_);
+  return handler_workers_.size();
+}
+
+void HttpConnection::DispatchHandler(std::function<void()> task) {
+  {
+    std::scoped_lock lock(handler_workers_mu_);
+    // Spawn lazily: only when every existing worker is busy and the cap
+    // allows. A momentary under-count (a worker finishing right now) at
+    // worst spawns one extra worker, still within the cap.
+    if (idle_workers_.load(std::memory_order_acquire) == 0 &&
+        handler_workers_.size() < max_handler_threads_) {
+      handler_workers_.emplace_back([this] { HandlerWorkerLoop(); });
+    }
+  }
+  handler_tasks_.Push(std::move(task));
+}
+
+void HttpConnection::HandlerWorkerLoop() {
+  while (true) {
+    idle_workers_.fetch_add(1, std::memory_order_acq_rel);
+    std::optional<std::function<void()>> task = handler_tasks_.Pop();
+    idle_workers_.fetch_sub(1, std::memory_order_acq_rel);
+    if (!task) return;  // queue closed and drained
+    (*task)();
+  }
+}
+
+void HttpConnection::ProtocolError(const char* reason) {
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("laminar_net_protocol_errors_total")
+      .Inc();
+  (void)reason;  // counted, not logged: hostile peers can spam this path
+  Close();
 }
 
 void HttpConnection::Close() {
@@ -118,6 +161,15 @@ void HttpConnection::Close() {
 
 void HttpConnection::WriteFrame(uint8_t type, uint64_t stream_id,
                                 std::string_view payload) {
+  // Write coalescing: header + payload are assembled into one buffer and
+  // handed to the stream as a single Write, so the TCP transport issues one
+  // send(2) per frame (≤ kMaxFrameSize payload) instead of dribbling.
+  static telemetry::Counter& frames =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "laminar_net_frames_written_total");
+  static telemetry::Counter& frame_bytes =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "laminar_net_frame_bytes_total");
   ByteWriter w;
   w.PutU32(static_cast<uint32_t>(payload.size()));
   w.PutU8(type);
@@ -125,19 +177,25 @@ void HttpConnection::WriteFrame(uint8_t type, uint64_t stream_id,
   w.PutRaw(payload);
   std::scoped_lock lock(write_mu_);
   stream_->Write(w.data());
+  frames.Inc();
+  frame_bytes.Inc(w.data().size());
 }
 
 std::shared_ptr<ResponseStream> HttpConnection::Send(
     const HttpRequest& request) {
   auto response = std::make_shared<ResponseStream>();
-  if (closed_.load()) {
-    response->status_.store(503);
-    response->chunks_.Close();
-    return response;
-  }
   uint64_t id = next_stream_id_.fetch_add(2);  // odd ids: locally initiated
   {
+    // The closed_ check must happen under streams_mu_: Close() flips
+    // closed_ *before* taking the lock to clear pending_, so either we see
+    // it here and fail fast, or our entry is inserted in time for Close()
+    // to fail it — never a stranded entry that blocks forever.
     std::scoped_lock lock(streams_mu_);
+    if (closed_.load()) {
+      response->status_.store(503);
+      response->chunks_.Close();
+      return response;
+    }
     pending_[id] = response;
   }
   if (mode_ == Mode::kBatch) {
@@ -177,9 +235,22 @@ void HttpConnection::ReaderLoop() {
     uint32_t len = r.GetU32().value();
     uint8_t type = r.GetU8().value();
     uint64_t stream_id = r.GetU64().value();
+    // Hostile-byte hardening: validate the header before allocating or
+    // dispatching anything. A declared length over the cap or a frame type
+    // outside the codec closes the connection cleanly (no 4 GiB allocation,
+    // no guessing at unknown semantics).
+    if (len > kMaxFramePayload) {
+      ProtocolError("frame payload_len over cap");
+      break;
+    }
+    if (type < kFrameHeaders || type > kFrameRst) {
+      ProtocolError("unknown frame type");
+      break;
+    }
     std::string payload(len, '\0');
     if (len > 0 && !stream_->ReadExact(payload.data(), len)) break;
 
+    bool fatal = false;
     switch (type) {
       case kFrameHeaders: {
         Result<Value> parsed = json::Parse(payload);
@@ -194,15 +265,15 @@ void HttpConnection::ReaderLoop() {
           WriteFrame(kFrameEnd, stream_id, w.data());
           break;
         }
-        // Dispatch on a worker so slow handlers do not stall the reader
-        // (kStreaming multiplexes; kBatch clients only send one anyway).
+        // Dispatch to the bounded worker pool so slow handlers do not stall
+        // the reader (kStreaming multiplexes; kBatch clients only send one
+        // anyway). Workers are reused across requests, so a long-lived
+        // connection serving many requests keeps a constant thread count.
         auto responder = std::make_shared<Responder>(*this, stream_id);
         HttpRequest request = std::move(req.value());
-        std::scoped_lock lock(handler_threads_mu_);
-        handler_threads_.emplace_back(
-            [this, responder, request = std::move(request)] {
-              handler_(request, *responder);
-            });
+        DispatchHandler([this, responder, request = std::move(request)] {
+          handler_(request, *responder);
+        });
         break;
       }
       case kFrameData: {
@@ -212,7 +283,15 @@ void HttpConnection::ReaderLoop() {
           auto it = pending_.find(stream_id);
           if (it != pending_.end()) rs = it->second;
         }
-        if (rs) rs->chunks_.Push(std::move(payload));
+        if (rs) {
+          rs->chunks_.Push(std::move(payload));
+        } else if (!closed_.load()) {
+          // DATA for a stream this endpoint never initiated (or already
+          // completed) is a protocol violation — except while closing,
+          // when pending_ was cleared under the peer's feet.
+          ProtocolError("DATA for unknown stream id");
+          fatal = true;
+        }
         break;
       }
       case kFrameEnd: {
@@ -250,16 +329,22 @@ void HttpConnection::ReaderLoop() {
         break;
       }
       default:
-        break;  // unknown frame types are ignored (forward compatibility)
+        break;  // unreachable: header validation rejected unknown types
     }
+    if (fatal) break;
   }
-  // EOF: fail all pending responses.
-  std::scoped_lock lock(streams_mu_);
-  for (auto& [id, rs] : pending_) {
-    rs->status_.store(503);
-    rs->chunks_.Close();
+  // EOF: fail all pending responses, then close the whole connection so a
+  // racing Send() fails fast instead of parking a request that no peer
+  // will ever answer.
+  {
+    std::scoped_lock lock(streams_mu_);
+    for (auto& [id, rs] : pending_) {
+      rs->status_.store(503);
+      rs->chunks_.Close();
+    }
+    pending_.clear();
   }
-  pending_.clear();
+  Close();
 }
 
 }  // namespace laminar::net

@@ -21,6 +21,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/concurrent_queue.hpp"
 #include "common/status.hpp"
@@ -77,8 +78,13 @@ class HttpConnection {
     kStreaming,  ///< HTTP/2-like: multiplexed, chunks forwarded immediately
   };
 
+  /// `max_handler_threads` bounds the per-connection handler-dispatch pool:
+  /// workers are created on demand up to the cap and reused across requests,
+  /// so a long-lived connection serving many requests keeps a constant
+  /// thread count (requests beyond the cap queue FIFO).
   HttpConnection(std::unique_ptr<ByteStream> stream, Mode mode,
-                 StreamHandler handler = nullptr);
+                 StreamHandler handler = nullptr,
+                 size_t max_handler_threads = kDefaultMaxHandlerThreads);
   ~HttpConnection();
 
   HttpConnection(const HttpConnection&) = delete;
@@ -100,10 +106,32 @@ class HttpConnection {
   /// Maximum DATA frame payload (chunks are split to this size).
   static constexpr size_t kMaxFrameSize = 16 * 1024;
 
+  /// Hard cap on any incoming frame's declared payload_len. HEADERS frames
+  /// carry whole JSON request bodies (code, multipart resource uploads), so
+  /// this is far above kMaxFrameSize — but a hostile 4 GiB length must be
+  /// rejected before the codec allocates for it.
+  static constexpr size_t kMaxFramePayload = 64 * 1024 * 1024;
+
+  /// Default per-connection handler-dispatch thread cap.
+  static constexpr size_t kDefaultMaxHandlerThreads = 8;
+
+  /// Live handler-pool threads (bounded by max_handler_threads).
+  size_t handler_threads() const;
+
+  /// True once the connection shut down (peer EOF, Close(), or a protocol
+  /// violation — oversized/unknown frames close the connection cleanly).
+  bool is_closed() const { return closed_.load(); }
+
  private:
   class Responder;
   void ReaderLoop();
   void WriteFrame(uint8_t type, uint64_t stream_id, std::string_view payload);
+  /// Hands one parsed request to the handler pool (spawning a worker when
+  /// none is idle and the cap allows).
+  void DispatchHandler(std::function<void()> task);
+  void HandlerWorkerLoop();
+  /// Counts the violation and closes the connection; the reader loop exits.
+  void ProtocolError(const char* reason);
 
   std::unique_ptr<ByteStream> stream_;
   Mode mode_;
@@ -113,8 +141,11 @@ class HttpConnection {
   std::unordered_map<uint64_t, std::shared_ptr<ResponseStream>> pending_;
   std::atomic<uint64_t> next_stream_id_{1};
   std::mutex batch_mu_;  ///< serializes batch-mode requests
-  std::vector<std::thread> handler_threads_;
-  std::mutex handler_threads_mu_;
+  size_t max_handler_threads_;
+  ConcurrentQueue<std::function<void()>> handler_tasks_;
+  std::vector<std::thread> handler_workers_;
+  mutable std::mutex handler_workers_mu_;
+  std::atomic<size_t> idle_workers_{0};
   std::thread reader_;
   std::atomic<bool> closed_{false};
 };

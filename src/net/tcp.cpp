@@ -1,0 +1,399 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "common/clock.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace laminar::net {
+namespace {
+
+telemetry::Counter& BytesReadCounter() {
+  static telemetry::Counter& c = telemetry::MetricsRegistry::Global().GetCounter(
+      "laminar_net_bytes_read_total");
+  return c;
+}
+
+telemetry::Counter& BytesWrittenCounter() {
+  static telemetry::Counter& c = telemetry::MetricsRegistry::Global().GetCounter(
+      "laminar_net_bytes_written_total");
+  return c;
+}
+
+telemetry::Histogram& IoHistogram(const char* op) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  static telemetry::Histogram& read = reg.GetHistogram("laminar_net_io_ms",
+                                                       "op=\"read\"");
+  static telemetry::Histogram& write = reg.GetHistogram("laminar_net_io_ms",
+                                                        "op=\"write\"");
+  return op[0] == 'r' ? read : write;
+}
+
+telemetry::Counter& ConnCounter(const char* state) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  static telemetry::Counter& accepted = reg.GetCounter(
+      "laminar_net_connections_total", "state=\"accepted\"");
+  static telemetry::Counter& rejected = reg.GetCounter(
+      "laminar_net_connections_total", "state=\"rejected\"");
+  return state[0] == 'a' ? accepted : rejected;
+}
+
+telemetry::Gauge& OpenConnGauge() {
+  static telemetry::Gauge& g = telemetry::MetricsRegistry::Global().GetGauge(
+      "laminar_net_connections", "state=\"open\"");
+  return g;
+}
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// Ticks an eventfd (wakes any poll on it). Safe from any thread.
+void Tick(int event_fd) {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(event_fd, &one, sizeof one);
+}
+
+void Drain(int event_fd) {
+  uint64_t value;
+  while (read(event_fd, &value, sizeof value) > 0) {
+  }
+}
+
+}  // namespace
+
+// ---- TcpSocketStream -----------------------------------------------------
+
+TcpSocketStream::TcpSocketStream(int fd)
+    : fd_(fd), wake_fd_(eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+  SetNonBlocking(fd_);
+  SetNoDelay(fd_);
+}
+
+TcpSocketStream::~TcpSocketStream() {
+  MarkReadClosed();
+  if (fd_ >= 0) close(fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+}
+
+void TcpSocketStream::MarkReadClosed() {
+  if (read_closed_fired_.exchange(true)) return;
+  if (on_read_closed_) on_read_closed_();
+}
+
+bool TcpSocketStream::WaitFor(short events) {
+  pollfd fds[2] = {{fd_, events, 0}, {wake_fd_, POLLIN, 0}};
+  int rc = poll(fds, 2, -1);
+  if (rc < 0 && errno != EINTR) return false;
+  if (fds[1].revents != 0) Drain(wake_fd_);
+  // Let the caller retry the syscall: a wake tick means a Close* flag was
+  // set and the retry will observe it (or the fd event is also pending).
+  return true;
+}
+
+bool TcpSocketStream::Write(std::string_view data) {
+  Stopwatch watch;
+  size_t total = data.size();
+  while (!data.empty()) {
+    if (write_closed_.load(std::memory_order_acquire)) return false;
+    ssize_t n = send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!WaitFor(POLLOUT)) return false;  // kernel buffer full: backpressure
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET / hard error
+  }
+  BytesWrittenCounter().Inc(total);
+  IoHistogram("write").Observe(watch.ElapsedMillis());
+  return true;
+}
+
+size_t TcpSocketStream::Read(char* buf, size_t max) {
+  Stopwatch watch;
+  while (true) {
+    if (read_closed_.load(std::memory_order_acquire)) {
+      MarkReadClosed();
+      return 0;
+    }
+    ssize_t n = recv(fd_, buf, max, 0);
+    if (n > 0) {
+      BytesReadCounter().Inc(static_cast<uint64_t>(n));
+      // Includes the wait for the peer's bytes: on a server connection this
+      // is request inter-arrival, on a client it is response turnaround.
+      IoHistogram("read").Observe(watch.ElapsedMillis());
+      return static_cast<size_t>(n);
+    }
+    if (n == 0) {  // orderly peer EOF
+      MarkReadClosed();
+      return 0;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!WaitFor(POLLIN)) {
+        MarkReadClosed();
+        return 0;
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    MarkReadClosed();  // ECONNRESET etc. — EOF to the codec
+    return 0;
+  }
+}
+
+void TcpSocketStream::CloseWrite() {
+  if (write_closed_.exchange(true)) return;
+  shutdown(fd_, SHUT_WR);
+  Tick(wake_fd_);
+}
+
+void TcpSocketStream::CloseRead() {
+  if (read_closed_.exchange(true)) return;
+  shutdown(fd_, SHUT_RD);
+  Tick(wake_fd_);
+}
+
+// ---- TcpListener ---------------------------------------------------------
+
+TcpListener::TcpListener(TcpListenerConfig config, StreamHandler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {}
+
+TcpListener::~TcpListener() { Stop(); }
+
+Status TcpListener::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already started");
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   config_.bind_address + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    Status st = Status::Internal(std::string("bind: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (listen(listen_fd_, config_.backlog) < 0) {
+    Status st =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return Status::Internal("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  reaper_thread_ = std::thread([this] { ReaperLoop(); });
+  return Status::Ok();
+}
+
+void TcpListener::AcceptLoop() {
+  epoll_event events[16];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epoll_fd_, events, 16, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == wake_fd_) {
+        Drain(wake_fd_);  // stop request; loop condition exits
+      } else if (events[i].data.fd == listen_fd_) {
+        AcceptPending();
+      }
+    }
+  }
+}
+
+void TcpListener::AcceptPending() {
+  while (true) {
+    int fd = accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors (ECONNABORTED, EMFILE): drop
+    }
+    std::scoped_lock lock(conns_mu_);
+    if (conns_.size() >= config_.max_connections) {
+      close(fd);  // over the cap: refuse before any protocol state exists
+      ConnCounter("rejected").Inc();
+      continue;
+    }
+    uint64_t conn_id = next_conn_id_++;
+    auto stream = std::make_unique<TcpSocketStream>(fd);
+    stream->set_on_read_closed([this, conn_id] {
+      // Runs on the connection's reader thread; the reaper joins that
+      // thread, so destruction must not happen here.
+      reap_queue_.Push(conn_id);
+    });
+    conns_[conn_id] = std::make_unique<HttpConnection>(
+        std::move(stream), config_.mode, handler_,
+        config_.max_handler_threads);
+    ConnCounter("accepted").Inc();
+    OpenConnGauge().Set(static_cast<int64_t>(conns_.size()));
+  }
+}
+
+void TcpListener::ReaperLoop() {
+  while (auto conn_id = reap_queue_.Pop()) {
+    std::unique_ptr<HttpConnection> dead;
+    {
+      std::scoped_lock lock(conns_mu_);
+      auto it = conns_.find(*conn_id);
+      if (it == conns_.end()) continue;
+      dead = std::move(it->second);
+      conns_.erase(it);
+      OpenConnGauge().Set(static_cast<int64_t>(conns_.size()));
+    }
+    dead.reset();  // outside the lock: joins reader + handler threads
+  }
+}
+
+void TcpListener::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) Tick(wake_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  reap_queue_.Close();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+  std::unordered_map<uint64_t, std::unique_ptr<HttpConnection>> conns;
+  {
+    std::scoped_lock lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  conns.clear();  // closes streams, joins per-connection threads
+  OpenConnGauge().Set(0);
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+size_t TcpListener::open_connections() const {
+  std::scoped_lock lock(conns_mu_);
+  return conns_.size();
+}
+
+// ---- client side ---------------------------------------------------------
+
+Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& host,
+                                               uint16_t port,
+                                               int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::Unavailable("resolve '" + host +
+                               "': " + gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("no addresses for '" + host + "'");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                    ai->ai_protocol);
+    if (fd < 0) continue;
+    SetNonBlocking(fd);
+    int crc = connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (crc < 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int prc = poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+      if (prc <= 0) {
+        close(fd);
+        last = Status::Unavailable("connect to " + host + ":" + service +
+                                   " timed out");
+        continue;
+      }
+      int err = 0;
+      socklen_t len = sizeof err;
+      getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      crc = err == 0 ? 0 : -1;
+      errno = err;
+    }
+    if (crc != 0) {
+      last = Status::Unavailable("connect to " + host + ":" + service + ": " +
+                                 std::strerror(errno));
+      close(fd);
+      continue;
+    }
+    freeaddrinfo(res);
+    return std::unique_ptr<ByteStream>(std::make_unique<TcpSocketStream>(fd));
+  }
+  freeaddrinfo(res);
+  return last;
+}
+
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec) {
+  std::string host = "127.0.0.1";
+  std::string port_str = spec;
+  size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
+  }
+  uint32_t port = 0;
+  auto [ptr, ec] = std::from_chars(port_str.data(),
+                                   port_str.data() + port_str.size(), port);
+  if (ec != std::errc() || ptr != port_str.data() + port_str.size() ||
+      port == 0 || port > 65535) {
+    return Status::InvalidArgument("bad host:port spec '" + spec + "'");
+  }
+  return std::make_pair(host, static_cast<uint16_t>(port));
+}
+
+}  // namespace laminar::net

@@ -1,0 +1,152 @@
+// Real-socket transport for the Laminar wire protocol (ROADMAP item 2).
+//
+// The frame codec, HttpConnection and LaminarServer::Handle() are all written
+// against the ByteStream abstraction; this header supplies the second
+// implementation of that abstraction — connected TCP sockets — so the same
+// protocol runs unchanged across OS processes and machines:
+//
+//  * TcpSocketStream — a ByteStream over one connected socket. The fd is
+//    non-blocking; Read/Write loop over EAGAIN with poll(2) waits so partial
+//    reads and short writes are invisible to the codec, CloseWrite/CloseRead
+//    map onto shutdown(2) half-close, and a wake eventfd lets another thread
+//    cancel a blocked Read (the HttpConnection::Close path).
+//  * TcpListener — an epoll accept loop: the listening socket (and a wake
+//    eventfd) live in an epoll set, accepted sockets get TCP_NODELAY and one
+//    HttpConnection each (bounded by `max_connections`; the kernel accept
+//    backlog is bounded by `backlog`), and a reaper thread destroys
+//    connections whose peer hung up without ever stalling the accept loop.
+//  * TcpConnect — the client side: resolve, connect, wrap.
+//
+// The in-memory pipe transport (bytestream.hpp) remains the default for
+// deterministic tests; both transports are asserted protocol-identical by
+// tests/transport_test.cpp.
+//
+// Telemetry (process-wide, in MetricsRegistry::Global()):
+//   laminar_net_connections{state="open"}                (gauge)
+//   laminar_net_connections_total{state="accepted"|"rejected"}  (counters)
+//   laminar_net_bytes_read_total / laminar_net_bytes_written_total
+//   laminar_net_io_ms{op="read"|"write"} — per-connection blocking-call
+//     latency (read includes time waiting for the peer's next frame).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "net/http.hpp"
+
+namespace laminar::net {
+
+/// ByteStream over a connected TCP socket. Takes ownership of `fd`, switches
+/// it to non-blocking and sets TCP_NODELAY (frames are written whole, so
+/// Nagle coalescing only adds latency). Thread-compatible with the codec's
+/// usage: one reader thread plus writers serialized by HttpConnection.
+class TcpSocketStream final : public ByteStream {
+ public:
+  explicit TcpSocketStream(int fd);
+  ~TcpSocketStream() override;
+
+  /// Writes all bytes, looping over short writes and EAGAIN (poll POLLOUT);
+  /// false once the peer has reset/closed or after CloseWrite.
+  bool Write(std::string_view data) override;
+  /// Blocking read of up to `max` bytes (poll POLLIN on EAGAIN); 0 on EOF,
+  /// peer reset, or after CloseRead.
+  size_t Read(char* buf, size_t max) override;
+  /// Half-close via shutdown(SHUT_WR): the peer drains then sees EOF.
+  void CloseWrite() override;
+  /// Cancels reads via shutdown(SHUT_RD) + eventfd wakeup. Unlike the
+  /// in-memory pipe, bytes still in the kernel buffer are discarded.
+  void CloseRead() override;
+
+  /// Invoked exactly once, from the reading thread, when the read side ends
+  /// (peer EOF/reset or CloseRead). TcpListener uses this to reap the
+  /// connection. Set before the first Read.
+  void set_on_read_closed(std::function<void()> cb) {
+    on_read_closed_ = std::move(cb);
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  void MarkReadClosed();
+  /// poll(2) for `events` on fd_ or a wake tick; false when woken/cancelled.
+  bool WaitFor(short events);
+
+  int fd_;
+  int wake_fd_;  ///< eventfd: CloseRead/CloseWrite tick it to break poll()
+  std::atomic<bool> read_closed_{false};
+  std::atomic<bool> write_closed_{false};
+  std::atomic<bool> read_closed_fired_{false};
+  std::function<void()> on_read_closed_;
+};
+
+struct TcpListenerConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; see TcpListener::port() after Start
+  int backlog = 64;   ///< kernel accept-queue bound (listen(2))
+  /// Open-connection cap: accepts beyond it are closed immediately and
+  /// counted as laminar_net_connections_total{state="rejected"}.
+  size_t max_connections = 256;
+  HttpConnection::Mode mode = HttpConnection::Mode::kStreaming;
+  /// Per-connection handler-dispatch thread cap (HttpConnection).
+  size_t max_handler_threads = HttpConnection::kDefaultMaxHandlerThreads;
+};
+
+/// Epoll-based accept loop owning one HttpConnection per accepted socket.
+class TcpListener {
+ public:
+  TcpListener(TcpListenerConfig config, StreamHandler handler);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds, listens and starts the accept + reaper threads.
+  Status Start();
+  /// Stops accepting, closes every connection, joins threads. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0 after Start()).
+  uint16_t port() const { return port_; }
+  size_t open_connections() const;
+
+ private:
+  void AcceptLoop();
+  void ReaperLoop();
+  void AcceptPending();
+
+  TcpListenerConfig config_;
+  StreamHandler handler_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::thread reaper_thread_;
+
+  mutable std::mutex conns_mu_;
+  /// Keyed by a monotonic connection id (fds are reused by the kernel).
+  std::unordered_map<uint64_t, std::unique_ptr<HttpConnection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  ConcurrentQueue<uint64_t> reap_queue_;
+};
+
+/// Connects to host:port (numeric or resolvable name) and returns the
+/// stream. Blocking connect with `timeout_ms` bound (0 = OS default).
+Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& host,
+                                               uint16_t port,
+                                               int timeout_ms = 10'000);
+
+/// Splits "host:port" (also accepts ":port" and plain "port" as localhost).
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec);
+
+}  // namespace laminar::net

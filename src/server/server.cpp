@@ -992,6 +992,25 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     totals["ingest"]["bulkBuildMs"] =
         reg.GetGauge("laminar_search_bulk_build_ms").Value();
     resp["totals"] = std::move(totals);
+    // Transport tier (ISSUE 7): connection and byte counters from the TCP
+    // listener/stream instrumentation. All zero when every client is on the
+    // in-memory pipe transport.
+    Value netv = Value::MakeObject();
+    netv["openConnections"] =
+        reg.GetGauge("laminar_net_connections", "state=\"open\"").Value();
+    netv["accepted"] = static_cast<int64_t>(
+        reg.GetCounter("laminar_net_connections_total", "state=\"accepted\"")
+            .Value());
+    netv["rejected"] = static_cast<int64_t>(
+        reg.GetCounter("laminar_net_connections_total", "state=\"rejected\"")
+            .Value());
+    netv["bytesRead"] = static_cast<int64_t>(
+        reg.GetCounter("laminar_net_bytes_read_total").Value());
+    netv["bytesWritten"] = static_cast<int64_t>(
+        reg.GetCounter("laminar_net_bytes_written_total").Value());
+    netv["protocolErrors"] = static_cast<int64_t>(
+        reg.GetCounter("laminar_net_protocol_errors_total").Value());
+    resp["net"] = std::move(netv);
     resp["metrics"] = reg.RenderJson();
     resp["trace"] = reg.trace().ToJson();
     Reply(out, 200, resp);

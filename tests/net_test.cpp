@@ -3,9 +3,12 @@
 #include <atomic>
 #include <thread>
 
+#include "common/byte_buffer.hpp"
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "net/http.hpp"
 #include "net/multipart.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace laminar::net {
 namespace {
@@ -257,6 +260,227 @@ TEST(Http, MalformedRequestValueRejected) {
   Value no_path = Value::MakeObject();
   no_path["method"] = "POST";
   EXPECT_FALSE(HttpRequest::FromValue(no_path).ok());
+}
+
+TEST(BoundedPipe, SlowReaderBlocksWriter) {
+  // Real-socket behaviour: once the peer's buffer is full, the writer
+  // blocks until the reader drains (kernel send-buffer backpressure).
+  DuplexPipe pipe = CreatePipe(/*capacity=*/8);
+  std::atomic<bool> write_done{false};
+  std::thread writer([&] {
+    pipe.first->Write(std::string(64, 'x'));  // 8x the capacity
+    write_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(write_done.load());  // stuck behind the full buffer
+  char buf[64];
+  size_t total = 0;
+  while (total < 64) total += pipe.second->Read(buf, sizeof buf);
+  writer.join();
+  EXPECT_TRUE(write_done.load());
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(BoundedPipe, CloseUnblocksStuckWriter) {
+  DuplexPipe pipe = CreatePipe(/*capacity=*/4);
+  std::atomic<bool> write_ok{true};
+  std::thread writer([&] { write_ok = pipe.first->Write(std::string(100, 'y')); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pipe.second->CloseRead();  // reader gives up
+  writer.join();
+  EXPECT_FALSE(write_ok.load());  // write reports the broken pipe
+}
+
+TEST(BoundedPipe, StreamingProtocolSurvivesBackpressure) {
+  // The whole frame protocol over a pipe whose per-direction buffer is
+  // smaller than one frame: every write crosses the capacity boundary, so
+  // the codec sees short reads and blocked writes just like a socket whose
+  // kernel buffers are tiny.
+  DuplexPipe pipe = CreatePipe(/*capacity=*/512);
+  HttpConnection server(std::move(pipe.first), HttpConnection::Mode::kStreaming,
+                        [](const HttpRequest& req, StreamResponder& out) {
+                          out.SendChunk("pre:");
+                          out.SendChunk(req.body);
+                          out.End(200);
+                        });
+  HttpConnection client(std::move(pipe.second),
+                        HttpConnection::Mode::kStreaming);
+  std::string big(50'000, 'q');
+  HttpRequest req;
+  req.path = "/big";
+  req.body = big;
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->first, 200);
+  EXPECT_EQ(resp->second, "pre:" + big);
+}
+
+TEST(Http, LongLivedConnectionKeepsBoundedThreads) {
+  // Regression for the unbounded handler-thread growth: one thread used to
+  // be created per request and joined only at destruction, so a long-lived
+  // connection serving N requests accumulated N threads. The dispatch pool
+  // must stay within its cap across 10k requests.
+  Harness h(HttpConnection::Mode::kStreaming,
+            [](const HttpRequest& req, StreamResponder& out) {
+              out.SendChunk(req.body);
+              out.End(200);
+            });
+  for (int i = 0; i < 10'000; ++i) {
+    HttpRequest req;
+    req.path = "/n";
+    req.body = std::to_string(i);
+    auto resp = h.client->Call(req);
+    ASSERT_TRUE(resp.ok());
+    ASSERT_EQ(resp->second, req.body);
+  }
+  EXPECT_LE(h.server->handler_threads(),
+            HttpConnection::kDefaultMaxHandlerThreads);
+  EXPECT_GE(h.server->handler_threads(), 1u);
+}
+
+TEST(Http, HandlerPoolStillMultiplexes) {
+  // The pool spawns additional workers while others are busy, so the
+  // multiplexing property survives the thread bound.
+  Harness h(HttpConnection::Mode::kStreaming,
+            [](const HttpRequest& req, StreamResponder& out) {
+              if (req.path == "/slow") {
+                std::this_thread::sleep_for(std::chrono::milliseconds(80));
+              }
+              out.SendChunk(req.path);
+              out.End(200);
+            });
+  HttpRequest slow;
+  slow.path = "/slow";
+  HttpRequest fast;
+  fast.path = "/fast";
+  auto slow_stream = h.client->Send(slow);
+  auto fast_stream = h.client->Send(fast);
+  Stopwatch watch;
+  EXPECT_EQ(fast_stream->ReadAll(), "/fast");
+  EXPECT_LT(watch.ElapsedMillis(), 60.0);  // not queued behind /slow
+  EXPECT_EQ(slow_stream->ReadAll(), "/slow");
+}
+
+// ---- frame-codec hardening (hostile bytes) -------------------------------
+
+namespace {
+
+struct HostileOutcome {
+  bool closed = false;           // connection shut itself down within 250ms
+  uint64_t protocol_errors = 0;  // laminar_net_protocol_errors_total delta
+};
+
+/// Feeds `bytes` into a serving HttpConnection over a pipe, half-closes the
+/// feed, and reports how the connection ended. Every feed must end with the
+/// connection closed — via ProtocolError for hostile headers (counted), or
+/// cleanly at EOF for merely truncated input (not counted). A hang is
+/// caught by the ctest timeout, UB by the sanitizer configs.
+HostileOutcome FeedHostileBytes(std::string_view bytes) {
+  telemetry::Counter& errors = telemetry::MetricsRegistry::Global().GetCounter(
+      "laminar_net_protocol_errors_total");
+  uint64_t errors_before = errors.Value();
+  DuplexPipe pipe = CreatePipe();
+  HttpConnection conn(std::move(pipe.first), HttpConnection::Mode::kStreaming,
+                      [](const HttpRequest&, StreamResponder& out) {
+                        out.End(200);
+                      });
+  pipe.second->Write(bytes);
+  pipe.second->CloseWrite();
+  HostileOutcome out;
+  for (int i = 0; i < 50 && !(out.closed = conn.is_closed()); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  pipe.second->CloseRead();
+  out.protocol_errors = errors.Value() - errors_before;
+  return out;
+}
+
+std::string ValidHeadersFrame() {
+  HttpRequest req;
+  req.path = "/x";
+  req.body = "payload";
+  std::string json = req.ToValue().ToJson();
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(json.size()));
+  w.PutU8(1);  // HEADERS
+  w.PutU64(1);
+  w.PutRaw(json);
+  return w.data();
+}
+
+}  // namespace
+
+TEST(HttpHardening, OversizedPayloadLenClosesConnection) {
+  ByteWriter w;
+  w.PutU32(0xFFFFFFFFu);  // 4 GiB declared length: reject before allocating
+  w.PutU8(1);
+  w.PutU64(1);
+  HostileOutcome out = FeedHostileBytes(w.data());
+  EXPECT_TRUE(out.closed);
+  EXPECT_GE(out.protocol_errors, 1u);
+}
+
+TEST(HttpHardening, UnknownFrameTypeClosesConnection) {
+  ByteWriter w;
+  w.PutU32(0);
+  w.PutU8(42);  // not a codec frame type
+  w.PutU64(1);
+  HostileOutcome out = FeedHostileBytes(w.data());
+  EXPECT_TRUE(out.closed);
+  EXPECT_GE(out.protocol_errors, 1u);
+}
+
+TEST(HttpHardening, DataForUnknownStreamClosesConnection) {
+  ByteWriter w;
+  w.PutU32(4);
+  w.PutU8(2);     // DATA
+  w.PutU64(999);  // never initiated
+  w.PutRaw("boom");
+  HostileOutcome out = FeedHostileBytes(w.data());
+  EXPECT_TRUE(out.closed);
+  EXPECT_GE(out.protocol_errors, 1u);
+}
+
+TEST(HttpHardening, TruncatedFramesEndCleanlyAtEof) {
+  std::string frame = ValidHeadersFrame();
+  // Every proper prefix is a truncated frame; EOF mid-frame must close the
+  // connection quietly — no protocol error, no hang, no stuck destructor.
+  for (size_t cut : {size_t{1}, size_t{4}, size_t{12}, frame.size() - 1}) {
+    HostileOutcome out =
+        FeedHostileBytes(std::string_view(frame).substr(0, cut));
+    EXPECT_TRUE(out.closed) << "cut=" << cut;
+    EXPECT_EQ(out.protocol_errors, 0u) << "cut=" << cut;
+  }
+}
+
+TEST(HttpHardening, FuzzedPrefixTortureNeverHangsOrCrashes) {
+  // Replay randomly mutated prefixes of a valid frame stream. Whatever the
+  // bytes decode to — garbage lengths, bogus types, half frames — feeding
+  // and tearing down the connection must terminate without crash or hang.
+  std::string valid = ValidHeadersFrame() + ValidHeadersFrame();
+  Rng rng(0xf0e1d2c3);
+  for (int round = 0; round < 60; ++round) {
+    std::string bytes = valid.substr(0, rng.NextBelow(valid.size() + 1));
+    for (size_t flips = rng.NextBelow(4); flips > 0 && !bytes.empty();
+         --flips) {
+      size_t pos = rng.NextBelow(bytes.size());
+      bytes[pos] = static_cast<char>(rng.NextU64());
+    }
+    DuplexPipe pipe = CreatePipe();
+    {
+      HttpConnection conn(std::move(pipe.first),
+                          HttpConnection::Mode::kStreaming,
+                          [](const HttpRequest&, StreamResponder& out) {
+                            out.End(200);
+                          });
+      pipe.second->Write(bytes);
+      pipe.second->CloseWrite();
+      // Give the reader a moment to chew on the bytes, then tear down.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      pipe.second->CloseRead();
+    }
+  }
+  SUCCEED();  // termination without crash/hang IS the property
 }
 
 TEST(Http, ManySequentialCallsReuseConnection) {

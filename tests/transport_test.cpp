@@ -1,0 +1,252 @@
+// Transport-parity matrix: the same client-visible behaviour — registration,
+// semantic search, streamed /execute, and the 428 resource-negotiation path —
+// must hold over BOTH transports: in-memory duplex pipes (the deterministic
+// test default) and real TCP loopback sockets through the epoll listener.
+// Plus TCP-only coverage: connection-cap rejection, reaping of dead
+// connections, large-body round trips (EAGAIN partial writes), and a full
+// two-OS-process round trip against a spawned laminar_serve.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "client/connect.hpp"
+#include "client/demo_workflows.hpp"
+
+namespace laminar::client {
+namespace {
+
+server::ServerConfig FastServer() {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  return config;
+}
+
+enum class Transport { kPipe, kTcp };
+
+class TransportParity : public ::testing::TestWithParam<Transport> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Transport::kPipe) {
+      pipe_ = std::make_unique<InProcessLaminar>(ConnectInProcess(FastServer()));
+      return;
+    }
+    Result<TcpLaminarServer> srv = ServeTcp(FastServer());
+    ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+    tcp_server_ =
+        std::make_unique<TcpLaminarServer>(std::move(srv.value()));
+    Result<TcpClient> cli = ConnectTcp("127.0.0.1", tcp_server_->port());
+    ASSERT_TRUE(cli.ok()) << cli.status().ToString();
+    tcp_client_ = std::make_unique<TcpClient>(std::move(cli.value()));
+  }
+
+  void TearDown() override {
+    tcp_client_.reset();  // close the socket before stopping the listener
+    if (tcp_server_) tcp_server_->listener->Stop();
+  }
+
+  LaminarClient& client() {
+    return pipe_ ? *pipe_->client : *tcp_client_->client;
+  }
+
+  WorkflowInfo RegisterIsPrime() {
+    const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+    Result<WorkflowInfo> wf = client().RegisterWorkflow(
+        demo->name, demo->spec, demo->pes, demo->code);
+    EXPECT_TRUE(wf.ok()) << wf.status().ToString();
+    return wf.value();
+  }
+
+  std::unique_ptr<InProcessLaminar> pipe_;
+  std::unique_ptr<TcpLaminarServer> tcp_server_;
+  std::unique_ptr<TcpClient> tcp_client_;
+};
+
+TEST_P(TransportParity, RegisterAndFetchPe) {
+  Result<PeInfo> pe = client().RegisterPe(
+      "class Doubler(IterativePE):\n"
+      "    def _process(self, x):\n"
+      "        return x * 2\n");
+  ASSERT_TRUE(pe.ok()) << pe.status().ToString();
+  EXPECT_EQ(pe->name, "Doubler");
+  Result<PeInfo> fetched = client().GetPe(pe->id);
+  ASSERT_TRUE(fetched.ok());
+  // The register reply omits code; the fetch must return it in full.
+  EXPECT_NE(fetched->code.find("def _process(self, x)"), std::string::npos);
+}
+
+TEST_P(TransportParity, SemanticSearchFindsRegisteredPe) {
+  WorkflowInfo wf = RegisterIsPrime();
+  ASSERT_TRUE(client()
+                  .UpdatePeDescription(wf.pe_ids[1],
+                                       "verifies integer primality")
+                  .ok());
+  Result<std::vector<SearchHit>> hits =
+      client().SearchRegistrySemantic("verifies integer primality", "pe", 1);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ(hits->front().id, wf.pe_ids[1]);
+}
+
+TEST_P(TransportParity, StreamedExecuteDeliversIncrementally) {
+  // §IV-E: output chunks must reach the client while the run is still in
+  // flight — over the pipe AND over real sockets (acceptance criterion:
+  // "streamed /execute chunks arrive incrementally over TCP").
+  const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+  RunOutcome outcome = client().RunSpec(demo->spec, "simple", Value(400));
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  ASSERT_GT(outcome.lines.size(), 10u);
+  EXPECT_GE(outcome.first_line_ms, 0.0);
+  EXPECT_LT(outcome.first_line_ms, outcome.total_ms);
+}
+
+TEST_P(TransportParity, ResourceNegotiation428Path) {
+  // First run returns 428 with the missing list; the client uploads and
+  // retries — one extra round trip, same result, over either transport.
+  WorkflowInfo wf = RegisterIsPrime();
+  std::vector<Resource> resources = {
+      {"data/config.json", R"({"threshold": 3})"},
+      {"data/blob.bin", std::string(50'000, 'b')},
+  };
+  RunOutcome first = client().Run(wf.id, Value(5), nullptr, resources);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.lines.empty());
+  // Warm cache: the second run must not renegotiate.
+  RunOutcome second = client().Run(wf.id, Value(5), nullptr, resources);
+  ASSERT_TRUE(second.status.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, TransportParity,
+    ::testing::Values(Transport::kPipe, Transport::kTcp),
+    [](const ::testing::TestParamInfo<Transport>& info) {
+      return info.param == Transport::kPipe ? "Pipe" : "Tcp";
+    });
+
+// ---- TCP-only behaviour ----
+
+TEST(TcpTransport, ConnectionCapRejectsExcess) {
+  net::TcpListenerConfig listener;
+  listener.max_connections = 2;
+  Result<TcpLaminarServer> srv = ServeTcp(FastServer(), listener);
+  ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+
+  Result<TcpClient> a = ConnectTcp("127.0.0.1", srv->port());
+  Result<TcpClient> b = ConnectTcp("127.0.0.1", srv->port());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->client->GetStats().ok());
+  ASSERT_TRUE(b->client->GetStats().ok());
+
+  // Third connection completes the TCP handshake (it sits in the listen
+  // backlog) but the server closes it at accept time: any request fails.
+  Result<TcpClient> c = ConnectTcp("127.0.0.1", srv->port());
+  if (c.ok()) {
+    EXPECT_FALSE(c->client->GetStats().ok());
+  }
+  EXPECT_LE(srv->listener->open_connections(), 2u);
+}
+
+TEST(TcpTransport, ClosedConnectionsAreReaped) {
+  Result<TcpLaminarServer> srv = ServeTcp(FastServer());
+  ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+  for (int i = 0; i < 20; ++i) {
+    Result<TcpClient> cli = ConnectTcp("127.0.0.1", srv->port());
+    ASSERT_TRUE(cli.ok()) << "i=" << i << ": " << cli.status().ToString();
+    ASSERT_TRUE(cli->client->GetStats().ok()) << "i=" << i;
+  }  // client destructor closes the socket; the reaper collects server side
+  for (int i = 0; i < 500 && srv->listener->open_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(srv->listener->open_connections(), 0u);
+}
+
+TEST(TcpTransport, LargeBodyRoundTripSurvivesPartialWrites) {
+  // A multi-megabyte resource upload overflows every socket buffer on the
+  // way, forcing the EAGAIN partial-write path on the client and partial
+  // reads on the server.
+  Result<TcpLaminarServer> srv = ServeTcp(FastServer());
+  ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+  Result<TcpClient> cli = ConnectTcp("127.0.0.1", srv->port());
+  ASSERT_TRUE(cli.ok());
+  std::string big(4 * 1024 * 1024, 'x');
+  for (size_t i = 0; i < big.size(); i += 4096) big[i] = char('a' + i % 23);
+  ASSERT_TRUE(cli->client->UploadResources({{"blob", big}}).ok());
+  // The run must find the resource already cached (no 428 renegotiation
+  // would re-upload it, but the content-hash must match the 4 MiB body).
+  WorkflowInfo wf = [&] {
+    const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+    Result<WorkflowInfo> w = cli->client->RegisterWorkflow(
+        demo->name, demo->spec, demo->pes, demo->code);
+    EXPECT_TRUE(w.ok()) << w.status().ToString();
+    return w.value();
+  }();
+  RunOutcome outcome =
+      cli->client->Run(wf.id, Value(5), nullptr, {{"blob", big}});
+  EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+}
+
+TEST(TcpTransport, TwoProcessRoundTrip) {
+  // The acceptance-criteria scenario: spawn laminar_serve as a separate OS
+  // process, dial it over loopback, register a workflow and stream a run.
+  const char* bin = std::getenv("LAMINAR_SERVE_BIN");
+  if (bin == nullptr || bin[0] == '\0') {
+    GTEST_SKIP() << "LAMINAR_SERVE_BIN not set (run via ctest)";
+  }
+  int to_child[2];    // our writes -> child stdin
+  int from_child[2];  // child stdout -> our reads
+  ASSERT_EQ(pipe(to_child), 0);
+  ASSERT_EQ(pipe(from_child), 0);
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    execl(bin, bin, "--port", "0", "--stdin-eof", "--cold-start-ms", "0",
+          (char*)nullptr);
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+
+  // First stdout line: "laminar_serve listening on 127.0.0.1:<port>".
+  std::string line;
+  char ch;
+  while (read(from_child[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  size_t colon = line.rfind(':');
+  ASSERT_NE(colon, std::string::npos) << "unexpected banner: " << line;
+  uint16_t port = static_cast<uint16_t>(std::stoi(line.substr(colon + 1)));
+  ASSERT_GT(port, 0);
+
+  {
+    Result<TcpClient> cli = ConnectTcp("127.0.0.1", port);
+    ASSERT_TRUE(cli.ok()) << cli.status().ToString();
+    const DemoWorkflow* demo = FindDemoWorkflow("isprime_wf");
+    Result<WorkflowInfo> wf = cli->client->RegisterWorkflow(
+        demo->name, demo->spec, demo->pes, demo->code);
+    ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+    RunOutcome outcome = cli->client->Run(wf->id, Value(10));
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_FALSE(outcome.lines.empty());
+    EXPECT_GT(outcome.stats.GetInt("tuples"), 0);
+  }  // disconnect before shutting the server down
+
+  close(to_child[1]);  // stdin EOF => laminar_serve exits cleanly
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  close(from_child[0]);
+  EXPECT_TRUE(WIFEXITED(status)) << "laminar_serve died abnormally";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace laminar::client
