@@ -14,7 +14,9 @@
 
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/clock.hpp"
 #include "telemetry/telemetry.hpp"
@@ -175,6 +177,12 @@ void TcpSocketStream::CloseRead() {
   if (read_closed_.exchange(true)) return;
   shutdown(fd_, SHUT_RD);
   Tick(wake_fd_);
+  // A locally-initiated close (HttpConnection::Close, e.g. after a protocol
+  // error) ends the read side without the reader ever re-entering Read(), so
+  // the reap callback must fire here or the listener never collects the
+  // connection. The fired-guard keeps it exactly-once, and the callback only
+  // pushes onto the reap queue, which is safe from any thread.
+  MarkReadClosed();
 }
 
 // ---- TcpListener ---------------------------------------------------------
@@ -223,7 +231,11 @@ Status TcpListener::Start() {
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
   wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    Stop();
+    // Stop() is a no-op before running_ is set — close directly.
+    close(listen_fd_);
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+    if (wake_fd_ >= 0) close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
     return Status::Internal("epoll/eventfd setup failed");
   }
   epoll_event ev{};
@@ -233,6 +245,10 @@ Status TcpListener::Start() {
   ev.data.fd = wake_fd_;
   epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
+  // Fresh queue per Start(): Stop() closes the previous one permanently
+  // (ConcurrentQueue cannot reopen), and a restarted listener with a closed
+  // queue would silently drop every reap push.
+  reap_queue_ = std::make_unique<ConcurrentQueue<uint64_t>>();
   stopping_.store(false);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -264,7 +280,15 @@ void TcpListener::AcceptPending() {
                      SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      return;  // transient accept errors (ECONNABORTED, EMFILE): drop
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd exhaustion: the pending connection stays in the accept queue
+        // and level-triggered epoll re-fires immediately, so returning
+        // straight away would busy-spin the accept loop at 100% CPU until
+        // an fd frees up. Pause briefly instead.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return;
+      }
+      return;  // transient accept errors (ECONNABORTED): drop
     }
     std::scoped_lock lock(conns_mu_);
     if (conns_.size() >= config_.max_connections) {
@@ -277,7 +301,7 @@ void TcpListener::AcceptPending() {
     stream->set_on_read_closed([this, conn_id] {
       // Runs on the connection's reader thread; the reaper joins that
       // thread, so destruction must not happen here.
-      reap_queue_.Push(conn_id);
+      reap_queue_->Push(conn_id);
     });
     conns_[conn_id] = std::make_unique<HttpConnection>(
         std::move(stream), config_.mode, handler_,
@@ -288,7 +312,7 @@ void TcpListener::AcceptPending() {
 }
 
 void TcpListener::ReaperLoop() {
-  while (auto conn_id = reap_queue_.Pop()) {
+  while (auto conn_id = reap_queue_->Pop()) {
     std::unique_ptr<HttpConnection> dead;
     {
       std::scoped_lock lock(conns_mu_);
@@ -307,7 +331,7 @@ void TcpListener::Stop() {
   stopping_.store(true, std::memory_order_release);
   if (wake_fd_ >= 0) Tick(wake_fd_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  reap_queue_.Close();
+  reap_queue_->Close();
   if (reaper_thread_.joinable()) reaper_thread_.join();
   std::unordered_map<uint64_t, std::unique_ptr<HttpConnection>> conns;
   {
@@ -350,8 +374,10 @@ Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& host,
     SetNonBlocking(fd);
     int crc = connect(fd, ai->ai_addr, ai->ai_addrlen);
     if (crc < 0 && errno == EINPROGRESS) {
+      // Non-positive would mean poll(-1) = wait forever; clamp to the
+      // default so a black-holed peer can never block the caller forever.
       pollfd pfd{fd, POLLOUT, 0};
-      int prc = poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+      int prc = poll(&pfd, 1, timeout_ms <= 0 ? 10'000 : timeout_ms);
       if (prc <= 0) {
         close(fd);
         last = Status::Unavailable("connect to " + host + ":" + service +

@@ -64,9 +64,11 @@ class TcpSocketStream final : public ByteStream {
   /// in-memory pipe, bytes still in the kernel buffer are discarded.
   void CloseRead() override;
 
-  /// Invoked exactly once, from the reading thread, when the read side ends
-  /// (peer EOF/reset or CloseRead). TcpListener uses this to reap the
-  /// connection. Set before the first Read.
+  /// Invoked exactly once when the read side ends — from the reading thread
+  /// on peer EOF/reset, or from whichever thread calls CloseRead() on a
+  /// locally-initiated close (e.g. a protocol error). TcpListener uses this
+  /// to reap the connection; the callback must be safe to run from any
+  /// thread. Set before the first Read.
   void set_on_read_closed(std::function<void()> cb) {
     on_read_closed_ = std::move(cb);
   }
@@ -136,11 +138,14 @@ class TcpListener {
   /// Keyed by a monotonic connection id (fds are reused by the kernel).
   std::unordered_map<uint64_t, std::unique_ptr<HttpConnection>> conns_;
   uint64_t next_conn_id_ = 1;
-  ConcurrentQueue<uint64_t> reap_queue_;
+  /// Recreated by each Start(): Stop() closes it to end the reaper, and a
+  /// closed ConcurrentQueue cannot be reopened.
+  std::unique_ptr<ConcurrentQueue<uint64_t>> reap_queue_;
 };
 
 /// Connects to host:port (numeric or resolvable name) and returns the
-/// stream. Blocking connect with `timeout_ms` bound (0 = OS default).
+/// stream. Blocking connect bounded by `timeout_ms`; non-positive values
+/// are clamped to the 10 s default (a connect never waits indefinitely).
 Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& host,
                                                uint16_t port,
                                                int timeout_ms = 10'000);

@@ -17,6 +17,7 @@
 
 #include "client/connect.hpp"
 #include "client/demo_workflows.hpp"
+#include "common/byte_buffer.hpp"
 
 namespace laminar::client {
 namespace {
@@ -160,6 +161,55 @@ TEST(TcpTransport, ClosedConnectionsAreReaped) {
     ASSERT_TRUE(cli.ok()) << "i=" << i << ": " << cli.status().ToString();
     ASSERT_TRUE(cli->client->GetStats().ok()) << "i=" << i;
   }  // client destructor closes the socket; the reaper collects server side
+  for (int i = 0; i < 500 && srv->listener->open_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(srv->listener->open_connections(), 0u);
+}
+
+TEST(TcpTransport, RestartedListenerStillReaps) {
+  // Stop() closes the reap queue; Start() must rebuild it or a restarted
+  // listener silently drops every reap push and hung-up connections pile up
+  // against max_connections.
+  Result<TcpLaminarServer> srv = ServeTcp(FastServer());
+  ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+  srv->listener->Stop();
+  ASSERT_TRUE(srv->listener->Start().ok());
+  {
+    Result<TcpClient> cli = ConnectTcp("127.0.0.1", srv->listener->port());
+    ASSERT_TRUE(cli.ok()) << cli.status().ToString();
+    ASSERT_TRUE(cli->client->GetStats().ok());
+  }  // hang up; the restarted reaper must collect the server side
+  for (int i = 0; i < 500 && srv->listener->open_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(srv->listener->open_connections(), 0u);
+}
+
+TEST(TcpTransport, MalformedFrameConnectionIsReaped) {
+  // A protocol violation closes the connection server-side (ProtocolError ->
+  // Close -> CloseRead). That locally-initiated close must reach the reaper
+  // even though the client never hangs up — otherwise every garbage frame
+  // permanently burns a conns_ slot and socket fd until the cap starves out
+  // all future accepts.
+  Result<TcpLaminarServer> srv = ServeTcp(FastServer());
+  ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+  Result<std::unique_ptr<net::ByteStream>> raw =
+      net::TcpConnect("127.0.0.1", srv->port());
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  for (int i = 0; i < 500 && srv->listener->open_connections() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(srv->listener->open_connections(), 1u);
+  // Frame header (u32 payload_len | u8 type | u64 stream_id) declaring a
+  // hostile 4 GiB payload — rejected before any allocation.
+  ByteWriter frame;
+  frame.PutU32(0xFFFF'FFFFu);
+  frame.PutU8(1);  // HEADERS
+  frame.PutU64(1);
+  ASSERT_TRUE((*raw)->Write(frame.data()));
+  // The client socket stays open throughout the wait: only the server-side
+  // close can trigger the reap.
   for (int i = 0; i < 500 && srv->listener->open_connections() > 0; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
