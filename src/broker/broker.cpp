@@ -462,6 +462,15 @@ void Broker::FlushAll() {
   }
 }
 
+size_t Broker::DebugWaiterCount() const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    count += shard.waiters.size();
+  }
+  return count;
+}
+
 BrokerStats Broker::stats() const {
   BrokerStats s;
   s.gets = stats_.gets.load(std::memory_order_relaxed);

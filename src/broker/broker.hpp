@@ -145,6 +145,10 @@ class Broker {
   bool shut_down() const;
   void FlushAll();
   BrokerStats stats() const;
+  /// Registered blocking-pop waiters across all shards (tests: a quiesced
+  /// broker must report 0 — a leaked entry means a BLPop/BLPopUpTo exited
+  /// without deregistering, which would dangle once its stack frame dies).
+  size_t DebugWaiterCount() const;
 
  private:
   /// One blocked BLPop/BLPopUpTo call: its own mutex/condvar, signalled by

@@ -133,6 +133,18 @@ bool LaminarCli::ExecuteLine(const std::string& line, std::ostream& out) {
     } else {
       out << metrics.value();
     }
+  } else if (cmd == "tenant") {
+    if (args.empty()) {
+      const std::string& current = client_->tenant();
+      out << "Current tenant: " << (current.empty() ? "default" : current)
+          << "\n";
+    } else if (args[0] == "default" || args[0] == "-") {
+      client_->SetTenant("");
+      out << "Tenant reset to default.\n";
+    } else {
+      client_->SetTenant(args[0]);
+      out << "Subsequent requests run as tenant '" << args[0] << "'.\n";
+    }
   } else if (cmd == "save_registry") {
     if (args.empty()) {
       out << "usage: save_registry <file>\n";
@@ -191,7 +203,7 @@ void LaminarCli::CmdHelp(const std::vector<std::string>& args,
         << "list                 remove_all         run\n"
         << "literal_search       remove_pe          stats\n"
         << "code_completion      save_registry      load_registry\n"
-        << "history              metrics\n";
+        << "history              metrics            tenant\n";
     return;
   }
   const std::string& topic = args[0];

@@ -14,6 +14,7 @@
 //   remove_pe <id> | remove_workflow <id> | remove_all
 //   stats                    server statistics incl. telemetry JSON
 //   metrics                  Prometheus text scrape of GET /metrics
+//   tenant [name|default]    show or switch the tenant namespace
 //   quit
 //
 // The interpreter is a library class (no stdin coupling) so tests can drive

@@ -52,6 +52,7 @@ Status HttpError(int status, const Value& body) {
     case 409: return Status::AlreadyExists(msg);
     case 428: return Status::FailedPrecondition(msg);
     case 408: return Status::DeadlineExceeded(msg);
+    case 429: return Status::ResourceExhausted(msg);
     case 503: return Status::Unavailable(msg);
     default: return Status::Internal(msg);
   }
@@ -68,6 +69,7 @@ Result<Value> LaminarClient::CallJson(const std::string& path,
   req.path = path;
   req.body = body.ToJson();
   if (!token_.empty()) req.headers["authorization"] = token_;
+  if (!tenant_.empty()) req.headers["x-laminar-tenant"] = tenant_;
   Result<std::pair<int, std::string>> resp = conn_->Call(req);
   if (!resp.ok()) return resp.status();
   if (http_status != nullptr) *http_status = resp->first;
@@ -335,6 +337,7 @@ Result<std::string> LaminarClient::GetMetrics() {
   net::HttpRequest req;
   req.path = "/metrics";
   if (!token_.empty()) req.headers["authorization"] = token_;
+  if (!tenant_.empty()) req.headers["x-laminar-tenant"] = tenant_;
   Result<std::pair<int, std::string>> resp = conn_->Call(req);
   if (!resp.ok()) return resp.status();
   if (resp->first != 200) {
@@ -353,6 +356,7 @@ Status LaminarClient::UploadResources(const std::vector<Resource>& resources) {
   net::HttpRequest req;
   req.path = "/resources/upload";
   req.body = net::EncodeMultipart(parts);
+  if (!tenant_.empty()) req.headers["x-laminar-tenant"] = tenant_;
   Result<std::pair<int, std::string>> resp = conn_->Call(req);
   if (!resp.ok()) return resp.status();
   if (resp->first != 200) {
@@ -383,6 +387,7 @@ RunOutcome LaminarClient::RunInternal(Value request_body,
     req.path = "/execute";
     req.body = request_body.ToJson();
     if (!token_.empty()) req.headers["authorization"] = token_;
+    if (!tenant_.empty()) req.headers["x-laminar-tenant"] = tenant_;
     std::shared_ptr<net::ResponseStream> stream = conn_->Send(req);
 
     outcome.lines.clear();
@@ -450,9 +455,21 @@ RunOutcome LaminarClient::RunInternal(Value request_body,
     if (status == 200) {
       outcome.status = Status::Ok();
     } else {
-      outcome.status = HttpError(
-          status, outcome.stats.is_object() ? outcome.stats
-                                            : Value::MakeObject());
+      // Error bodies for pre-run refusals (400 validation, 429 admission,
+      // 408 queue deadline) arrive as a single unterminated JSON chunk, so
+      // they land in `lines` rather than the ##END## record. Parse them so
+      // the Status carries the server's message (e.g. the offending run
+      // option's field name, or the retryAfterMs hint).
+      Value err_body = outcome.stats.is_object() ? outcome.stats
+                                                 : Value::MakeObject();
+      if (!err_body.contains("error") && !outcome.lines.empty()) {
+        Result<Value> parsed = json::Parse(strings::Join(outcome.lines, ""));
+        if (parsed.ok() && parsed->is_object()) {
+          err_body = std::move(parsed.value());
+          outcome.stats = err_body;
+        }
+      }
+      outcome.status = HttpError(status, err_body);
     }
     return outcome;
   }

@@ -79,6 +79,13 @@ class LaminarClient {
   /// Takes shared ownership of an established connection.
   explicit LaminarClient(std::shared_ptr<net::HttpConnection> connection);
 
+  /// Attaches an `x-laminar-tenant` header to every subsequent request, so
+  /// the server attributes quota/rate/run-queue usage to that tenant. Empty
+  /// (the default) runs as the server's default tenant — the pre-tenancy
+  /// behavior. A `"tenant"` field in a RunRaw body overrides the header.
+  void SetTenant(std::string tenant) { tenant_ = std::move(tenant); }
+  const std::string& tenant() const { return tenant_; }
+
   // ---- users ----
   Result<int64_t> Register(const std::string& user_name,
                            const std::string& password);
@@ -186,6 +193,7 @@ class LaminarClient {
 
   std::shared_ptr<net::HttpConnection> conn_;
   std::string token_;
+  std::string tenant_;
 };
 
 }  // namespace laminar::client

@@ -417,7 +417,10 @@ RunResult DynamicMapping::Execute(const WorkflowGraph& graph,
   state.send_max_age_us = static_cast<int64_t>(
       std::max(options.send_batch_max_delay_ms, 0.0) * 1000.0);
   state.batched_tuples = &batched_tuples;
-  state.prefix = "wf:" + std::to_string(g_run_counter.fetch_add(1)) + ":";
+  // Run keys are `<run_scope>wf:N:*` — the empty default keeps the legacy
+  // `wf:N:*` keys; the server scopes non-default tenants as `t:<tenant>:`.
+  state.prefix = options.run_scope + "wf:" +
+                 std::to_string(g_run_counter.fetch_add(1)) + ":";
   state.queue_prefix = state.prefix + "q:";
   state.dlq_key = state.prefix + "dlq";
   // Run-scoped broker cleanup: every exit path — success, partial failure,
@@ -428,10 +431,7 @@ RunResult DynamicMapping::Execute(const WorkflowGraph& graph,
     const std::string& prefix;
     ~BrokerCleanup() { broker->DelPrefix(prefix); }
   } broker_cleanup{broker_, state.prefix};
-  state.deadline_us =
-      options.deadline_ms > 0
-          ? NowMicros() + static_cast<int64_t>(options.deadline_ms * 1000)
-          : 0;
+  state.deadline_us = DeadlineMicrosFromNow(options.deadline_ms);
   for (size_t i = 0; i < graph.NodeCount(); ++i) {
     state.queue_keys.push_back(state.queue_prefix + std::to_string(i));
     state.queue_index[state.queue_keys.back()] = i;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <thread>
 
+#include "common/clock.hpp"
 #include "common/hashing.hpp"
 
 namespace laminar::dataflow {
@@ -118,6 +120,15 @@ std::vector<Value> ProducerIterations(const Value& input) {
     iterations.push_back(input);
   }
   return iterations;
+}
+
+int64_t DeadlineMicrosFromNow(double deadline_ms) {
+  if (!std::isfinite(deadline_ms) || deadline_ms <= 0.0) return 0;
+  // ~285 years in ms: far beyond any real deadline, small enough that the
+  // *1000 microsecond conversion below cannot overflow int64.
+  constexpr double kMaxDeadlineMs = 9.0e12;
+  double clamped = std::min(deadline_ms, kMaxDeadlineMs);
+  return NowMicros() + static_cast<int64_t>(clamped * 1000.0);
 }
 
 uint64_t GroupingHash(const Value& tuple, const std::string& key) {

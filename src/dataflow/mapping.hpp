@@ -56,6 +56,11 @@ struct RunOptions {
   /// exceeds it stops processing further tuples and reports
   /// kDeadlineExceeded; output produced before the cutoff is kept.
   double deadline_ms = 0.0;
+  /// Namespace prefix for this run's broker keys (dynamic mapping). The
+  /// run's keys become `<run_scope>wf:N:*`; empty (the default) keeps the
+  /// legacy `wf:N:*` keys. The server sets `t:<tenant>:` for non-default
+  /// tenants so one tenant's runs are scoped apart in the shared broker.
+  std::string run_scope;
   /// Fault containment: a tuple whose Process throws is retried up to
   /// max_retries times (exponential backoff: retry_backoff_ms doubling per
   /// attempt, capped at 250 ms) before it is quarantined on the run's
@@ -163,6 +168,12 @@ class FaultContext {
 /// Expands RunOptions::input into the per-iteration payloads fed to each
 /// producer (see RunOptions::input).
 std::vector<Value> ProducerIterations(const Value& input);
+
+/// Absolute NowMicros() deadline for a run, or 0 for "no deadline".
+/// Defensive at the library boundary (the server additionally rejects bad
+/// wire values with 400): NaN/Inf and non-positive values mean "none", and
+/// huge values clamp instead of overflowing the int64 microsecond cast (UB).
+int64_t DeadlineMicrosFromNow(double deadline_ms);
 
 /// Stable routing hash for kGroupBy: hashes the grouping key field of the
 /// tuple (or its full JSON if the field is missing).

@@ -202,10 +202,7 @@ RunResult MultiMapping::Execute(const WorkflowGraph& graph,
 
   std::atomic<uint64_t> tuples{0};
   std::atomic<bool> expired{false};
-  int64_t deadline_us =
-      options.deadline_ms > 0
-          ? NowMicros() + static_cast<int64_t>(options.deadline_ms * 1000)
-          : 0;
+  int64_t deadline_us = DeadlineMicrosFromNow(options.deadline_ms);
   auto past_deadline = [&] {
     if (deadline_us == 0) return false;
     if (expired.load(std::memory_order_relaxed)) return true;

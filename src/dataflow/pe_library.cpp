@@ -1,8 +1,10 @@
 #include "dataflow/pe_library.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "common/clock.hpp"
 #include "common/hashing.hpp"
@@ -262,6 +264,20 @@ std::optional<Value> CpuBurn::ProcessItem(const Value& value, Emitter&) {
   Value out = value;
   if (out.is_object()) out["burn"] = static_cast<int64_t>(sink & 0xFF);
   return out;
+}
+
+// ---- IoWait ----
+
+IoWait::IoWait(int64_t millis_per_tuple)
+    : millis_(std::max<int64_t>(millis_per_tuple, 0)) {
+  set_name("IoWait");
+}
+
+std::optional<Value> IoWait::ProcessItem(const Value& value, Emitter&) {
+  if (millis_ > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(millis_));
+  }
+  return value;
 }
 
 // ---- ThresholdSplitter ----

@@ -150,6 +150,20 @@ class CpuBurn final : public Clonable<CpuBurn, IterativePE> {
   uint64_t iters_;
 };
 
+/// Sleeps a fixed wall-clock time per tuple then forwards it — the
+/// latency-bound counterpart of CpuBurn, modelling the external-I/O waits
+/// (storage, HTTP calls) that dominate real serverless PEs. Used by the
+/// multi-tenant overload bench, where throughput must be governed by the
+/// run scheduler rather than by raw CPU contention.
+class IoWait final : public Clonable<IoWait, IterativePE> {
+ public:
+  explicit IoWait(int64_t millis_per_tuple = 1);
+  std::optional<Value> ProcessItem(const Value& value, Emitter& out) override;
+
+ private:
+  int64_t millis_;
+};
+
 /// Routes each tuple to one of two named output ports — "high" if the
 /// numeric field exceeds the threshold, "low" otherwise. Exercises
 /// dispel4py's multi-port PEs (every other built-in uses single default

@@ -82,10 +82,7 @@ RunResult SequentialMapping::Execute(const WorkflowGraph& graph,
   FaultContext faults("simple", options);
 
   // Serverless duration limit (§II-B "limited execution duration").
-  int64_t deadline_us =
-      options.deadline_ms > 0
-          ? NowMicros() + static_cast<int64_t>(options.deadline_ms * 1000)
-          : 0;
+  int64_t deadline_us = DeadlineMicrosFromNow(options.deadline_ms);
   bool expired = false;
   auto past_deadline = [&] {
     if (deadline_us != 0 && NowMicros() > deadline_us) expired = true;

@@ -160,7 +160,10 @@ Result<dataflow::RunResult> ExecutionEngine::Execute(
   }
 
   dataflow::RunOptions run_options = request.run_options;
-  if (run_options.deadline_ms <= 0 && config_.max_execution_ms > 0) {
+  // Written as !(x > 0) so a NaN deadline (library callers bypass the
+  // server's 400 validation) also falls back to the engine default instead
+  // of slipping through the <= comparison.
+  if (!(run_options.deadline_ms > 0) && config_.max_execution_ms > 0) {
     run_options.deadline_ms = config_.max_execution_ms;
   }
 

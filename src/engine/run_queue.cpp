@@ -1,0 +1,223 @@
+#include "engine/run_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/clock.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace laminar::engine {
+namespace {
+
+std::string TenantLabel(const std::string& tenant) {
+  return "tenant=\"" + tenant + '"';
+}
+
+telemetry::Counter& OutcomeCounter(const std::string& tenant,
+                                   const char* outcome) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "laminar_tenant_runs_total",
+      TenantLabel(tenant) + ",outcome=\"" + outcome + '"');
+}
+
+}  // namespace
+
+FairRunQueue::Ticket& FairRunQueue::Ticket::operator=(Ticket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    queue_ = other.queue_;
+    tenant_ = std::move(other.tenant_);
+    other.queue_ = nullptr;
+  }
+  return *this;
+}
+
+void FairRunQueue::Ticket::Release() {
+  if (queue_ == nullptr) return;
+  FairRunQueue* queue = queue_;
+  queue_ = nullptr;
+  queue->ReleaseSlot(tenant_);
+}
+
+FairRunQueue::FairRunQueue(int slots, size_t max_queue_depth)
+    : slots_(std::max(slots, 1)), max_queue_depth_(max_queue_depth) {}
+
+FairRunQueue::~FairRunQueue() = default;
+
+size_t FairRunQueue::BestWaiterIndexLocked(const TenantState& tenant) {
+  size_t best = 0;
+  for (size_t i = 1; i < tenant.waiters.size(); ++i) {
+    const Waiter& a = *tenant.waiters[i];
+    const Waiter& b = *tenant.waiters[best];
+    const int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+    int64_t da = a.deadline_us > 0 ? a.deadline_us : kNoDeadline;
+    int64_t db = b.deadline_us > 0 ? b.deadline_us : kNoDeadline;
+    if (a.priority != b.priority ? a.priority > b.priority
+        : da != db              ? da < db
+                                : a.seq < b.seq) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void FairRunQueue::DispatchLocked() {
+  while (in_use_ < slots_) {
+    // Start-time fair queuing: among tenants with queued waiters that are
+    // under their concurrency cap, grant the one with the smallest virtual
+    // time (std::map iteration breaks ties by tenant name, so the grant
+    // order is deterministic).
+    TenantState* chosen = nullptr;
+    for (auto& [name, tenant] : tenants_) {
+      if (tenant.waiters.empty()) continue;
+      if (tenant.max_concurrent > 0 &&
+          tenant.running >= tenant.max_concurrent) {
+        continue;  // at its cap; reconsidered when one of its runs releases
+      }
+      if (chosen == nullptr || tenant.vtime < chosen->vtime) chosen = &tenant;
+    }
+    if (chosen == nullptr) return;
+    size_t index = BestWaiterIndexLocked(*chosen);
+    Waiter* waiter = chosen->waiters[index];
+    chosen->waiters.erase(chosen->waiters.begin() + index);
+    --total_queued_;
+    // Advance the tenant's virtual time by 1/weight per grant; the global
+    // virtual clock tracks the latest grant's start tag so a tenant idle
+    // for a while re-enters at "now" instead of with banked credit.
+    double start = std::max(chosen->vtime, vclock_);
+    vclock_ = start;
+    chosen->vtime = start + 1.0 / chosen->weight;
+    ++chosen->running;
+    ++chosen->admitted;
+    ++in_use_;
+    waiter->granted = true;
+    waiter->cv.notify_one();
+  }
+}
+
+Result<FairRunQueue::Ticket> FairRunQueue::Acquire(
+    const std::string& tenant, const AcquireOptions& options,
+    double* retry_after_ms) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  telemetry::Histogram& wait_hist = registry.GetHistogram(
+      "laminar_tenant_queue_wait_ms", TenantLabel(tenant));
+  telemetry::Gauge& running_gauge =
+      registry.GetGauge("laminar_tenant_runs_running", TenantLabel(tenant));
+  telemetry::Gauge& queued_gauge =
+      registry.GetGauge("laminar_tenant_runs_queued", TenantLabel(tenant));
+
+  Stopwatch wait_watch;
+  std::unique_lock lock(mu_);
+  TenantState& state = tenants_[tenant];
+  // Weight and cap are properties of the tenant, re-supplied on every
+  // acquire (the server passes the tenant's configured quotas); latest wins.
+  state.weight = std::max(options.weight, 1e-3);
+  state.max_concurrent = options.max_concurrent;
+
+  auto reject = [&](const std::string& what) -> Status {
+    ++state.rejected;
+    OutcomeCounter(tenant, "rejected").Inc();
+    if (retry_after_ms != nullptr) {
+      // Back-off hint: roughly one slot turn per queued run ahead of this
+      // request, floored so even an empty-queue cap rejection asks for a
+      // pause before retrying.
+      *retry_after_ms =
+          50.0 * (1.0 + static_cast<double>(total_queued_) /
+                            static_cast<double>(slots_));
+    }
+    return Status::ResourceExhausted(what);
+  };
+
+  if (max_queue_depth_ > 0 && total_queued_ >= max_queue_depth_) {
+    return reject("run queue full (" + std::to_string(total_queued_) +
+                  " queued)");
+  }
+  if (options.max_queued > 0 &&
+      state.waiters.size() >= static_cast<size_t>(options.max_queued)) {
+    return reject("tenant '" + tenant + "' run queue full (" +
+                  std::to_string(state.waiters.size()) + " queued)");
+  }
+
+  Waiter waiter;
+  waiter.priority = options.priority;
+  waiter.deadline_us = options.deadline_us;
+  waiter.seq = next_seq_++;
+  state.waiters.push_back(&waiter);
+  ++total_queued_;
+  queued_gauge.Add(1);
+  DispatchLocked();
+
+  auto granted = [&] { return waiter.granted; };
+  while (!waiter.granted) {
+    if (waiter.deadline_us <= 0) {
+      waiter.cv.wait(lock, granted);
+      break;
+    }
+    int64_t now_us = NowMicros();
+    if (now_us < waiter.deadline_us) {
+      waiter.cv.wait_for(
+          lock, std::chrono::microseconds(waiter.deadline_us - now_us),
+          granted);
+    }
+    if (!waiter.granted && NowMicros() >= waiter.deadline_us) {
+      // Deadline passed while queued: deregister and report 408 — the run
+      // could not have finished in time, so it never takes a slot.
+      auto it = std::find(state.waiters.begin(), state.waiters.end(), &waiter);
+      if (it != state.waiters.end()) {
+        state.waiters.erase(it);
+        --total_queued_;
+      }
+      ++state.deadline_expired;
+      queued_gauge.Add(-1);
+      OutcomeCounter(tenant, "deadline").Inc();
+      wait_hist.Observe(wait_watch.ElapsedMillis());
+      return Status::DeadlineExceeded(
+          "run deadline expired while queued for tenant '" + tenant + "'");
+    }
+  }
+
+  queued_gauge.Add(-1);
+  running_gauge.Add(1);
+  OutcomeCounter(tenant, "admitted").Inc();
+  wait_hist.Observe(wait_watch.ElapsedMillis());
+  return Ticket(this, tenant);
+}
+
+void FairRunQueue::ReleaseSlot(const std::string& tenant) {
+  {
+    std::scoped_lock lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end() && it->second.running > 0) {
+      --it->second.running;
+    }
+    if (in_use_ > 0) --in_use_;
+    DispatchLocked();
+  }
+  telemetry::MetricsRegistry::Global()
+      .GetGauge("laminar_tenant_runs_running", TenantLabel(tenant))
+      .Add(-1);
+}
+
+size_t FairRunQueue::queued() const {
+  std::scoped_lock lock(mu_);
+  return total_queued_;
+}
+
+std::map<std::string, TenantQueueStats> FairRunQueue::Snapshot() const {
+  std::scoped_lock lock(mu_);
+  std::map<std::string, TenantQueueStats> out;
+  for (const auto& [name, tenant] : tenants_) {
+    TenantQueueStats stats;
+    stats.admitted = tenant.admitted;
+    stats.rejected = tenant.rejected;
+    stats.deadline_expired = tenant.deadline_expired;
+    stats.running = tenant.running;
+    stats.queued = static_cast<int>(tenant.waiters.size());
+    stats.vtime = tenant.vtime;
+    out[name] = stats;
+  }
+  return out;
+}
+
+}  // namespace laminar::engine

@@ -1,0 +1,140 @@
+// Bounded, tenant-fair admission queue in front of the execution engine
+// (ROADMAP item 3). /execute used to dispatch straight into
+// ExecutionEngine::Execute, whose only back-pressure was the warm-instance
+// pool: a single flooding caller could park every request thread and starve
+// all other callers. FairRunQueue replaces that unmanaged dispatch with an
+// explicit run queue:
+//
+//  - a fixed number of run slots (ServerConfig::run_workers) bounds
+//    concurrent enactments;
+//  - waiters are scheduled with start-time fair queuing across tenants:
+//    each tenant carries a virtual time advanced by 1/weight per grant, and
+//    the dispatcher always grants the eligible tenant with the smallest
+//    virtual time — a tenant that floods only ever pushes its own virtual
+//    time ahead, so well-behaved tenants keep their share of slots;
+//  - within one tenant, waiters order by (priority desc, deadline asc,
+//    FIFO), so urgent runs overtake background ones;
+//  - per-tenant concurrency caps and queue-depth caps reject at enqueue
+//    time with kResourceExhausted (HTTP 429 + retry hint) instead of
+//    parking unbounded work, and a waiter whose run deadline expires while
+//    still queued returns kDeadlineExceeded (HTTP 408) without ever
+//    occupying a slot.
+//
+// Grants are RAII tickets; every exit path of the run releases its slot.
+// Per-tenant telemetry: laminar_tenant_runs_total{tenant=,outcome=},
+// laminar_tenant_queue_wait_ms{tenant=}, laminar_tenant_runs_running /
+// laminar_tenant_runs_queued gauges. Tenant names must be validated by the
+// caller (the server does) — they become metric label values.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace laminar::engine {
+
+/// Per-tenant scheduling snapshot for /stats.
+struct TenantQueueStats {
+  uint64_t admitted = 0;          ///< granted a slot (includes still running)
+  uint64_t rejected = 0;          ///< queue/cap overflow (HTTP 429)
+  uint64_t deadline_expired = 0;  ///< deadline passed while queued (HTTP 408)
+  int running = 0;
+  int queued = 0;
+  double vtime = 0.0;  ///< fair-share virtual time (diagnostics)
+};
+
+class FairRunQueue {
+ public:
+  /// `slots`: concurrent grants (clamped to >= 1).
+  /// `max_queue_depth`: global queued-waiter cap, 0 = unlimited.
+  explicit FairRunQueue(int slots, size_t max_queue_depth = 0);
+  ~FairRunQueue();
+  FairRunQueue(const FairRunQueue&) = delete;
+  FairRunQueue& operator=(const FairRunQueue&) = delete;
+
+  /// RAII slot grant; destruction (or Release) frees the slot and wakes the
+  /// dispatcher. Movable, not copyable.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    void Release();
+    bool valid() const { return queue_ != nullptr; }
+
+   private:
+    friend class FairRunQueue;
+    Ticket(FairRunQueue* queue, std::string tenant)
+        : queue_(queue), tenant_(std::move(tenant)) {}
+    FairRunQueue* queue_ = nullptr;
+    std::string tenant_;
+  };
+
+  struct AcquireOptions {
+    double weight = 1.0;      ///< fair-share weight (clamped to >= 1e-3)
+    int max_concurrent = 0;   ///< per-tenant running cap, 0 = unlimited
+    int max_queued = 0;       ///< per-tenant queued cap, 0 = unlimited
+    int priority = 0;         ///< higher dispatches first within the tenant
+    int64_t deadline_us = 0;  ///< absolute NowMicros() deadline, 0 = none
+  };
+
+  /// Blocks until a slot is granted, the deadline passes
+  /// (kDeadlineExceeded), or a depth cap rejects immediately
+  /// (kResourceExhausted; `retry_after_ms`, when non-null, receives a
+  /// back-off hint on rejection).
+  Result<Ticket> Acquire(const std::string& tenant,
+                         const AcquireOptions& options,
+                         double* retry_after_ms = nullptr);
+
+  int slots() const { return slots_; }
+  size_t queued() const;
+  /// Per-tenant counters/occupancy for the /stats tenants block.
+  std::map<std::string, TenantQueueStats> Snapshot() const;
+
+ private:
+  struct Waiter {
+    int priority = 0;
+    int64_t deadline_us = 0;
+    uint64_t seq = 0;
+    bool granted = false;
+    std::condition_variable cv;
+  };
+
+  struct TenantState {
+    double weight = 1.0;
+    int max_concurrent = 0;  ///< latest cap supplied via AcquireOptions
+    double vtime = 0.0;
+    int running = 0;
+    std::vector<Waiter*> waiters;  ///< arrival order; selection scans
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t deadline_expired = 0;
+  };
+
+  /// Grants free slots to the best (tenant, waiter) pairs. Caller holds mu_.
+  void DispatchLocked();
+  /// Best waiter within one tenant: priority desc, deadline asc (0 = none,
+  /// sorts last), then FIFO. Caller holds mu_.
+  static size_t BestWaiterIndexLocked(const TenantState& tenant);
+  void ReleaseSlot(const std::string& tenant);
+
+  const int slots_;
+  const size_t max_queue_depth_;
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> tenants_;
+  int in_use_ = 0;
+  size_t total_queued_ = 0;
+  double vclock_ = 0.0;  ///< virtual start tag of the latest grant
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace laminar::engine

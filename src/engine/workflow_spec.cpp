@@ -50,6 +50,8 @@ Result<std::unique_ptr<ProcessingElement>> CreatePe(const std::string& type,
   } else if (type == "CpuBurn") {
     pe = std::make_unique<dataflow::CpuBurn>(
         static_cast<uint64_t>(params.GetInt("iters", 200000)));
+  } else if (type == "IoWait") {
+    pe = std::make_unique<dataflow::IoWait>(params.GetInt("millis", 1));
   } else if (type == "ThresholdSplitter") {
     pe = std::make_unique<dataflow::ThresholdSplitter>(
         params.GetString("field", "value"),
@@ -72,7 +74,7 @@ std::vector<std::string> KnownPeTypes() {
           "Tokenizer",      "WordCounter",   "CountPrinter", "SensorProducer",
           "NormalizeData",  "AnomalyDetector", "Alerter",    "AggregateData",
           "CpuBurn",        "NullSink",       "EchoSink",     "ThresholdSplitter",
-          "FaultInjector"};
+          "FaultInjector",  "IoWait"};
 }
 
 Result<dataflow::Grouping> ParseGrouping(const Value& edge) {

@@ -2,6 +2,7 @@
 
 #include "common/byte_buffer.hpp"
 #include "common/json.hpp"
+#include "common/strings.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace laminar::net {
@@ -11,6 +12,52 @@ constexpr uint8_t kFrameHeaders = 1;
 constexpr uint8_t kFrameData = 2;
 constexpr uint8_t kFrameEnd = 3;
 constexpr uint8_t kFrameRst = 4;
+
+/// Optional `content-length` hardening. The frame codec does not need a
+/// content length — body size is explicit in the envelope — but clients and
+/// intermediaries may attach one, and a header the server silently ignores
+/// is exactly the kind that smuggling attacks ride on. When present, every
+/// case variant of the header must be a strict digit string (no sign — a
+/// leading '+' is how classic CL parser differentials start — no
+/// whitespace, no decimal point), must not overflow the frame cap, all
+/// duplicates must agree, and the value must equal the actual body size.
+Status ValidateContentLength(const Value& headers, size_t body_size) {
+  if (!headers.is_object()) return Status::Ok();
+  bool seen = false;
+  uint64_t declared = 0;
+  for (const auto& [name, value] : headers.as_object()) {
+    if (strings::ToLower(name) != "content-length") continue;
+    std::string text;
+    if (value.is_string()) {
+      text = value.as_string();
+    } else if (value.is_int()) {
+      text = std::to_string(value.as_int());  // negatives fail the digit scan
+    }
+    if (text.empty()) {
+      return Status::ParseError("content-length must be a digit string");
+    }
+    uint64_t n = 0;
+    for (char c : text) {
+      if (c < '0' || c > '9') {
+        return Status::ParseError(
+            "content-length must contain only digits");
+      }
+      n = n * 10 + static_cast<uint64_t>(c - '0');
+      if (n > HttpConnection::kMaxFramePayload) {
+        return Status::ParseError("content-length exceeds frame cap");
+      }
+    }
+    if (seen && n != declared) {
+      return Status::ParseError("conflicting duplicate content-length headers");
+    }
+    seen = true;
+    declared = n;
+  }
+  if (seen && declared != static_cast<uint64_t>(body_size)) {
+    return Status::ParseError("content-length does not match body size");
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -31,6 +78,10 @@ Result<HttpRequest> HttpRequest::FromValue(const Value& v) {
   req.headers = v.at("headers");
   req.body = v.GetString("body");
   if (req.path.empty()) return Status::ParseError("request missing path");
+  if (Status cl = ValidateContentLength(req.headers, req.body.size());
+      !cl.ok()) {
+    return cl;
+  }
   return req;
 }
 
@@ -118,12 +169,17 @@ size_t HttpConnection::handler_threads() const {
 }
 
 void HttpConnection::DispatchHandler(std::function<void()> task) {
+  size_t pending =
+      pending_tasks_.fetch_add(1, std::memory_order_acq_rel) + 1;
   {
     std::scoped_lock lock(handler_workers_mu_);
-    // Spawn lazily: only when every existing worker is busy and the cap
-    // allows. A momentary under-count (a worker finishing right now) at
-    // worst spawns one extra worker, still within the cap.
-    if (idle_workers_.load(std::memory_order_acquire) == 0 &&
+    // Spawn lazily: only when the idle workers cannot cover the tasks
+    // outstanding (pending counts tasks not yet *dequeued*, so a worker
+    // that raised its idle flag but is still en route to an earlier task
+    // does not mask the need for another thread). A momentary mis-count in
+    // the other direction at worst spawns one extra worker, still within
+    // the cap.
+    if (idle_workers_.load(std::memory_order_acquire) < pending &&
         handler_workers_.size() < max_handler_threads_) {
       handler_workers_.emplace_back([this] { HandlerWorkerLoop(); });
     }
@@ -137,6 +193,7 @@ void HttpConnection::HandlerWorkerLoop() {
     std::optional<std::function<void()>> task = handler_tasks_.Pop();
     idle_workers_.fetch_sub(1, std::memory_order_acq_rel);
     if (!task) return;  // queue closed and drained
+    pending_tasks_.fetch_sub(1, std::memory_order_acq_rel);
     (*task)();
   }
 }
@@ -260,6 +317,16 @@ void HttpConnection::ReaderLoop() {
         }
         Result<HttpRequest> req = HttpRequest::FromValue(parsed.value());
         if (!req.ok() || !handler_) {
+          if (!req.ok()) {
+            // A syntactically valid envelope with malformed semantics
+            // (bad/conflicting content-length, missing path) is counted
+            // with the other protocol errors but is NOT fatal: the stream
+            // gets a clean 400 and the connection — which may be
+            // multiplexing well-formed streams — stays open.
+            telemetry::MetricsRegistry::Global()
+                .GetCounter("laminar_net_protocol_errors_total")
+                .Inc();
+          }
           ByteWriter w;
           w.PutU32(handler_ ? 400u : 501u);
           WriteFrame(kFrameEnd, stream_id, w.data());

@@ -146,6 +146,11 @@ class HttpConnection {
   std::vector<std::thread> handler_workers_;
   mutable std::mutex handler_workers_mu_;
   std::atomic<size_t> idle_workers_{0};
+  /// Tasks pushed but not yet dequeued by a worker. Decremented only at
+  /// dequeue, so a dispatcher comparing it against idle_workers_ cannot be
+  /// fooled by a worker that raised its idle flag while en route to an
+  /// earlier task.
+  std::atomic<size_t> pending_tasks_{0};
   std::thread reader_;
   std::atomic<bool> closed_{false};
 };

@@ -20,6 +20,7 @@ PeRecord RowToPe(const Row& row) {
   pe.code = row.GetString("peCode");
   pe.spt_embedding = row.GetString("sptEmbedding");
   pe.type = row.GetString("peType");
+  pe.tenant = row.GetString("tenant");
   return pe;
 }
 
@@ -33,6 +34,7 @@ WorkflowRecord RowToWorkflow(const Row& row) {
   wf.code = row.GetString("workflowCode");
   wf.entry_point = row.GetString("entryPoint");
   wf.spt_embedding = row.GetString("sptEmbedding");
+  wf.tenant = row.GetString("tenant");
   return wf;
 }
 
@@ -88,6 +90,7 @@ Result<int64_t> Repository::CreatePe(const PeRecord& pe) {
   row["peCode"] = pe.code;
   row["sptEmbedding"] = pe.spt_embedding;
   row["peType"] = pe.type;
+  row["tenant"] = pe.tenant;
   return db_->Insert(kPeTable, std::move(row));
 }
 
@@ -133,6 +136,7 @@ Result<int64_t> Repository::CreateWorkflow(const WorkflowRecord& wf) {
   row["workflowCode"] = wf.code;
   row["entryPoint"] = wf.entry_point;
   row["sptEmbedding"] = wf.spt_embedding;
+  row["tenant"] = wf.tenant;
   return db_->Insert(kWorkflowTable, std::move(row));
 }
 

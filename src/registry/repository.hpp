@@ -26,6 +26,10 @@ struct PeRecord {
   std::string code;
   std::string spt_embedding;  ///< JSON {hash: count}
   std::string type;           ///< e.g. "IterativePE"
+  /// Owning tenant namespace; empty means the default tenant (rows written
+  /// before tenancy existed read back as default — Rows are schemaless, so
+  /// old snapshots/WALs simply lack the column).
+  std::string tenant;
 };
 
 struct WorkflowRecord {
@@ -37,6 +41,8 @@ struct WorkflowRecord {
   std::string code;
   std::string entry_point;
   std::string spt_embedding;
+  /// Owning tenant namespace; empty = default (see PeRecord::tenant).
+  std::string tenant;
 };
 
 struct ExecutionRecord {

@@ -25,6 +25,9 @@ Status CreateLaminarSchema(Database& db) {
         {"workflowCode", ColumnType::kClob, false},
         {"entryPoint", ColumnType::kClob, true},
         {"sptEmbedding", ColumnType::kClob, true},
+        // Owning tenant namespace; nullable so pre-tenancy snapshots/WALs
+        // load unchanged (missing reads back as the default tenant).
+        {"tenant", ColumnType::kString, true},
     };
     wf.indexed_columns = {"workflowName", "userId"};
     wf.foreign_keys = {{"userId", kUserTable}};
@@ -40,6 +43,7 @@ Status CreateLaminarSchema(Database& db) {
         {"peCode", ColumnType::kClob, false},
         {"sptEmbedding", ColumnType::kClob, true},
         {"peType", ColumnType::kString, true},
+        {"tenant", ColumnType::kString, true},
     };
     pe.indexed_columns = {"peName"};
     if (Status st = db.CreateTable(std::move(pe)); !st.ok()) return st;

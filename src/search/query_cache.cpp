@@ -36,6 +36,7 @@ embed::Vector QueryEmbeddingCache::GetOrCompute(
   key.push_back('\0');  // unambiguous (model, text) separator
   key.append(text);
 
+  uint64_t miss_generation = 0;
   if (capacity_ > 0) {
     std::scoped_lock lock(mu_);
     auto it = by_key_.find(key);
@@ -46,6 +47,7 @@ embed::Vector QueryEmbeddingCache::GetOrCompute(
       return it->second->embedding;
     }
     ++misses_;
+    miss_generation = generation_;
   } else {
     std::scoped_lock lock(mu_);
     ++misses_;
@@ -57,6 +59,11 @@ embed::Vector QueryEmbeddingCache::GetOrCompute(
   if (capacity_ == 0) return embedding;
 
   std::scoped_lock lock(mu_);
+  if (generation_ != miss_generation) {
+    // Clear() ran while we were encoding: the result reflects pre-Clear
+    // state, so hand it to the caller but do not store it.
+    return embedding;
+  }
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     // A concurrent miss already stored this key; refresh recency only.
@@ -81,6 +88,7 @@ void QueryEmbeddingCache::Clear() {
   std::scoped_lock lock(mu_);
   lru_.clear();
   by_key_.clear();
+  ++generation_;  // invalidate in-flight off-lock encodes (see header)
 }
 
 }  // namespace laminar::search

@@ -54,6 +54,13 @@ class QueryEmbeddingCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  /// Bumped by Clear(). A miss captures the generation before its off-lock
+  /// encode and drops the store if Clear() ran in between — otherwise an
+  /// embedding computed against pre-Clear encoder state would be
+  /// resurrected into the freshly emptied cache (Clear accompanies registry
+  /// reloads that replace the encoders, so such entries are stale, not just
+  /// redundant).
+  uint64_t generation_ = 0;
 };
 
 }  // namespace laminar::search

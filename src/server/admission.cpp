@@ -1,0 +1,196 @@
+#include "server/admission.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace laminar::server {
+namespace {
+
+std::string TenantLabel(const std::string& tenant) {
+  return "tenant=\"" + tenant + '"';
+}
+
+telemetry::Counter& RequestCounter(const std::string& tenant) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "laminar_tenant_requests_total", TenantLabel(tenant));
+}
+
+telemetry::Counter& ThrottledCounter(const std::string& tenant) {
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "laminar_tenant_throttled_total", TenantLabel(tenant));
+}
+
+telemetry::Gauge& RowGauge(const std::string& tenant, const char* kind) {
+  return telemetry::MetricsRegistry::Global().GetGauge(
+      "laminar_tenant_rows",
+      TenantLabel(tenant) + ",kind=\"" + kind + '"');
+}
+
+}  // namespace
+
+bool ValidTenantName(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+AdmissionController::AdmissionController(
+    TenantQuotas defaults, std::map<std::string, TenantQuotas> overrides)
+    : defaults_(defaults), overrides_(std::move(overrides)) {}
+
+const TenantQuotas& AdmissionController::QuotasFor(
+    const std::string& tenant) const {
+  auto it = overrides_.find(tenant);
+  return it != overrides_.end() ? it->second : defaults_;
+}
+
+Status AdmissionController::AdmitRequest(const std::string& tenant,
+                                         double* retry_after_ms) {
+  const TenantQuotas& quotas = QuotasFor(tenant);
+  {
+    std::scoped_lock lock(mu_);
+    TenantCounters& c = tenants_[tenant];
+    ++c.requests;
+    if (quotas.requests_per_sec > 0.0) {
+      const double capacity = quotas.burst > 0.0 ? quotas.burst
+                                                 : quotas.requests_per_sec;
+      int64_t now_us = NowMicros();
+      if (!c.bucket_primed) {
+        c.tokens = capacity;
+        c.bucket_primed = true;
+      } else {
+        double elapsed_s =
+            static_cast<double>(now_us - c.last_refill_us) / 1e6;
+        c.tokens = std::min(capacity,
+                            c.tokens + elapsed_s * quotas.requests_per_sec);
+      }
+      c.last_refill_us = now_us;
+      if (c.tokens < 1.0) {
+        ++c.throttled;
+        if (retry_after_ms != nullptr) {
+          *retry_after_ms =
+              (1.0 - c.tokens) / quotas.requests_per_sec * 1000.0;
+        }
+        ThrottledCounter(tenant).Inc();
+        RequestCounter(tenant).Inc();
+        return Status::ResourceExhausted("tenant '" + tenant +
+                                         "' request rate limit exceeded");
+      }
+      c.tokens -= 1.0;
+    }
+  }
+  RequestCounter(tenant).Inc();
+  return Status::Ok();
+}
+
+Status AdmissionController::AdmitPes(const std::string& tenant,
+                                     int64_t additional) const {
+  const TenantQuotas& quotas = QuotasFor(tenant);
+  if (quotas.max_pes <= 0) return Status::Ok();
+  std::scoped_lock lock(mu_);
+  auto it = tenants_.find(tenant);
+  int64_t current = it != tenants_.end() ? it->second.pes : 0;
+  if (current + additional > quotas.max_pes) {
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' PE quota exceeded (" +
+        std::to_string(current) + "/" + std::to_string(quotas.max_pes) + ")");
+  }
+  return Status::Ok();
+}
+
+Status AdmissionController::AdmitWorkflows(const std::string& tenant,
+                                           int64_t additional) const {
+  const TenantQuotas& quotas = QuotasFor(tenant);
+  if (quotas.max_workflows <= 0) return Status::Ok();
+  std::scoped_lock lock(mu_);
+  auto it = tenants_.find(tenant);
+  int64_t current = it != tenants_.end() ? it->second.workflows : 0;
+  if (current + additional > quotas.max_workflows) {
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' workflow quota exceeded (" +
+        std::to_string(current) + "/" + std::to_string(quotas.max_workflows) +
+        ")");
+  }
+  return Status::Ok();
+}
+
+void AdmissionController::OnPesChanged(const std::string& tenant,
+                                       int64_t delta) {
+  {
+    std::scoped_lock lock(mu_);
+    TenantCounters& c = tenants_[tenant];
+    c.pes = std::max<int64_t>(0, c.pes + delta);
+  }
+  RowGauge(tenant, "pe").Add(delta);
+}
+
+void AdmissionController::OnWorkflowsChanged(const std::string& tenant,
+                                             int64_t delta) {
+  {
+    std::scoped_lock lock(mu_);
+    TenantCounters& c = tenants_[tenant];
+    c.workflows = std::max<int64_t>(0, c.workflows + delta);
+  }
+  RowGauge(tenant, "workflow").Add(delta);
+}
+
+void AdmissionController::ResetRowCounts(
+    std::map<std::string, std::pair<int64_t, int64_t>>
+        pe_and_workflow_counts) {
+  std::scoped_lock lock(mu_);
+  for (auto& [tenant, c] : tenants_) {
+    RowGauge(tenant, "pe").Set(0);
+    RowGauge(tenant, "workflow").Set(0);
+    c.pes = 0;
+    c.workflows = 0;
+  }
+  for (const auto& [tenant, counts] : pe_and_workflow_counts) {
+    TenantCounters& c = tenants_[tenant];
+    c.pes = counts.first;
+    c.workflows = counts.second;
+    RowGauge(tenant, "pe").Set(counts.first);
+    RowGauge(tenant, "workflow").Set(counts.second);
+  }
+}
+
+void AdmissionController::RecordRunOutcome(const std::string& tenant,
+                                           bool ok) {
+  {
+    std::scoped_lock lock(mu_);
+    TenantCounters& c = tenants_[tenant];
+    if (ok) {
+      ++c.runs_succeeded;
+    } else {
+      ++c.runs_failed;
+    }
+  }
+  telemetry::MetricsRegistry::Global()
+      .GetCounter("laminar_tenant_exec_total",
+                  TenantLabel(tenant) + ",outcome=\"" +
+                      (ok ? "ok" : "error") + '"')
+      .Inc();
+}
+
+Value AdmissionController::StatsJson() const {
+  std::scoped_lock lock(mu_);
+  Value out = Value::MakeObject();
+  for (const auto& [tenant, c] : tenants_) {
+    Value t = Value::MakeObject();
+    t["requests"] = static_cast<int64_t>(c.requests);
+    t["throttled"] = static_cast<int64_t>(c.throttled);
+    t["pes"] = c.pes;
+    t["workflows"] = c.workflows;
+    t["runsSucceeded"] = static_cast<int64_t>(c.runs_succeeded);
+    t["runsFailed"] = static_cast<int64_t>(c.runs_failed);
+    out[tenant] = std::move(t);
+  }
+  return out;
+}
+
+}  // namespace laminar::server

@@ -1,10 +1,12 @@
 #include "server/server.hpp"
 
+#include <cmath>
 #include <mutex>
 
 #include "common/clock.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "dataflow/mapping.hpp"
 #include "net/multipart.hpp"
 #include "pycode/parser.hpp"
 #include "telemetry/telemetry.hpp"
@@ -39,6 +41,98 @@ search::SearchTarget ParseTarget(const Value& body) {
   return body.GetString("target", "pe") == "workflow"
              ? search::SearchTarget::kWorkflow
              : search::SearchTarget::kPe;
+}
+
+/// Tenant resolution (ROADMAP item 3): an explicit `"tenant"` body field
+/// wins, then the `x-laminar-tenant` header; requests naming neither run as
+/// the default tenant, preserving all pre-tenancy behavior.
+Result<std::string> ResolveTenant(const net::HttpRequest& request,
+                                  const Value& body) {
+  std::string tenant = body.GetString("tenant");
+  if (tenant.empty()) tenant = request.headers.GetString("x-laminar-tenant");
+  if (tenant.empty()) return std::string(kDefaultTenant);
+  if (!ValidTenantName(tenant)) {
+    return Status::InvalidArgument(
+        "invalid tenant name '" + tenant + "' (want [A-Za-z0-9._-], 1-64 chars)");
+  }
+  return tenant;
+}
+
+/// Normalizes a stored row tenant: rows written before tenancy existed have
+/// no tenant column and read back as "".
+std::string_view RowTenant(const std::string& stored) {
+  return stored.empty() ? kDefaultTenant : std::string_view(stored);
+}
+
+/// Visibility rule for registry rows: default-tenant rows are shared with
+/// everyone (the pre-tenancy registry keeps working for all callers), the
+/// default tenant sees everything (it doubles as the operator view), and
+/// otherwise rows are private to their owning tenant.
+bool TenantCanSee(const std::string& requester, const std::string& row_tenant) {
+  if (requester == kDefaultTenant) return true;
+  std::string_view owner = RowTenant(row_tenant);
+  return owner == kDefaultTenant || owner == requester;
+}
+
+/// Boundary validation of /execute run options (the bugfix sweep): every
+/// numeric knob is type-, range- and finiteness-checked *before* any value
+/// is cast into RunOptions, so NaN/negative deadlines or zero batch sizes
+/// can never reach the mapping layer's int64 casts and divide-style loops.
+/// Errors name the offending field so clients can self-correct.
+Status ValidateRunOptions(const Value& body) {
+  auto bad = [](std::string_view field, std::string_view why) {
+    return Status::InvalidArgument("invalid run option '" + std::string(field) +
+                                   "': " + std::string(why));
+  };
+  auto check_number = [&](std::string_view field, double lo,
+                          double hi) -> Status {
+    const Value& v = body.at(field);
+    if (v.is_null()) return Status::Ok();  // absent -> default applies
+    if (!v.is_number()) return bad(field, "must be a number");
+    const double d = v.as_double();
+    if (!std::isfinite(d)) return bad(field, "must be finite");
+    if (d < lo || d > hi) {
+      return bad(field, "out of range [" + std::to_string(lo) + ", " +
+                            std::to_string(hi) + "]");
+    }
+    return Status::Ok();
+  };
+  auto check_integer = [&](std::string_view field, int64_t lo,
+                           int64_t hi) -> Status {
+    const Value& v = body.at(field);
+    if (v.is_null()) return Status::Ok();
+    if (!v.is_number()) return bad(field, "must be an integer");
+    const double d = v.as_double();
+    if (!std::isfinite(d) || d != std::floor(d)) {
+      return bad(field, "must be an integer");
+    }
+    if (d < static_cast<double>(lo) || d > static_cast<double>(hi)) {
+      return bad(field, "out of range [" + std::to_string(lo) + ", " +
+                            std::to_string(hi) + "]");
+    }
+    return Status::Ok();
+  };
+  // Durations: finite and non-negative (0 = disabled). The upper bound is
+  // ~285 years in ms — far past meaningful, but it keeps ms->us conversions
+  // comfortably inside int64.
+  constexpr double kMaxMs = 9.0e12;
+  for (std::string_view f :
+       {"deadline_ms", "send_batch_max_delay_ms", "retry_backoff_ms"}) {
+    Status st = check_number(f, 0.0, kMaxMs);
+    if (!st.ok()) return st;
+  }
+  // Counts: strictly positive and bounded.
+  for (std::string_view f : {"processes", "initial_workers", "max_workers"}) {
+    Status st = check_integer(f, 1, 4096);
+    if (!st.ok()) return st;
+  }
+  for (std::string_view f : {"send_batch_size", "recv_batch_size"}) {
+    Status st = check_integer(f, 1, 1 << 20);
+    if (!st.ok()) return st;
+  }
+  Status st = check_integer("max_retries", 0, 1000);
+  if (!st.ok()) return st;
+  return check_integer("priority", -100, 100);
 }
 
 /// Class name of the first class definition in the code (the registered PE's
@@ -125,7 +219,11 @@ LaminarServer::LaminarServer(ServerConfig config)
     : config_(std::move(config)),
       repo_(db_),
       search_(repo_, config_.search),
-      engine_(config_.engine) {
+      engine_(config_.engine),
+      admission_(config_.tenant_quotas, config_.tenant_overrides),
+      run_queue_(config_.run_workers > 0 ? config_.run_workers
+                                         : config_.engine.max_concurrent,
+                 config_.run_queue_depth) {
   if (config_.ingest_threads > 0) {
     ingest_pool_ = std::make_unique<ThreadPool>(config_.ingest_threads);
   }
@@ -142,6 +240,7 @@ LaminarServer::LaminarServer(ServerConfig config)
     if (!st.ok()) {
       log::Error("server", "post-recovery reindex failed: " + st.ToString());
     }
+    ResetTenantRowCounts();  // recovered rows count against tenant quotas
   }
   Result<int64_t> uid = repo_.CreateUser(config_.default_user, "laminar");
   if (uid.ok()) {
@@ -198,9 +297,10 @@ Value LaminarServer::WorkflowToJson(const registry::WorkflowRecord& wf,
 }
 
 Result<LaminarServer::PreparedPeReg> LaminarServer::PreparePeRegistration(
-    const Value& pe_obj) const {
+    const Value& pe_obj, const std::string& tenant) const {
   PreparedPeReg prepared;
   registry::PeRecord& pe = prepared.record;
+  pe.tenant = tenant;
   pe.code = pe_obj.GetString("code");
   if (pe.code.empty()) {
     return Status::InvalidArgument("PE registration requires 'code'");
@@ -230,14 +330,39 @@ Result<LaminarServer::PreparedPeReg> LaminarServer::PreparePeRegistration(
 }
 
 Result<int64_t> LaminarServer::CommitPeRegistration(PreparedPeReg prepared) {
+  // Authoritative quota check: this runs under the exclusive lock, so the
+  // check-then-increment is atomic even when the shared-lock advisory check
+  // raced another registration.
+  const std::string tenant = prepared.record.tenant;
+  Status quota = admission_.AdmitPes(tenant, 1);
+  if (!quota.ok()) return quota;
   Result<int64_t> id = repo_.CreatePe(prepared.record);
   if (!id.ok()) return id;
   search_.CommitPe(id.value(), std::move(prepared.index));
+  admission_.OnPesChanged(tenant, 1);
   return id;
 }
 
+void LaminarServer::ResetTenantRowCounts() {
+  std::map<std::string, std::pair<int64_t, int64_t>> counts;
+  for (const registry::PeRecord& pe : repo_.AllPes()) {
+    ++counts[std::string(RowTenant(pe.tenant))].first;
+  }
+  for (const registry::WorkflowRecord& wf : repo_.AllWorkflows()) {
+    ++counts[std::string(RowTenant(wf.tenant))].second;
+  }
+  admission_.ResetRowCounts(std::move(counts));
+}
+
 void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
+                                  const std::string& tenant,
                                   net::StreamResponder& out) {
+  // Parse-boundary validation (bugfix): reject malformed run options with
+  // 400 + the field name before anything is cast into RunOptions.
+  if (Status valid = ValidateRunOptions(body); !valid.ok()) {
+    Reply(out, 400, ErrorBody(valid));
+    return;
+  }
   engine::ExecuteRequest req;
   int64_t workflow_id = body.GetInt("workflowId", 0);
   {
@@ -311,6 +436,35 @@ void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
     return;
   }
 
+  // Tenant-fair bounded dispatch: acquire a run slot before touching the
+  // engine. Rejections (queue depth / concurrency caps) come back as 429
+  // with a retryAfterMs hint; a deadline that expires while queued is 408.
+  const TenantQuotas& quotas = admission_.QuotasFor(tenant);
+  engine::FairRunQueue::AcquireOptions acquire;
+  acquire.weight = quotas.weight;
+  acquire.max_concurrent = quotas.max_concurrent_runs;
+  acquire.max_queued = quotas.max_queued_runs;
+  acquire.priority = static_cast<int>(body.GetInt("priority", 0));
+  acquire.deadline_us =
+      dataflow::DeadlineMicrosFromNow(req.run_options.deadline_ms);
+  double retry_after_ms = 0.0;
+  Result<engine::FairRunQueue::Ticket> ticket =
+      run_queue_.Acquire(tenant, acquire, &retry_after_ms);
+  if (!ticket.ok()) {
+    Value err = ErrorBody(ticket.status());
+    if (ticket.status().code() == StatusCode::kResourceExhausted) {
+      err["retryAfterMs"] = retry_after_ms;
+    }
+    Reply(out, StatusToHttp(ticket.status()), err);
+    return;
+  }
+  // Non-default tenants get their broker run keys under t:<tenant>:wf:N:*,
+  // so DelPrefix cleanup and any future per-tenant introspection can never
+  // cross namespaces. The default tenant keeps the legacy wf:N:* keys.
+  if (tenant != kDefaultTenant) {
+    req.run_options.run_scope = "t:" + tenant + ":";
+  }
+
   int64_t execution_id = 0;
   if (workflow_id != 0) {
     std::scoped_lock lock(mu_);
@@ -325,6 +479,8 @@ void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
       req,
       [&out](const std::string& line) { out.SendChunk(line + "\n"); },
       &stats);
+  admission_.RecordRunOutcome(tenant, result.ok());
+  ticket->Release();  // free the run slot before the (possibly slow) reply
 
   Value end = Value::MakeObject();
   // Process-wide totals straight from the telemetry registry — the same
@@ -396,8 +552,24 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     return;
   }
 
-  // Multipart endpoint first (binary body, not JSON).
+  // Multipart endpoint first (binary body, not JSON). Tenant comes from the
+  // header alone here — there is no JSON body to carry the field.
   if (path == "/resources/upload") {
+    Result<std::string> upload_tenant =
+        ResolveTenant(request, Value::MakeObject());
+    if (!upload_tenant.ok()) {
+      Reply(out, 400, ErrorBody(upload_tenant.status()));
+      return;
+    }
+    double retry_after_ms = 0.0;
+    if (Status admit = admission_.AdmitRequest(upload_tenant.value(),
+                                               &retry_after_ms);
+        !admit.ok()) {
+      Value err = ErrorBody(admit);
+      err["retryAfterMs"] = retry_after_ms;
+      Reply(out, 429, err);
+      return;
+    }
     Result<std::vector<net::FilePart>> parts =
         net::DecodeMultipart(request.body);
     if (!parts.ok()) {
@@ -425,11 +597,33 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     body = std::move(parsed.value());
   }
 
+  // Liveness probe: never rate-limited, so monitors keep working when a
+  // tenant floods the server.
   if (path == "/health") {
     Value resp = Value::MakeObject();
     resp["status"] = "ok";
     Reply(out, 200, resp);
     return;
+  }
+
+  // Every remaining endpoint is tenant-attributed and rate-gated: the
+  // token bucket refuses with 429 + retryAfterMs before any lock is taken,
+  // so a flooding tenant burns its own budget, not server threads.
+  Result<std::string> tenant_r = ResolveTenant(request, body);
+  if (!tenant_r.ok()) {
+    Reply(out, 400, ErrorBody(tenant_r.status()));
+    return;
+  }
+  const std::string& tenant = tenant_r.value();
+  {
+    double retry_after_ms = 0.0;
+    if (Status admit = admission_.AdmitRequest(tenant, &retry_after_ms);
+        !admit.ok()) {
+      Value err = ErrorBody(admit);
+      err["retryAfterMs"] = retry_after_ms;
+      Reply(out, 429, err);
+      return;
+    }
   }
 
   if (path == "/execute") {
@@ -438,7 +632,7 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       std::shared_lock lock(mu_);
       user_id = AuthUser(request);
     }
-    HandleExecute(body, user_id, out);
+    HandleExecute(body, user_id, tenant, out);
     return;
   }
 
@@ -453,11 +647,17 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
   // prepare must not overlap that swap.
 
   if (path == "/pes/register") {
+    // Advisory quota check before the expensive encode; the commit
+    // re-checks authoritatively under the exclusive lock.
+    if (Status quota = admission_.AdmitPes(tenant, 1); !quota.ok()) {
+      Reply(out, StatusToHttp(quota), ErrorBody(quota));
+      return;
+    }
     Result<PreparedPeReg> prepared = [&] {
       telemetry::ScopedSpan span("ingest.encode", &IngestHistogram("encode"));
       IngestCounter("encode").Inc();
       std::shared_lock lock(mu_);
-      return PreparePeRegistration(body);
+      return PreparePeRegistration(body, tenant);
     }();
     if (!prepared.ok()) {
       Reply(out, StatusToHttp(prepared.status()),
@@ -492,6 +692,19 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       std::shared_lock lock(mu_);
       wf.user_id = AuthUser(request);
     }
+    wf.tenant = tenant;
+    // Advisory quota checks before any model inference runs; the exclusive
+    // commit section re-checks both authoritatively.
+    if (Status quota = admission_.AdmitWorkflows(tenant, 1); !quota.ok()) {
+      Reply(out, StatusToHttp(quota), ErrorBody(quota));
+      return;
+    }
+    if (Status quota = admission_.AdmitPes(
+            tenant, static_cast<int64_t>(body.at("pes").size()));
+        !quota.ok()) {
+      Reply(out, StatusToHttp(quota), ErrorBody(quota));
+      return;
+    }
     wf.name = body.GetString("name");
     wf.code = body.GetString("code");
     wf.entry_point = body.at("spec").is_object()
@@ -513,7 +726,7 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       IngestCounter("encode").Inc();
       std::shared_lock lock(mu_);  // excludes Clear()'s engine swap
       for (const Value& pe_obj : body.at("pes").as_array()) {
-        Result<PreparedPeReg> prepared = PreparePeRegistration(pe_obj);
+        Result<PreparedPeReg> prepared = PreparePeRegistration(pe_obj, tenant);
         if (!prepared.ok()) {
           Reply(out, StatusToHttp(prepared.status()),
                 ErrorBody(prepared.status()));
@@ -555,11 +768,16 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
         }
         pe_ids.push_back(pe_id.value());
       }
+      if (Status quota = admission_.AdmitWorkflows(tenant, 1); !quota.ok()) {
+        Reply(out, StatusToHttp(quota), ErrorBody(quota));
+        return;
+      }
       Result<int64_t> wf_id = repo_.CreateWorkflow(wf);
       if (!wf_id.ok()) {
         Reply(out, StatusToHttp(wf_id.status()), ErrorBody(wf_id.status()));
         return;
       }
+      admission_.OnWorkflowsChanged(tenant, 1);
       for (int64_t pe_id : pe_ids) {
         (void)repo_.LinkPe(wf_id.value(), pe_id);  // both rows just created
       }
@@ -595,7 +813,7 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       // worker is done reading them.
       std::shared_lock lock(mu_);
       ParallelFor(ingest_pool_.get(), n, [&](size_t i) {
-        Result<PreparedPeReg> r = PreparePeRegistration(pe_objs[i]);
+        Result<PreparedPeReg> r = PreparePeRegistration(pe_objs[i], tenant);
         if (r.ok()) {
           prepared[i] = std::make_unique<PreparedPeReg>(std::move(r.value()));
         } else {
@@ -606,6 +824,7 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     Value ids = Value::MakeArray();
     Value errors = Value::MakeArray();
     int64_t registered = 0;
+    int64_t quota_rejected = 0;
     auto record_error = [&errors](size_t index, const std::string& message) {
       Value e = Value::MakeObject();
       e["index"] = static_cast<int64_t>(index);
@@ -627,6 +846,9 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
         }
         Result<int64_t> id = CommitPeRegistration(std::move(*prepared[i]));
         if (!id.ok()) {
+          if (id.status().code() == StatusCode::kResourceExhausted) {
+            ++quota_rejected;
+          }
           record_error(i, id.status().ToString());
           continue;
         }
@@ -644,7 +866,12 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     resp["peIds"] = std::move(ids);
     resp["registered"] = registered;
     resp["errors"] = std::move(errors);
-    Reply(out, 200, resp);
+    // Per-item quota errors ride in `errors`; only a batch where *nothing*
+    // registered because of quotas is itself a 429 (so partial successes
+    // stay 200 and the client can inspect which items were rejected).
+    Reply(out,
+          (registered == 0 && quota_rejected > 0) ? 429 : 200,
+          resp);
     return;
   }
 
@@ -760,8 +987,10 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     Result<registry::PeRecord> pe =
         body.contains("id") ? repo_.GetPe(body.GetInt("id"))
                             : repo_.GetPeByName(body.GetString("name"));
-    if (!pe.ok()) {
-      Reply(out, 404, ErrorBody(pe.status()));
+    if (!pe.ok() || !TenantCanSee(tenant, pe->tenant)) {
+      Reply(out, 404,
+            ErrorBody(pe.ok() ? Status::NotFound("no visible PE")
+                              : pe.status()));
       return;
     }
     Reply(out, 200, PeToJson(pe.value(), /*with_code=*/true));
@@ -770,12 +999,24 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
 
   if (path == "/pes/remove") {
     int64_t id = body.GetInt("id");
+    // Look up the record first: cross-tenant removals 404 like any other
+    // invisible row, and a successful removal must decrement the *owning*
+    // tenant's row count, not the requester's.
+    Result<registry::PeRecord> pe = repo_.GetPe(id);
+    if (!pe.ok() || !TenantCanSee(tenant, pe->tenant)) {
+      Reply(out, 404,
+            ErrorBody(pe.ok() ? Status::NotFound("no PE with id " +
+                                                 std::to_string(id))
+                              : pe.status()));
+      return;
+    }
     Status st = repo_.RemovePe(id);
     if (!st.ok()) {
       Reply(out, StatusToHttp(st), ErrorBody(st));
       return;
     }
     search_.RemovePe(id);
+    admission_.OnPesChanged(std::string(RowTenant(pe->tenant)), -1);
     Reply(out, 200, Value::MakeObject());
     return;
   }
@@ -785,8 +1026,10 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
         body.contains("id")
             ? repo_.GetWorkflow(body.GetInt("id"))
             : repo_.GetWorkflowByName(body.GetString("name"));
-    if (!wf.ok()) {
-      Reply(out, 404, ErrorBody(wf.status()));
+    if (!wf.ok() || !TenantCanSee(tenant, wf->tenant)) {
+      Reply(out, 404,
+            ErrorBody(wf.ok() ? Status::NotFound("no visible workflow")
+                              : wf.status()));
       return;
     }
     Reply(out, 200, WorkflowToJson(wf.value(), /*with_code=*/true));
@@ -825,12 +1068,21 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
 
   if (path == "/workflows/remove") {
     int64_t id = body.GetInt("id");
+    Result<registry::WorkflowRecord> wf = repo_.GetWorkflow(id);
+    if (!wf.ok() || !TenantCanSee(tenant, wf->tenant)) {
+      Reply(out, 404,
+            ErrorBody(wf.ok() ? Status::NotFound("no workflow with id " +
+                                                 std::to_string(id))
+                              : wf.status()));
+      return;
+    }
     Status st = repo_.RemoveWorkflow(id);
     if (!st.ok()) {
       Reply(out, StatusToHttp(st), ErrorBody(st));
       return;
     }
     search_.RemoveWorkflow(id);
+    admission_.OnWorkflowsChanged(std::string(RowTenant(wf->tenant)), -1);
     Reply(out, 200, Value::MakeObject());
     return;
   }
@@ -839,10 +1091,12 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     Value resp = Value::MakeObject();
     Value pes = Value::MakeArray();
     for (const registry::PeRecord& pe : repo_.AllPes()) {
+      if (!TenantCanSee(tenant, pe.tenant)) continue;
       pes.push_back(PeToJson(pe, /*with_code=*/false));
     }
     Value wfs = Value::MakeArray();
     for (const registry::WorkflowRecord& wf : repo_.AllWorkflows()) {
+      if (!TenantCanSee(tenant, wf.tenant)) continue;
       wfs.push_back(WorkflowToJson(wf, /*with_code=*/false));
     }
     resp["pes"] = std::move(pes);
@@ -854,23 +1108,35 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
   if (path == "/registry/remove_all") {
     (void)repo_.RemoveAll();
     search_.Clear();
+    ResetTenantRowCounts();  // everything gone -> all row quotas reset
     Reply(out, 200, Value::MakeObject());
     return;
   }
 
   if (path == "/search/literal" || path == "/search/semantic") {
     std::vector<search::SearchHit> hits;
+    const search::SearchTarget target = ParseTarget(body);
     size_t limit = static_cast<size_t>(body.GetInt("limit", 0));
     if (path == "/search/literal") {
-      hits = search_.LiteralSearch(body.GetString("term"), ParseTarget(body),
-                                   limit);
+      hits = search_.LiteralSearch(body.GetString("term"), target, limit);
     } else {
-      hits = search_.SemanticSearch(body.GetString("query"),
-                                    ParseTarget(body), limit);
+      hits = search_.SemanticSearch(body.GetString("query"), target, limit);
     }
+    // Post-filter hits to rows this tenant may see (the shared lock held
+    // here keeps the repo lookups consistent with the index results).
+    auto visible = [&](int64_t id) {
+      if (tenant == kDefaultTenant) return true;
+      if (target == search::SearchTarget::kWorkflow) {
+        Result<registry::WorkflowRecord> wf = repo_.GetWorkflow(id);
+        return wf.ok() && TenantCanSee(tenant, wf->tenant);
+      }
+      Result<registry::PeRecord> pe = repo_.GetPe(id);
+      return pe.ok() && TenantCanSee(tenant, pe->tenant);
+    };
     Value resp = Value::MakeObject();
     Value arr = Value::MakeArray();
     for (const search::SearchHit& hit : hits) {
+      if (!visible(hit.id)) continue;
       Value h = Value::MakeObject();
       h["id"] = hit.id;
       h["name"] = hit.name;
@@ -898,6 +1164,7 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       Value h = Value::MakeObject();
       h["id"] = c.snippet_id;
       Result<registry::PeRecord> pe = repo_.GetPe(c.snippet_id);
+      if (pe.ok() && !TenantCanSee(tenant, pe->tenant)) continue;
       if (pe.ok()) h["name"] = pe->name;
       h["score"] = c.score;
       h["continuation"] = c.continuation;
@@ -920,6 +1187,7 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       Reply(out, StatusToHttp(st), ErrorBody(st));
       return;
     }
+    ResetTenantRowCounts();  // loaded rows replace all per-tenant counts
     Value resp = Value::MakeObject();
     resp["pes"] = static_cast<int64_t>(repo_.AllPes().size());
     resp["workflows"] = static_cast<int64_t>(repo_.AllWorkflows().size());
@@ -1011,6 +1279,23 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     netv["protocolErrors"] = static_cast<int64_t>(
         reg.GetCounter("laminar_net_protocol_errors_total").Value());
     resp["net"] = std::move(netv);
+    // Per-tenant slice (ROADMAP item 3): boundary-admission counters merged
+    // with the run queue's scheduling snapshot, keyed by tenant name. The
+    // runsSucceeded/runsFailed counters reconcile with the ##END## totals
+    // each tenant's /execute streams observed.
+    Value tenants = admission_.StatsJson();
+    for (const auto& [name, qs] : run_queue_.Snapshot()) {
+      Value& t = tenants[name];
+      t["runsAdmitted"] = static_cast<int64_t>(qs.admitted);
+      t["runsRejected"] = static_cast<int64_t>(qs.rejected);
+      t["runsDeadlineExpired"] = static_cast<int64_t>(qs.deadline_expired);
+      t["running"] = qs.running;
+      t["queued"] = qs.queued;
+      t["vtime"] = qs.vtime;
+    }
+    resp["tenants"] = std::move(tenants);
+    resp["runQueue"]["slots"] = run_queue_.slots();
+    resp["runQueue"]["queued"] = static_cast<int64_t>(run_queue_.queued());
     resp["metrics"] = reg.RenderJson();
     resp["trace"] = reg.trace().ToJson();
     Reply(out, 200, resp);
@@ -1019,12 +1304,23 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
 
   if (path == "/search/code") {
     std::string embedding_type = body.GetString("embedding_type", "spt");
+    const search::SearchTarget target = ParseTarget(body);
     size_t limit = static_cast<size_t>(body.GetInt("limit", 0));
+    auto visible = [&](int64_t id) {
+      if (tenant == kDefaultTenant) return true;
+      if (target == search::SearchTarget::kWorkflow) {
+        Result<registry::WorkflowRecord> wf = repo_.GetWorkflow(id);
+        return wf.ok() && TenantCanSee(tenant, wf->tenant);
+      }
+      Result<registry::PeRecord> pe = repo_.GetPe(id);
+      return pe.ok() && TenantCanSee(tenant, pe->tenant);
+    };
     Value resp = Value::MakeObject();
     Value arr = Value::MakeArray();
     if (embedding_type == "llm") {
-      for (const search::SearchHit& hit : search_.CodeSearchLlm(
-               body.GetString("code"), ParseTarget(body), limit)) {
+      for (const search::SearchHit& hit :
+           search_.CodeSearchLlm(body.GetString("code"), target, limit)) {
+        if (!visible(hit.id)) continue;
         Value h = Value::MakeObject();
         h["id"] = hit.id;
         h["name"] = hit.name;
@@ -1034,13 +1330,13 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       }
     } else {
       Result<std::vector<search::RecommendationHit>> recs =
-          search_.CodeRecommendation(body.GetString("code"),
-                                     ParseTarget(body), limit);
+          search_.CodeRecommendation(body.GetString("code"), target, limit);
       if (!recs.ok()) {
         Reply(out, StatusToHttp(recs.status()), ErrorBody(recs.status()));
         return;
       }
       for (const search::RecommendationHit& hit : recs.value()) {
+        if (!visible(hit.id)) continue;
         Value h = Value::MakeObject();
         h["id"] = hit.id;
         h["name"] = hit.name;

@@ -55,9 +55,11 @@
 #include "common/thread_pool.hpp"
 #include "embed/codet5_sim.hpp"
 #include "engine/engine.hpp"
+#include "engine/run_queue.hpp"
 #include "net/http.hpp"
 #include "registry/repository.hpp"
 #include "search/search_service.hpp"
+#include "server/admission.hpp"
 
 namespace laminar::server {
 
@@ -79,6 +81,17 @@ struct ServerConfig {
   std::string wal_path;
   /// Snapshot consulted by startup recovery when wal_path is set.
   std::string snapshot_path;
+  /// Multi-tenant admission (ROADMAP item 3). `tenant_quotas` applies to
+  /// every tenant without an entry in `tenant_overrides`; the zero-valued
+  /// defaults mean "unlimited", so an unconfigured server admits everything
+  /// exactly as before tenancy existed.
+  TenantQuotas tenant_quotas;
+  std::map<std::string, TenantQuotas> tenant_overrides;
+  /// Concurrent /execute enactments (FairRunQueue slots). 0 = inherit
+  /// engine.max_concurrent so the queue never adds a second bottleneck.
+  int run_workers = 0;
+  /// Global queued-run cap across all tenants; 0 = unlimited.
+  size_t run_queue_depth = 0;
 };
 
 class LaminarServer {
@@ -111,9 +124,15 @@ class LaminarServer {
     registry::PeRecord record;
     search::SearchService::PreparedPe index;
   };
-  Result<PreparedPeReg> PreparePeRegistration(const Value& pe_obj) const;
-  /// Requires mu_ held exclusively.
+  Result<PreparedPeReg> PreparePeRegistration(const Value& pe_obj,
+                                              const std::string& tenant) const;
+  /// Requires mu_ held exclusively. Enforces the tenant PE quota and keeps
+  /// the admission controller's row counts in step with the repository.
   Result<int64_t> CommitPeRegistration(PreparedPeReg prepared);
+  /// Rebuilds the admission controller's per-tenant row counts from the
+  /// repository (after recovery, /registry/load, /registry/remove_all).
+  /// Requires mu_ held exclusively (or constructor single-threadedness).
+  void ResetTenantRowCounts();
 
   Value PeToJson(const registry::PeRecord& pe, bool with_code) const;
   Value WorkflowToJson(const registry::WorkflowRecord& wf,
@@ -126,13 +145,17 @@ class LaminarServer {
   void HandleInternal(const net::HttpRequest& request,
                       net::StreamResponder& out);
   void HandleExecute(const Value& body, int64_t user_id,
-                     net::StreamResponder& out);
+                     const std::string& tenant, net::StreamResponder& out);
 
   ServerConfig config_;
   registry::Database db_;
   registry::Repository repo_;
   search::SearchService search_;
   engine::ExecutionEngine engine_;
+  /// Boundary quota/rate checks + per-tenant counters (own internal lock).
+  AdmissionController admission_;
+  /// Tenant-fair bounded dispatch for /execute (own internal lock).
+  engine::FairRunQueue run_queue_;
   embed::CodeT5Sim codet5_;
   /// Helpers for bulk-ingest prepare fan-out (null when ingest_threads=0).
   std::unique_ptr<ThreadPool> ingest_pool_;

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "client/connect.hpp"
+#include "client/demo_workflows.hpp"
 #include "dataflow/dynamic_mapping.hpp"
 #include "dataflow/pe_library.hpp"
 #include "dataflow/sequential_mapping.hpp"
@@ -174,6 +176,50 @@ TEST(BatchingParity, RetriesHealTransientFaultsIdentically) {
   EXPECT_EQ(batched.retries, kExpectedRetries);
   EXPECT_EQ(unbatched.retries, kExpectedRetries);
   EXPECT_EQ(batched.tuples_processed, unbatched.tuples_processed);
+}
+
+// Parse-boundary validation (bugfix): batch sizes that reach the dynamic
+// mapping as zero or negative would turn its chunking arithmetic into
+// no-progress loops, so /execute must refuse them with 400 + the field
+// name before they are cast into RunOptions.
+TEST(BatchingValidation, ServerRejectsNonPositiveBatchSizes) {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  client::InProcessLaminar laminar = client::ConnectInProcess(config);
+
+  struct Case {
+    const char* field;
+    const char* value;
+  };
+  for (const Case& c : {Case{"send_batch_size", "0"},
+                        Case{"send_batch_size", "-1"},
+                        Case{"send_batch_size", "2.5"},
+                        Case{"recv_batch_size", "0"},
+                        Case{"recv_batch_size", "-8"},
+                        Case{"max_workers", "0"},
+                        Case{"processes", "-2"}}) {
+    net::HttpRequest req;
+    req.path = "/execute";
+    req.body = std::string(R"({"spec": {"name": "wf", "pes": [], "edges": []},)"
+                           R"( "mapping": "dynamic", "input": 1, ")") +
+               c.field + R"(": )" + c.value + "}";
+    auto stream = laminar.client_side->Send(req);
+    std::string all = stream->ReadAll();
+    EXPECT_EQ(stream->status(), 400) << c.field << "=" << c.value;
+    EXPECT_NE(all.find(c.field), std::string::npos)
+        << c.field << "=" << c.value << " -> " << all;
+  }
+
+  // Batch size 1 (the unbatched protocol) remains valid.
+  const client::DemoWorkflow* demo = client::FindDemoWorkflow("isprime_wf");
+  Value body = Value::MakeObject();
+  body["spec"] = demo->spec;
+  body["mapping"] = "dynamic";
+  body["input"] = 5;
+  body["send_batch_size"] = 1;
+  body["recv_batch_size"] = 1;
+  client::RunOutcome run = laminar.client->RunRaw(body);
+  EXPECT_TRUE(run.status.ok()) << run.status.ToString();
 }
 
 }  // namespace

@@ -537,5 +537,73 @@ TEST(Broker, ShardingStressConcurrentMixedOpsAcrossKeys) {
   EXPECT_EQ(b.HGetAll("shared:hash").size(), static_cast<size_t>(kThreads));
 }
 
+// ---- DelPrefix vs concurrent blocking pops (run-scope teardown, ISSUE 8;
+// run under LAMINAR_SANITIZE=thread via broker_delprefix_churn_stress) ----
+
+// A dynamic-mapping run ends with DelPrefix("t:<tenant>:wf:N:") while its
+// workers may still sit in BLPopUpTo on those keys. Churn that teardown
+// against producers and consumers: no tuple may be delivered twice, no
+// tuple may "resurrect" after its prefix was deleted (delivered-then-
+// deleted double accounting), the keyspace must end empty, and — via
+// DebugWaiterCount — no blocked-pop waiter may leak past its call.
+TEST(Broker, DelPrefixDuringBlockingPopsNeverResurrectsOrLeaks) {
+  Broker b;
+  constexpr int kRounds = 30;
+  constexpr int kConsumers = 4;
+  constexpr int kItemsPerRound = 64;
+  const std::string prefix = "t:alice:wf:1:";
+  const std::vector<std::string> keys = {prefix + "q:0", prefix + "q:1"};
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<bool> stop{false};
+    std::atomic<int> delivered{0};
+    std::mutex seen_mu;
+    std::vector<std::string> seen;
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+          auto batch = b.BLPopUpTo(keys, 8, std::chrono::milliseconds(5),
+                                   &stop);
+          if (!batch.has_value()) continue;
+          delivered.fetch_add(static_cast<int>(batch->second.size()),
+                              std::memory_order_acq_rel);
+          std::scoped_lock lock(seen_mu);
+          for (std::string& item : batch->second) {
+            seen.push_back(std::move(item));
+          }
+        }
+      });
+    }
+
+    std::thread producer([&] {
+      for (int i = 0; i < kItemsPerRound; ++i) {
+        b.RPush(keys[static_cast<size_t>(i) % keys.size()],
+                std::to_string(round) + ":" + std::to_string(i));
+      }
+    });
+    producer.join();
+
+    // Tear the run down while consumers are mid-pop: whatever DelPrefix
+    // removes was, by linearizability, never handed to a consumer.
+    size_t deleted_keys = b.DelPrefix(prefix);
+    (void)deleted_keys;
+    stop.store(true, std::memory_order_release);
+    b.Notify();  // wake parked pops so they observe the stop flag
+    for (std::thread& t : consumers) t.join();
+
+    // Conservation per round: every delivered item is unique, and items
+    // the teardown swallowed are simply gone — not delivered afterwards.
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+        << "an item was delivered twice in round " << round;
+    ASSERT_LE(seen.size(), static_cast<size_t>(kItemsPerRound));
+    ASSERT_EQ(b.KeyCount(prefix), 0u) << "keys survived teardown";
+    ASSERT_EQ(b.DebugWaiterCount(), 0u)
+        << "a blocking pop leaked its waiter registration in round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace laminar::broker

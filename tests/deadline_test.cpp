@@ -5,6 +5,9 @@
 // client, HTTP 408).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "client/connect.hpp"
 #include "common/json.hpp"
 #include "dataflow/dynamic_mapping.hpp"
@@ -104,6 +107,58 @@ TEST(DeadlineEngine, PerRequestDeadlineOverridesDefault) {
   req.run_options.input = Value(2);
   req.run_options.deadline_ms = 60'000;  // generous explicit deadline wins
   EXPECT_TRUE(engine.Execute(req).ok());
+}
+
+TEST(DeadlineValidation, ClampHandlesNonFiniteAndNegativeDeadlines) {
+  // The mapping-layer clamp: non-finite or non-positive deadlines mean "no
+  // deadline" (0) instead of being cast into a garbage int64 epoch.
+  EXPECT_EQ(dataflow::DeadlineMicrosFromNow(std::nan("")), 0);
+  EXPECT_EQ(dataflow::DeadlineMicrosFromNow(
+                -std::numeric_limits<double>::infinity()),
+            0);
+  EXPECT_EQ(dataflow::DeadlineMicrosFromNow(-10.0), 0);
+  EXPECT_EQ(dataflow::DeadlineMicrosFromNow(0.0), 0);
+  // Absurdly large deadlines clamp to a far-future time, not overflow: the
+  // cap is ~285 years of milliseconds, so both of these land within a
+  // second of each other instead of wrapping int64.
+  int64_t far_a = dataflow::DeadlineMicrosFromNow(1e300);
+  int64_t far_b = dataflow::DeadlineMicrosFromNow(1e307);
+  EXPECT_GT(far_a, 0);
+  EXPECT_LT(std::abs(far_a - far_b), 1'000'000);
+}
+
+TEST(DeadlineValidation, MalformedDeadlineRejectedAtParseBoundary) {
+  server::ServerConfig config;
+  config.engine.cold_start_ms = 0;
+  client::InProcessLaminar laminar = client::ConnectInProcess(config);
+
+  // Malformed deadline_ms values must be a 400 naming the field — never a
+  // run that silently misinterprets them, never a 5xx.
+  for (const char* bad : {"-5", "\"abc\"", "1e300", "true"}) {
+    net::HttpRequest req;
+    req.path = "/execute";
+    req.body = std::string(R"({"spec": {"name": "wf", "pes": [], "edges": []},)"
+                           R"( "mapping": "simple", "input": 1,)"
+                           R"( "deadline_ms": )") +
+               bad + "}";
+    auto stream = laminar.client_side->Send(req);
+    std::string all = stream->ReadAll();
+    EXPECT_EQ(stream->status(), 400) << bad << " -> " << all;
+    EXPECT_NE(all.find("deadline_ms"), std::string::npos) << all;
+  }
+
+  // A well-formed deadline on the same connection still executes.
+  net::HttpRequest ok_req;
+  ok_req.path = "/execute";
+  Value body = Value::MakeObject();
+  body["spec"] = SlowSpec();
+  body["mapping"] = "simple";
+  body["input"] = 1;
+  body["deadline_ms"] = 60'000;
+  ok_req.body = body.ToJson();
+  auto ok_stream = laminar.client_side->Send(ok_req);
+  ok_stream->ReadAll();
+  EXPECT_EQ(ok_stream->status(), 200);
 }
 
 TEST(DeadlineEndToEnd, ClientSeesDeadlineAndPartialStream) {
