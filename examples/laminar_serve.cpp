@@ -31,7 +31,9 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--port N] [--bind ADDR] [--max-connections N]\n"
       "          [--backlog N] [--handler-threads N] [--ingest-threads N]\n"
-      "          [--snapshot PATH --wal PATH] [--cold-start-ms N]\n"
+      "          [--snapshot PATH --wal PATH] [--wal-fsync MODE]\n"
+      "          [--wal-fsync-interval-ms N] [--replica-of HOST:PORT]\n"
+      "          [--max-replica-lag-ms N] [--rps N] [--cold-start-ms N]\n"
       "          [--stdin-eof]\n"
       "  --port N            TCP port (0 = ephemeral, printed on stdout; "
       "default 8477)\n"
@@ -41,7 +43,18 @@ void Usage(const char* argv0) {
       "  --handler-threads N per-connection handler pool cap (default 8)\n"
       "  --ingest-threads N  server ingest pool size (default 4)\n"
       "  --snapshot PATH     registry snapshot for recovery + saves\n"
-      "  --wal PATH          write-ahead log (enables crash recovery)\n"
+      "  --wal PATH          write-ahead log (enables crash recovery and\n"
+      "                      makes this node a replication leader)\n"
+      "  --wal-fsync MODE    WAL durability: none|interval|per_record\n"
+      "                      (default none)\n"
+      "  --wal-fsync-interval-ms N  flush cadence for --wal-fsync interval\n"
+      "                      (default 50)\n"
+      "  --replica-of H:P    run as a read-only follower of that leader\n"
+      "  --max-replica-lag-ms N  follower refuses reads with 503 unless it\n"
+      "                      confirmed catch-up within N ms (default 0 =\n"
+      "                      always serve)\n"
+      "  --rps N             per-tenant request rate cap (token bucket;\n"
+      "                      default 0 = unlimited)\n"
       "  --cold-start-ms N   simulated engine cold start (default 0)\n"
       "  --stdin-eof         also exit when stdin reaches EOF\n",
       argv0);
@@ -80,6 +93,20 @@ int main(int argc, char** argv) {
       config.snapshot_path = next();
     } else if (std::strcmp(argv[i], "--wal") == 0) {
       config.wal_path = next();
+    } else if (std::strcmp(argv[i], "--wal-fsync") == 0) {
+      config.wal_fsync = next();
+    } else if (std::strcmp(argv[i], "--wal-fsync-interval-ms") == 0) {
+      config.wal_fsync_interval_ms = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--replica-of") == 0) {
+      config.replica_of = next();
+    } else if (std::strcmp(argv[i], "--max-replica-lag-ms") == 0) {
+      config.max_replica_lag_ms = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--rps") == 0) {
+      // Models fixed per-node serving capacity (bench_replication spawns
+      // each node with the same cap, so aggregate admitted QPS scales with
+      // node count even on one physical machine).
+      config.tenant_quotas.requests_per_sec = std::atof(next());
+      config.tenant_quotas.burst = config.tenant_quotas.requests_per_sec;
     } else if (std::strcmp(argv[i], "--cold-start-ms") == 0) {
       config.engine.cold_start_ms = std::atof(next());
     } else if (std::strcmp(argv[i], "--stdin-eof") == 0) {

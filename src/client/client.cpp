@@ -53,6 +53,10 @@ Status HttpError(int status, const Value& body) {
     case 428: return Status::FailedPrecondition(msg);
     case 408: return Status::DeadlineExceeded(msg);
     case 429: return Status::ResourceExhausted(msg);
+    // 421 (misdirected: a read replica refusing a mutation) maps to the
+    // same retriable code as 503 so fan-out callers handle "wrong node"
+    // and "stale node" identically: fail over to the leader.
+    case 421: return Status::Unavailable(msg);
     case 503: return Status::Unavailable(msg);
     default: return Status::Internal(msg);
   }
@@ -331,6 +335,10 @@ Status LaminarClient::LoadRegistry(const std::string& path) {
 
 Result<Value> LaminarClient::GetStats() {
   return CallJson("/stats", Value::MakeObject());
+}
+
+Result<Value> LaminarClient::ReplicationStatus() {
+  return CallJson("/replication/status", Value::MakeObject());
 }
 
 Result<std::string> LaminarClient::GetMetrics() {

@@ -155,6 +155,17 @@ class LaminarClient {
   Result<Value> GetStats();
   /// Prometheus text exposition (the GET /metrics endpoint).
   Result<std::string> GetMetrics();
+  /// The node's /replication/status: role ("leader"/"follower"/"none") and,
+  /// on a follower, appliedSeq/leaderSeq/lag. Admission-exempt server-side,
+  /// so it works even when the tenant's rate budget is exhausted.
+  Result<Value> ReplicationStatus();
+  /// Raw JSON endpoint call (tenant/auth headers attached). Escape hatch
+  /// for endpoints without a typed wrapper; ReplicaSetClient uses it to
+  /// probe nodes uniformly.
+  Result<Value> CallEndpoint(const std::string& path, const Value& body,
+                             int* http_status = nullptr) {
+    return CallJson(path, body, http_status);
+  }
 
   // ---- execution (Table I: run / run_multiprocess / run_dynamic) ----
   RunOutcome Run(int64_t workflow_id, const Value& input,

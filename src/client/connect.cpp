@@ -58,4 +58,20 @@ Result<TcpClient> ConnectTcp(const std::string& host_port,
   return ConnectTcp(parsed->first, parsed->second, mode);
 }
 
+Result<TcpClient> ConnectTcp(const std::string& host_port,
+                             const net::TcpConnectOptions& options,
+                             net::HttpConnection::Mode mode) {
+  Result<std::pair<std::string, uint16_t>> parsed =
+      net::ParseHostPort(host_port);
+  if (!parsed.ok()) return parsed.status();
+  Result<std::unique_ptr<net::ByteStream>> stream =
+      net::TcpConnect(parsed->first, parsed->second, options);
+  if (!stream.ok()) return stream.status();
+  TcpClient out;
+  out.connection = std::make_shared<net::HttpConnection>(
+      std::move(stream.value()), mode);
+  out.client = std::make_unique<LaminarClient>(out.connection);
+  return out;
+}
+
 }  // namespace laminar::client

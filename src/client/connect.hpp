@@ -69,4 +69,12 @@ Result<TcpClient> ConnectTcp(
     const std::string& host_port,
     net::HttpConnection::Mode mode = net::HttpConnection::Mode::kStreaming);
 
+/// ConnectTcp with a retry policy — the standard way to dial a server this
+/// process (or a test harness) just spawned: ECONNREFUSED during the
+/// fork-to-listen(2) window is retried with capped exponential backoff plus
+/// jitter instead of a guessed sleep.
+Result<TcpClient> ConnectTcp(
+    const std::string& host_port, const net::TcpConnectOptions& options,
+    net::HttpConnection::Mode mode = net::HttpConnection::Mode::kStreaming);
+
 }  // namespace laminar::client

@@ -1,0 +1,99 @@
+#include "client/fanout.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace laminar::client {
+
+Result<std::unique_ptr<ReplicaSetClient>> ReplicaSetClient::Connect(
+    const std::string& leader_spec,
+    const std::vector<std::string>& follower_specs,
+    ReplicaSetOptions options) {
+  auto set =
+      std::unique_ptr<ReplicaSetClient>(new ReplicaSetClient(options));
+  Result<TcpClient> leader = ConnectTcp(leader_spec, options.connect);
+  if (!leader.ok()) {
+    return Status(leader.status().code(),
+                  "leader '" + leader_spec +
+                      "' unreachable: " + leader.status().ToString());
+  }
+  auto leader_ep = std::make_unique<Endpoint>();
+  leader_ep->spec = leader_spec;
+  leader_ep->is_leader = true;
+  leader_ep->tcp = std::move(leader.value());
+  set->endpoints_.push_back(std::move(leader_ep));
+  for (const std::string& spec : follower_specs) {
+    Result<TcpClient> follower = ConnectTcp(spec, options.connect);
+    if (!follower.ok()) {
+      log::Warn("fanout", "follower '" + spec + "' unreachable, skipping: " +
+                              follower.status().ToString());
+      continue;
+    }
+    auto ep = std::make_unique<Endpoint>();
+    ep->spec = spec;
+    ep->tcp = std::move(follower.value());
+    set->endpoints_.push_back(std::move(ep));
+  }
+  return set;
+}
+
+ReplicaSetClient::Endpoint* ReplicaSetClient::PickRead() {
+  const int64_t now_ms = NowWallMillis();
+  Endpoint* best = nullptr;
+  int best_inflight = 0;
+  for (auto& ep : endpoints_) {
+    if (ep->is_leader && !options_.read_from_leader) continue;
+    if (ep->unhealthy_until_ms.load(std::memory_order_relaxed) > now_ms) {
+      continue;
+    }
+    const int inflight = ep->inflight.load(std::memory_order_relaxed);
+    if (best == nullptr || inflight < best_inflight) {
+      best = ep.get();
+      best_inflight = inflight;
+    }
+  }
+  return best;
+}
+
+void ReplicaSetClient::MarkUnhealthy(Endpoint& endpoint) {
+  if (endpoint.is_leader) return;  // the leader is never benched
+  endpoint.unhealthy_until_ms.store(
+      NowWallMillis() + options_.unhealthy_cooldown_ms,
+      std::memory_order_relaxed);
+}
+
+Status ReplicaSetClient::WaitForCatchUp(int timeout_ms) {
+  Result<Value> leader_status = leader().ReplicationStatus();
+  if (!leader_status.ok()) return leader_status.status();
+  const int64_t head = leader_status->GetInt("headSeq", 0);
+  const int64_t deadline = NowWallMillis() + timeout_ms;
+  for (size_t i = 1; i < endpoints_.size(); ++i) {
+    Endpoint& ep = *endpoints_[i];
+    while (true) {
+      Result<Value> status = ep.tcp.client->ReplicationStatus();
+      if (status.ok() && status->GetInt("appliedSeq", 0) >= head) break;
+      if (NowWallMillis() >= deadline) {
+        return Status::DeadlineExceeded(
+            "follower '" + ep.spec + "' still behind (appliedSeq " +
+            std::to_string(status.ok() ? status->GetInt("appliedSeq", 0)
+                                       : -1) +
+            " < leader headSeq " + std::to_string(head) + ") after " +
+            std::to_string(timeout_ms) + " ms");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> ReplicaSetClient::endpoint_specs() const {
+  std::vector<std::string> specs;
+  specs.reserve(endpoints_.size());
+  for (const auto& ep : endpoints_) specs.push_back(ep->spec);
+  return specs;
+}
+
+}  // namespace laminar::client

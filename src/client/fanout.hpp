@@ -1,0 +1,113 @@
+// Client-side search fan-out over a replica set (ISSUE 9's read-scaling
+// half): one leader connection for writes plus any number of follower
+// connections for reads.
+//
+// Routing policy:
+//  * Writes (and /execute) always go to the leader — followers answer them
+//    with HTTP 421, which the client maps to kUnavailable.
+//  * Reads pick the endpoint with the fewest in-flight requests (followers
+//    and, when `read_from_leader` is set, the leader too). Least-inflight
+//    beats round-robin here because follower latencies diverge under load —
+//    a slow replica accumulates in-flight requests and automatically stops
+//    being picked.
+//  * A read failing with kUnavailable (replica refused: stale beyond the
+//    staleness contract, mid-bootstrap, or connection lost) marks that
+//    endpoint unhealthy for a cooldown and retries once on the leader, so
+//    callers see follower failover as latency, not errors.
+//
+// Thread-safe for concurrent Read() calls: each endpoint's LaminarClient
+// serializes on its own HttpConnection, and the picker state is atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/connect.hpp"
+
+namespace laminar::client {
+
+struct ReplicaSetOptions {
+  /// Also serve reads from the leader (it is a valid read endpoint; turning
+  /// this off dedicates the leader to writes + failover retries only).
+  bool read_from_leader = false;
+  /// How long a failed endpoint is skipped by the read picker.
+  int unhealthy_cooldown_ms = 1000;
+  /// Connect retry budget while dialing endpoints (spawn races).
+  net::TcpConnectOptions connect;
+};
+
+class ReplicaSetClient {
+ public:
+  /// Dials the leader and every follower. Fails if the LEADER is
+  /// unreachable; unreachable followers are skipped with a warning (the set
+  /// degrades to fewer read endpoints, never to an error).
+  static Result<std::unique_ptr<ReplicaSetClient>> Connect(
+      const std::string& leader_spec,
+      const std::vector<std::string>& follower_specs,
+      ReplicaSetOptions options = {});
+
+  /// The leader's client — use for every mutation and /execute.
+  LaminarClient& leader() { return *endpoints_[0]->tcp.client; }
+
+  /// Runs `op` against the least-inflight healthy read endpoint. If it
+  /// fails with kUnavailable (stale/bootstrapping/refusing replica, dead
+  /// connection), the endpoint is put on cooldown and the op is retried
+  /// once on the leader.
+  template <typename T>
+  Result<T> Read(const std::function<Result<T>(LaminarClient&)>& op) {
+    Endpoint* picked = PickRead();
+    if (picked != nullptr) {
+      picked->inflight.fetch_add(1, std::memory_order_relaxed);
+      Result<T> result = op(*picked->tcp.client);
+      picked->inflight.fetch_sub(1, std::memory_order_relaxed);
+      if (result.ok() ||
+          result.status().code() != StatusCode::kUnavailable) {
+        return result;
+      }
+      MarkUnhealthy(*picked);
+    }
+    // Failover (or no healthy follower at all): the leader always has the
+    // freshest data and never refuses a read.
+    Endpoint& leader_ep = *endpoints_[0];
+    leader_ep.inflight.fetch_add(1, std::memory_order_relaxed);
+    Result<T> result = op(*leader_ep.tcp.client);
+    leader_ep.inflight.fetch_sub(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  /// Polls every follower's /replication/status until each reports
+  /// appliedSeq >= the leader's current head (or the deadline passes).
+  /// Benches and tests use it to quiesce before a parity check.
+  Status WaitForCatchUp(int timeout_ms);
+
+  size_t follower_count() const { return endpoints_.size() - 1; }
+  /// Endpoint spec strings, leader first (for logs/reports).
+  std::vector<std::string> endpoint_specs() const;
+
+ private:
+  struct Endpoint {
+    std::string spec;
+    bool is_leader = false;
+    TcpClient tcp;
+    std::atomic<int> inflight{0};
+    /// Wall-clock ms until which the read picker skips this endpoint.
+    std::atomic<int64_t> unhealthy_until_ms{0};
+  };
+
+  explicit ReplicaSetClient(ReplicaSetOptions options)
+      : options_(options) {}
+
+  /// Least-inflight healthy read endpoint; null when none qualifies.
+  Endpoint* PickRead();
+  void MarkUnhealthy(Endpoint& endpoint);
+
+  ReplicaSetOptions options_;
+  /// endpoints_[0] is always the leader; the rest are followers.
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace laminar::client

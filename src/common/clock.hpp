@@ -16,6 +16,15 @@ inline int64_t NowMicros() {
       .count();
 }
 
+/// Milliseconds since the Unix epoch (wall clock). Used where a timestamp
+/// must be meaningful across processes — e.g. WAL records carry their append
+/// time so a replica can report replication lag in milliseconds.
+inline int64_t NowWallMillis() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Wall-clock stopwatch.
 class Stopwatch {
  public:

@@ -12,6 +12,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <chrono>
@@ -19,6 +20,7 @@
 #include <thread>
 
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace laminar::net {
@@ -400,6 +402,39 @@ Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& host,
     return std::unique_ptr<ByteStream>(std::make_unique<TcpSocketStream>(fd));
   }
   freeaddrinfo(res);
+  return last;
+}
+
+Result<std::unique_ptr<ByteStream>> TcpConnect(
+    const std::string& host, uint16_t port,
+    const TcpConnectOptions& options) {
+  const int attempts = std::max(1, options.attempts);
+  // Deterministic jitter stream; seeded per call so concurrent clients
+  // hammering one spawning server spread their retries.
+  uint64_t seed = options.jitter_seed;
+  if (seed == 0) {
+    seed = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(getpid()) ^
+           (static_cast<uint64_t>(port) << 32) ^
+           static_cast<uint64_t>(NowMicros());
+  }
+  Rng rng(seed);
+  Result<std::unique_ptr<ByteStream>> last =
+      Status::Unavailable("no connect attempts");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      int backoff = options.initial_backoff_ms;
+      for (int i = 1; i < attempt && backoff < options.max_backoff_ms; ++i) {
+        backoff *= 2;
+      }
+      backoff = std::min(std::max(1, backoff),
+                         std::max(1, options.max_backoff_ms));
+      const double jitter = 0.5 + rng.NextDouble() * 0.5;  // [0.5, 1.0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::max<int64_t>(1, static_cast<int64_t>(backoff * jitter))));
+    }
+    last = TcpConnect(host, port, options.timeout_ms);
+    if (last.ok()) return last;
+  }
   return last;
 }
 

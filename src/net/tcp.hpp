@@ -150,6 +150,28 @@ Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& host,
                                                uint16_t port,
                                                int timeout_ms = 10'000);
 
+/// Retry policy for TcpConnect: a freshly spawned `laminar_serve` (or a
+/// follower restarting mid-test) refuses connections for a few milliseconds
+/// between fork and listen(2), so callers racing a server's startup retry
+/// ECONNREFUSED with capped exponential backoff plus full jitter instead of
+/// sleeping a guessed amount. `attempts` counts total tries (1 = the plain
+/// single-shot TcpConnect).
+struct TcpConnectOptions {
+  int timeout_ms = 10'000;        ///< per-attempt connect timeout
+  int attempts = 1;               ///< total connect attempts (min 1)
+  int initial_backoff_ms = 10;    ///< sleep before the 2nd attempt
+  int max_backoff_ms = 500;       ///< backoff growth cap (doubling)
+  uint64_t jitter_seed = 0;       ///< 0 = derive from this process/attempt
+};
+
+/// TcpConnect with retries. Each failed attempt sleeps
+/// `min(initial_backoff_ms << n, max_backoff_ms)` scaled by a uniform
+/// [0.5, 1.0) jitter factor, then reconnects; returns the last error once
+/// the attempt budget is spent.
+Result<std::unique_ptr<ByteStream>> TcpConnect(const std::string& host,
+                                               uint16_t port,
+                                               const TcpConnectOptions& options);
+
 /// Splits "host:port" (also accepts ":port" and plain "port" as localhost).
 Result<std::pair<std::string, uint16_t>> ParseHostPort(
     const std::string& spec);

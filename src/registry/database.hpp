@@ -23,6 +23,8 @@
 // from concurrent readers.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,6 +34,35 @@
 #include "registry/table.hpp"
 
 namespace laminar::registry {
+
+/// How aggressively WAL appends reach stable storage. The default (kNone)
+/// leaves flushing to the OS page cache — appends are crash-consistent with
+/// respect to the *process* (write(2) completes before the commit returns)
+/// but a machine crash can lose the tail. kInterval runs a background
+/// flusher that fsyncs every `fsync_interval_ms`; kPerRecord fsyncs inside
+/// every append (durable but slowest).
+enum class WalFsyncMode { kNone, kInterval, kPerRecord };
+
+struct WalOptions {
+  WalFsyncMode fsync = WalFsyncMode::kNone;
+  int fsync_interval_ms = 50;  ///< cadence for WalFsyncMode::kInterval
+};
+
+/// Observable WAL state for /stats and /replication/status: how far the log
+/// has been written vs how far it is known durable on disk.
+struct WalStatus {
+  bool enabled = false;
+  std::string fsync_mode = "none";
+  uint64_t appended_seq = 0;  ///< last sequence handed to write(2)
+  uint64_t durable_seq = 0;   ///< last sequence covered by fsync/snapshot
+  uint64_t records = 0;       ///< records appended by this process
+  uint64_t bytes = 0;         ///< bytes appended by this process
+};
+
+/// Fires once per appended record, under the WAL's internal mutex, with the
+/// exact line written to disk (no trailing newline). Observers see records
+/// in sequence order; they must not call back into the Database.
+using WalObserver = std::function<void(uint64_t seq, const std::string& line)>;
 
 class Database {
  public:
@@ -70,6 +101,12 @@ class Database {
   };
   Snapshot CaptureSnapshot() const;
 
+  /// Serializes a captured snapshot to the exact document WriteSnapshot
+  /// persists ("__wal_seq" + every table). Runs outside any registry lock;
+  /// mutates `snapshot` only by filling dirty tables' serialized text. Used
+  /// directly by replication leaders to answer /replication/snapshot.
+  std::string SerializeSnapshot(Snapshot& snapshot) const;
+
   /// Phase 2: serializes dirty tables, assembles the document, writes a
   /// unique temp file and renames it over `path`. Runs outside any registry
   /// lock; refreshes the serialization cache on success. The WAL is
@@ -86,27 +123,52 @@ class Database {
   /// replays the enabled WAL's suffix (records newer than the snapshot).
   Status LoadFromFile(const std::string& path);
 
+  /// Restores rows from an in-memory snapshot document (the exact bytes a
+  /// WriteSnapshot produced — e.g. received over the wire during replica
+  /// bootstrap). Returns the "__wal_seq" the snapshot covers. Does NOT
+  /// replay any local WAL; callers that want suffix replay use
+  /// LoadFromFile/Recover.
+  Result<uint64_t> LoadFromText(const std::string& text);
+
   /// Opens `path` for appending one JSON line per committed mutation.
-  /// Does not replay — see Recover(). Idempotent per path.
-  Status EnableWal(const std::string& path);
+  /// Does not replay — see Recover(). Idempotent per path (options of the
+  /// already-open writer are kept).
+  Status EnableWal(const std::string& path, WalOptions options = {});
   void DisableWal();
   bool wal_enabled() const;
+  /// Empty when no WAL is enabled.
+  std::string wal_path() const;
+  /// Durability counters (zeroed defaults when no WAL is enabled).
+  WalStatus wal_status() const;
+  /// Registers the per-append hook (replication leaders feed their shipping
+  /// ring from it). Applies to the current writer and any future EnableWal.
+  void SetWalObserver(WalObserver observer);
+
+  /// Applies one WAL record (insert/update/erase/clear) to the named table.
+  /// Public because a read replica applies records received from its leader
+  /// through exactly the recovery path; on a replica no local WAL is
+  /// enabled, so applying is never re-logged.
+  Status ApplyWalRecord(const Value& record);
 
   /// Crash recovery in one call: loads `snapshot_path` when it exists (a
   /// missing snapshot is not an error — first boot), enables the WAL (seeded
   /// past the snapshot's sequence), then replays the suffix of `wal_path`.
   /// Also records `snapshot_path` as the recovery snapshot: only snapshots
   /// written back to that path compact the WAL (see WriteSnapshot).
-  Status Recover(const std::string& snapshot_path, const std::string& wal_path);
+  /// `wal_options` configures the durability mode of the WAL it enables.
+  Status Recover(const std::string& snapshot_path, const std::string& wal_path,
+                 WalOptions wal_options = {});
 
  private:
   class WalWriter;
 
   Status CheckForeignKeys(const Table& table, const Row& row) const;
-  /// Applies records with seq > min_seq; a torn trailing line (crash mid-
-  /// append) ends the replay without error.
+  /// Applies records with seq > min_seq. A torn trailing line (crash mid-
+  /// append) ends the replay without error, but an unparseable record with
+  /// intact records after it is mid-file corruption: the replay fails
+  /// loudly, reporting the offending line and the last good sequence, so a
+  /// half-applied registry never masquerades as a clean recovery.
   Status ReplayWal(const std::string& path, uint64_t min_seq);
-  Status ApplyWalRecord(const Value& record);
 
   std::vector<std::pair<std::string, std::unique_ptr<Table>>> tables_;
   /// name -> index into tables_; lookup is O(1), creation order (which
@@ -121,6 +183,7 @@ class Database {
       serialized_cache_;
 
   std::unique_ptr<WalWriter> wal_;
+  WalObserver wal_observer_;
   /// The snapshot path Recover() reads at boot. WriteSnapshot compacts the
   /// WAL only when writing here (empty: never compact).
   std::string recovery_snapshot_path_;

@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "dataflow/mapping.hpp"
 #include "net/multipart.hpp"
+#include "net/tcp.hpp"
 #include "pycode/parser.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -206,7 +207,8 @@ std::string_view CanonicalPath(const std::string& path) {
       "/workflows/update_description", "/workflows/remove",
       "/registry/list", "/registry/remove_all", "/registry/save",
       "/registry/load", "/registry/bulk_register", "/search/literal",
-      "/search/semantic", "/search/code", "/search/complete"};
+      "/search/semantic", "/search/code", "/search/complete",
+      "/replication/snapshot", "/replication/fetch", "/replication/status"};
   for (std::string_view known : kKnown) {
     if (path == known) return known;
   }
@@ -231,8 +233,29 @@ LaminarServer::LaminarServer(ServerConfig config)
   if (!st.ok()) {
     log::Error("server", "schema creation failed: " + st.ToString());
   }
+  if (!config_.replica_of.empty() && !config_.wal_path.empty()) {
+    log::Warn("server",
+              "--replica-of set: ignoring wal_path/snapshot_path (a replica "
+              "is not an origin; its registry is rebuilt from the leader)");
+    config_.wal_path.clear();
+    config_.snapshot_path.clear();
+  }
   if (!config_.wal_path.empty()) {
-    Status rec = db_.Recover(config_.snapshot_path, config_.wal_path);
+    registry::WalOptions wal_options;
+    if (config_.wal_fsync == "interval") {
+      wal_options.fsync = registry::WalFsyncMode::kInterval;
+    } else if (config_.wal_fsync == "per_record") {
+      wal_options.fsync = registry::WalFsyncMode::kPerRecord;
+    } else {
+      if (config_.wal_fsync != "none" && !config_.wal_fsync.empty()) {
+        log::Warn("server", "unknown wal_fsync '" + config_.wal_fsync +
+                                "', using \"none\"");
+      }
+      wal_options.fsync = registry::WalFsyncMode::kNone;
+    }
+    wal_options.fsync_interval_ms = config_.wal_fsync_interval_ms;
+    Status rec =
+        db_.Recover(config_.snapshot_path, config_.wal_path, wal_options);
     if (!rec.ok()) {
       log::Error("server", "registry recovery failed: " + rec.ToString());
     }
@@ -241,6 +264,15 @@ LaminarServer::LaminarServer(ServerConfig config)
       log::Error("server", "post-recovery reindex failed: " + st.ToString());
     }
     ResetTenantRowCounts();  // recovered rows count against tenant quotas
+    // Leader side of replication: ship every committed WAL record into the
+    // hub ring the moment it is appended (the observer runs under the WAL
+    // mutex, so the ring sees records strictly in sequence order).
+    repl_hub_ = std::make_unique<ReplicationHub>(
+        config_.wal_path, db_.wal_status().appended_seq);
+    db_.SetWalObserver([hub = repl_hub_.get()](uint64_t seq,
+                                               const std::string& line) {
+      hub->Publish(seq, line);
+    });
   }
   Result<int64_t> uid = repo_.CreateUser(config_.default_user, "laminar");
   if (uid.ok()) {
@@ -250,6 +282,28 @@ LaminarServer::LaminarServer(ServerConfig config)
     Result<registry::UserRecord> user =
         repo_.GetUserByName(config_.default_user);
     default_user_id_ = user.ok() ? user->id : 1;
+  }
+  if (!config_.replica_of.empty()) {
+    Result<std::pair<std::string, uint16_t>> leader =
+        net::ParseHostPort(config_.replica_of);
+    if (!leader.ok()) {
+      log::Error("server", "invalid --replica-of '" + config_.replica_of +
+                               "': " + leader.status().ToString());
+    } else {
+      FollowerConfig fc;
+      fc.leader_host = leader->first;
+      fc.leader_port = leader->second;
+      ReplicationFollower::Hooks hooks;
+      hooks.bootstrap = [this](const std::string& doc) {
+        return BootstrapFromSnapshot(doc);
+      };
+      hooks.apply = [this](const std::vector<Value>& records) {
+        return ApplyReplicatedRecords(records);
+      };
+      repl_follower_ =
+          std::make_unique<ReplicationFollower>(fc, std::move(hooks));
+      repl_follower_->Start();
+    }
   }
 }
 
@@ -352,6 +406,121 @@ void LaminarServer::ResetTenantRowCounts() {
     ++counts[std::string(RowTenant(wf.tenant))].second;
   }
   admission_.ResetRowCounts(std::move(counts));
+}
+
+Result<uint64_t> LaminarServer::BootstrapFromSnapshot(
+    const std::string& snapshot_doc) {
+  std::unique_lock lock(mu_);
+  Result<uint64_t> seq = db_.LoadFromText(snapshot_doc);
+  if (!seq.ok()) return seq;
+  Status st = search_.ReindexAll(ingest_pool_.get());
+  if (!st.ok()) return st;
+  ResetTenantRowCounts();
+  // The snapshot replaced every row, including the default user's.
+  Result<registry::UserRecord> user = repo_.GetUserByName(config_.default_user);
+  if (user.ok()) default_user_id_ = user->id;
+  return seq;
+}
+
+Status LaminarServer::ApplyReplicatedRecords(
+    const std::vector<Value>& records) {
+  std::unique_lock lock(mu_);
+  bool full_reindex = false;
+  for (const Value& record : records) {
+    const std::string table = record.GetString("table");
+    const std::string op = record.GetString("op");
+    const int64_t id = record.GetInt("id", 0);
+    // An erase drops the row before we can ask who owned it, so capture the
+    // owning tenant first to keep admission row counts in step.
+    std::string erased_tenant;
+    if (op == "erase" && table == registry::kPeTable) {
+      Result<registry::PeRecord> pe = repo_.GetPe(id);
+      if (pe.ok()) erased_tenant = std::string(RowTenant(pe->tenant));
+    } else if (op == "erase" && table == registry::kWorkflowTable) {
+      Result<registry::WorkflowRecord> wf = repo_.GetWorkflow(id);
+      if (wf.ok()) erased_tenant = std::string(RowTenant(wf->tenant));
+    }
+    Status st = db_.ApplyWalRecord(record);
+    if (!st.ok()) return st;
+    if (op == "clear") {
+      // Rebuilding after the batch covers every table's clear at once.
+      full_reindex = true;
+      continue;
+    }
+    // Incremental index maintenance mirrors what the leader's registration
+    // paths do, reading the freshly applied row back from the repository —
+    // stored embeddings are preferred over re-encoding, so a follower's
+    // vectors are bit-identical to the leader's (the parity gate's basis).
+    if (table == registry::kPeTable) {
+      if (op == "insert") {
+        (void)search_.AddPe(id);
+        const std::string tenant(
+            RowTenant(record.at("data").GetString("tenant")));
+        admission_.OnPesChanged(tenant, 1);
+      } else if (op == "update") {
+        search_.RemovePe(id);
+        (void)search_.AddPe(id);
+      } else if (op == "erase") {
+        search_.RemovePe(id);
+        if (!erased_tenant.empty()) admission_.OnPesChanged(erased_tenant, -1);
+      }
+    } else if (table == registry::kWorkflowTable) {
+      if (op == "insert") {
+        (void)search_.AddWorkflow(id);
+        const std::string tenant(
+            RowTenant(record.at("data").GetString("tenant")));
+        admission_.OnWorkflowsChanged(tenant, 1);
+      } else if (op == "update") {
+        search_.RemoveWorkflow(id);
+        (void)search_.AddWorkflow(id);
+      } else if (op == "erase") {
+        search_.RemoveWorkflow(id);
+        if (!erased_tenant.empty()) {
+          admission_.OnWorkflowsChanged(erased_tenant, -1);
+        }
+      }
+    }
+  }
+  if (full_reindex) {
+    search_.Clear();
+    Status st = search_.ReindexAll(ingest_pool_.get());
+    if (!st.ok()) return st;
+    ResetTenantRowCounts();
+  }
+  return Status::Ok();
+}
+
+Value LaminarServer::ReplicationStatusJson() const {
+  Value v = Value::MakeObject();
+  if (repl_follower_ != nullptr) {
+    v["role"] = "follower";
+    v["leader"] = config_.replica_of;
+    ReplicationFollower::StatusSnapshot s = repl_follower_->status();
+    v["connected"] = s.connected;
+    v["bootstrapped"] = s.bootstrapped;
+    v["appliedSeq"] = static_cast<int64_t>(s.applied_seq);
+    v["leaderSeq"] = static_cast<int64_t>(s.leader_seq);
+    v["lagSeq"] = static_cast<int64_t>(
+        s.leader_seq > s.applied_seq ? s.leader_seq - s.applied_seq : 0);
+    v["lagMs"] = s.last_record_lag_ms;
+    v["freshWithinMs"] =
+        s.last_fresh_wall_ms > 0
+            ? static_cast<int64_t>(NowWallMillis() - s.last_fresh_wall_ms)
+            : static_cast<int64_t>(-1);
+    v["recordsApplied"] = static_cast<int64_t>(s.records_applied);
+    v["bytesReceived"] = static_cast<int64_t>(s.bytes_received);
+    v["bootstraps"] = static_cast<int64_t>(s.bootstraps);
+    v["gaps"] = static_cast<int64_t>(s.gaps);
+    v["maxReplicaLagMs"] = config_.max_replica_lag_ms;
+  } else if (repl_hub_ != nullptr) {
+    v["role"] = "leader";
+    v["headSeq"] = static_cast<int64_t>(repl_hub_->head_seq());
+    v["fetches"] = static_cast<int64_t>(repl_hub_->fetches());
+    v["recordsShipped"] = static_cast<int64_t>(repl_hub_->records_shipped());
+  } else {
+    v["role"] = "none";
+  }
+  return v;
 }
 
 void LaminarServer::HandleExecute(const Value& body, int64_t user_id,
@@ -555,6 +724,13 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
   // Multipart endpoint first (binary body, not JSON). Tenant comes from the
   // header alone here — there is no JSON body to carry the field.
   if (path == "/resources/upload") {
+    if (repl_follower_ != nullptr) {
+      Value err = ErrorBody(Status::FailedPrecondition(
+          "replica is read-only; upload resources to the leader"));
+      err["leader"] = config_.replica_of;
+      Reply(out, 421, err);
+      return;
+    }
     Result<std::string> upload_tenant =
         ResolveTenant(request, Value::MakeObject());
     if (!upload_tenant.ok()) {
@@ -604,6 +780,89 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     resp["status"] = "ok";
     Reply(out, 200, resp);
     return;
+  }
+
+  // ── Replication (admission-exempt like /health: per-tenant rate caps
+  // must never throttle the shipping stream that keeps replicas fresh, and
+  // status must stay observable under load).
+  if (path == "/replication/status") {
+    Reply(out, 200, ReplicationStatusJson());
+    return;
+  }
+  if (path == "/replication/snapshot" || path == "/replication/fetch") {
+    if (repl_follower_ != nullptr) {
+      // Chained replication is not supported: a follower has no WAL of its
+      // own to ship, so it points would-be followers at the real leader.
+      Value err = ErrorBody(Status::FailedPrecondition(
+          "this node is itself a replica; replicate from the leader"));
+      err["leader"] = config_.replica_of;
+      Reply(out, 421, err);
+      return;
+    }
+    if (repl_hub_ == nullptr) {
+      Reply(out, 503,
+            ErrorBody(Status::Unavailable(
+                "replication requires a write-ahead log (start the leader "
+                "with a wal_path)")));
+      return;
+    }
+    if (path == "/replication/snapshot") {
+      // Same two-phase discipline as /registry/save: capture under a shared
+      // lock (cheap copy-on-read), serialize off-lock, and the response body
+      // IS the raw snapshot document — the exact bytes WriteSnapshot would
+      // persist, so followers reuse Database::LoadFromText unchanged.
+      registry::Database::Snapshot snapshot;
+      {
+        std::shared_lock lock(mu_);
+        snapshot = db_.CaptureSnapshot();
+      }
+      out.SendChunk(db_.SerializeSnapshot(snapshot));
+      out.End(200);
+      return;
+    }
+    const uint64_t from_seq =
+        static_cast<uint64_t>(body.GetInt("fromSeq", 0));
+    const size_t max_records =
+        static_cast<size_t>(body.GetInt("maxRecords", 512));
+    const int wait_ms = static_cast<int>(body.GetInt("waitMs", 0));
+    ReplicationHub::FetchResult fetched =
+        repl_hub_->Fetch(from_seq, max_records, wait_ms);
+    Value resp = Value::MakeObject();
+    Value lines = Value::MakeArray();
+    for (std::string& line : fetched.lines) {
+      lines.push_back(Value(std::move(line)));
+    }
+    resp["lines"] = std::move(lines);
+    resp["headSeq"] = static_cast<int64_t>(fetched.head_seq);
+    resp["needSnapshot"] = fetched.need_snapshot;
+    Reply(out, 200, resp);
+    return;
+  }
+
+  // ── Follower gate: a replica serves reads only. Mutations and /execute
+  // get 421 + the leader's address (the client maps it to a retry against
+  // the leader); when a bounded-staleness contract is configured, reads are
+  // refused with 503 until the follower has confirmed it is caught up
+  // within the window.
+  if (repl_follower_ != nullptr) {
+    if (!IsReadOnlyEndpoint(path)) {
+      Value err = ErrorBody(Status::FailedPrecondition(
+          "replica is read-only; send mutations and /execute to the leader"));
+      err["leader"] = config_.replica_of;
+      Reply(out, 421, err);
+      return;
+    }
+    if (config_.max_replica_lag_ms > 0 &&
+        !repl_follower_->IsFresh(config_.max_replica_lag_ms)) {
+      ReplicationFollower::StatusSnapshot s = repl_follower_->status();
+      Value err = ErrorBody(Status::Unavailable(
+          "replica staleness exceeds maxReplicaLagMs"));
+      err["maxReplicaLagMs"] = config_.max_replica_lag_ms;
+      err["appliedSeq"] = static_cast<int64_t>(s.applied_seq);
+      err["leaderSeq"] = static_cast<int64_t>(s.leader_seq);
+      Reply(out, 503, err);
+      return;
+    }
   }
 
   // Every remaining endpoint is tenant-attributed and rate-gated: the
@@ -1296,6 +1555,20 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     resp["tenants"] = std::move(tenants);
     resp["runQueue"]["slots"] = run_queue_.slots();
     resp["runQueue"]["queued"] = static_cast<int64_t>(run_queue_.queued());
+    {
+      // Durability visibility (ISSUE 9 satellite): how far the log has been
+      // appended vs how far it is known durable on disk.
+      registry::WalStatus ws = db_.wal_status();
+      Value wal = Value::MakeObject();
+      wal["enabled"] = ws.enabled;
+      wal["fsyncMode"] = ws.fsync_mode;
+      wal["appendedSeq"] = static_cast<int64_t>(ws.appended_seq);
+      wal["durableSeq"] = static_cast<int64_t>(ws.durable_seq);
+      wal["records"] = static_cast<int64_t>(ws.records);
+      wal["bytes"] = static_cast<int64_t>(ws.bytes);
+      resp["wal"] = std::move(wal);
+    }
+    resp["replication"] = ReplicationStatusJson();
     resp["metrics"] = reg.RenderJson();
     resp["trace"] = reg.trace().ToJson();
     Reply(out, 200, resp);

@@ -60,6 +60,7 @@
 #include "registry/repository.hpp"
 #include "search/search_service.hpp"
 #include "server/admission.hpp"
+#include "server/replication.hpp"
 
 namespace laminar::server {
 
@@ -81,6 +82,24 @@ struct ServerConfig {
   std::string wal_path;
   /// Snapshot consulted by startup recovery when wal_path is set.
   std::string snapshot_path;
+  /// WAL durability: "none" (default — the OS flushes on its own schedule;
+  /// crash-consistent but the tail may be lost on power failure), "interval"
+  /// (a background thread fsyncs every wal_fsync_interval_ms without
+  /// blocking appends), or "per_record" (fsync inside every append — full
+  /// durability, slowest). /stats "wal" reports appendedSeq vs durableSeq.
+  std::string wal_fsync = "none";
+  int wal_fsync_interval_ms = 50;
+  /// "host:port" of a leader to replicate from. Non-empty turns this server
+  /// into a read-only follower: it bootstraps from the leader's snapshot,
+  /// tails its WAL, serves every read endpoint, and answers mutations and
+  /// /execute with HTTP 421 pointing at the leader. wal_path/snapshot_path
+  /// are ignored on a follower (its registry is a replica, not an origin).
+  std::string replica_of;
+  /// Follower bounded-staleness contract: when > 0, read endpoints answer
+  /// 503 unless the follower confirmed it was caught up with the leader
+  /// within this many milliseconds. Must exceed the replication fetch
+  /// long-poll (1 s) or an idle follower flaps stale. 0 = always serve.
+  int max_replica_lag_ms = 0;
   /// Multi-tenant admission (ROADMAP item 3). `tenant_quotas` applies to
   /// every tenant without an entry in `tenant_overrides`; the zero-valued
   /// defaults mean "unlimited", so an unconfigured server admits everything
@@ -147,6 +166,16 @@ class LaminarServer {
   void HandleExecute(const Value& body, int64_t user_id,
                      const std::string& tenant, net::StreamResponder& out);
 
+  // Replication plumbing (see replication.hpp for the protocol).
+  /// Follower bootstrap hook: loads the leader snapshot document, rebuilds
+  /// the search indexes and tenant row counts. Takes mu_ exclusively.
+  Result<uint64_t> BootstrapFromSnapshot(const std::string& snapshot_doc);
+  /// Follower apply hook: one fetch batch through Database::ApplyWalRecord
+  /// under a single exclusive lock, maintaining search incrementally.
+  Status ApplyReplicatedRecords(const std::vector<Value>& records);
+  /// The /replication/status (and /stats "replication") body.
+  Value ReplicationStatusJson() const;
+
   ServerConfig config_;
   registry::Database db_;
   registry::Repository repo_;
@@ -165,6 +194,13 @@ class LaminarServer {
   std::unordered_map<std::string, int64_t> tokens_;
   int64_t default_user_id_ = 0;
   uint64_t next_token_ = 1;
+  /// Leader-side shipping ring (null unless wal_path set and not a
+  /// follower). Fed by the Database WAL observer.
+  std::unique_ptr<ReplicationHub> repl_hub_;
+  /// Follower-side tailer (null unless replica_of set). Declared LAST so
+  /// its destructor joins the replication thread before any member it
+  /// touches (db_, search_, admission_, mu_) is destroyed.
+  std::unique_ptr<ReplicationFollower> repl_follower_;
 };
 
 }  // namespace laminar::server

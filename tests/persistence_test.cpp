@@ -1,9 +1,12 @@
 // Persistence-layer tests for ISSUE 5: per-table dirty tracking, atomic
 // tmp+rename snapshots, the write-ahead log (append, replay, compaction),
 // and crash-shaped recovery (torn WAL tail, interrupted save).
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -325,6 +328,91 @@ TEST_F(PersistenceTest, FullLaminarSchemaRoundTripsThroughRecovery) {
   EXPECT_TRUE(repo.GetUserByName("alice").ok());
   EXPECT_TRUE(repo.GetPeByName("Walled").ok());
   EXPECT_TRUE(repo.GetPeByName("Suffix").ok());
+}
+
+TEST_F(PersistenceTest, MidFileWalCorruptionFailsRecoveryLoudly) {
+  // Regression (ISSUE 9 satellite): an unparseable record with INTACT
+  // records after it is not a crash-torn tail — replaying past the hole
+  // would silently drop committed mutations. Recovery must refuse.
+  {
+    Database db;
+    ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+    ASSERT_TRUE(db.EnableWal(wal_path_).ok());
+    ASSERT_TRUE(db.Insert("items", MakeItem("first", 1)).ok());
+    ASSERT_TRUE(db.Insert("items", MakeItem("second", 2)).ok());
+    ASSERT_TRUE(db.Insert("items", MakeItem("third", 3)).ok());
+  }
+  // Corrupt the MIDDLE record in place (seq 2), leaving seq 3 intact.
+  std::string log = ReadAll(wal_path_);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < log.size()) {
+    size_t end = log.find('\n', start);
+    if (end == std::string::npos) break;
+    lines.push_back(log.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  lines[1] = lines[1].substr(0, lines[1].size() / 2);  // mangle seq 2
+  {
+    std::ofstream out(wal_path_, std::ios::trunc);
+    for (const std::string& line : lines) out << line << "\n";
+  }
+  Database recovered;
+  ASSERT_TRUE(recovered.CreateTable(ItemsSchema()).ok());
+  Status st = recovered.Recover(snapshot_path_, wal_path_);
+  ASSERT_FALSE(st.ok()) << "mid-file corruption must not recover silently";
+  // The error names the offending line and the last good sequence.
+  EXPECT_NE(st.ToString().find("line 2"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.ToString().find("last good seq 1"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(PersistenceTest, PerRecordFsyncKeepsDurableSeqCurrent) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+  WalOptions options;
+  options.fsync = WalFsyncMode::kPerRecord;
+  ASSERT_TRUE(db.EnableWal(wal_path_, options).ok());
+  ASSERT_TRUE(db.Insert("items", MakeItem("durable", 1)).ok());
+  ASSERT_TRUE(db.Insert("items", MakeItem("also", 2)).ok());
+  WalStatus ws = db.wal_status();
+  EXPECT_TRUE(ws.enabled);
+  EXPECT_EQ(ws.fsync_mode, "per_record");
+  EXPECT_EQ(ws.appended_seq, 2u);
+  EXPECT_EQ(ws.durable_seq, 2u);  // every append fsynced before returning
+  EXPECT_EQ(ws.records, 2u);
+  EXPECT_GT(ws.bytes, 0u);
+}
+
+TEST_F(PersistenceTest, IntervalFsyncCatchesUpInBackground) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+  WalOptions options;
+  options.fsync = WalFsyncMode::kInterval;
+  options.fsync_interval_ms = 5;
+  ASSERT_TRUE(db.EnableWal(wal_path_, options).ok());
+  ASSERT_TRUE(db.Insert("items", MakeItem("buffered", 1)).ok());
+  // The append itself never waits on disk; the flusher advances
+  // durable_seq within a few intervals.
+  bool durable = false;
+  for (int i = 0; i < 200 && !durable; ++i) {
+    durable = db.wal_status().durable_seq >= 1;
+    if (!durable) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(durable) << "interval flusher never advanced durable_seq";
+  EXPECT_EQ(db.wal_status().fsync_mode, "interval");
+}
+
+TEST_F(PersistenceTest, DefaultFsyncModeReportsNoneAndZeroDurable) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(ItemsSchema()).ok());
+  ASSERT_TRUE(db.EnableWal(wal_path_).ok());
+  ASSERT_TRUE(db.Insert("items", MakeItem("lazy", 1)).ok());
+  WalStatus ws = db.wal_status();
+  EXPECT_EQ(ws.fsync_mode, "none");
+  EXPECT_EQ(ws.appended_seq, 1u);
+  EXPECT_EQ(ws.durable_seq, 0u);  // nothing fsynced: durability unknown
 }
 
 }  // namespace
