@@ -14,12 +14,26 @@
 // rows, reporting QPS, recall@10 vs the exact scan, p50/p95 ANN latency and
 // index/graph memory per stage into BENCH_search.json.
 //
+// The ISSUE 10 additions: a kernels section measuring the dispatched
+// simd::Dot / DotBatch / DotI8 throughput (GB/s) at every tier the host can
+// run (scalar is always included, so the dispatch win is visible in one
+// table), and the sweep now measures each corpus stage three ways — flat
+// exact scan, ANN over float rows, and ANN over the SQ8 quantized mirror
+// (toggled on the *same* built graph via SetQuantize, so no extra build) —
+// reporting recall@10 and bit-exact rerank parity for both ANN variants
+// plus the quantized-vs-float row-storage ratio.
+//
 // Usage:
 //   bench_search [--docs N] [--dims N] [--queries N] [--threads N] [--k N]
-//                [--smoke]
+//                [--max-corpus N] [--smoke]
+// --dims also sets the sweep dimensionality (default 64 there; the first
+// sections default to 256). --max-corpus drops sweep stages above N rows —
+// the full 1M stage dominates wall time, so a 100k cap is the fast local
+// iteration loop.
 // --smoke shrinks everything to a small corpus and asserts correctness
-// (flat results == legacy results) plus the ANN gates — recall@10 >= 0.95,
-// ANN scores bit-identical to the exact scan on returned ids, and >= 10x
+// (flat results == legacy results) plus the ANN gates — recall@10 >= 0.95
+// for both the float and SQ8 traversals, ANN scores bit-identical to the
+// exact scan on returned ids (again both variants), and >= 10x
 // ANN-over-flat QPS — with fixed seeds and a serial graph build, so the
 // gates are deterministic rather than perf-flaky.
 #include <algorithm>
@@ -46,6 +60,7 @@
 #include "embed/unixcoder_sim.hpp"
 #include "search/query_cache.hpp"
 #include "search/vector_index.hpp"
+#include "simd/simd.hpp"
 
 namespace laminar::bench {
 namespace {
@@ -56,6 +71,11 @@ struct Args {
   size_t queries = 64;
   size_t threads = 8;
   size_t k = 10;
+  /// Sweep stages above this row count are skipped (wall-time control: the
+  /// 1M stage is ~90% of the full run).
+  size_t max_corpus = 1000000;
+  /// Sweep dimensionality; --dims overrides it along with the micro dims.
+  size_t sweep_dims = 64;
   bool smoke = false;
 };
 
@@ -67,17 +87,23 @@ Args ParseArgs(int argc, char** argv) {
                           : fallback;
     };
     if (std::strcmp(argv[i], "--docs") == 0) args.docs = next(args.docs);
-    else if (std::strcmp(argv[i], "--dims") == 0) args.dims = next(args.dims);
+    else if (std::strcmp(argv[i], "--dims") == 0) {
+      args.dims = next(args.dims);
+      args.sweep_dims = args.dims;
+    }
     else if (std::strcmp(argv[i], "--queries") == 0)
       args.queries = next(args.queries);
     else if (std::strcmp(argv[i], "--threads") == 0)
       args.threads = next(args.threads);
     else if (std::strcmp(argv[i], "--k") == 0) args.k = next(args.k);
+    else if (std::strcmp(argv[i], "--max-corpus") == 0)
+      args.max_corpus = next(args.max_corpus);
     else if (std::strcmp(argv[i], "--smoke") == 0) args.smoke = true;
   }
   if (args.smoke) {
     args.docs = 400;
     args.dims = 64;
+    args.sweep_dims = 64;
     args.queries = 12;
     args.threads = 2;
     args.k = 5;
@@ -142,15 +168,94 @@ embed::Vector ClusterPoint(const embed::Vector& centroid, uint64_t salt) {
   return v;
 }
 
+/// ISSUE 10 kernels section: raw throughput of the dispatched dot kernels
+/// at every tier this host can run. One query is scanned against a
+/// multi-megabyte row block (so the measurement is memory-bandwidth-shaped,
+/// like the real flat scan), once through the float32 kernels and once
+/// through the int8 SQ8 kernel; GB/s counts the bytes of row data streamed.
+void RunKernels(const Args& args, BenchReport& report) {
+  const size_t dims = args.smoke ? 64 : 256;
+  const size_t rows = args.smoke ? 4096 : 16384;
+  const size_t reps = args.smoke ? 8 : 64;
+
+  Rng rng(0x51d0cafeULL);
+  std::vector<float> block(rows * dims);
+  for (float& x : block) {
+    x = static_cast<float>(rng.NextDouble() * 2.0 - 1.0);
+  }
+  std::vector<float> query(dims);
+  for (float& x : query) {
+    x = static_cast<float>(rng.NextDouble() * 2.0 - 1.0);
+  }
+  std::vector<float> out(rows);
+  std::vector<int8_t> qblock(rows * dims);
+  for (int8_t& c : qblock) {
+    c = static_cast<int8_t>(static_cast<int>(rng.NextBelow(255)) - 127);
+  }
+  std::vector<int8_t> q8(dims);
+  for (size_t i = 0; i < dims; ++i) q8[i] = qblock[i];
+
+  const simd::Tier before = simd::ActiveTier();
+  std::printf("kernel throughput (1 query x %zu rows x %zu dims, %zu reps)\n",
+              rows, dims, reps);
+  std::printf("  %-8s %14s %14s %14s\n", "tier", "float_gbps",
+              "float_scans_s", "int8_gbps");
+  double checksum = 0.0;
+  for (simd::Tier tier : {simd::Tier::kScalar, simd::Tier::kNeon,
+                          simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (simd::SetTier(tier) != tier) continue;  // host can't run this tier
+
+    Stopwatch fwatch;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      simd::DotBatch(query.data(), block.data(), rows, dims, out.data());
+      checksum += out[rep % rows];
+    }
+    const double fsec = fwatch.ElapsedSeconds();
+    const double fbytes =
+        static_cast<double>(reps * rows * dims * sizeof(float));
+    const double fgbps = fbytes / fsec / 1e9;
+    const double fscans = static_cast<double>(reps) / fsec;
+
+    Stopwatch iwatch;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      int64_t acc = 0;
+      const int8_t* row = qblock.data();
+      for (size_t r = 0; r < rows; ++r, row += dims) {
+        acc += simd::DotI8(q8.data(), row, dims);
+      }
+      checksum += static_cast<double>(acc & 0xff);
+    }
+    const double isec = iwatch.ElapsedSeconds();
+    const double igbps =
+        static_cast<double>(reps * rows * dims) / isec / 1e9;
+
+    std::printf("  %-8s %14.2f %14.1f %14.2f\n", simd::TierName(tier),
+                fgbps, fscans, igbps);
+    const std::string prefix = std::string("kernel_") + simd::TierName(tier);
+    report.Set(prefix + "_float_gbps", fgbps);
+    report.Set(prefix + "_float_scans_per_sec", fscans);
+    report.Set(prefix + "_int8_gbps", igbps);
+  }
+  simd::SetTier(before);
+  report.Set("kernel_dispatch_tier", std::string(simd::TierName(before)));
+  std::printf("  dispatch resolves to: %s   (checksum %.3f)\n\n",
+              simd::TierName(before), checksum);
+}
+
 /// ISSUE 6 corpus sweep: flat-scan vs HNSW over identical vectors at
-/// growing corpus sizes. Returns false when a --smoke gate fails.
+/// growing corpus sizes. ISSUE 10 measures each stage's ANN path twice —
+/// float rows and the SQ8 mirror, toggled on one built graph — and gates
+/// both on recall and bit-exact rerank parity. Returns false when a --smoke
+/// gate fails.
 bool RunSweep(const Args& args, BenchReport& report) {
-  const size_t dims = 64;
+  const size_t dims = args.sweep_dims;
   const size_t k = 10;
   const size_t nqueries = args.smoke ? 32 : 64;
-  const std::vector<size_t> sizes =
+  std::vector<size_t> sizes =
       args.smoke ? std::vector<size_t>{100000}
                  : std::vector<size_t>{10000, 100000, 1000000};
+  std::erase_if(sizes, [&](size_t s) { return s > args.max_corpus; });
+  if (sizes.empty()) sizes.push_back(args.max_corpus);
 
   search::VectorIndexOptions flat_opts;
   flat_opts.strategy = search::IndexStrategy::kFlat;
@@ -192,18 +297,19 @@ bool RunSweep(const Args& args, BenchReport& report) {
     pool = std::make_unique<ThreadPool>(std::min(args.threads, hw) - 1);
   }
 
-  std::printf("corpus sweep: HNSW (M=%zu efc=%zu efs=%zu) vs flat scan, "
-              "dims=%zu k=%zu\n",
+  std::printf("corpus sweep: HNSW (M=%zu efc=%zu efs=%zu overfetch=%.1f) vs "
+              "flat scan, dims=%zu k=%zu\n",
               hnsw_opts.hnsw.M, hnsw_opts.hnsw.ef_construction,
-              hnsw_opts.hnsw.ef_search, dims, k);
-  std::printf("  %-9s %10s %12s %12s %7s %10s %9s %9s %10s\n", "rows",
-              "build_ms", "flat_qps", "ann_qps", "ratio", "recall@10",
-              "p50_ms", "p95_ms", "graph_mb");
+              hnsw_opts.hnsw.ef_search, hnsw_opts.rerank_overfetch, dims, k);
+  std::printf("  %-9s %10s %11s %11s %11s %9s %9s %8s %8s %9s\n", "rows",
+              "build_ms", "flat_qps", "annf_qps", "annq_qps", "recall_f",
+              "recall_q", "p50f_ms", "p50q_ms", "graph_mb");
 
   dataset::PeExample ex;
   size_t inserted = 0;
   bool gates_ok = true;
-  double last_recall = 0.0, last_ratio = 0.0;
+  double last_recall_f = 0.0, last_recall_q = 0.0, last_ratio = 0.0;
+  double last_qps_f = 0.0, last_qps_q = 0.0, last_bytes_ratio = 0.0;
   bool parity_ok = true;
   for (size_t target : sizes) {
     flat.BeginBulk();
@@ -241,62 +347,97 @@ bool RunSweep(const Args& args, BenchReport& report) {
     const double flat_qps =
         static_cast<double>(nqueries) / flat_watch.ElapsedSeconds();
 
+    // One ANN measurement pass: reps x queries through hnsw.TopK, keeping
+    // the first rep's results for the recall/parity checks. Run once with
+    // the float rows and once with the SQ8 mirror toggled onto the same
+    // graph — no rebuild between the two.
     const size_t reps = args.smoke ? 3 : 8;
-    std::vector<std::vector<search::ScoredId>> got(nqueries);
-    std::vector<double> lat;
-    lat.reserve(reps * nqueries);
-    Stopwatch ann_watch;
-    for (size_t rep = 0; rep < reps; ++rep) {
-      for (size_t i = 0; i < nqueries; ++i) {
-        Stopwatch one;
-        std::vector<search::ScoredId> res = hnsw.TopK(qs[i], k);
-        lat.push_back(one.ElapsedMillis());
-        if (rep == 0) got[i] = std::move(res);
-      }
-    }
-    const double ann_qps = static_cast<double>(reps * nqueries) /
-                           ann_watch.ElapsedSeconds();
-
-    // recall@10 + the exact-rerank parity gate: every id the ANN path
-    // returns that the exact top-k also contains must carry a bit-identical
-    // score (both paths run the same kernel over the same row).
-    double recall_sum = 0.0;
-    for (size_t i = 0; i < nqueries; ++i) {
-      std::unordered_map<int64_t, float> want;
-      want.reserve(truth[i].size());
-      for (const search::ScoredId& t : truth[i]) want.emplace(t.id, t.score);
-      size_t hits = 0;
-      for (const search::ScoredId& g : got[i]) {
-        auto it = want.find(g.id);
-        if (it == want.end()) continue;
-        ++hits;
-        if (std::memcmp(&it->second, &g.score, sizeof(float)) != 0) {
-          std::fprintf(stderr,
-                       "sweep parity failure: id=%lld ann score %.9g != "
-                       "exact score %.9g\n",
-                       static_cast<long long>(g.id), g.score, it->second);
-          parity_ok = false;
+    struct AnnOut {
+      double qps = 0.0, p50 = 0.0, p95 = 0.0;
+      std::vector<std::vector<search::ScoredId>> got;
+    };
+    auto run_ann = [&]() {
+      AnnOut o;
+      o.got.resize(nqueries);
+      std::vector<double> lat;
+      lat.reserve(reps * nqueries);
+      Stopwatch ann_watch;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        for (size_t i = 0; i < nqueries; ++i) {
+          Stopwatch one;
+          std::vector<search::ScoredId> res = hnsw.TopK(qs[i], k);
+          lat.push_back(one.ElapsedMillis());
+          if (rep == 0) o.got[i] = std::move(res);
         }
       }
-      recall_sum += truth[i].empty()
-                        ? 1.0
-                        : static_cast<double>(hits) /
-                              static_cast<double>(truth[i].size());
-    }
-    const double recall = recall_sum / static_cast<double>(nqueries);
-    std::sort(lat.begin(), lat.end());
-    const double p50 = Percentile(lat, 0.50);
-    const double p95 = Percentile(lat, 0.95);
-    const auto hstats = hnsw.stats();
-    const auto fstats = flat.stats();
-    const double ratio = ann_qps / flat_qps;
-    last_recall = recall;
-    last_ratio = ratio;
+      o.qps = static_cast<double>(reps * nqueries) /
+              ann_watch.ElapsedSeconds();
+      std::sort(lat.begin(), lat.end());
+      o.p50 = Percentile(lat, 0.50);
+      o.p95 = Percentile(lat, 0.95);
+      return o;
+    };
 
-    std::printf("  %-9zu %10.1f %12.1f %12.1f %6.1fx %10.4f %9.4f %9.4f "
-                "%10.2f\n",
-                inserted, build_ms, flat_qps, ann_qps, ratio, recall, p50,
-                p95,
+    // recall@10 + the exact-rerank parity gate: every id an ANN path
+    // returns that the exact top-k also contains must carry a bit-identical
+    // score (all paths rerank through the same dispatched kernel over the
+    // same rows — the SQ8 mirror only proposes candidates).
+    auto score_results =
+        [&](const std::vector<std::vector<search::ScoredId>>& got,
+            const char* tag) {
+      double recall_sum = 0.0;
+      for (size_t i = 0; i < nqueries; ++i) {
+        std::unordered_map<int64_t, float> want;
+        want.reserve(truth[i].size());
+        for (const search::ScoredId& t : truth[i]) want.emplace(t.id, t.score);
+        size_t hits = 0;
+        for (const search::ScoredId& g : got[i]) {
+          auto it = want.find(g.id);
+          if (it == want.end()) continue;
+          ++hits;
+          if (std::memcmp(&it->second, &g.score, sizeof(float)) != 0) {
+            std::fprintf(stderr,
+                         "sweep parity failure (%s): id=%lld ann score %.9g "
+                         "!= exact score %.9g\n",
+                         tag, static_cast<long long>(g.id), g.score,
+                         it->second);
+            parity_ok = false;
+          }
+        }
+        recall_sum += truth[i].empty()
+                          ? 1.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(truth[i].size());
+      }
+      return recall_sum / static_cast<double>(nqueries);
+    };
+
+    AnnOut ann_f = run_ann();  // float traversal (quantize off)
+    hnsw.SetQuantize(true);
+    AnnOut ann_q = run_ann();  // SQ8 traversal, same graph
+    const auto hstats = hnsw.stats();  // snapshot while the mirror is live
+    hnsw.SetQuantize(false);  // next stage's inserts/measures start float
+
+    const double recall_f = score_results(ann_f.got, "float");
+    const double recall_q = score_results(ann_q.got, "sq8");
+    const auto fstats = flat.stats();
+    const double ratio = ann_f.qps / flat_qps;
+    // Size-based storage ratio (codes + scale/offset vs float32 rows);
+    // capacity-based stats would fold allocator growth slack into the gate.
+    const double bytes_ratio =
+        static_cast<double>(dims + 2 * sizeof(float)) /
+        static_cast<double>(dims * sizeof(float));
+    last_recall_f = recall_f;
+    last_recall_q = recall_q;
+    last_ratio = ratio;
+    last_qps_f = ann_f.qps;
+    last_qps_q = ann_q.qps;
+    last_bytes_ratio = bytes_ratio;
+
+    std::printf("  %-9zu %10.1f %11.1f %11.1f %11.1f %9.4f %9.4f %8.4f "
+                "%8.4f %9.2f\n",
+                inserted, build_ms, flat_qps, ann_f.qps, ann_q.qps, recall_f,
+                recall_q, ann_f.p50, ann_q.p50,
                 static_cast<double>(hstats.graph_bytes) / (1024.0 * 1024.0));
 
     Value& row = report.AddRow();
@@ -304,23 +445,39 @@ bool RunSweep(const Args& args, BenchReport& report) {
     row["dims"] = static_cast<int64_t>(dims);
     row["graph_build_ms"] = build_ms;
     row["flat_qps"] = flat_qps;
-    row["ann_qps"] = ann_qps;
+    row["ann_qps"] = ann_f.qps;
+    row["ann_quant_qps"] = ann_q.qps;
     row["ann_vs_flat_qps_ratio"] = ratio;
-    row["recall_at_10"] = recall;
-    row["ann_p50_ms"] = p50;
-    row["ann_p95_ms"] = p95;
+    row["recall_at_10"] = recall_f;
+    row["quant_recall_at_10"] = recall_q;
+    row["ann_p50_ms"] = ann_f.p50;
+    row["ann_p95_ms"] = ann_f.p95;
+    row["ann_quant_p50_ms"] = ann_q.p50;
+    row["ann_quant_p95_ms"] = ann_q.p95;
     row["graph_bytes"] = static_cast<int64_t>(hstats.graph_bytes);
     row["rows_bytes"] = static_cast<int64_t>(fstats.bytes);
+    row["quant_bytes"] = static_cast<int64_t>(hstats.quant_bytes);
+    row["quant_vs_float_row_bytes"] = bytes_ratio;
   }
   std::printf("\n");
-  report.Set("sweep_recall_at_10", last_recall);
+  report.Set("sweep_recall_at_10", last_recall_f);
+  report.Set("sweep_quant_recall_at_10", last_recall_q);
   report.Set("sweep_ann_vs_flat_qps_ratio", last_ratio);
+  report.Set("sweep_quant_vs_float_qps_ratio",
+             last_qps_f > 0.0 ? last_qps_q / last_qps_f : 0.0);
+  report.Set("sweep_quant_vs_float_row_bytes", last_bytes_ratio);
 
   if (args.smoke) {
     if (!parity_ok) gates_ok = false;
-    if (last_recall < 0.95) {
+    if (last_recall_f < 0.95) {
       std::fprintf(stderr, "sweep gate failure: recall@10 %.4f < 0.95\n",
-                   last_recall);
+                   last_recall_f);
+      gates_ok = false;
+    }
+    if (last_recall_q < 0.95) {
+      std::fprintf(stderr,
+                   "sweep gate failure: quantized recall@10 %.4f < 0.95\n",
+                   last_recall_q);
       gates_ok = false;
     }
     if (last_ratio < 10.0) {
@@ -516,6 +673,7 @@ int RunBench(const Args& args) {
 
   std::printf("\nchecksum %.6f\n\n", checksum);
 
+  RunKernels(args, report);
   const bool sweep_ok = RunSweep(args, report);
 
   report.Set("docs", static_cast<int64_t>(args.docs));

@@ -5,10 +5,32 @@
 
 #include "common/hashing.hpp"
 #include "common/thread_pool.hpp"
-#include "embed/embedding.hpp"
+#include "simd/simd.hpp"
+#include "simd/sq8.hpp"
 
 namespace laminar::ann {
 namespace {
+
+/// Exact float scorer: the dispatched SIMD dot over the caller's row block —
+/// the same kernel (same bits) the flat scan and the rerank stage run.
+struct FloatScore {
+  const float* rows;
+  const float* query;
+  size_t dims;
+  float operator()(int32_t node) const {
+    return simd::Dot(query, rows + static_cast<size_t>(node) * dims, dims);
+  }
+};
+
+/// SQ8 scorer: approximate dot from the quantized mirror via the exact
+/// integer kernel (see simd/sq8.hpp for the affine algebra).
+struct Sq8ScoreFn {
+  const simd::Sq8View* view;
+  const simd::Sq8Query* query;
+  float operator()(int32_t node) const {
+    return simd::Sq8Score(*query, *view, static_cast<size_t>(node));
+  }
+};
 
 constexpr size_t kStripes = 1024;  // power of two; see stripe index mask
 constexpr int kMaxLevel = 30;
@@ -116,9 +138,9 @@ size_t HnswIndex::CopyLinks(int32_t node, int level, bool synchronized,
   return n;
 }
 
-Candidate HnswIndex::GreedyStep(const float* rows, const float* query,
-                                Candidate start, int level,
-                                bool synchronized) const {
+template <typename Score>
+Candidate HnswIndex::GreedyStep(const Score& score, Candidate start,
+                                int level, bool synchronized) const {
   if (tl_neighbors.size() < m0_) tl_neighbors.resize(m0_);
   int32_t* neigh = tl_neighbors.data();
   bool improved = true;
@@ -127,10 +149,9 @@ Candidate HnswIndex::GreedyStep(const float* rows, const float* query,
     const size_t n = CopyLinks(start.node, level, synchronized, neigh);
     for (size_t i = 0; i < n; ++i) {
       const int32_t nb = neigh[i];
-      const float score = embed::DotUnrolled(
-          query, rows + static_cast<size_t>(nb) * dims_, dims_);
-      if (score > start.score) {
-        start = Candidate{nb, score};
+      const float s = score(nb);
+      if (s > start.score) {
+        start = Candidate{nb, s};
         improved = true;
       }
     }
@@ -138,8 +159,9 @@ Candidate HnswIndex::GreedyStep(const float* rows, const float* query,
   return start;
 }
 
-void HnswIndex::SearchLayer(const float* rows, const float* query, int level,
-                            size_t ef, const uint8_t* dead, bool synchronized,
+template <typename Score>
+void HnswIndex::SearchLayer(const Score& score, int level, size_t ef,
+                            const uint8_t* dead, bool synchronized,
                             std::vector<Candidate>& eps) const {
   VisitedSet& visited = tl_visited;
   visited.Begin(levels_.size());
@@ -176,9 +198,7 @@ void HnswIndex::SearchLayer(const float* rows, const float* query, int level,
     for (size_t i = 0; i < n; ++i) {
       const int32_t nb = neigh[i];
       if (visited.TestAndSet(nb)) continue;
-      const float score = embed::DotUnrolled(
-          query, rows + static_cast<size_t>(nb) * dims_, dims_);
-      const Candidate cand{nb, score};
+      const Candidate cand{nb, score(nb)};
       if (results.size() >= ef && !BetterCand(cand, results.front())) {
         continue;  // cannot enter the result set; not worth expanding
       }
@@ -215,7 +235,7 @@ void HnswIndex::SelectNeighbors(const float* rows,
     const float* crow = rows + static_cast<size_t>(c.node) * dims_;
     bool diverse = true;
     for (const Candidate& s : selected) {
-      const float to_selected = embed::DotUnrolled(
+      const float to_selected = simd::Dot(
           crow, rows + static_cast<size_t>(s.node) * dims_, dims_);
       if (to_selected > c.score) {
         diverse = false;
@@ -257,9 +277,8 @@ void HnswIndex::AddBacklink(const float* rows, int32_t target, int32_t node,
     cands.push_back(Candidate{node, score});
     for (int32_t i = 1; i <= cnt; ++i) {
       cands.push_back(Candidate{
-          blk[i], embed::DotUnrolled(
-                      trow, rows + static_cast<size_t>(blk[i]) * dims_,
-                      dims_)});
+          blk[i], simd::Dot(trow, rows + static_cast<size_t>(blk[i]) * dims_,
+                            dims_)});
     }
     std::sort(cands.begin(), cands.end(), BetterCand);
     SelectNeighbors(rows, cands, cap);
@@ -281,18 +300,17 @@ void HnswIndex::AddBacklink(const float* rows, int32_t target, int32_t node,
 void HnswIndex::InsertNode(const float* rows, int32_t node,
                            bool synchronized) {
   const float* qrow = rows + static_cast<size_t>(node) * dims_;
+  const FloatScore score{rows, qrow, dims_};
   const int level = levels_[static_cast<size_t>(node)];
   const int32_t entry = entry_.load(std::memory_order_acquire);
   const int top = levels_[static_cast<size_t>(entry)];
-  Candidate curr{entry,
-                 embed::DotUnrolled(
-                     qrow, rows + static_cast<size_t>(entry) * dims_, dims_)};
+  Candidate curr{entry, score(entry)};
   for (int l = top; l > level; --l) {
-    curr = GreedyStep(rows, qrow, curr, l, synchronized);
+    curr = GreedyStep(score, curr, l, synchronized);
   }
   std::vector<Candidate> eps{curr};
   for (int l = std::min(level, top); l >= 0; --l) {
-    SearchLayer(rows, qrow, l, config_.ef_construction, nullptr, synchronized,
+    SearchLayer(score, l, config_.ef_construction, nullptr, synchronized,
                 eps);
     std::vector<Candidate> selected = eps;
     // A concurrent insert may already have linked back to this node, making
@@ -376,23 +394,31 @@ void HnswIndex::Build(const float* rows, size_t n, ThreadPool* pool) {
   });
 }
 
-void HnswIndex::Search(const float* rows, const uint8_t* dead,
-                       const float* query, size_t ef,
-                       std::vector<Candidate>& out) const {
+template <typename Score>
+void HnswIndex::SearchImpl(const Score& score, const uint8_t* dead, size_t ef,
+                           std::vector<Candidate>& out) const {
   out.clear();
   const int32_t entry = entry_.load(std::memory_order_acquire);
   if (entry < 0 || ef == 0) return;
-  Candidate curr{entry,
-                 embed::DotUnrolled(
-                     query, rows + static_cast<size_t>(entry) * dims_,
-                     dims_)};
+  Candidate curr{entry, score(entry)};
   for (int l = levels_[static_cast<size_t>(entry)]; l > 0; --l) {
-    curr = GreedyStep(rows, query, curr, l, /*synchronized=*/false);
+    curr = GreedyStep(score, curr, l, /*synchronized=*/false);
   }
   std::vector<Candidate> eps{curr};
-  SearchLayer(rows, query, /*level=*/0, ef, dead, /*synchronized=*/false,
-              eps);
+  SearchLayer(score, /*level=*/0, ef, dead, /*synchronized=*/false, eps);
   out = std::move(eps);
+}
+
+void HnswIndex::Search(const float* rows, const uint8_t* dead,
+                       const float* query, size_t ef,
+                       std::vector<Candidate>& out) const {
+  SearchImpl(FloatScore{rows, query, dims_}, dead, ef, out);
+}
+
+void HnswIndex::SearchSq8(const simd::Sq8View& view, const simd::Sq8Query& query,
+                          const uint8_t* dead, size_t ef,
+                          std::vector<Candidate>& out) const {
+  SearchImpl(Sq8ScoreFn{&view, &query}, dead, ef, out);
 }
 
 size_t HnswIndex::memory_bytes() const {

@@ -2,10 +2,13 @@
 // for the million-PE search tier (ROADMAP item 1; the paper's Senatus-citing
 // future work). This class owns only the *graph*: the L2-normalized rows
 // live in the caller's flat storage (search::VectorIndex `data_`), and every
-// distance evaluated here is the same embed::DotUnrolled kernel over the
-// same floats the exact scan uses — which is what makes the two-stage query
-// path (ANN candidate generation, exact dot-product rerank) return scores
-// bit-identical to the flat path.
+// float distance evaluated here is the same dispatched simd::Dot kernel over
+// the same floats the exact scan uses — which is what makes the two-stage
+// query path (ANN candidate generation, exact dot-product rerank) return
+// scores bit-identical to the flat path. SearchSq8 swaps the traversal onto
+// the caller's SQ8 quantized row mirror (int8 codes + per-row affine) for
+// 4x less memory streamed per hop; its scores are approximate, so callers
+// over-fetch and rerank through the exact float kernel.
 //
 // Layout: node ids are dense indexes into the caller's row storage. Level-0
 // links sit in one flat count-prefixed array (node-major blocks of
@@ -29,6 +32,8 @@
 #include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "simd/sq8.hpp"
 
 namespace laminar {
 class ThreadPool;
@@ -78,6 +83,17 @@ class HnswIndex {
   void Search(const float* rows, const uint8_t* dead, const float* query,
               size_t ef, std::vector<Candidate>& out) const;
 
+  /// Search over the SQ8 quantized mirror of the rows (ISSUE 10): the
+  /// traversal scores every hop with the dispatched int8 kernel against
+  /// `view` instead of streaming full-width float rows, shrinking the
+  /// working set 4x. Returned scores are *approximate* — callers must
+  /// rerank the candidates through the exact float kernel (VectorIndex
+  /// over-fetches for exactly that reason). Same dead/ordering semantics
+  /// as Search.
+  void SearchSq8(const simd::Sq8View& view, const simd::Sq8Query& query,
+                 const uint8_t* dead, size_t ef,
+                 std::vector<Candidate>& out) const;
+
   void Clear();
 
   size_t node_count() const { return levels_.size(); }
@@ -110,14 +126,23 @@ class HnswIndex {
   /// returning the count. Takes the node's stripe lock when `synchronized`.
   size_t CopyLinks(int32_t node, int level, bool synchronized,
                    int32_t* buf) const;
-  /// Greedy ef=1 descent step at `level` starting from `start`.
-  Candidate GreedyStep(const float* rows, const float* query, Candidate start,
-                       int level, bool synchronized) const;
+  /// Greedy ef=1 descent step at `level` starting from `start`. `score` is
+  /// a Score(int32_t node) -> float functor (exact float kernel or the SQ8
+  /// approximate kernel) — the traversal shape is identical either way.
+  template <typename Score>
+  Candidate GreedyStep(const Score& score, Candidate start, int level,
+                       bool synchronized) const;
   /// Beam search at one level. `eps` seeds the beam; results (up to ef,
   /// filtered by `dead`) replace it, sorted by score descending.
-  void SearchLayer(const float* rows, const float* query, int level,
-                   size_t ef, const uint8_t* dead, bool synchronized,
+  template <typename Score>
+  void SearchLayer(const Score& score, int level, size_t ef,
+                   const uint8_t* dead, bool synchronized,
                    std::vector<Candidate>& eps) const;
+  /// Shared Search/SearchSq8 body: greedy descent over the upper levels,
+  /// then the level-0 beam.
+  template <typename Score>
+  void SearchImpl(const Score& score, const uint8_t* dead, size_t ef,
+                  std::vector<Candidate>& out) const;
   /// Algorithm-4 diversity pruning to at most `m` neighbors, refilling from
   /// the pruned set when diversity leaves slots empty.
   void SelectNeighbors(const float* rows, std::vector<Candidate>& cands,

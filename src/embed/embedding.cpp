@@ -8,7 +8,7 @@ namespace laminar::embed {
 
 float Dot(std::span<const float> a, std::span<const float> b) {
   if (a.size() != b.size()) return 0.0f;
-  return DotUnrolled(a.data(), b.data(), a.size());
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 float Norm(std::span<const float> a) {
@@ -32,7 +32,7 @@ float Cosine(std::span<const float> a, std::span<const float> b) {
 
 float DotNormalized(std::span<const float> a, std::span<const float> b) {
   if (a.size() != b.size() || a.empty()) return 0.0f;
-  return DotUnrolled(a.data(), b.data(), a.size());
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 float CosineWithNorm(std::span<const float> a, float norm_a,
@@ -40,7 +40,7 @@ float CosineWithNorm(std::span<const float> a, float norm_a,
   if (a.size() != b.size() || a.empty() || norm_a <= 0.0f) return 0.0f;
   float nb = Norm(b);
   if (nb <= 0.0f) return 0.0f;
-  return DotUnrolled(a.data(), b.data(), a.size()) / (norm_a * nb);
+  return simd::Dot(a.data(), b.data(), a.size()) / (norm_a * nb);
 }
 
 std::string ToJson(const Vector& v) {

@@ -8,25 +8,21 @@
 #include <string_view>
 #include <vector>
 
+#include "simd/simd.hpp"
+
 namespace laminar::embed {
 
 using Vector = std::vector<float>;
 
-/// 4x-unrolled dot-product kernel shared by Dot/DotNormalized and the
-/// search::VectorIndex scan loop. Four independent accumulators keep the
-/// FP pipeline busy without -ffast-math reassociation.
+/// The portable 4x-unrolled scalar dot kernel — now an alias of the
+/// laminar::simd scalar tier, retained under its historical name for the
+/// parity tests and as the reference implementation. The hot paths
+/// (VectorIndex scan, HNSW traversal, Dot/DotNormalized below) instead call
+/// simd::Dot, which runtime-dispatches to AVX2/AVX-512/NEON and falls back
+/// to exactly this loop on hosts without vector units (or under the
+/// LAMINAR_SIMD=scalar override).
 inline float DotUnrolled(const float* a, const float* b, size_t n) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  float s = (s0 + s1) + (s2 + s3);
-  for (; i < n; ++i) s += a[i] * b[i];
-  return s;
+  return simd::DotScalar(a, b, n);
 }
 
 float Dot(std::span<const float> a, std::span<const float> b);

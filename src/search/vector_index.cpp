@@ -1,11 +1,15 @@
 #include "search/vector_index.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <mutex>
 #include <thread>
 #include <unordered_set>
 
 #include "common/clock.hpp"
 #include "embed/embedding.hpp"
+#include "simd/simd.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace laminar::search {
@@ -42,6 +46,25 @@ constexpr size_t kShrinkMinCapacity = 1024;
 /// graph on every few removes would cost more than the dead rows do.
 constexpr size_t kCompactMinDead = 64;
 
+// Per-thread query scratch. TopK and BruteForceTopK own separate buffers
+// because the ANN recall probe runs BruteForceTopK *inside* TopK while
+// TopK's normalized query is still live; the SQ8 query scratch is shared by
+// the quantized paths, which never nest.
+std::vector<float>& TopKScratch() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+std::vector<float>& BruteForceScratch() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+simd::Sq8Query& Sq8Scratch() {
+  thread_local simd::Sq8Query q;
+  return q;
+}
+
 }  // namespace
 
 const char* ToString(IndexStrategy strategy) {
@@ -64,11 +87,22 @@ IndexStrategy ParseIndexStrategy(std::string_view name) {
 
 VectorIndex::VectorIndex(size_t dims, Options options)
     : dims_(dims), options_(std::move(options)) {
+  // One process-wide gauge recording which kernel tier queries run on:
+  // laminar_simd_dispatch{tier="<name>"} = 1.
+  static std::once_flag dispatch_once;
+  std::call_once(dispatch_once, [] {
+    const std::string labels =
+        std::string("tier=\"") + simd::TierName(simd::ActiveTier()) + "\"";
+    telemetry::MetricsRegistry::Global()
+        .GetGauge("laminar_simd_dispatch", labels)
+        .Set(1);
+  });
   if (options_.strategy == IndexStrategy::kHnsw) {
     ann_active_ = true;
     hnsw_ = std::make_unique<ann::HnswIndex>(dims_, options_.hnsw);
     EnsureAnnTelemetry();
   }
+  if (options_.quantize) EnsureQuantTelemetry();
 }
 
 void VectorIndex::WriteRow(float* row,
@@ -89,6 +123,87 @@ void VectorIndex::AppendRow(int64_t id, std::span<const float> embedding) {
   data_.resize(data_.size() + dims_);
   dead_.push_back(0);
   WriteRow(data_.data() + (ids_.size() - 1) * dims_, embedding);
+  QuantizeSlot(ids_.size() - 1);
+}
+
+void VectorIndex::QuantizeSlot(size_t slot) {
+  if (!options_.quantize) return;
+  if (qcodes_.size() < ids_.size() * dims_) {
+    qcodes_.resize(ids_.size() * dims_);
+    qscales_.resize(ids_.size());
+    qoffsets_.resize(ids_.size());
+  }
+  simd::QuantizeRow(data_.data() + slot * dims_, dims_,
+                    qcodes_.data() + slot * dims_, &qscales_[slot],
+                    &qoffsets_[slot]);
+  if (quant_bytes_gauge_ != nullptr) {
+    quant_bytes_gauge_->Set(static_cast<int64_t>(
+        qcodes_.size() + (qscales_.size() + qoffsets_.size()) *
+                             sizeof(float)));
+  }
+}
+
+void VectorIndex::RebuildQuantMirror() {
+  if (!options_.quantize) return;
+  qcodes_.resize(ids_.size() * dims_);
+  qscales_.resize(ids_.size());
+  qoffsets_.resize(ids_.size());
+  qcodes_.shrink_to_fit();
+  qscales_.shrink_to_fit();
+  qoffsets_.shrink_to_fit();
+  for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    simd::QuantizeRow(data_.data() + slot * dims_, dims_,
+                      qcodes_.data() + slot * dims_, &qscales_[slot],
+                      &qoffsets_[slot]);
+  }
+  if (quant_bytes_gauge_ != nullptr) {
+    quant_bytes_gauge_->Set(static_cast<int64_t>(
+        qcodes_.size() + (qscales_.size() + qoffsets_.size()) *
+                             sizeof(float)));
+  }
+}
+
+void VectorIndex::SetQuantize(bool on) {
+  if (options_.quantize == on) return;
+  options_.quantize = on;
+  if (on) {
+    EnsureQuantTelemetry();
+    RebuildQuantMirror();
+    return;
+  }
+  qcodes_.clear();
+  qcodes_.shrink_to_fit();
+  qscales_.clear();
+  qscales_.shrink_to_fit();
+  qoffsets_.clear();
+  qoffsets_.shrink_to_fit();
+  if (quant_bytes_gauge_ != nullptr) quant_bytes_gauge_->Set(0);
+}
+
+bool VectorIndex::DebugQuantConsistent() const {
+  if (!options_.quantize) return true;
+  if (qcodes_.size() != ids_.size() * dims_ ||
+      qscales_.size() != ids_.size() || qoffsets_.size() != ids_.size()) {
+    return false;
+  }
+  std::vector<int8_t> codes(dims_);
+  for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    float scale = 0.0f, offset = 0.0f;
+    simd::QuantizeRow(data_.data() + slot * dims_, dims_, codes.data(),
+                      &scale, &offset);
+    if (scale != qscales_[slot] || offset != qoffsets_[slot]) return false;
+    if (dims_ != 0 && std::memcmp(codes.data(), qcodes_.data() + slot * dims_,
+                                  dims_) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t VectorIndex::RerankDepth(size_t k) const {
+  const double f =
+      options_.rerank_overfetch < 1.0 ? 1.0 : options_.rerank_overfetch;
+  return static_cast<size_t>(std::ceil(f * static_cast<double>(k)));
 }
 
 void VectorIndex::Upsert(int64_t id, std::span<const float> embedding) {
@@ -104,6 +219,7 @@ void VectorIndex::Upsert(int64_t id, std::span<const float> embedding) {
       slot_of_.emplace(id, slot);
     }
     WriteRow(data_.data() + slot * dims_, embedding);
+    QuantizeSlot(slot);
     if (options_.strategy == IndexStrategy::kAuto && !bulk_ &&
         ids_.size() >= options_.ann_threshold) {
       ActivateAnn(nullptr);
@@ -148,19 +264,35 @@ bool VectorIndex::Remove(int64_t id) {
   }
   const size_t slot = it->second;
   const size_t last = ids_.size() - 1;
+  const bool quant = QuantReady();
   if (slot != last) {
     ids_[slot] = ids_[last];
     std::copy(data_.begin() + last * dims_, data_.begin() + (last + 1) * dims_,
               data_.begin() + slot * dims_);
+    if (quant) {
+      std::copy(qcodes_.begin() + last * dims_,
+                qcodes_.begin() + (last + 1) * dims_,
+                qcodes_.begin() + slot * dims_);
+      qscales_[slot] = qscales_[last];
+      qoffsets_[slot] = qoffsets_[last];
+    }
     slot_of_[ids_[slot]] = slot;
   }
   ids_.pop_back();
   data_.resize(data_.size() - dims_);
+  if (quant) {
+    qcodes_.resize(qcodes_.size() - dims_);
+    qscales_.pop_back();
+    qoffsets_.pop_back();
+  }
   slot_of_.erase(it);
   if (ids_.capacity() >= kShrinkMinCapacity &&
       ids_.size() * 4 <= ids_.capacity()) {
     data_.shrink_to_fit();
     ids_.shrink_to_fit();
+    qcodes_.shrink_to_fit();
+    qscales_.shrink_to_fit();
+    qoffsets_.shrink_to_fit();
   }
   return true;
 }
@@ -170,11 +302,15 @@ void VectorIndex::Clear() {
   ids_.clear();
   slot_of_.clear();
   dead_.clear();
+  qcodes_.clear();
+  qscales_.clear();
+  qoffsets_.clear();
   dead_count_ = 0;
   bulk_ = false;
   if (options_.strategy != IndexStrategy::kHnsw) ann_active_ = false;
   if (hnsw_) hnsw_->Clear();
   if (graph_bytes_gauge_ != nullptr) graph_bytes_gauge_->Set(0);
+  if (quant_bytes_gauge_ != nullptr) quant_bytes_gauge_->Set(0);
 }
 
 void VectorIndex::BeginBulk() { bulk_ = true; }
@@ -238,6 +374,7 @@ void VectorIndex::Compact(ThreadPool* pool) {
   dead_.assign(ids_.size(), 0);
   dead_count_ = 0;
   ++compactions_;
+  RebuildQuantMirror();
   BuildGraph(pool);
 }
 
@@ -268,6 +405,19 @@ void VectorIndex::EnsureAnnTelemetry() {
       &registry.GetCounter("laminar_ann_recall_probe_expected_total", labels);
 }
 
+void VectorIndex::EnsureQuantTelemetry() {
+  if (quant_bytes_gauge_ != nullptr) return;
+  const std::string labels =
+      options_.label.empty() ? std::string()
+                             : "index=\"" + options_.label + "\"";
+  auto& registry = telemetry::MetricsRegistry::Global();
+  quant_bytes_gauge_ = &registry.GetGauge("laminar_quant_bytes", labels);
+  quant_searches_ =
+      &registry.GetCounter("laminar_quant_searches_total", labels);
+  quant_rerank_rows_ =
+      &registry.GetCounter("laminar_quant_rerank_rows_total", labels);
+}
+
 VectorIndexStats VectorIndex::stats() const {
   VectorIndexStats s;
   s.rows = size();
@@ -278,30 +428,69 @@ VectorIndexStats VectorIndex::stats() const {
             slot_of_.size() *
                 (sizeof(int64_t) + sizeof(size_t) + sizeof(void*));
   s.graph_bytes = (ann_active_ && hnsw_) ? hnsw_->memory_bytes() : 0;
+  s.quant_bytes =
+      qcodes_.capacity() +
+      (qscales_.capacity() + qoffsets_.capacity()) * sizeof(float);
   s.ann = ann_active_;
+  s.quantized = QuantReady();
   s.compactions = compactions_;
   s.graph_builds = graph_builds_;
   return s;
 }
 
-std::vector<float> VectorIndex::NormalizedQuery(
-    std::span<const float> query) const {
+std::span<const float> VectorIndex::NormalizedQuery(
+    std::span<const float> query, std::vector<float>& scratch) const {
   if (query.size() != dims_) return {};
   float norm = embed::Norm(query);
   if (norm <= 0.0f) return {};
-  std::vector<float> q(query.begin(), query.end());
-  for (float& x : q) x /= norm;
-  return q;
+  scratch.resize(dims_);
+  for (size_t i = 0; i < dims_; ++i) scratch[i] = query[i] / norm;
+  return {scratch.data(), dims_};
 }
 
-void VectorIndex::ScoreRange(const float* query, size_t begin, size_t end,
-                             size_t k, std::vector<ScoredId>& heap) const {
+template <typename ScoreAt>
+void VectorIndex::ScoreRange(size_t begin, size_t end, size_t k,
+                             const ScoreAt& score_at,
+                             std::vector<ScoredId>& heap) const {
   const uint8_t* dead = dead_.empty() ? nullptr : dead_.data();
-  const float* row = data_.data() + begin * dims_;
-  for (size_t slot = begin; slot < end; ++slot, row += dims_) {
+  for (size_t slot = begin; slot < end; ++slot) {
     if (dead != nullptr && dead[slot] != 0) continue;
-    HeapPush(heap, k, {ids_[slot], embed::DotUnrolled(query, row, dims_)});
+    HeapPush(heap, k, {ids_[slot], score_at(slot)});
   }
+}
+
+template <typename ScoreAt>
+std::vector<ScoredId> VectorIndex::ScanTopK(size_t k,
+                                            const ScoreAt& score_at) const {
+  const size_t n = ids_.size();
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  size_t threads = std::min(options_.max_threads, hw);
+  std::vector<ScoredId> heap;
+  if (n < options_.parallel_threshold || threads <= 1) {
+    heap.reserve(std::min(k, n));
+    ScoreRange(0, n, k, score_at, heap);
+  } else {
+    const size_t chunk = (n + threads - 1) / threads;
+    std::vector<std::vector<ScoredId>> local(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      size_t begin = t * chunk;
+      size_t end = std::min(begin + chunk, n);
+      if (begin >= end) break;
+      workers.emplace_back([this, &score_at, &local, t, begin, end, k] {
+        local[t].reserve(std::min(k, end - begin));
+        ScoreRange(begin, end, k, score_at, local[t]);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (std::vector<ScoredId>& shard : local) {
+      for (ScoredId cand : shard) HeapPush(heap, k, cand);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), Better);
+  return heap;
 }
 
 std::vector<ScoredId> VectorIndex::ZeroQueryTopK(size_t k) const {
@@ -319,47 +508,70 @@ std::vector<ScoredId> VectorIndex::ZeroQueryTopK(size_t k) const {
   return out;
 }
 
-std::vector<ScoredId> VectorIndex::ExactTopK(const std::vector<float>& q,
+std::vector<ScoredId> VectorIndex::ExactTopK(std::span<const float> q,
                                              size_t k) const {
-  const size_t n = ids_.size();
-  size_t hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  size_t threads = std::min(options_.max_threads, hw);
-  std::vector<ScoredId> heap;
-  if (n < options_.parallel_threshold || threads <= 1) {
-    heap.reserve(std::min(k, n));
-    ScoreRange(q.data(), 0, n, k, heap);
-  } else {
-    const size_t chunk = (n + threads - 1) / threads;
-    std::vector<std::vector<ScoredId>> local(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      size_t begin = t * chunk;
-      size_t end = std::min(begin + chunk, n);
-      if (begin >= end) break;
-      workers.emplace_back([this, &q, &local, t, begin, end, k] {
-        local[t].reserve(std::min(k, end - begin));
-        ScoreRange(q.data(), begin, end, k, local[t]);
-      });
-    }
-    for (std::thread& w : workers) w.join();
-    for (std::vector<ScoredId>& shard : local) {
-      for (ScoredId cand : shard) HeapPush(heap, k, cand);
-    }
+  const float* query = q.data();
+  const float* rows = data_.data();
+  const size_t dims = dims_;
+  return ScanTopK(k, [query, rows, dims](size_t slot) {
+    return simd::Dot(query, rows + slot * dims, dims);
+  });
+}
+
+std::vector<ScoredId> VectorIndex::QuantFlatTopK(std::span<const float> q,
+                                                 size_t k) const {
+  // Candidate pass over the SQ8 mirror (4x less memory streamed than the
+  // float rows), over-fetched so the exact rerank below can recover rows the
+  // quantization mis-ranked near the boundary.
+  const size_t depth = RerankDepth(k);
+  if (depth >= size()) return ExactTopK(q, k);
+  simd::Sq8Query& q8 = Sq8Scratch();
+  simd::QuantizeQuery(q.data(), dims_, &q8);
+  if (q8.scale == 0.0f) return ExactTopK(q, k);
+  const simd::Sq8View view = QuantView();
+  const simd::Sq8Query* q8p = &q8;
+  std::vector<ScoredId> cands = ScanTopK(depth, [q8p, view](size_t slot) {
+    return simd::Sq8Score(*q8p, view, slot);
+  });
+  // Exact rerank: every returned score is recomputed with the dispatched
+  // float kernel over the original rows, so (id, score) pairs are
+  // bit-identical to what the unquantized scan returns for those ids.
+  for (ScoredId& c : cands) {
+    const size_t slot = slot_of_.find(c.id)->second;
+    c.score = simd::Dot(q.data(), data_.data() + slot * dims_, dims_);
   }
-  std::sort(heap.begin(), heap.end(), Better);
-  return heap;
+  std::sort(cands.begin(), cands.end(), Better);
+  if (cands.size() > k) cands.resize(k);
+  if (quant_searches_ != nullptr) {
+    quant_searches_->Inc();
+    quant_rerank_rows_->Inc(static_cast<int64_t>(std::min(depth, size())));
+  }
+  return cands;
 }
 
 std::vector<ScoredId> VectorIndex::AnnTopK(std::span<const float> raw_query,
-                                           const std::vector<float>& q,
+                                           std::span<const float> q,
                                            size_t k) const {
   Stopwatch timer;
   const size_t ef = std::max(options_.hnsw.ef_search, k);
   std::vector<ann::Candidate> cands;
-  hnsw_->Search(data_.data(), dead_.empty() ? nullptr : dead_.data(),
-                q.data(), ef, cands);
+  const uint8_t* dead = dead_.empty() ? nullptr : dead_.data();
+  bool quant_used = false;
+  if (QuantReady()) {
+    // Quantized traversal: the beam walks the SQ8 mirror with the int8
+    // kernel, widened to at least the rerank depth so the exact rerank has
+    // enough over-fetch to absorb quantization mis-rankings.
+    simd::Sq8Query& q8 = Sq8Scratch();
+    simd::QuantizeQuery(q.data(), dims_, &q8);
+    if (q8.scale != 0.0f) {
+      const size_t qef = std::max(ef, RerankDepth(k));
+      hnsw_->SearchSq8(QuantView(), q8, dead, qef, cands);
+      quant_used = true;
+    }
+  }
+  if (!quant_used) {
+    hnsw_->Search(data_.data(), dead, q.data(), ef, cands);
+  }
   // Exact rerank: the graph only *proposes* ids — every returned score is
   // recomputed right here with the same kernel over the same rows the flat
   // scan reads, so (id, score) pairs are bit-identical to the exact path.
@@ -368,11 +580,15 @@ std::vector<ScoredId> VectorIndex::AnnTopK(std::span<const float> raw_query,
   for (const ann::Candidate& c : cands) {
     const float* row = data_.data() + static_cast<size_t>(c.node) * dims_;
     out.push_back({ids_[static_cast<size_t>(c.node)],
-                   embed::DotUnrolled(q.data(), row, dims_)});
+                   simd::Dot(q.data(), row, dims_)});
   }
   std::sort(out.begin(), out.end(), Better);
   if (out.size() > k) out.resize(k);
   if (search_ms_ != nullptr) search_ms_->Observe(timer.ElapsedMillis());
+  if (quant_used && quant_searches_ != nullptr) {
+    quant_searches_->Inc();
+    quant_rerank_rows_->Inc(static_cast<int64_t>(cands.size()));
+  }
 
   const size_t interval = options_.recall_probe_interval;
   if (interval > 0 && probes_total_ != nullptr &&
@@ -397,7 +613,7 @@ std::vector<ScoredId> VectorIndex::AnnTopK(std::span<const float> raw_query,
 std::vector<ScoredId> VectorIndex::TopK(std::span<const float> query,
                                         size_t k) const {
   if (k == 0 || size() == 0) return {};
-  std::vector<float> q = NormalizedQuery(query);
+  std::span<const float> q = NormalizedQuery(query, TopKScratch());
   if (q.empty()) return ZeroQueryTopK(k);
   // The ANN path needs a current graph (bulk ingest leaves it stale until
   // EndBulk) and only pays off below full retrieval; otherwise scan.
@@ -405,21 +621,22 @@ std::vector<ScoredId> VectorIndex::TopK(std::span<const float> query,
       hnsw_->node_count() == ids_.size() && k < size()) {
     return AnnTopK(query, q, k);
   }
+  if (QuantReady()) return QuantFlatTopK(q, k);
   return ExactTopK(q, k);
 }
 
 std::vector<ScoredId> VectorIndex::BruteForceTopK(std::span<const float> query,
                                                   size_t k) const {
   if (k == 0 || size() == 0) return {};
-  std::vector<float> q = NormalizedQuery(query);
+  std::span<const float> q = NormalizedQuery(query, BruteForceScratch());
   std::vector<ScoredId> out;
   out.reserve(size());
   const uint8_t* dead = dead_.empty() ? nullptr : dead_.data();
   for (size_t slot = 0; slot < ids_.size(); ++slot) {
     if (dead != nullptr && dead[slot] != 0) continue;
     float score = q.empty() ? 0.0f
-                            : embed::DotUnrolled(
-                                  q.data(), data_.data() + slot * dims_, dims_);
+                            : simd::Dot(q.data(),
+                                        data_.data() + slot * dims_, dims_);
     out.push_back({ids_[slot], score});
   }
   std::sort(out.begin(), out.end(), Better);

@@ -27,6 +27,17 @@
 // their row binding); compaction rebuilds dense storage and the graph once
 // tombstones exceed `max_dead_fraction`.
 //
+// Quantization (ISSUE 10): with `quantize` on, the index also keeps an SQ8
+// mirror of the row block — int8 codes plus a per-row affine (scale,
+// offset), ~0.28x the float32 bytes — kept in sync through every mutation.
+// Candidate generation (the flat scan's first pass and the HNSW beam
+// traversal) then scores against the mirror with the dispatched int8
+// kernel, and an over-fetched exact float32 rerank (`rerank_overfetch * k`
+// candidates) recomputes every returned score with the same dispatched
+// float kernel the unquantized paths run. Quantization therefore changes
+// *which* ids can be missed (recall), never the score attached to a
+// returned id — the bit-identical contract holds in every mode.
+//
 // Concurrency contract: all const methods are safe to call concurrently
 // with each other (the server's shared-lock read path relies on this);
 // mutations (Upsert/Remove/Clear/Begin+EndBulk) require external exclusive
@@ -43,6 +54,7 @@
 #include <vector>
 
 #include "ann/hnsw.hpp"
+#include "simd/sq8.hpp"
 
 namespace laminar {
 class ThreadPool;
@@ -88,6 +100,16 @@ struct VectorIndexOptions {
   /// Every Nth ANN query also runs the exact scan and records the id
   /// overlap into laminar_ann_recall_probe_* counters (0 disables probes).
   size_t recall_probe_interval = 1024;
+  /// Maintain the SQ8 int8 mirror and route candidate generation through it
+  /// (see the header comment). Returned scores stay bit-identical to the
+  /// unquantized paths; only recall can differ, bounded by the rerank
+  /// over-fetch below.
+  bool quantize = false;
+  /// Over-fetch factor for the exact rerank when quantize is on: the
+  /// candidate stage keeps ceil(rerank_overfetch * k) approximate winners
+  /// (and widens the HNSW beam to at least that), then the float kernel
+  /// reranks them and truncates to k. Values < 1 are treated as 1.
+  double rerank_overfetch = 4.0;
   /// Telemetry label (`index="<label>"`) for laminar_ann_* metrics; empty
   /// leaves the metrics unlabelled (standalone/test indexes).
   std::string label;
@@ -100,7 +122,9 @@ struct VectorIndexStats {
   size_t dims = 0;
   size_t bytes = 0;        ///< row + id + tombstone storage (capacity)
   size_t graph_bytes = 0;  ///< HNSW graph footprint (0 while flat)
+  size_t quant_bytes = 0;  ///< SQ8 mirror footprint (0 when quantize off)
   bool ann = false;        ///< true once queries route through the graph
+  bool quantized = false;  ///< true while the SQ8 mirror serves candidates
   uint64_t compactions = 0;
   uint64_t graph_builds = 0;
 };
@@ -140,6 +164,19 @@ class VectorIndex {
   const Options& options() const { return options_; }
   /// True once queries route through the ANN graph.
   bool ann_active() const { return ann_active_; }
+  /// True while candidate generation runs against the SQ8 mirror.
+  bool quantize_active() const { return options_.quantize; }
+
+  /// Turns the SQ8 mirror on or off at runtime (a mutation: external
+  /// exclusive locking required). Enabling on a populated index quantizes
+  /// every stored row; disabling drops the mirror and returns queries to
+  /// the pure float paths. Benches use this to measure float vs SQ8 over
+  /// one set of rows and one built graph.
+  void SetQuantize(bool on);
+
+  /// Test hook: re-quantizes every live row and compares against the
+  /// stored mirror. True when the mirror is bit-exact (or quantize is off).
+  bool DebugQuantConsistent() const;
 
   VectorIndexStats stats() const;
 
@@ -159,13 +196,28 @@ class VectorIndex {
                                        size_t k) const;
 
  private:
-  std::vector<float> NormalizedQuery(std::span<const float> query) const;
-  void ScoreRange(const float* query, size_t begin, size_t end, size_t k,
+  /// Normalizes `query` into `scratch` and returns a view of it (empty for
+  /// zero/mismatched queries). The scratch buffers are thread_local in the
+  /// implementation — TopK and BruteForceTopK each own one, so the per-query
+  /// heap allocation the old signature forced is gone while nested calls
+  /// (the recall probe runs BruteForceTopK inside TopK) and concurrent
+  /// const callers stay safe.
+  std::span<const float> NormalizedQuery(std::span<const float> query,
+                                         std::vector<float>& scratch) const;
+  /// Bounded top-k scan over all slots, sharded past parallel_threshold;
+  /// `score_at(slot) -> float` supplies the per-row score (exact float or
+  /// SQ8 approximate). Results are sorted by (score desc, id asc).
+  template <typename ScoreAt>
+  std::vector<ScoredId> ScanTopK(size_t k, const ScoreAt& score_at) const;
+  template <typename ScoreAt>
+  void ScoreRange(size_t begin, size_t end, size_t k, const ScoreAt& score_at,
                   std::vector<ScoredId>& heap) const;
-  std::vector<ScoredId> ExactTopK(const std::vector<float>& q,
-                                  size_t k) const;
+  std::vector<ScoredId> ExactTopK(std::span<const float> q, size_t k) const;
+  /// Quantized flat path: SQ8 candidate scan, exact over-fetched rerank.
+  std::vector<ScoredId> QuantFlatTopK(std::span<const float> q,
+                                      size_t k) const;
   std::vector<ScoredId> AnnTopK(std::span<const float> raw_query,
-                                const std::vector<float>& q, size_t k) const;
+                                std::span<const float> q, size_t k) const;
   /// All live rows at score 0 in ascending-id order (zero/mismatched query).
   std::vector<ScoredId> ZeroQueryTopK(size_t k) const;
   void AppendRow(int64_t id, std::span<const float> embedding);
@@ -178,6 +230,21 @@ class VectorIndex {
   void Compact(ThreadPool* pool);
   void MaybeCompact(ThreadPool* pool);
   void EnsureAnnTelemetry();
+  void EnsureQuantTelemetry();
+  /// (Re)quantizes the row at `slot` into the SQ8 mirror; no-op with
+  /// quantize off. Grows the mirror arrays as needed.
+  void QuantizeSlot(size_t slot);
+  /// Quantizes every stored slot (SetQuantize(true) on a populated index,
+  /// Compact's rebuild).
+  void RebuildQuantMirror();
+  bool QuantReady() const {
+    return options_.quantize && qcodes_.size() == ids_.size() * dims_;
+  }
+  /// ceil(rerank_overfetch * k), the candidate depth the rerank consumes.
+  size_t RerankDepth(size_t k) const;
+  simd::Sq8View QuantView() const {
+    return {qcodes_.data(), qscales_.data(), qoffsets_.data(), dims_};
+  }
 
   size_t dims_;
   Options options_;
@@ -185,6 +252,11 @@ class VectorIndex {
   std::vector<int64_t> ids_;
   std::unordered_map<int64_t, size_t> slot_of_;  ///< id -> live slot/node
   std::vector<uint8_t> dead_;  ///< hnsw mode: 1 = tombstoned node
+  // SQ8 mirror (populated only with options_.quantize on): node-major int8
+  // codes plus the per-row affine side arrays — see simd/sq8.hpp.
+  std::vector<int8_t> qcodes_;
+  std::vector<float> qscales_;
+  std::vector<float> qoffsets_;
   size_t dead_count_ = 0;
   bool ann_active_ = false;
   bool bulk_ = false;
@@ -200,6 +272,10 @@ class VectorIndex {
   telemetry::Counter* probes_total_ = nullptr;
   telemetry::Counter* probe_hits_ = nullptr;
   telemetry::Counter* probe_expected_ = nullptr;
+  // laminar_quant_* handles, resolved when the SQ8 mirror first activates.
+  telemetry::Gauge* quant_bytes_gauge_ = nullptr;
+  telemetry::Counter* quant_searches_ = nullptr;
+  telemetry::Counter* quant_rerank_rows_ = nullptr;
 };
 
 }  // namespace laminar::search

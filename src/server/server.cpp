@@ -10,6 +10,7 @@
 #include "net/multipart.hpp"
 #include "net/tcp.hpp"
 #include "pycode/parser.hpp"
+#include "simd/simd.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace laminar::server {
@@ -1487,7 +1488,12 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
     vi["hnswEfSearch"] = static_cast<int64_t>(vopts.hnsw.ef_search);
     vi["recallProbeInterval"] =
         static_cast<int64_t>(vopts.recall_probe_interval);
+    vi["quantize"] = vopts.quantize;
+    vi["rerankOverfetch"] = vopts.rerank_overfetch;
     resp["search"]["vectorIndex"] = std::move(vi);
+    // Which kernel tier the dispatched dot products run on (ISSUE 10).
+    resp["search"]["simd"]["tier"] =
+        std::string(simd::TierName(simd::ActiveTier()));
     Value indexes = Value::MakeObject();
     for (const auto& [name, istats] : search_.IndexStats()) {
       Value one = Value::MakeObject();
@@ -1496,7 +1502,9 @@ void LaminarServer::HandleInternal(const net::HttpRequest& request,
       one["dims"] = static_cast<int64_t>(istats.dims);
       one["bytes"] = static_cast<int64_t>(istats.bytes);
       one["graphBytes"] = static_cast<int64_t>(istats.graph_bytes);
+      one["quantBytes"] = static_cast<int64_t>(istats.quant_bytes);
       one["ann"] = istats.ann;
+      one["quantized"] = istats.quantized;
       one["compactions"] = static_cast<int64_t>(istats.compactions);
       one["graphBuilds"] = static_cast<int64_t>(istats.graph_builds);
       indexes[name] = std::move(one);

@@ -1,0 +1,379 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define LAMINAR_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define LAMINAR_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace laminar::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// x86 tiers. Each kernel carries a target attribute instead of relying on
+// global -mavx* flags, so one binary holds every tier and the dispatcher
+// picks at runtime — non-AVX hosts never execute a VEX instruction.
+// Tails stay scalar on purpose: masked loads would be faster by a cycle or
+// two but read (hardware-suppressed) bytes past the buffer, which sanitizer
+// builds flag; the kernel suite runs under address,undefined.
+// ---------------------------------------------------------------------------
+#if LAMINAR_SIMD_X86
+
+__attribute__((target("avx2,fma"))) inline float DotAvx2Row(const float* a,
+                                                            const float* b,
+                                                            size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  __m256 acc =
+      _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+  __m128 s =
+      _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  float sum = _mm_cvtss_f32(s);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) float DotAvx2(const float* a,
+                                                  const float* b, size_t n) {
+  return DotAvx2Row(a, b, n);
+}
+
+__attribute__((target("avx2,fma"))) void DotBatchAvx2(const float* query,
+                                                      const float* rows,
+                                                      size_t n_rows,
+                                                      size_t dims,
+                                                      float* out) {
+  for (size_t r = 0; r < n_rows; ++r) {
+    out[r] = DotAvx2Row(query, rows + r * dims, dims);
+  }
+}
+
+__attribute__((target("avx2"))) inline int32_t DotI8Avx2Row(const int8_t* a,
+                                                            const int8_t* b,
+                                                            size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // 16 int8 -> 16 int16 each side; madd multiplies int16 pairs into exact
+    // int32 partial sums (|-128 * -128| * 2 fits int32 with headroom).
+    const __m256i wa = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i wb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wa, wb));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4e));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xb1));
+  int32_t sum = _mm_cvtsi128_si32(s);
+  for (; i < n; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) int32_t DotI8Avx2(const int8_t* a,
+                                                  const int8_t* b, size_t n) {
+  return DotI8Avx2Row(a, b, n);
+}
+
+__attribute__((target("avx512f"))) inline float DotAvx512Row(const float* a,
+                                                             const float* b,
+                                                             size_t n) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i),
+                           acc0);
+  }
+  float sum = _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx512f"))) float DotAvx512(const float* a,
+                                                   const float* b, size_t n) {
+  return DotAvx512Row(a, b, n);
+}
+
+__attribute__((target("avx512f"))) void DotBatchAvx512(const float* query,
+                                                       const float* rows,
+                                                       size_t n_rows,
+                                                       size_t dims,
+                                                       float* out) {
+  for (size_t r = 0; r < n_rows; ++r) {
+    out[r] = DotAvx512Row(query, rows + r * dims, dims);
+  }
+}
+
+__attribute__((target("avx512f,avx512bw"))) int32_t DotI8Avx512(
+    const int8_t* a, const int8_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m512i wa = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    const __m512i wb = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(wa, wb));
+  }
+  int32_t sum = static_cast<int32_t>(_mm512_reduce_add_epi32(acc));
+  for (; i < n; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+#endif  // LAMINAR_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON tier (aarch64: the ISA is baseline, no runtime probe needed).
+// ---------------------------------------------------------------------------
+#if LAMINAR_SIMD_NEON
+
+inline float DotNeonRow(const float* a, const float* b, size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f);
+  float32x4_t acc3 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    acc2 = vfmaq_f32(acc2, vld1q_f32(a + i + 8), vld1q_f32(b + i + 8));
+    acc3 = vfmaq_f32(acc3, vld1q_f32(a + i + 12), vld1q_f32(b + i + 12));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+  }
+  float sum =
+      vaddvq_f32(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float DotNeon(const float* a, const float* b, size_t n) {
+  return DotNeonRow(a, b, n);
+}
+
+void DotBatchNeon(const float* query, const float* rows, size_t n_rows,
+                  size_t dims, float* out) {
+  for (size_t r = 0; r < n_rows; ++r) {
+    out[r] = DotNeonRow(query, rows + r * dims, dims);
+  }
+}
+
+int32_t DotI8Neon(const int8_t* a, const int8_t* b, size_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vld1q_s8(a + i);
+    const int8x16_t vb = vld1q_s8(b + i);
+    const int16x8_t lo = vmull_s8(vget_low_s8(va), vget_low_s8(vb));
+    const int16x8_t hi = vmull_s8(vget_high_s8(va), vget_high_s8(vb));
+    acc = vpadalq_s16(vpadalq_s16(acc, lo), hi);
+  }
+  int32_t sum = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+#endif  // LAMINAR_SIMD_NEON
+
+float DotScalarImpl(const float* a, const float* b, size_t n) {
+  return DotScalar(a, b, n);
+}
+
+void DotBatchScalar(const float* query, const float* rows, size_t n_rows,
+                    size_t dims, float* out) {
+  for (size_t r = 0; r < n_rows; ++r) {
+    out[r] = DotScalar(query, rows + r * dims, dims);
+  }
+}
+
+int32_t DotI8ScalarImpl(const int8_t* a, const int8_t* b, size_t n) {
+  return DotI8Scalar(a, b, n);
+}
+
+using DotFn = float (*)(const float*, const float*, size_t);
+using DotBatchFn = void (*)(const float*, const float*, size_t, size_t,
+                            float*);
+using DotI8Fn = int32_t (*)(const int8_t*, const int8_t*, size_t);
+
+struct KernelTable {
+  DotFn dot = &DotScalarImpl;
+  DotBatchFn dot_batch = &DotBatchScalar;
+  DotI8Fn dot_i8 = &DotI8ScalarImpl;
+  Tier tier = Tier::kScalar;
+};
+
+KernelTable TableFor(Tier tier) {
+  KernelTable t;
+  switch (tier) {
+#if LAMINAR_SIMD_X86
+    case Tier::kAvx512:
+      t = {&DotAvx512, &DotBatchAvx512, &DotI8Avx512, Tier::kAvx512};
+      break;
+    case Tier::kAvx2:
+      t = {&DotAvx2, &DotBatchAvx2, &DotI8Avx2, Tier::kAvx2};
+      break;
+#endif
+#if LAMINAR_SIMD_NEON
+    case Tier::kNeon:
+      t = {&DotNeon, &DotBatchNeon, &DotI8Neon, Tier::kNeon};
+      break;
+#endif
+    default:
+      break;  // scalar defaults already in place
+  }
+  return t;
+}
+
+Tier Detect() {
+#if LAMINAR_SIMD_X86
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return Tier::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Tier::kAvx2;
+  }
+  return Tier::kScalar;
+#elif LAMINAR_SIMD_NEON
+  return Tier::kNeon;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+Tier ParseTierName(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return Tier::kScalar;
+  if (std::strcmp(name, "neon") == 0) return Tier::kNeon;
+  if (std::strcmp(name, "avx2") == 0) return Tier::kAvx2;
+  if (std::strcmp(name, "avx512") == 0) return Tier::kAvx512;
+  return Detect();  // "auto" or anything unrecognized
+}
+
+/// Clamp a requested tier to hardware support. Requests for a different
+/// architecture's tier (e.g. neon on x86) fall back to scalar rather than
+/// silently upgrading.
+Tier Clamp(Tier requested) {
+  const Tier detected = Detect();
+  if (requested == Tier::kScalar) return Tier::kScalar;
+  if (requested == detected) return requested;
+#if LAMINAR_SIMD_X86
+  if (requested == Tier::kAvx2 && detected == Tier::kAvx512) {
+    return Tier::kAvx2;  // narrower x86 tier on a wider x86 host is fine
+  }
+#endif
+  if (static_cast<int>(requested) > static_cast<int>(detected)) {
+    return detected;  // asked for wider than the host has
+  }
+  return Tier::kScalar;
+}
+
+/// The active kernel table. Initialized on first use (honoring LAMINAR_SIMD)
+/// and replaced wholesale by SetTier. Individual function-pointer loads are
+/// relaxed atomics so first-use races between readers are benign — every
+/// candidate value is a valid kernel.
+std::atomic<const KernelTable*> g_table{nullptr};
+
+const KernelTable* InitTable() {
+  static KernelTable storage;  // process-lifetime; SetTier rewrites it
+  Tier tier = Detect();
+  if (const char* env = std::getenv("LAMINAR_SIMD")) {
+    tier = Clamp(ParseTierName(env));
+  }
+  storage = TableFor(tier);
+  const KernelTable* expected = nullptr;
+  g_table.compare_exchange_strong(expected, &storage,
+                                  std::memory_order_acq_rel);
+  return g_table.load(std::memory_order_acquire);
+}
+
+inline const KernelTable* Table() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  return t != nullptr ? t : InitTable();
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kNeon:
+      return "neon";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+    case Tier::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+Tier DetectedTier() { return Detect(); }
+
+Tier ActiveTier() { return Table()->tier; }
+
+Tier SetTier(Tier tier) {
+  const Tier chosen = Clamp(tier);
+  const KernelTable* current = Table();  // ensures storage exists
+  // Rewrite the single process-wide table in place: not safe against
+  // concurrently executing kernels (documented), but keeps every later
+  // reader on one coherent table without allocation.
+  *const_cast<KernelTable*>(current) = TableFor(chosen);
+  return chosen;
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  return Table()->dot(a, b, n);
+}
+
+void DotBatch(const float* query, const float* rows, size_t n_rows,
+              size_t dims, float* out) {
+  Table()->dot_batch(query, rows, n_rows, dims, out);
+}
+
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  return Table()->dot_i8(a, b, n);
+}
+
+}  // namespace laminar::simd

@@ -1,0 +1,58 @@
+#include "simd/sq8.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laminar::simd {
+
+void QuantizeRow(const float* row, size_t dims, int8_t* codes, float* scale,
+                 float* offset) {
+  float lo = row[0], hi = row[0];
+  for (size_t i = 1; i < dims; ++i) {
+    lo = std::min(lo, row[i]);
+    hi = std::max(hi, row[i]);
+  }
+  const float mid = 0.5f * (lo + hi);
+  const float half = hi - mid;  // >= 0
+  if (!(half > 0.0f)) {
+    // Constant row: codes 0 everywhere, offset carries the value exactly.
+    std::fill(codes, codes + dims, static_cast<int8_t>(0));
+    *scale = 0.0f;
+    *offset = mid;
+    return;
+  }
+  const float s = half / 127.0f;
+  const float inv = 127.0f / half;
+  for (size_t i = 0; i < dims; ++i) {
+    const float c = std::round((row[i] - mid) * inv);
+    codes[i] = static_cast<int8_t>(
+        std::clamp(c, -127.0f, 127.0f));
+  }
+  *scale = s;
+  *offset = mid;
+}
+
+void QuantizeQuery(const float* query, size_t dims, Sq8Query* out) {
+  out->codes.resize(dims);
+  float amax = 0.0f;
+  for (size_t i = 0; i < dims; ++i) amax = std::max(amax, std::fabs(query[i]));
+  if (!(amax > 0.0f)) {
+    std::fill(out->codes.begin(), out->codes.end(), static_cast<int8_t>(0));
+    out->scale = 0.0f;
+    out->code_sum = 0;
+    return;
+  }
+  const float inv = 127.0f / amax;
+  int32_t sum = 0;
+  for (size_t i = 0; i < dims; ++i) {
+    const float c = std::round(query[i] * inv);
+    const int8_t code =
+        static_cast<int8_t>(std::clamp(c, -127.0f, 127.0f));
+    out->codes[i] = code;
+    sum += code;
+  }
+  out->scale = amax / 127.0f;
+  out->code_sum = sum;
+}
+
+}  // namespace laminar::simd

@@ -1,0 +1,61 @@
+// SQ8 scalar quantization for the vector-search row store (ISSUE 10).
+//
+// Each float32 row is mirrored as int8 codes plus a per-row affine pair
+// (scale, offset): x_i ~= offset + scale * code_i, with codes in
+// [-127, 127] fitted to the row's own min/max. A query is quantized once
+// per search, symmetrically (q_i ~= qscale * qcode_i), and the approximate
+// similarity folds into one exact integer kernel plus two scalar terms:
+//
+//   dot(q, x) ~= qscale * (scale * DotI8(qcodes, codes) + offset * qsum)
+//
+// where qsum = sum(qcode_i) is precomputed with the query. The int8 path is
+// exact integer arithmetic, so every dispatch tier produces the same
+// approximate score; the only error is the quantization itself, which the
+// caller absorbs with an over-fetched exact float32 rerank (VectorIndex).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simd/simd.hpp"
+
+namespace laminar::simd {
+
+/// Pointer view over a caller-owned SQ8 row block (node-major codes plus
+/// per-row scale/offset side arrays) — the shape VectorIndex stores and
+/// HnswIndex::SearchSq8 traverses.
+struct Sq8View {
+  const int8_t* codes = nullptr;  ///< n_rows * dims, row-major
+  const float* scales = nullptr;  ///< per-row scale
+  const float* offsets = nullptr;  ///< per-row offset
+  size_t dims = 0;
+};
+
+/// A query quantized for scoring against an Sq8View.
+struct Sq8Query {
+  std::vector<int8_t> codes;
+  float scale = 0.0f;     ///< q_i ~= scale * codes[i]
+  int32_t code_sum = 0;   ///< sum of codes (pairs with the row offsets)
+};
+
+/// Quantizes one row of `dims` floats into `codes` (caller-sized) and its
+/// affine (scale, offset). A constant row (max == min) gets scale 0 and
+/// all-zero codes, reconstructing exactly.
+void QuantizeRow(const float* row, size_t dims, int8_t* codes, float* scale,
+                 float* offset);
+
+/// Quantizes a query symmetrically into `out` (codes resized to dims).
+/// A zero query yields scale 0 / all-zero codes, scoring 0 everywhere.
+void QuantizeQuery(const float* query, size_t dims, Sq8Query* out);
+
+/// Approximate dot product of a quantized query against row `node` of the
+/// view, via the dispatched int8 kernel.
+inline float Sq8Score(const Sq8Query& q, const Sq8View& view, size_t node) {
+  const int8_t* codes = view.codes + node * view.dims;
+  const float i8 = static_cast<float>(DotI8(q.codes.data(), codes, view.dims));
+  return q.scale * (view.scales[node] * i8 +
+                    view.offsets[node] * static_cast<float>(q.code_sum));
+}
+
+}  // namespace laminar::simd
